@@ -1,0 +1,203 @@
+// Package banger is a Go reproduction of Banger, the large-grain
+// parallel programming environment for non-programmers described in
+// Ted Lewis, "A Large-Grain Parallel Programming Environment for
+// Non-Programmers", ICPP 1994.
+//
+// Banger separates parallel programming-in-the-large (PITL) — drawing
+// a hierarchical dataflow graph of tasks, storage cells and precedence
+// arcs — from sequential programming-in-the-small (PITS) — filling
+// each primitive task with a small routine through a programmable
+// pocket-calculator metaphor. A target machine is described by four
+// characteristics (processor speed, process startup, message startup,
+// transmission speed) plus an interconnection topology; the PPSE
+// scheduling heuristics then map the design onto the machine
+// automatically, producing Gantt charts and speedup predictions, and
+// the design can be trial-run instantly, executed in parallel on
+// goroutines, or compiled to a standalone Go program.
+//
+// The package re-exports the full public surface of the library:
+//
+//	Design / flatten:  Graph, Node, Arc, Flat (internal/graph)
+//	Target machines:   Machine, Topology, Params (internal/machine)
+//	Scheduling:        Schedule, Scheduler, Schedulers (internal/sched)
+//	PITS language:     Program, Interp, Env (internal/pits)
+//	Calculator UI:     Panel (internal/calc)
+//	Execution:         Simulate, Runner (internal/exec)
+//	Charts:            GanttChart, SpeedupChart (internal/gantt)
+//	Projects:          Project, built-ins (internal/project)
+//	Environment:       Environment (internal/core)
+//
+// Quick start:
+//
+//	env, _ := banger.OpenBuiltin("lu3x3")
+//	sc, _ := env.Schedule("mh")
+//	fmt.Print(banger.GanttChart(sc, 72))
+//	res, _ := env.Run(sc)
+//	fmt.Println("x =", res.Outputs["x"])
+package banger
+
+import (
+	"repro/internal/calc"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gantt"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/project"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// PITL graph types.
+type (
+	// Graph is a hierarchical PITL dataflow design.
+	Graph = graph.Graph
+	// Node is a vertex of a design: task, storage, port or subgraph.
+	Node = graph.Node
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Arc is a labelled precedence edge.
+	Arc = graph.Arc
+	// Flat is a flattened design plus its external data bindings.
+	Flat = graph.Flat
+)
+
+// Machine model types.
+type (
+	// Machine is a target machine: topology plus the paper's four
+	// parameters.
+	Machine = machine.Machine
+	// Topology is an interconnection network.
+	Topology = machine.Topology
+	// Params are processor speed, task startup, message startup and
+	// per-word transmission time.
+	Params = machine.Params
+	// Time is simulated time in integer microseconds.
+	Time = machine.Time
+)
+
+// Scheduling types.
+type (
+	// Schedule is a Gantt chart plus message events.
+	Schedule = sched.Schedule
+	// Scheduler maps a flat design onto a machine.
+	Scheduler = sched.Scheduler
+	// Slot is one task occurrence on a processor.
+	Slot = sched.Slot
+	// SpeedupPoint is one point of a speedup-prediction curve.
+	SpeedupPoint = sched.SpeedupPoint
+)
+
+// PITS language types.
+type (
+	// Program is a parsed PITS routine.
+	Program = pits.Program
+	// Interp executes PITS routines.
+	Interp = pits.Interp
+	// Env is a PITS variable environment.
+	Env = pits.Env
+	// Num is a PITS scalar.
+	Num = pits.Num
+	// Vec is a PITS vector.
+	Vec = pits.Vec
+)
+
+// Environment and project types.
+type (
+	// Environment is an opened Banger project.
+	Environment = core.Environment
+	// Project bundles a design, machine and input data.
+	Project = project.Project
+	// Panel is the programmable pocket calculator.
+	Panel = calc.Panel
+	// Runner executes schedules on real goroutines.
+	Runner = exec.Runner
+	// Result is a parallel run's outcome.
+	Result = exec.Result
+	// Trace is an execution event log.
+	Trace = trace.Trace
+)
+
+// NewGraph returns an empty design with the given name.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// ShardTask rewrites one task into n data-parallel shards plus a
+// gather task — the paper's fine-grained-parallelism extension.
+func ShardTask(g *Graph, id NodeID, n int, gatherWork int64, gatherRoutine string) error {
+	return graph.ShardTask(g, id, n, gatherWork, gatherRoutine)
+}
+
+// GatherSum builds a gather routine summing each variable over n shards.
+func GatherSum(n int, vars ...string) string { return graph.GatherSum(n, vars...) }
+
+// NewMachine builds a machine over a topology spec string such as
+// "hypercube:3", "mesh:2x4", "star:8" or "full:4".
+func NewMachine(name, topoSpec string, p Params) (*Machine, error) {
+	topo, err := machine.ParseTopology(topoSpec)
+	if err != nil {
+		return nil, err
+	}
+	return machine.New(name, topo, p)
+}
+
+// DefaultParams returns the harness's standard machine parameters.
+func DefaultParams() Params { return machine.DefaultParams() }
+
+// Open validates a project and returns its environment.
+func Open(p *Project) (*Environment, error) { return core.Open(p) }
+
+// OpenBuiltin opens one of the built-in sample projects: "lu3x3"
+// (the paper's Figure 1), "newton-sqrt" (Figure 4), "stats" (parallel
+// channel reduction on a mesh) or "heat" (1-D diffusion stencil on a
+// ring).
+func OpenBuiltin(name string) (*Environment, error) { return core.OpenBuiltin(name) }
+
+// Animation renders a trace as a reel of textual animation frames.
+func Animation(tr *Trace, numPE, steps int) (string, error) {
+	return gantt.Animation(tr, numPE, steps)
+}
+
+// Builtins lists the built-in sample project names.
+func Builtins() []string { return project.BuiltinNames() }
+
+// Schedulers returns every scheduling heuristic: serial, hlfet, etf,
+// mh, dsh and pack.
+func Schedulers() []Scheduler { return sched.All() }
+
+// SchedulerByName looks a scheduler up by name.
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// GanttChart renders a schedule as an ASCII Gantt chart.
+func GanttChart(s *Schedule, width int) string { return gantt.Chart(s, width) }
+
+// GanttSVG renders a schedule as a standalone SVG document.
+func GanttSVG(s *Schedule) string { return gantt.SVG(s) }
+
+// SpeedupChart renders a speedup-prediction curve as ASCII art.
+func SpeedupChart(pts []SpeedupPoint, height int) string { return gantt.Speedup(pts, height) }
+
+// TraceChart renders an execution trace as an ASCII Gantt chart.
+func TraceChart(tr *Trace, numPE, width int) (string, error) {
+	return gantt.FromTrace(tr, numPE, width)
+}
+
+// Simulate replays a schedule through the discrete-event simulator.
+func Simulate(s *Schedule) (*Trace, error) { return exec.Simulate(s) }
+
+// GenerateCode compiles a scheduled design to standalone Go source.
+func GenerateCode(s *Schedule, flat *Flat, inputs Env) (string, error) {
+	return codegen.Generate(s, flat, inputs)
+}
+
+// TrialRun trial-runs a PITS routine on inputs with instant feedback.
+func TrialRun(src string, inputs Env) (*pits.TrialReport, error) {
+	return pits.TrialRun(src, inputs)
+}
+
+// NewPanel opens a blank calculator panel for a task.
+func NewPanel(taskName string) *Panel { return calc.NewPanel(taskName) }
+
+// RenderPanel draws a calculator panel as ASCII art (Figure 4).
+func RenderPanel(p *Panel) string { return calc.Render(p) }

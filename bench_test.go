@@ -1,0 +1,245 @@
+package banger_test
+
+// The benchmark harness: one benchmark per artefact of the paper's
+// evaluation (Figures 1-4) plus the ablation experiments A-D described
+// in DESIGN.md. `go run ./cmd/experiments` prints the figures
+// themselves; these benchmarks measure the machinery that regenerates
+// them.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/project"
+	"repro/internal/sched"
+)
+
+func mustLU(b *testing.B) *core.Environment {
+	b.Helper()
+	env, err := core.OpenBuiltin("lu3x3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func hypercubeMachine(b *testing.B, dim int) *machine.Machine {
+	b.Helper()
+	topo, err := machine.Hypercube(dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFig1_BuildFlattenLU measures constructing and flattening
+// the paper's Figure 1 design (two-level hierarchical LU graph).
+func BenchmarkFig1_BuildFlattenLU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := project.LU3x3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Design.Flatten(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2_Topologies measures building each supported topology
+// family (Figure 2) including its all-pairs routing tables.
+func BenchmarkFig2_Topologies(b *testing.B) {
+	build := map[string]func() (*machine.Topology, error){
+		"hypercube": func() (*machine.Topology, error) { return machine.Hypercube(6) },
+		"mesh":      func() (*machine.Topology, error) { return machine.Mesh(8, 8) },
+		"tree":      func() (*machine.Topology, error) { return machine.Tree(2, 6) },
+		"star":      func() (*machine.Topology, error) { return machine.Star(64) },
+		"full":      func() (*machine.Topology, error) { return machine.Full(64) },
+	}
+	for name, mk := range build {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topo, err := mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = topo.Diameter() // forces BFS routing tables
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_ScheduleHypercube measures MH mapping the LU design
+// onto the machines of Figure 3: hypercubes of 2, 4 and 8 processors.
+func BenchmarkFig3_ScheduleHypercube(b *testing.B) {
+	env := mustLU(b)
+	for _, dim := range []int{1, 2, 3} {
+		m := hypercubeMachine(b, dim)
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (sched.MH{}).Schedule(env.Flat.Graph, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_SpeedupPrediction measures producing the full speedup
+// chart (schedule on 1, 2, 4, 8 PEs).
+func BenchmarkFig3_SpeedupPrediction(b *testing.B) {
+	env := mustLU(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := env.SpeedupCurve("mh", []int{0, 1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_NewtonSqrtTask measures the calculator's instant
+// feedback: trial-running the Figure 4 SquareRoot routine.
+func BenchmarkFig4_NewtonSqrtTask(b *testing.B) {
+	p, err := project.NewtonSqrt()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := p.Design.Node("sqrt").Routine
+	inputs := pits.Env{"a": pits.Num(2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pits.TrialRun(src, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtA_SchedulerComparison measures every heuristic on a
+// 64-task random layered graph over an 8-PE hypercube — the ablation
+// behind experiment A.
+func BenchmarkExtA_SchedulerComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: 8, Width: 8, MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := hypercubeMachine(b, 3)
+	for _, s := range sched.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtC_RealRun measures the goroutine runner executing the
+// scheduled LU program end to end (experiment C's measured side).
+func BenchmarkExtC_RealRun(b *testing.B) {
+	env := mustLU(b)
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtC_Simulate measures the discrete-event simulator on the
+// same schedule (experiment C's predicted side).
+func BenchmarkExtC_Simulate(b *testing.B) {
+	env := mustLU(b)
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtD_Codegen measures generating the standalone Go program
+// for the scheduled LU design (experiment D).
+func BenchmarkExtD_Codegen(b *testing.B) {
+	env := mustLU(b)
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(sc, env.Flat, env.Project.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPITSInterp measures raw interpreter throughput on a tight
+// arithmetic loop (the substrate of every trial run).
+func BenchmarkPITSInterp(b *testing.B) {
+	prog := pits.MustParse(`s = 0
+for i = 1 to 1000 do
+  s = s + sqrt(i) * 2 - i / 3
+end`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := pits.NewInterp()
+		if err := in.Run(prog, pits.Env{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRehearse measures a full sequential rehearsal of the LU
+// design (trial run of an entire program).
+func BenchmarkRehearse(b *testing.B) {
+	env := mustLU(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Rehearse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerScaling measures MH on growing random graphs,
+// checking the heuristic stays usable at interactive sizes.
+func BenchmarkSchedulerScaling(b *testing.B) {
+	for _, size := range []struct{ layers, width int }{{4, 4}, {8, 8}, {16, 16}} {
+		rng := rand.New(rand.NewSource(7))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: size.layers, Width: size.width,
+			MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := hypercubeMachine(b, 3)
+		b.Run(g.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (sched.MH{}).Schedule(g, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

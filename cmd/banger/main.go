@@ -1,0 +1,537 @@
+// Command banger is the terminal front end of the Banger environment:
+// it loads a project (a built-in sample or a JSON file), schedules it,
+// draws Gantt charts and speedup predictions, trial-runs tasks through
+// the calculator panel, executes the program in parallel, and
+// generates standalone Go code.
+//
+// Usage:
+//
+//	banger <command> [flags]
+//
+// Commands:
+//
+//	list       list built-in projects, schedulers and topologies
+//	show       print a project's dataflow design
+//	topology   print an interconnection topology
+//	schedule   map a project onto its machine and draw the Gantt chart
+//	speedup    predict speedup across hypercube sizes
+//	simulate   replay a schedule through the discrete-event simulator
+//	animate    frame-by-frame replay of a simulated execution
+//	rehearse   trial-run the whole design sequentially (instant feedback)
+//	run        execute the scheduled program on goroutines (wall-clock
+//	           or deterministic virtual time)
+//	calc       open the calculator panel of one task
+//	codegen    generate a standalone Go program
+//	demo       guided tour over the LU example
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/calc"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gantt"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/project"
+	"repro/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "show":
+		err = cmdShow(args)
+	case "topology":
+		err = cmdTopology(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "speedup":
+		err = cmdSpeedup(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "animate":
+		err = cmdAnimate(args)
+	case "rehearse":
+		err = cmdRehearse(args)
+	case "run":
+		err = cmdRun(args)
+	case "calc":
+		err = cmdCalc(args)
+	case "codegen":
+		err = cmdCodegen(args)
+	case "demo":
+		err = cmdDemo(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "banger: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "banger:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: banger <command> [flags]
+
+commands:
+  list                          built-ins, schedulers, topology specs
+  show     -project P           print the dataflow design
+  topology <spec>               print a topology (e.g. hypercube:3, mesh:2x4)
+  schedule -project P [-alg A] [-machine SPEC] [-csv] [-svg FILE]
+           [-json FILE] [-report]
+  speedup  -project P [-alg A] [-dims 0,1,2,3]
+  simulate -project P [-alg A]
+  animate  -project P [-alg A] [-frames N]
+  rehearse -project P
+  run      -project P [-alg A] [-virtual] [-chart]
+  calc     -project P -task T [-run]
+  codegen  -project P [-alg A] [-o FILE]
+  demo
+
+-project takes a built-in name (lu3x3, newton-sqrt, stats, heat) or a JSON file path.`)
+}
+
+// loadProject resolves -project values: built-in names first, then a
+// JSON file on disk.
+func loadProject(name string) (*project.Project, error) {
+	for _, b := range project.BuiltinNames() {
+		if b == name {
+			return project.Builtin(name)
+		}
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a built-in project (%v) nor a readable file: %w",
+			name, project.BuiltinNames(), err)
+	}
+	var p project.Project
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", name, err)
+	}
+	return &p, nil
+}
+
+// projectFlags registers the common -project/-alg flags.
+func projectFlags(fs *flag.FlagSet) (proj, alg *string) {
+	proj = fs.String("project", "lu3x3", "built-in project name or JSON file")
+	alg = fs.String("alg", "mh", "scheduler: serial, hlfet, etf, mh, dsh, pack")
+	return
+}
+
+func openEnv(proj string) (*core.Environment, error) {
+	p, err := loadProject(proj)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(p)
+}
+
+func cmdList() error {
+	fmt.Println("built-in projects:")
+	for _, n := range project.BuiltinNames() {
+		fmt.Println("  ", n)
+	}
+	fmt.Println("schedulers:")
+	for _, s := range sched.All() {
+		fmt.Println("  ", s.Name())
+	}
+	fmt.Println("topology specs: hypercube:D mesh:RxC torus:RxC tree:BxL star:N ring:N chain:N full:N")
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	proj := fs.String("project", "lu3x3", "project")
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of ASCII")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProject(*proj)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(p.Design.DOT())
+		return nil
+	}
+	fmt.Print(p.Design.ASCII())
+	for _, n := range p.Design.Nodes() {
+		if n.Kind == graph.KindSub {
+			fmt.Printf("\nexpansion of <<%s>>:\n", n.ID)
+			fmt.Print(n.Sub.ASCII())
+		}
+	}
+	fmt.Println("\nmachine:", p.Machine)
+	flat, err := p.Design.Flatten()
+	if err != nil {
+		return err
+	}
+	fmt.Println("flattened:", flat.Graph.Summary())
+	return nil
+}
+
+func cmdTopology(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("topology: need a spec like hypercube:3")
+	}
+	topo, err := machine.ParseTopology(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(topo.ASCII())
+	fmt.Printf("diameter %d, avg distance %.2f, %d links\n", topo.Diameter(), topo.AvgDist(), topo.NumLinks())
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	mspec := fs.String("machine", "", "override machine topology (spec string)")
+	csv := fs.Bool("csv", false, "emit slots as CSV")
+	svg := fs.String("svg", "", "write an SVG Gantt chart to this file")
+	jsonOut := fs.String("json", "", "write the full schedule document to this file")
+	report := fs.Bool("report", false, "print a per-processor utilisation table")
+	width := fs.Int("width", 72, "chart width in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	m := env.Project.Machine
+	if *mspec != "" {
+		topo, err := machine.ParseTopology(*mspec)
+		if err != nil {
+			return err
+		}
+		if m, err = m.Scale(topo); err != nil {
+			return err
+		}
+	}
+	sc, err := env.ScheduleOn(*alg, m)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(gantt.CSV(sc))
+		return nil
+	}
+	fmt.Print(gantt.Chart(sc, *width))
+	if *report {
+		fmt.Print(gantt.Report(sc))
+	} else {
+		msgs, words := sc.CommVolume()
+		fmt.Printf("%d messages carrying %d words; utilization %.0f%%\n", msgs, words, 100*sc.Utilization())
+	}
+	if *svg != "" {
+		if err := os.WriteFile(*svg, []byte(gantt.SVG(sc)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svg)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	return nil
+}
+
+func cmdSpeedup(args []string) error {
+	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	dims := fs.String("dims", "0,1,2,3", "hypercube dimensions, comma separated")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	var dd []int
+	for _, s := range strings.Split(*dims, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad dimension %q", s)
+		}
+		dd = append(dd, d)
+	}
+	pts, err := env.SpeedupCurve(*alg, dd)
+	if err != nil {
+		return err
+	}
+	fmt.Print(gantt.Speedup(pts, 10))
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	sc, err := env.Schedule(*alg)
+	if err != nil {
+		return err
+	}
+	tr, err := exec.Simulate(sc)
+	if err != nil {
+		return err
+	}
+	chart, err := gantt.FromTrace(tr, sc.Machine.NumPE(), 72)
+	if err != nil {
+		return err
+	}
+	fmt.Print(chart)
+	st, err := tr.Summarize(sc.Machine.NumPE())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated: %d tasks (+%d duplicates), %d messages, utilization %.0f%%\n",
+		st.TasksRun, st.DupsRun, st.Msgs, 100*st.Utilization)
+	return nil
+}
+
+func cmdAnimate(args []string) error {
+	fs := flag.NewFlagSet("animate", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	frames := fs.Int("frames", 8, "number of animation frames")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	sc, err := env.Schedule(*alg)
+	if err != nil {
+		return err
+	}
+	tr, err := exec.Simulate(sc)
+	if err != nil {
+		return err
+	}
+	reel, err := gantt.Animation(tr, sc.Machine.NumPE(), *frames)
+	if err != nil {
+		return err
+	}
+	fmt.Print(reel)
+	return nil
+}
+
+func cmdRehearse(args []string) error {
+	fs := flag.NewFlagSet("rehearse", flag.ExitOnError)
+	proj := fs.String("project", "lu3x3", "project")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	reh, err := env.Rehearse()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rehearsed %d tasks, %d measured ops total\n", len(reh.Tasks), reh.TotalOps)
+	for _, tr := range reh.Tasks {
+		fmt.Printf("  %-16s %6d ops\n", tr.Task, tr.Ops)
+		for _, line := range tr.Printed {
+			fmt.Println("     >", line)
+		}
+	}
+	printOutputs(reh.Outputs)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	virtual := fs.Bool("virtual", false, "stamp the trace in deterministic virtual time")
+	chart := fs.Bool("chart", false, "draw the executed trace as a Gantt chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	sc, err := env.Schedule(*alg)
+	if err != nil {
+		return err
+	}
+	run := env.Run
+	if *virtual {
+		run = env.RunVirtual
+	}
+	res, err := run(sc)
+	if err != nil {
+		return err
+	}
+	st, err := res.Trace.Summarize(sc.Machine.NumPE())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d tasks (+%d duplicates) on %d goroutine PEs in %v\n",
+		st.TasksRun, st.DupsRun, sc.Machine.NumPE(), res.Elapsed)
+	if *virtual {
+		fmt.Printf("virtual makespan %v (schedule predicted %v)\n", res.Trace.Makespan(), sc.Makespan())
+	}
+	if *chart {
+		out, err := gantt.FromTrace(res.Trace, sc.Machine.NumPE(), 72)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	for _, line := range res.Printed {
+		fmt.Println("  >", line)
+	}
+	printOutputs(res.Outputs)
+	return nil
+}
+
+// printOutputs prints an environment's bindings sorted by name.
+func printOutputs(outputs pits.Env) {
+	keys := make([]string, 0, len(outputs))
+	for k := range outputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("outputs:")
+	for _, k := range keys {
+		fmt.Printf("  %s = %s\n", k, outputs[k])
+	}
+}
+
+func cmdCalc(args []string) error {
+	fs := flag.NewFlagSet("calc", flag.ExitOnError)
+	proj := fs.String("project", "newton-sqrt", "project")
+	task := fs.String("task", "sqrt", "task id in the flattened design")
+	run := fs.Bool("run", true, "press RUN for instant feedback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	panel, err := env.CalculatorFor(graph.NodeID(*task))
+	if err != nil {
+		return err
+	}
+	if *run {
+		if err := panel.Press("RUN"); err != nil {
+			fmt.Fprintln(os.Stderr, "RUN:", err)
+		}
+	}
+	fmt.Print(calc.Render(panel))
+	return nil
+}
+
+func cmdCodegen(args []string) error {
+	fs := flag.NewFlagSet("codegen", flag.ExitOnError)
+	proj, alg := projectFlags(fs)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := openEnv(*proj)
+	if err != nil {
+		return err
+	}
+	sc, err := env.Schedule(*alg)
+	if err != nil {
+		return err
+	}
+	src, err := env.GenerateCode(sc)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fmt.Println("Banger demo: the paper's LU decomposition example, end to end.")
+	env, err := core.OpenBuiltin("lu3x3")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n--- Step 1: the PITL design (Figure 1) ---")
+	fmt.Print(env.Project.Design.ASCII())
+	fmt.Println("\n--- Step 2: the target machine ---")
+	fmt.Println(env.Project.Machine)
+	fmt.Println("\n--- Step 3: one PITS task through the calculator (Figure 4 metaphor) ---")
+	panel, err := env.CalculatorFor("fl21")
+	if err != nil {
+		return err
+	}
+	if err := panel.Press("RUN"); err != nil {
+		return err
+	}
+	fmt.Print(calc.Render(panel))
+	fmt.Println("\n--- Step 4: schedule and predict (Figure 3) ---")
+	sc, err := env.Schedule("mh")
+	if err != nil {
+		return err
+	}
+	fmt.Print(gantt.Chart(sc, 72))
+	pts, err := env.SpeedupCurve("mh", []int{0, 1, 2, 3})
+	if err != nil {
+		return err
+	}
+	fmt.Print(gantt.Speedup(pts, 8))
+	fmt.Println("\n--- Step 5: run it for real ---")
+	res, err := env.Run(sc)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(res.Outputs))
+	for k := range res.Outputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s = %s\n", k, res.Outputs[k])
+	}
+	fmt.Println("\n(x = [1, 2, 3] solves the built-in system Ax=b.)")
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureFig runs one experiment with stdout redirected.
+func captureFig(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("experiment failed: %v\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestFigure1(t *testing.T) {
+	out := captureFig(t, figure1)
+	for _, want := range []string{"Figure 1", "<<forward>>", "Expansion of <<back>>", "16 tasks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out := captureFig(t, figure2)
+	for _, want := range []string{"hypercube-3", "mesh-2x4", "tree-b2-l3", "star-8", "full-8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	out := captureFig(t, figure3)
+	for _, want := range []string{"hypercube-1", "hypercube-2", "hypercube-3", "speedup vs processors", "8 PEs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Speedup at 2 PEs must exceed 1 and at 8 must not be absurd.
+	if !strings.Contains(out, "speedup 1.") {
+		t.Error("no plausible speedup in output")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	out := captureFig(t, figure4)
+	for _, want := range []string{"Task: sqrt", "1.414213562", "instant feedback"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestExperimentA(t *testing.T) {
+	out := captureFig(t, extA)
+	for _, want := range []string{"lu3x3", "ge8", "fft16", "rand64", "CCR sweep", "dsh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestExperimentB(t *testing.T) {
+	out := captureFig(t, extB)
+	if !strings.Contains(out, "msg_startup") || !strings.Contains(out, "80") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExperimentC(t *testing.T) {
+	out := captureFig(t, extC)
+	if !strings.Contains(out, "result_ok") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("a run produced a wrong result:\n%s", out)
+	}
+}
+
+func TestExperimentD(t *testing.T) {
+	out := captureFig(t, extD)
+	for _, want := range []string{"generated", "goroutines", "channels", `task "fl21"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentE(t *testing.T) {
+	out := captureFig(t, extE)
+	for _, want := range []string{"segments", "16", "lower_bound_us"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

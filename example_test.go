@@ -1,0 +1,113 @@
+package banger_test
+
+import (
+	"fmt"
+	"log"
+
+	banger "repro"
+)
+
+// Example reproduces the paper's headline flow: open the Figure 1 LU
+// design, schedule it with the mapping heuristic, and run it.
+func Example() {
+	env, err := banger.OpenBuiltin("lu3x3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := env.Schedule("mh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan %v on %d PEs, speedup %.2f\n",
+		sc.Makespan(), sc.Machine.NumPE(), sc.Speedup())
+	res, err := env.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("x =", res.Outputs["x"])
+	// Output:
+	// makespan 211us on 8 PEs, speedup 1.69
+	// x = [1, 2, 3]
+}
+
+// ExampleTrialRun shows the calculator's instant feedback on the
+// Figure 4 Newton–Raphson routine.
+func ExampleTrialRun() {
+	rep, err := banger.TrialRun(`x = a
+eps = 1e-12
+err = 1
+while err > eps do
+  xold = x
+  x = 0.5 * (xold + a / xold)
+  err = abs(x - xold)
+end`, banger.Env{"a": banger.Num(144)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("x =", rep.Outputs["x"])
+	// Output:
+	// x = 12
+}
+
+// ExampleEnvironment_SpeedupCurve predicts speedup on hypercubes of
+// 1, 2, 4 and 8 processors (the paper's Figure 3, right).
+func ExampleEnvironment_SpeedupCurve() {
+	env, err := banger.OpenBuiltin("lu3x3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts, err := env.SpeedupCurve("mh", []int{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%d PEs: %.2f\n", p.PEs, p.Speedup)
+	}
+	// Output:
+	// 1 PEs: 1.00
+	// 2 PEs: 1.56
+	// 4 PEs: 1.69
+	// 8 PEs: 1.69
+}
+
+// ExampleShardTask turns one heavy reduction into four data-parallel
+// shards plus a gather — the paper's fine-grained extension.
+func ExampleShardTask() {
+	g := banger.NewGraph("reduce")
+	g.MustAddStorage("N", "n")
+	w := g.MustAddTask("work", "sum 1..n", 1000)
+	w.Routine = `total = 0
+lo = floor((shard - 1) * n / nshards) + 1
+hi = floor(shard * n / nshards)
+for i = lo to hi do
+  total = total + i
+end`
+	g.MustAddStorage("OUT", "total")
+	g.MustConnect("N", "work", "n", 1)
+	g.MustConnect("work", "OUT", "total", 1)
+	if err := banger.ShardTask(g, "work", 4, 10, banger.GatherSum(4, "total")); err != nil {
+		log.Fatal(err)
+	}
+	m, err := banger.NewMachine("quad", "full:4", banger.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := banger.Open(&banger.Project{
+		Name: "reduce", Design: g, Machine: m,
+		Inputs: banger.Env{"n": banger.Num(1000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := env.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total = %s on %d PEs\n", res.Outputs["total"], sc.UsedPEs())
+	// Output:
+	// total = 500500 on 4 PEs
+}

@@ -1,0 +1,101 @@
+// Calculator replays the paper's Figure 4 as a scripted session: the
+// SquareRoot task is assembled key by key on the programmable pocket
+// calculator, statically checked, and trial-run with instant feedback.
+//
+//	go run ./examples/calculator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	banger "repro"
+)
+
+// press pushes a panel key and shows what the display answers.
+func press(p *banger.Panel, keys ...string) {
+	for _, k := range keys {
+		if err := p.Press(k); err != nil {
+			fmt.Printf("  [%s] -> %s\n", k, p.Display())
+			continue
+		}
+		fmt.Printf("  [%s]\n", k)
+	}
+}
+
+func main() {
+	fmt.Println("Defining the SquareRoot task (Figure 4): x = sqrt(a) by Newton-Raphson")
+	p := banger.NewPanel("SquareRoot")
+	p.DeclareInput("a", banger.Num(2))
+	p.DeclareOutput("x")
+	p.DeclareLocal("xold")
+	p.DeclareLocal("err")
+
+	fmt.Println("\nAssembling the routine from key presses:")
+	// x = a
+	p.Type("x")
+	press(p, "=")
+	p.Type("a")
+	press(p, "ENTER")
+	// eps = 1e-12
+	p.Type("eps")
+	press(p, "=")
+	p.Type("1e-12")
+	press(p, "ENTER")
+	// err = 1
+	p.Type("err")
+	press(p, "=", "1", "ENTER")
+	// while err > eps do
+	press(p, "while")
+	p.Type("err")
+	press(p, ">")
+	p.Type("eps")
+	press(p, "do", "ENTER")
+	//   xold = x
+	p.Type("xold")
+	press(p, "=")
+	p.Type("x")
+	press(p, "ENTER")
+	//   x = 0.5 * (xold + a / xold)
+	p.Type("x")
+	press(p, "=")
+	p.Type("0.5")
+	press(p, "*", "(")
+	p.Type("xold")
+	press(p, "+")
+	p.Type("a")
+	press(p, "/")
+	p.Type("xold")
+	press(p, ")", "ENTER")
+	//   err = abs(x - xold)
+	p.Type("err")
+	press(p, "=", "abs")
+	p.Type("x")
+	press(p, "-")
+	p.Type("xold")
+	press(p, ")", "ENTER")
+	// end
+	press(p, "end")
+
+	fmt.Println("\nCHECK (static analysis):")
+	if err := p.Press("CHECK"); err != nil {
+		log.Fatalf("check failed: %v", err)
+	}
+	fmt.Println("  display:", p.Display())
+
+	fmt.Println("\nRUN (instant feedback):")
+	if err := p.Press("RUN"); err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+	fmt.Println("  display:", p.Display())
+
+	fmt.Println("\nThe panel (ASCII rendering of Figure 4):")
+	fmt.Print(banger.RenderPanel(p))
+
+	// Try another input the way a scientist would poke at it.
+	p.DeclareInput("a", banger.Num(144))
+	if err := p.Press("RUN"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWith a = 144 the display instantly answers:", p.Display())
+}

@@ -1,0 +1,111 @@
+// Montecarlo estimates π with a scatter/gather Banger design: eight
+// worker tasks each draw 20,000 random points in the unit square and
+// count hits inside the quarter circle; a gather task combines the
+// counts. The example compares how each scheduling heuristic maps the
+// fan-out onto a star network, then runs the winner for real.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	banger "repro"
+)
+
+const (
+	workers       = 8
+	drawsPerTask  = 20000
+	workPerWorker = 12 * drawsPerTask // ops estimate: ~12 per draw
+)
+
+func buildDesign() *banger.Graph {
+	g := banger.NewGraph("montecarlo-pi")
+	g.MustAddStorage("N", "n") // draws per worker, external input
+	gather := g.MustAddTask("gather", "combine counts", 100)
+	expr := ""
+	for w := 0; w < workers; w++ {
+		id := "w" + strconv.Itoa(w)
+		task := g.MustAddTask(banger.NodeID(id), "sample worker "+id, workPerWorker)
+		// Each worker's rand() stream is seeded from its task name, so
+		// the run is reproducible and workers are independent.
+		task.Routine = `hits = 0
+repeat n do
+  dx = rand()
+  dy = rand()
+  if dx * dx + dy * dy <= 1 then
+    hits = hits + 1
+  end
+end
+` + id + `_hits = hits`
+		g.MustConnect("N", banger.NodeID(id), "n", 1)
+		g.MustConnect(banger.NodeID(id), "gather", id+"_hits", 1)
+		if w > 0 {
+			expr += " + "
+		}
+		expr += id + "_hits"
+	}
+	gather.Routine = "total = " + expr + "\npi_est = 4 * total / (" +
+		strconv.Itoa(workers) + " * n)"
+	g.MustConnect("N", "gather", "n", 1)
+	g.MustAddStorage("PI", "pi_est")
+	g.MustConnect("gather", "PI", "pi_est", 1)
+	return g
+}
+
+func main() {
+	g := buildDesign()
+	m, err := banger.NewMachine("star-9", "star:9", banger.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := banger.Open(&banger.Project{
+		Name: "montecarlo", Design: g, Machine: m,
+		Inputs: banger.Env{"n": banger.Num(drawsPerTask)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("How each heuristic maps 8 samplers + gather onto a 9-PE star:")
+	best, bestName := banger.Time(1<<62), ""
+	for _, s := range banger.Schedulers() {
+		sc, err := env.Schedule(s.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s makespan %-10v speedup %.2f on %d PEs\n",
+			s.Name(), sc.Makespan(), sc.Speedup(), sc.UsedPEs())
+		if sc.Makespan() < best {
+			best, bestName = sc.Makespan(), s.Name()
+		}
+	}
+
+	fmt.Printf("\nRunning the %s schedule for real:\n", bestName)
+	sc, err := env.Schedule(bestName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := env.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	piEst := float64(res.Outputs["pi_est"].(banger.Num))
+	fmt.Printf("  %d samples -> pi ~= %.4f (error %.4f), wall clock %v\n",
+		workers*drawsPerTask, piEst, abs(piEst-3.14159265), res.Elapsed)
+	chart, err := banger.TraceChart(res.Trace, sc.Machine.NumPE(), 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWall-clock trace of the parallel run:")
+	fmt.Print(chart)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

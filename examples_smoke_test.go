@@ -1,0 +1,36 @@
+package banger_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every runnable example end to end with
+// `go run`, asserting each prints its success marker.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go toolchain for every example")
+	}
+	cases := map[string]string{
+		"./examples/quickstart":   "y = 67",
+		"./examples/ludecomp":     "verified: x solves Ax = b exactly",
+		"./examples/montecarlo":   "pi ~= 3.1",
+		"./examples/pipeline":     "Generated standalone program",
+		"./examples/calculator":   "x = 12",
+		"./examples/heat":         "verified against the sequential reference",
+		"./examples/editdistance": "same answer",
+	}
+	for dir, want := range cases {
+		dir, want := dir, want
+		t.Run(strings.TrimPrefix(dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("%s output missing %q:\n%s", dir, want, out)
+			}
+		})
+	}
+}

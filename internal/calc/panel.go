@@ -1,0 +1,336 @@
+// Package calc models Banger's programmable pocket calculator — the
+// friendly user interface (paper Figure 4) through which a scientific
+// non-programmer defines the PITS routine of each primitive dataflow
+// node.
+//
+// The panel is a state machine: a list of input/output variables (the
+// upper-right window), a list of local variables (upper-left), a panel
+// of programming buttons (upper-middle), a program text window (lower)
+// and a one-line display. Pressing buttons assembles program text;
+// pressing RUN trial-runs the routine on the current input values and
+// shows the result immediately — the paper's "instant feedback"
+// principle. Render draws the whole panel as ASCII art.
+package calc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pits"
+)
+
+// Binding is one row of the panel's variable windows.
+type Binding struct {
+	Name  string
+	Value pits.Value // nil when not yet set
+	// Role is "in", "out", "in/out" or "local".
+	Role string
+}
+
+// Panel is the calculator state for one task.
+type Panel struct {
+	TaskName string
+
+	io      []Binding
+	locals  []string
+	program []string // one entry per pressed token; joined for source
+	display string
+	lastRun *pits.TrialReport
+}
+
+// NewPanel returns a panel for defining the named task.
+func NewPanel(taskName string) *Panel {
+	return &Panel{TaskName: taskName, display: "ready"}
+}
+
+// DeclareInput adds (or updates) an input variable with a trial value.
+func (p *Panel) DeclareInput(name string, v pits.Value) {
+	for i := range p.io {
+		if p.io[i].Name == name {
+			p.io[i].Value = v
+			if p.io[i].Role == "out" {
+				p.io[i].Role = "in/out"
+			}
+			return
+		}
+	}
+	p.io = append(p.io, Binding{Name: name, Value: v, Role: "in"})
+}
+
+// DeclareOutput adds an output variable the routine must produce.
+func (p *Panel) DeclareOutput(name string) {
+	for i := range p.io {
+		if p.io[i].Name == name {
+			if p.io[i].Role == "in" {
+				p.io[i].Role = "in/out"
+			}
+			return
+		}
+	}
+	p.io = append(p.io, Binding{Name: name, Role: "out"})
+}
+
+// DeclareLocal adds a local variable to the upper-left window.
+func (p *Panel) DeclareLocal(name string) {
+	for _, l := range p.locals {
+		if l == name {
+			return
+		}
+	}
+	p.locals = append(p.locals, name)
+	sort.Strings(p.locals)
+}
+
+// Inputs returns the current input bindings as an environment.
+func (p *Panel) Inputs() pits.Env {
+	env := pits.Env{}
+	for _, b := range p.io {
+		if (b.Role == "in" || b.Role == "in/out") && b.Value != nil {
+			env[b.Name] = b.Value
+		}
+	}
+	return env
+}
+
+// Program returns the current source text of the program window.
+func (p *Panel) Program() string { return strings.Join(p.program, "") }
+
+// LoadProgram replaces the program window with existing source (used
+// when reopening a node that already has a routine).
+func (p *Panel) LoadProgram(src string) {
+	p.program = p.program[:0]
+	if src != "" {
+		p.program = append(p.program, src)
+	}
+	p.display = "program loaded"
+}
+
+// Display returns the one-line calculator display.
+func (p *Panel) Display() string { return p.display }
+
+// LastRun returns the report of the most recent RUN press, or nil.
+func (p *Panel) LastRun() *pits.TrialReport { return p.lastRun }
+
+// Button is one key of the calculator's button panel.
+type Button struct {
+	Label  string // what is written on the key
+	Insert string // text inserted into the program window ("" = control key)
+}
+
+// Buttons returns the panel layout as rows of buttons, mirroring the
+// groups of Figure 4: digits and arithmetic, comparisons and logic,
+// control constructs, scientific functions, constants, and control
+// keys.
+func Buttons() [][]Button {
+	key := func(label string) Button { return Button{Label: label, Insert: label} }
+	rows := [][]Button{
+		{key("7"), key("8"), key("9"), key("+"), key("-"), key("*"), key("/")},
+		{key("4"), key("5"), key("6"), key("^"), key("%"), key("("), key(")")},
+		{key("1"), key("2"), key("3"), key("0"), key("."), key("["), key("]")},
+		{key("=="), key("!="), key("<"), key("<="), key(">"), key(">="), key(",")},
+		{key("and"), key("or"), key("not"), key("true"), key("false"), key("pi"), key("e")},
+		{key("="), key("if"), key("then"), key("else"), key("end"), key("while"), key("do")},
+		{key("repeat"), key("for"), key("to"), key("step"), key("print"), Button{Label: "ENTER", Insert: "\n"}, Button{Label: "SPACE", Insert: " "}},
+	}
+	// Scientific function row(s) from the builtin table.
+	var fns []Button
+	for _, b := range pits.Builtins() {
+		fns = append(fns, Button{Label: b.Name, Insert: b.Name + "("})
+	}
+	fns = append(fns, Button{Label: "rand", Insert: "rand("})
+	for len(fns) > 0 {
+		n := min(7, len(fns))
+		rows = append(rows, fns[:n])
+		fns = fns[n:]
+	}
+	rows = append(rows, []Button{
+		{Label: "DEL"}, {Label: "CLEAR"}, {Label: "CHECK"}, {Label: "RUN"},
+	})
+	return rows
+}
+
+// buttonByLabel finds a button in the layout.
+func buttonByLabel(label string) (Button, bool) {
+	for _, row := range Buttons() {
+		for _, b := range row {
+			if b.Label == label {
+				return b, true
+			}
+		}
+	}
+	return Button{}, false
+}
+
+// Press handles one key press. Text keys append to the program window
+// with calculator-style spacing; identifiers can also be typed through
+// Type. Control keys:
+//
+//	DEL    remove the last pressed token
+//	CLEAR  empty the program window
+//	CHECK  statically check the routine against declared variables
+//	RUN    trial-run the routine on the current input values
+//
+// Press never returns an error for program-text keys: mistakes are
+// surfaced by CHECK and RUN on the display, the way a calculator
+// behaves.
+func (p *Panel) Press(label string) error {
+	switch label {
+	case "DEL":
+		if len(p.program) > 0 {
+			p.program = p.program[:len(p.program)-1]
+		}
+		p.display = "deleted"
+		return nil
+	case "CLEAR":
+		p.program = p.program[:0]
+		p.display = "cleared"
+		return nil
+	case "CHECK":
+		return p.check()
+	case "RUN":
+		return p.Run()
+	}
+	b, ok := buttonByLabel(label)
+	if !ok {
+		p.display = fmt.Sprintf("no such key %q", label)
+		return fmt.Errorf("calc: no such key %q", label)
+	}
+	p.appendToken(b.Insert)
+	p.display = label
+	return nil
+}
+
+// Type enters free text (identifiers, numbers) as if typed on the
+// panel's alphanumeric pad.
+func (p *Panel) Type(text string) {
+	p.appendToken(text)
+	p.display = text
+}
+
+// appendToken adds text with single-space separation except after an
+// opening bracket/paren or at line start, keeping the program readable.
+func (p *Panel) appendToken(text string) {
+	if text == "\n" {
+		p.program = append(p.program, "\n")
+		return
+	}
+	if len(p.program) > 0 {
+		last := p.program[len(p.program)-1]
+		noSpaceAfter := strings.HasSuffix(last, "(") || strings.HasSuffix(last, "[") || strings.HasSuffix(last, "\n")
+		noSpaceBefore := text == ")" || text == "]" || text == "," || text == "("
+		if !noSpaceAfter && !noSpaceBefore {
+			text = " " + text
+		}
+	}
+	p.program = append(p.program, text)
+}
+
+// declaredNames returns every variable the panel knows about.
+func (p *Panel) declaredNames() []string {
+	var names []string
+	for _, b := range p.io {
+		if b.Role == "in" || b.Role == "in/out" {
+			names = append(names, b.Name)
+		}
+	}
+	names = append(names, p.locals...)
+	return names
+}
+
+// check statically validates the program and reports on the display.
+func (p *Panel) check() error {
+	prog, err := pits.Parse(p.Program())
+	if err != nil {
+		p.display = err.Error()
+		return err
+	}
+	if err := pits.Check(prog, p.declaredNames()); err != nil {
+		p.display = err.Error()
+		return err
+	}
+	// Check that every declared output is assigned somewhere.
+	writes := map[string]bool{}
+	for _, w := range pits.Writes(prog) {
+		writes[w] = true
+	}
+	for _, b := range p.io {
+		if (b.Role == "out" || b.Role == "in/out") && !writes[b.Name] {
+			err := fmt.Errorf("calc: output %q is never assigned", b.Name)
+			p.display = err.Error()
+			return err
+		}
+	}
+	p.display = fmt.Sprintf("ok: %d statements", prog.NumStmts())
+	return nil
+}
+
+// Run trial-runs the routine with the current inputs (the paper's
+// instant feedback). Output variable values are written back into the
+// I/O window and the display shows the first output or print line.
+func (p *Panel) Run() error {
+	rep, err := pits.TrialRun(p.Program(), p.Inputs())
+	if err != nil {
+		p.display = err.Error()
+		return err
+	}
+	p.lastRun = rep
+	for i := range p.io {
+		if p.io[i].Role == "out" || p.io[i].Role == "in/out" {
+			if v, ok := rep.Outputs[p.io[i].Name]; ok {
+				p.io[i].Value = v
+			}
+		}
+	}
+	switch {
+	case len(rep.Printed) > 0:
+		p.display = rep.Printed[len(rep.Printed)-1]
+	default:
+		p.display = rep.String()
+		for _, b := range p.io {
+			if (b.Role == "out" || b.Role == "in/out") && b.Value != nil {
+				p.display = fmt.Sprintf("%s = %s", b.Name, b.Value)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Bindings returns a copy of the I/O window rows.
+func (p *Panel) Bindings() []Binding {
+	return append([]Binding(nil), p.io...)
+}
+
+// Locals returns the local-variable window rows, including variables
+// discovered from the program text that are neither inputs nor outputs.
+func (p *Panel) Locals() []string {
+	seen := map[string]bool{}
+	for _, l := range p.locals {
+		seen[l] = true
+	}
+	if prog, err := pits.Parse(p.Program()); err == nil {
+		iovars := map[string]bool{}
+		for _, b := range p.io {
+			iovars[b.Name] = true
+		}
+		for _, w := range pits.Writes(prog) {
+			if !iovars[w] && !seen[w] {
+				seen[w] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,275 @@
+package calc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pits"
+)
+
+func TestPressAssemblesProgram(t *testing.T) {
+	p := NewPanel("double")
+	p.DeclareInput("a", pits.Num(21))
+	p.DeclareOutput("x")
+	p.Type("x")
+	mustPress(t, p, "=")
+	p.Type("a")
+	mustPress(t, p, "*")
+	mustPress(t, p, "2")
+	if got := p.Program(); got != "x = a * 2" {
+		t.Fatalf("program = %q", got)
+	}
+	if err := p.Press("RUN"); err != nil {
+		t.Fatalf("RUN: %v", err)
+	}
+	for _, b := range p.Bindings() {
+		if b.Name == "x" {
+			if b.Value != pits.Num(42) {
+				t.Errorf("x = %v", b.Value)
+			}
+		}
+	}
+	if !strings.Contains(p.Display(), "42") {
+		t.Errorf("display = %q", p.Display())
+	}
+}
+
+func mustPress(t *testing.T, p *Panel, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if err := p.Press(k); err != nil {
+			t.Fatalf("press %q: %v", k, err)
+		}
+	}
+}
+
+func TestFunctionKeyInsertsOpenParen(t *testing.T) {
+	p := NewPanel("f")
+	p.DeclareInput("a", pits.Num(16))
+	p.DeclareOutput("x")
+	p.Type("x")
+	mustPress(t, p, "=", "sqrt")
+	p.Type("a")
+	mustPress(t, p, ")")
+	if got := p.Program(); got != "x = sqrt(a)" {
+		t.Fatalf("program = %q", got)
+	}
+	mustPress(t, p, "RUN")
+	if p.LastRun() == nil || p.LastRun().Outputs["x"] != pits.Num(4) {
+		t.Errorf("run result: %+v", p.LastRun())
+	}
+}
+
+func TestDelAndClear(t *testing.T) {
+	p := NewPanel("t")
+	p.Type("x")
+	mustPress(t, p, "=", "1", "+", "2")
+	mustPress(t, p, "DEL")
+	if got := p.Program(); got != "x = 1 +" {
+		t.Fatalf("after DEL: %q", got)
+	}
+	mustPress(t, p, "CLEAR")
+	if p.Program() != "" {
+		t.Fatalf("after CLEAR: %q", p.Program())
+	}
+}
+
+func TestUnknownKey(t *testing.T) {
+	p := NewPanel("t")
+	if err := p.Press("BOGUS"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if !strings.Contains(p.Display(), "BOGUS") {
+		t.Errorf("display = %q", p.Display())
+	}
+}
+
+func TestCheckReportsProblemsOnDisplay(t *testing.T) {
+	p := NewPanel("t")
+	p.DeclareOutput("y")
+	p.LoadProgram("y = undefined_var + 1")
+	if err := p.Press("CHECK"); err == nil {
+		t.Error("CHECK passed a broken routine")
+	}
+	if !strings.Contains(p.Display(), "undefined_var") {
+		t.Errorf("display = %q", p.Display())
+	}
+	// Unassigned declared output is caught too.
+	p2 := NewPanel("t2")
+	p2.DeclareInput("a", pits.Num(1))
+	p2.DeclareOutput("never_set")
+	p2.LoadProgram("x = a")
+	if err := p2.Press("CHECK"); err == nil || !strings.Contains(err.Error(), "never_set") {
+		t.Errorf("unassigned output not caught: %v", err)
+	}
+	// A good routine reports ok.
+	p3 := NewPanel("t3")
+	p3.DeclareInput("a", pits.Num(1))
+	p3.DeclareOutput("x")
+	p3.LoadProgram("x = a + 1")
+	if err := p3.Press("CHECK"); err != nil {
+		t.Errorf("CHECK failed a good routine: %v", err)
+	}
+	if !strings.Contains(p3.Display(), "ok") {
+		t.Errorf("display = %q", p3.Display())
+	}
+}
+
+func TestRunFailureShowsErrorInstantly(t *testing.T) {
+	p := NewPanel("t")
+	p.LoadProgram("x = 1 / 0")
+	if err := p.Press("RUN"); err == nil {
+		t.Fatal("RUN of failing routine returned nil")
+	}
+	if !strings.Contains(p.Display(), "division by zero") {
+		t.Errorf("display = %q", p.Display())
+	}
+}
+
+// The paper's Figure 4 scenario end to end: the SquareRoot task
+// computing x = sqrt(a) by Newton–Raphson, with locals xold and err.
+func TestFigure4SquareRootPanel(t *testing.T) {
+	p := NewPanel("SquareRoot")
+	p.DeclareInput("a", pits.Num(2))
+	p.DeclareOutput("x")
+	p.DeclareLocal("xold")
+	p.DeclareLocal("err")
+	p.LoadProgram(`x = a
+eps = 1e-12
+err = 1
+while err > eps do
+  xold = x
+  x = 0.5 * (xold + a / xold)
+  err = abs(x - xold)
+end`)
+	if err := p.Press("CHECK"); err != nil {
+		t.Fatalf("CHECK: %v", err)
+	}
+	if err := p.Press("RUN"); err != nil {
+		t.Fatalf("RUN: %v", err)
+	}
+	var x pits.Value
+	for _, b := range p.Bindings() {
+		if b.Name == "x" {
+			x = b.Value
+		}
+	}
+	if got := float64(x.(pits.Num)); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("x = %v, want sqrt(2)", got)
+	}
+	// Locals window picks up eps discovered from the program text.
+	locals := p.Locals()
+	want := map[string]bool{"xold": true, "err": true, "eps": true}
+	for _, l := range locals {
+		delete(want, l)
+	}
+	if len(want) != 0 {
+		t.Errorf("locals %v missing %v", locals, want)
+	}
+}
+
+func TestDeclareRoles(t *testing.T) {
+	p := NewPanel("t")
+	p.DeclareInput("x", pits.Num(1))
+	p.DeclareOutput("x") // same variable in and out
+	bs := p.Bindings()
+	if len(bs) != 1 || bs[0].Role != "in/out" {
+		t.Errorf("bindings = %+v", bs)
+	}
+	p2 := NewPanel("t2")
+	p2.DeclareOutput("y")
+	p2.DeclareInput("y", pits.Num(3))
+	if bs := p2.Bindings(); bs[0].Role != "in/out" {
+		t.Errorf("bindings = %+v", bs)
+	}
+	// Duplicate local declarations collapse.
+	p2.DeclareLocal("l")
+	p2.DeclareLocal("l")
+	if len(p2.Locals()) != 1 {
+		t.Errorf("locals = %v", p2.Locals())
+	}
+}
+
+func TestButtonsLayoutComplete(t *testing.T) {
+	rows := Buttons()
+	if len(rows) < 8 {
+		t.Fatalf("only %d button rows", len(rows))
+	}
+	labels := map[string]bool{}
+	for _, row := range rows {
+		for _, b := range row {
+			labels[b.Label] = true
+		}
+	}
+	for _, want := range []string{"7", "+", "if", "while", "sqrt", "sin", "RUN", "CHECK", "DEL", "CLEAR", "ENTER", "pi"} {
+		if !labels[want] {
+			t.Errorf("button %q missing", want)
+		}
+	}
+}
+
+func TestRenderShowsAllWindows(t *testing.T) {
+	p := NewPanel("SquareRoot")
+	p.DeclareInput("a", pits.Num(2))
+	p.DeclareOutput("x")
+	p.LoadProgram("x = sqrt(a)")
+	mustPress(t, p, "RUN")
+	out := Render(p)
+	for _, want := range []string{"Task: SquareRoot", "LOCALS", "KEYS", "I/O VARIABLES", "PROGRAM", "x = sqrt(a)", "DISPLAY", "a = 2 (in)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmptyPanel(t *testing.T) {
+	out := Render(NewPanel("empty"))
+	if !strings.Contains(out, "(empty)") || !strings.Contains(out, "ready") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSpacingAroundPunctuation(t *testing.T) {
+	p := NewPanel("t")
+	p.Type("v")
+	mustPress(t, p, "[", "1", "]", "=", "min")
+	p.Type("2")
+	mustPress(t, p, ",")
+	p.Type("3")
+	mustPress(t, p, ")")
+	if got := p.Program(); got != "v [1] = min(2, 3)" {
+		t.Errorf("program = %q", got)
+	}
+}
+
+// Random key mashing must never panic — calculators face toddlers.
+func TestPanelSurvivesRandomKeyMashing(t *testing.T) {
+	var labels []string
+	for _, row := range Buttons() {
+		for _, b := range row {
+			labels = append(labels, b.Label)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := NewPanel("mash")
+		p.DeclareInput("a", pits.Num(1))
+		for i := 0; i < 40; i++ {
+			label := labels[rng.Intn(len(labels))]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic pressing %q after %q: %v", label, p.Program(), r)
+					}
+				}()
+				_ = p.Press(label) // errors are fine; panics are not
+			}()
+		}
+		// The panel still renders whatever state it reached.
+		if out := Render(p); out == "" {
+			t.Fatal("empty render after mashing")
+		}
+	}
+}

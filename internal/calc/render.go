@@ -1,0 +1,83 @@
+package calc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the calculator panel as ASCII art in the layout of the
+// paper's Figure 4: local variables upper-left, I/O variables
+// upper-right, the button panel upper-middle (abbreviated), the program
+// window below, and the display line at the bottom.
+func Render(p *Panel) string {
+	const width = 78
+	var b strings.Builder
+	title := fmt.Sprintf(" Task: %s ", p.TaskName)
+	pad := width - len(title)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(&b, "+%s%s%s+\n", strings.Repeat("-", pad/2), title, strings.Repeat("-", pad-pad/2))
+
+	// Upper windows: locals | buttons | io, drawn as three columns.
+	locals := p.Locals()
+	ios := p.Bindings()
+	var btnLines []string
+	for _, row := range Buttons() {
+		var labels []string
+		for _, k := range row {
+			labels = append(labels, k.Label)
+		}
+		btnLines = append(btnLines, strings.Join(labels, " "))
+	}
+	colL, colM, colR := 18, 30, 24
+	rows := len(btnLines)
+	if len(locals)+1 > rows {
+		rows = len(locals) + 1
+	}
+	if len(ios)+1 > rows {
+		rows = len(ios) + 1
+	}
+	cell := func(s string, w int) string {
+		if len(s) > w {
+			s = s[:w-1] + "…"
+		}
+		return s + strings.Repeat(" ", w-len([]rune(s)))
+	}
+	for i := 0; i < rows; i++ {
+		var l, m, r string
+		switch {
+		case i == 0:
+			l, m, r = "LOCALS", "KEYS", "I/O VARIABLES"
+		default:
+			if i-1 < len(locals) {
+				l = locals[i-1]
+			}
+			if i-1 < len(btnLines) {
+				m = btnLines[i-1]
+			}
+			if i-1 < len(ios) {
+				v := "?"
+				if ios[i-1].Value != nil {
+					v = ios[i-1].Value.String()
+				}
+				r = fmt.Sprintf("%s = %s (%s)", ios[i-1].Name, v, ios[i-1].Role)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", cell(l, colL), cell(m, colM), cell(r, colR-6))
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+
+	b.WriteString("| PROGRAM" + strings.Repeat(" ", width-8) + "|\n")
+	src := p.Program()
+	if src == "" {
+		src = "(empty)"
+	}
+	for _, line := range strings.Split(strings.TrimRight(src, "\n"), "\n") {
+		fmt.Fprintf(&b, "|   %s|\n", cell(line, width-3))
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "| DISPLAY: %s|\n", cell(p.Display(), width-10))
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/project"
+)
+
+func open(t *testing.T, name string) *Environment {
+	t.Helper()
+	e, err := OpenBuiltin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOpenBuiltinAndErrors(t *testing.T) {
+	e := open(t, "lu3x3")
+	if e.Flat == nil || len(e.Flat.Graph.Tasks()) != 16 {
+		t.Fatalf("flat = %v", e.Flat)
+	}
+	if _, err := OpenBuiltin("nosuch"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	broken, err := project.LU3x3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Inputs = pits.Env{}
+	if _, err := Open(broken); err == nil {
+		t.Error("invalid project accepted")
+	}
+}
+
+func TestScheduleValidatesAndNames(t *testing.T) {
+	e := open(t, "lu3x3")
+	for _, alg := range []string{"serial", "hlfet", "etf", "ish", "mh", "dsh", "pack"} {
+		sc, err := e.Schedule(alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if sc.Algorithm != alg {
+			t.Errorf("algorithm = %q", sc.Algorithm)
+		}
+	}
+	if _, err := e.Schedule("nosuch"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSpeedupCurveFigure3(t *testing.T) {
+	e := open(t, "lu3x3")
+	pts, err := e.SpeedupCurve("mh", []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 || pts[0].PEs != 1 || pts[3].PEs != 8 {
+		t.Fatalf("points = %+v", pts)
+	}
+	// Monotone non-increasing makespan as the hypercube grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Makespan > pts[i-1].Makespan {
+			t.Errorf("makespan grew: %+v", pts)
+		}
+	}
+	if pts[3].Speedup <= 1.0 {
+		t.Errorf("8 PEs give no speedup: %+v", pts[3])
+	}
+}
+
+func TestPredictAndRunAgree(t *testing.T) {
+	e := open(t, "lu3x3")
+	sc, err := e.Schedule("etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Predict(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan() != sc.Makespan() {
+		t.Errorf("predicted %v != scheduled %v", tr.Makespan(), sc.Makespan())
+	}
+	res, err := e.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Outputs["x"].(pits.Vec)
+	for i, want := range project.LUSolution() {
+		if math.Abs(x[i]-want) > 1e-9 {
+			t.Errorf("x[%d] = %v", i+1, x[i])
+		}
+	}
+}
+
+func TestRehearseMeasuresAndSolves(t *testing.T) {
+	e := open(t, "lu3x3")
+	reh, err := e.Rehearse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reh.Tasks) != 16 {
+		t.Fatalf("rehearsed %d tasks", len(reh.Tasks))
+	}
+	if reh.TotalOps <= 0 {
+		t.Errorf("total ops = %d", reh.TotalOps)
+	}
+	x := reh.Outputs["x"].(pits.Vec)
+	for i, want := range project.LUSolution() {
+		if math.Abs(x[i]-want) > 1e-9 {
+			t.Errorf("x[%d] = %v", i+1, x[i])
+		}
+	}
+	for _, tr := range reh.Tasks {
+		if tr.Ops <= 0 {
+			t.Errorf("task %s measured %d ops", tr.Task, tr.Ops)
+		}
+	}
+}
+
+func TestCalibrateWorkChangesSchedules(t *testing.T) {
+	e := open(t, "lu3x3")
+	before := e.Flat.Graph.TotalWork()
+	reh, err := e.CalibrateWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e.Flat.Graph.TotalWork()
+	if after == before {
+		t.Errorf("calibration left work unchanged at %d", after)
+	}
+	if after != reh.TotalOps {
+		t.Errorf("work %d != measured ops %d", after, reh.TotalOps)
+	}
+	// Schedules still validate after calibration.
+	if _, err := e.Schedule("mh"); err != nil {
+		t.Errorf("schedule after calibration: %v", err)
+	}
+}
+
+func TestCalculatorForTask(t *testing.T) {
+	e := open(t, "lu3x3")
+	panel, err := e.CalculatorFor("fl32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fl32 reads a32p and u22 and outputs l32.
+	roles := map[string]string{}
+	vals := map[string]pits.Value{}
+	for _, b := range panel.Bindings() {
+		roles[b.Name] = b.Role
+		vals[b.Name] = b.Value
+	}
+	if roles["a32p"] != "in" || roles["u22"] != "in" || roles["l32"] != "out" {
+		t.Errorf("roles = %v", roles)
+	}
+	// Upstream rehearsal supplies live trial values (A row ops on the
+	// default inputs give a32p = 3, u22 = 1).
+	if vals["a32p"] != pits.Num(3) || vals["u22"] != pits.Num(1) {
+		t.Errorf("upstream values = %v", vals)
+	}
+	// The loaded routine trial-runs instantly.
+	if err := panel.Press("RUN"); err != nil {
+		t.Fatalf("RUN: %v", err)
+	}
+	if !strings.Contains(panel.Display(), "l32 = 3") {
+		t.Errorf("display = %q", panel.Display())
+	}
+	if _, err := e.CalculatorFor("nosuch"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestCalculatorForFigure4(t *testing.T) {
+	e := open(t, "newton-sqrt")
+	panel, err := e.CalculatorFor("sqrt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := panel.Press("RUN"); err != nil {
+		t.Fatalf("RUN: %v", err)
+	}
+	var x pits.Value
+	for _, b := range panel.Bindings() {
+		if b.Name == "x" {
+			x = b.Value
+		}
+	}
+	if got := float64(x.(pits.Num)); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("x = %v", got)
+	}
+}
+
+func TestGenerateCodeFromEnvironment(t *testing.T) {
+	e := open(t, "stats")
+	sc, err := e.Schedule("pack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := e.GenerateCode(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "package main") || !strings.Contains(src, "func main()") {
+		t.Errorf("source shape wrong")
+	}
+}
+
+func TestScheduleOnDifferentMachine(t *testing.T) {
+	e := open(t, "lu3x3")
+	topo, err := machine.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Project.Machine.Scale(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.ScheduleOn("mh", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Machine.NumPE() != 5 {
+		t.Errorf("machine = %v", sc.Machine)
+	}
+}
+
+// The three engines must agree: after calibrating work from a
+// rehearsal, a contention-free schedule (prediction), the discrete-
+// event simulation, and a *real* goroutine execution in virtual time
+// all produce the identical Gantt chart.
+func TestVirtualTimeRunMatchesScheduleExactly(t *testing.T) {
+	e := open(t, "lu3x3")
+	if _, err := e.CalibrateWork(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.Schedule("etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &exec.Runner{Inputs: e.Project.Inputs, VirtualTime: true}
+	res, err := r.Run(sc, e.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Makespan() != sc.Makespan() {
+		t.Errorf("virtual run makespan %v != scheduled %v", res.Trace.Makespan(), sc.Makespan())
+	}
+	spans, err := res.Trace.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < sc.Machine.NumPE(); pe++ {
+		want := sc.PESlots(pe)
+		got := spans[pe]
+		if len(got) != len(want) {
+			t.Fatalf("PE%d: %d spans vs %d slots", pe, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Task != want[i].Task || got[i].Start != want[i].Start || got[i].Finish != want[i].Finish {
+				t.Errorf("PE%d slot %d: virtual %+v vs scheduled %+v", pe, i, got[i], want[i])
+			}
+		}
+	}
+	// And of course the answer is still right.
+	x := res.Outputs["x"].(pits.Vec)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+// Virtual-time traces are bit-identical across runs even though the
+// goroutine interleaving differs.
+func TestVirtualTimeRunDeterministic(t *testing.T) {
+	e := open(t, "stats")
+	sc, err := e.Schedule("mh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &exec.Runner{Inputs: e.Project.Inputs, VirtualTime: true}
+	res1, err := r.Run(sc, e.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Run(sc, e.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Trace.Events) != len(res2.Trace.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(res1.Trace.Events), len(res2.Trace.Events))
+	}
+	for i := range res1.Trace.Events {
+		if res1.Trace.Events[i] != res2.Trace.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, res1.Trace.Events[i], res2.Trace.Events[i])
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func testMachine(t *testing.T, spec string, p machine.Params) *machine.Machine {
+	t.Helper()
+	topo, err := machine.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(spec, topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func params() machine.Params {
+	return machine.Params{ProcSpeed: 1, TaskStartup: 1, MsgStartup: 5, WordTime: 1}
+}
+
+// diamondDesign builds a design with real routines:
+//
+//	[x0] -> (a: u=2*x0) -> (b: v=u+1), (c: w=u*10) -> (d: y=v+w) -> [y]
+func diamondDesign(t *testing.T) *graph.Flat {
+	t.Helper()
+	g := graph.New("diamond-calc")
+	g.MustAddStorage("X0", "x0")
+	a := g.MustAddTask("a", "double", 10)
+	b := g.MustAddTask("b", "inc", 10)
+	c := g.MustAddTask("c", "tens", 10)
+	d := g.MustAddTask("d", "combine", 10)
+	g.MustAddStorage("Y", "y")
+	a.Routine = "u = 2 * x0"
+	b.Routine = "v = u + 1"
+	c.Routine = "w = u * 10"
+	d.Routine = "y = v + w"
+	g.MustConnect("X0", "a", "x0", 1)
+	g.MustConnect("a", "b", "u", 1)
+	g.MustConnect("a", "c", "u", 1)
+	g.MustConnect("b", "d", "v", 1)
+	g.MustConnect("c", "d", "w", 1)
+	g.MustConnect("d", "Y", "y", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func TestSimulateMatchesContentionFreeSchedulers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: 4, Width: 3, MinWork: 1, MaxWork: 30, MinWords: 0, MaxWords: 15, Density: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "hypercube:2", params())
+	for _, s := range []sched.Scheduler{sched.Serial{}, sched.HLFET{}, sched.ETF{}, sched.ISH{}, sched.DSH{}, sched.Pack{}} {
+		sc, err := s.Schedule(g, m)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		tr, err := Simulate(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		spans, err := tr.Spans()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// Derived spans must equal the scheduler's slots exactly.
+		for pe := 0; pe < m.NumPE(); pe++ {
+			want := sc.PESlots(pe)
+			got := spans[pe]
+			if len(got) != len(want) {
+				t.Fatalf("%s PE%d: %d spans vs %d slots", s.Name(), pe, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Task != want[i].Task || got[i].Start != want[i].Start || got[i].Finish != want[i].Finish {
+					t.Errorf("%s PE%d slot %d: simulated %+v vs scheduled %+v", s.Name(), pe, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateMHNeverBeatenByScheduledTimes(t *testing.T) {
+	// MH charges link contention the simulator doesn't model, so the
+	// simulated (contention-free) makespan must be <= MH's estimate.
+	g := graph.ForkJoin(6, 20, 40)
+	m := testMachine(t, "star:5", params())
+	sc, err := sched.MH{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan() > sc.Makespan() {
+		t.Errorf("simulated %v > scheduled %v", tr.Makespan(), sc.Makespan())
+	}
+}
+
+func TestSimulateDetectsInconsistentOrder(t *testing.T) {
+	g := graph.Chain(2, 10, 0)
+	m := testMachine(t, "full:1", params())
+	bad := &sched.Schedule{Graph: g, Machine: m, Algorithm: "bad",
+		Slots: []sched.Slot{
+			{Task: "t1", PE: 0, Start: 0, Finish: 11},
+			{Task: "t0", PE: 0, Start: 11, Finish: 22},
+		}}
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("consumer-before-producer order accepted")
+	}
+	if _, err := Simulate(nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+func TestPredictedMirrorsSchedule(t *testing.T) {
+	g := graph.Diamond(10, 5)
+	m := testMachine(t, "full:2", params())
+	sc, err := sched.ETF{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Predicted(sc)
+	if tr.Makespan() != sc.Makespan() {
+		t.Errorf("trace makespan %v != schedule %v", tr.Makespan(), sc.Makespan())
+	}
+	starts := 0
+	for _, e := range tr.Events {
+		if e.Kind == trace.TaskStart {
+			starts++
+		}
+	}
+	if starts != len(sc.Slots) {
+		t.Errorf("starts = %d, slots = %d", starts, len(sc.Slots))
+	}
+}
+
+func TestRunnerDiamondProducesCorrectResult(t *testing.T) {
+	flat := diamondDesign(t)
+	m := testMachine(t, "full:2", params())
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Inputs: pits.Env{"x0": pits.Num(3)}}
+	res, err := r.Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u = 6; v = 7; w = 60; y = 67.
+	if res.Outputs["y"] != pits.Num(67) {
+		t.Errorf("y = %v, want 67", res.Outputs["y"])
+	}
+	if res.Outputs["d.y"] != pits.Num(67) {
+		t.Errorf("qualified output missing: %v", res.Outputs)
+	}
+	st, err := res.Trace.Summarize(m.NumPE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TasksRun != 4 {
+		t.Errorf("tasks run = %d", st.TasksRun)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestRunnerSameResultOnEverySchedulerAndMachine(t *testing.T) {
+	flat := diamondDesign(t)
+	for _, spec := range []string{"full:1", "full:2", "hypercube:2", "star:4", "mesh:2x2"} {
+		m := testMachine(t, spec, params())
+		for _, s := range sched.All() {
+			sc, err := s.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, s.Name(), err)
+			}
+			r := &Runner{Inputs: pits.Env{"x0": pits.Num(5)}}
+			res, err := r.Run(sc, flat)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, s.Name(), err)
+			}
+			if res.Outputs["y"] != pits.Num(111) { // 2*5+1 + 2*5*10
+				t.Errorf("%s/%s: y = %v", spec, s.Name(), res.Outputs["y"])
+			}
+		}
+	}
+}
+
+func TestRunnerWithDSHDuplicates(t *testing.T) {
+	g := graph.New("dup")
+	src := g.MustAddTask("src", "", 5)
+	c1 := g.MustAddTask("c1", "", 50)
+	c2 := g.MustAddTask("c2", "", 50)
+	src.Routine = "d = base * 2"
+	c1.Routine = "r1 = d + 1"
+	c2.Routine = "r2 = d + 2"
+	g.MustAddStorage("B", "base")
+	g.MustAddStorage("R1", "r1")
+	g.MustAddStorage("R2", "r2")
+	g.MustConnect("B", "src", "base", 1)
+	g.MustConnect("src", "c1", "d", 100)
+	g.MustConnect("src", "c2", "d", 100)
+	g.MustConnect("c1", "R1", "r1", 1)
+	g.MustConnect("c2", "R2", "r2", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:2", machine.Params{ProcSpeed: 1, TaskStartup: 0, MsgStartup: 5, WordTime: 1})
+	sc, err := sched.DSH{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasDup := false
+	for _, sl := range sc.Slots {
+		if sl.Dup {
+			hasDup = true
+		}
+	}
+	if !hasDup {
+		t.Fatal("expected duplicates in DSH schedule")
+	}
+	r := &Runner{Inputs: pits.Env{"base": pits.Num(10)}}
+	res, err := r.Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["r1"] != pits.Num(21) || res.Outputs["r2"] != pits.Num(22) {
+		t.Errorf("outputs = %v", res.Outputs)
+	}
+	st, err := res.Trace.Summarize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DupsRun == 0 {
+		t.Error("no duplicate executions in trace")
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	flat := diamondDesign(t)
+	m := testMachine(t, "full:2", params())
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("missing external input", func(t *testing.T) {
+		r := &Runner{Inputs: pits.Env{}}
+		if _, err := r.Run(sc, flat); err == nil || !strings.Contains(err.Error(), "external input") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("nil schedule", func(t *testing.T) {
+		r := &Runner{}
+		if _, err := r.Run(nil, flat); err == nil {
+			t.Error("nil accepted")
+		}
+	})
+	t.Run("routine does not produce arc variable", func(t *testing.T) {
+		bad := diamondDesign(t)
+		bad.Graph.Node("a").Routine = "unrelated = 1" // never defines u
+		sc2, err := sched.ETF{}.Schedule(bad.Graph, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Inputs: pits.Env{"x0": pits.Num(1)}}
+		if _, err := r.Run(sc2, bad); err == nil {
+			t.Error("missing produced variable accepted")
+		}
+	})
+	t.Run("syntax error fails fast", func(t *testing.T) {
+		bad := diamondDesign(t)
+		bad.Graph.Node("a").Routine = "u = "
+		sc2, err := sched.ETF{}.Schedule(bad.Graph, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Inputs: pits.Env{"x0": pits.Num(1)}}
+		if _, err := r.Run(sc2, bad); err == nil {
+			t.Error("syntax error accepted")
+		}
+	})
+	t.Run("runaway task aborts whole run", func(t *testing.T) {
+		bad := diamondDesign(t)
+		bad.Graph.Node("b").Routine = "v = 1\nwhile true do\n  v = v + 1\nend"
+		sc2, err := sched.ETF{}.Schedule(bad.Graph, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Inputs: pits.Env{"x0": pits.Num(1)}, MaxSteps: 10_000}
+		_, err = r.Run(sc2, bad)
+		if err == nil || !strings.Contains(err.Error(), "step limit") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestRunnerCollectsPrints(t *testing.T) {
+	g := graph.New("p")
+	n := g.MustAddTask("only", "", 1)
+	n.Routine = `print "hello", 21 * 2`
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:1", params())
+	sc, err := sched.Serial{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{}
+	res, err := r.Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Printed) != 1 || res.Printed[0] != "only: hello 42" {
+		t.Errorf("printed = %q", res.Printed)
+	}
+}
+
+func TestRunnerDeterministicWithRand(t *testing.T) {
+	g := graph.New("mc")
+	n := g.MustAddTask("draw", "", 1)
+	n.Routine = "x = rand() + rand()"
+	g.MustAddStorage("X", "x")
+	g.MustConnect("draw", "X", "x", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:2", params())
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{}
+	res1, err := r.Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Outputs["x"], res2.Outputs["x"]) {
+		t.Errorf("rand()-using task not reproducible: %v vs %v", res1.Outputs["x"], res2.Outputs["x"])
+	}
+}
+
+// Property: for random designs with arithmetic routines, the runner's
+// outputs are identical across all schedulers (schedule choice must
+// never change semantics).
+func TestRunnerScheduleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random three-layer design: 2 sources, 3 middles, 1 sink.
+		g := graph.New("rand-calc")
+		g.MustAddStorage("IN", "x0")
+		for i := 0; i < 2; i++ {
+			n := g.MustAddTask(graph.NodeID(srcName(i)), "", int64(rng.Intn(20)+1))
+			n.Routine = srcName(i) + "_out = x0 * " + itoa(rng.Intn(5)+1)
+			g.MustConnect("IN", n.ID, "x0", 1)
+		}
+		for i := 0; i < 3; i++ {
+			n := g.MustAddTask(graph.NodeID(midName(i)), "", int64(rng.Intn(20)+1))
+			p := srcName(rng.Intn(2))
+			n.Routine = midName(i) + "_out = " + p + "_out + " + itoa(rng.Intn(9))
+			g.MustConnect(graph.NodeID(p), n.ID, p+"_out", int64(rng.Intn(10)))
+		}
+		sink := g.MustAddTask("sink", "", 5)
+		sink.Routine = "total = m0_out + m1_out + m2_out"
+		for i := 0; i < 3; i++ {
+			g.MustConnect(graph.NodeID(midName(i)), "sink", midName(i)+"_out", 1)
+		}
+		g.MustAddStorage("OUT", "total")
+		g.MustConnect("sink", "OUT", "total", 1)
+		flat, err := g.Flatten()
+		if err != nil {
+			t.Logf("flatten: %v", err)
+			return false
+		}
+		m := testMachine(t, "hypercube:2", params())
+		var want pits.Value
+		for _, s := range sched.All() {
+			sc, err := s.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+			r := &Runner{Inputs: pits.Env{"x0": pits.Num(float64(rng.Intn(50)))}}
+			// Reseed identically by rebuilding the inputs outside the loop.
+			r.Inputs = pits.Env{"x0": pits.Num(7)}
+			res, err := r.Run(sc, flat)
+			if err != nil {
+				t.Logf("%s run: %v", s.Name(), err)
+				return false
+			}
+			got := res.Outputs["total"]
+			if want == nil {
+				want = got
+			} else if !reflect.DeepEqual(want, got) {
+				t.Logf("%s: total %v != %v", s.Name(), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func srcName(i int) string { return "s" + itoa(i) }
+func midName(i int) string { return "m" + itoa(i) }
+
+func itoa(i int) string {
+	if i < 0 || i > 99 {
+		return "0"
+	}
+	digits := "0123456789"
+	if i < 10 {
+		return string(digits[i])
+	}
+	return string(digits[i/10]) + string(digits[i%10])
+}
+
+// Data-parallel sharding (the paper's fine-grained future work) must
+// not change program results, under any scheduler.
+func TestRunnerShardedReduction(t *testing.T) {
+	g := graph.New("shardable")
+	g.MustAddStorage("N", "n")
+	w := g.MustAddTask("work", "big reduction", 1000)
+	w.Routine = `total = 0
+lo = floor((shard - 1) * n / nshards) + 1
+hi = floor(shard * n / nshards)
+for i = lo to hi do
+  total = total + i
+end`
+	sink := g.MustAddTask("sink", "consume", 10)
+	sink.Routine = "result = total"
+	g.MustConnect("N", "work", "n", 1)
+	g.MustConnect("work", "sink", "total", 1)
+	g.MustAddStorage("OUT", "result")
+	g.MustConnect("sink", "OUT", "result", 1)
+	if err := graph.ShardTask(g, "work", 4, 20, graph.GatherSum(4, "total")); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "hypercube:2", params())
+	for _, s := range sched.All() {
+		sc, err := s.Schedule(flat.Graph, m)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		r := &Runner{Inputs: pits.Env{"n": pits.Num(100)}}
+		res, err := r.Run(sc, flat)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Outputs["result"] != pits.Num(5050) { // 1+..+100
+			t.Errorf("%s: result = %v, want 5050", s.Name(), res.Outputs["result"])
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Runner executes a scheduled Banger program for real: one goroutine
+// per processor of the target machine, buffered channels as links, and
+// each task's PITS routine interpreted on actual data. Timing comes
+// from the wall clock, so the trace shows genuine parallel execution;
+// correctness of results is independent of interleaving because PITS
+// routines are deterministic (rand() is seeded per task name).
+type Runner struct {
+	// Inputs provides the design's external data: values for every
+	// variable that flows from writer-less storage cells
+	// (graph.Flat.ExternalIn).
+	Inputs pits.Env
+	// MaxSteps bounds each routine's interpreter steps (0 = default).
+	MaxSteps int64
+	// VirtualTime switches the trace clock from the wall to the
+	// machine model: each worker keeps a virtual clock advanced by
+	// ExecTime over the *measured* interpreter ops of every task, and
+	// messages carry virtual arrival stamps computed with CommTime.
+	// The run still executes in genuine parallel on goroutines, but
+	// the resulting trace is deterministic and directly comparable to
+	// the scheduler's prediction — when task work was calibrated from
+	// a rehearsal, a contention-free schedule's Gantt chart and the
+	// virtual-time trace of its real execution coincide exactly.
+	VirtualTime bool
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	// Outputs holds the variables tasks exported through reader-less
+	// storage cells (graph.Flat.ExternalOut).
+	Outputs pits.Env
+	// Printed collects the print output of all tasks, each line
+	// prefixed with "task: ".
+	Printed []string
+	// Trace holds wall-clock task/message events (microseconds since
+	// run start).
+	Trace *trace.Trace
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// message carries one arc's data between processor goroutines, plus
+// its virtual arrival time when the runner is in virtual-time mode.
+type message struct {
+	key msgKey
+	val pits.Value
+	at  machine.Time
+}
+
+// msgKey identifies a scheduled message: producer task, consumer task,
+// variable.
+type msgKey struct {
+	from graph.NodeID
+	to   graph.NodeID
+	v    string
+}
+
+// sendPlan is one cross-processor delivery a producer copy must make.
+type sendPlan struct {
+	key   msgKey
+	toPE  int
+	words int64
+}
+
+// Run executes the schedule against flat, the flattened design the
+// schedule was computed from.
+func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
+	if s == nil || flat == nil || s.Graph == nil || s.Machine == nil {
+		return nil, fmt.Errorf("exec: nil schedule or design")
+	}
+	g := s.Graph
+	numPE := s.Machine.NumPE()
+
+	// Parse every routine up front; fail fast before spawning workers.
+	progs := map[graph.NodeID]*pits.Program{}
+	for _, n := range g.Tasks() {
+		if n.Routine == "" {
+			// A routine-less task is a no-op placeholder: legal in
+			// scheduling studies, and at run time it simply produces
+			// nothing.
+			progs[n.ID] = &pits.Program{}
+			continue
+		}
+		prog, err := pits.Parse(n.Routine)
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %s: %w", n.ID, err)
+		}
+		progs[n.ID] = prog
+	}
+
+	// Expected cross-PE messages per consumer processor, and the
+	// deliveries each producer copy must make, from the schedule.
+	expect := make([]map[msgKey]bool, numPE)
+	sends := make([]map[graph.NodeID][]sendPlan, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		expect[pe] = map[msgKey]bool{}
+		sends[pe] = map[graph.NodeID][]sendPlan{}
+	}
+	for _, msg := range s.Msgs {
+		if msg.FromPE == msg.ToPE {
+			continue
+		}
+		k := msgKey{msg.From, msg.To, msg.Var}
+		expect[msg.ToPE][k] = true
+		sends[msg.FromPE][msg.From] = append(sends[msg.FromPE][msg.From],
+			sendPlan{key: k, toPE: msg.ToPE, words: msg.Words})
+	}
+
+	inboxes := make([]chan message, numPE)
+	for pe := range inboxes {
+		inboxes[pe] = make(chan message, len(s.Msgs)+1)
+	}
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	abort := func() { closeOnce.Do(func() { close(done) }) }
+
+	workers := make([]*worker, numPE)
+	start := time.Now()
+	now := func() machine.Time { return machine.Time(time.Since(start).Microseconds()) }
+	for pe := 0; pe < numPE; pe++ {
+		workers[pe] = &worker{
+			pe: pe, runner: r, sched: s, flat: flat, progs: progs,
+			expected: expect[pe], sends: sends[pe],
+			inboxes: inboxes, done: done, now: now,
+			outputs: pits.Env{},
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if w.err = w.run(); w.err != nil {
+				abort()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var errs []error
+	for _, w := range workers {
+		if w.err != nil {
+			errs = append(errs, fmt.Errorf("PE %d: %w", w.pe, w.err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	res := &Result{Outputs: pits.Env{}, Trace: &trace.Trace{Label: "run:" + s.Algorithm}, Elapsed: time.Since(start)}
+	for _, w := range workers {
+		res.Trace.Events = append(res.Trace.Events, w.events...)
+		for k, v := range w.outputs {
+			res.Outputs[k] = v
+		}
+		res.Printed = append(res.Printed, w.printed...)
+	}
+	res.Trace.Sort()
+	return res, nil
+}
+
+// worker owns one simulated processor during a run.
+type worker struct {
+	pe       int
+	runner   *Runner
+	sched    *sched.Schedule
+	flat     *graph.Flat
+	progs    map[graph.NodeID]*pits.Program
+	expected map[msgKey]bool
+	sends    map[graph.NodeID][]sendPlan
+	inboxes  []chan message
+	done     chan struct{}
+	now      func() machine.Time
+
+	events  []trace.Event
+	outputs pits.Env
+	printed []string
+	err     error
+
+	clock machine.Time              // virtual-time clock (VirtualTime mode)
+	local map[graph.NodeID]pits.Env // outputs of tasks executed here
+	recvd map[msgKey]message
+}
+
+// run executes the worker's slot list in schedule order.
+func (w *worker) run() error {
+	w.local = map[graph.NodeID]pits.Env{}
+	w.recvd = map[msgKey]message{}
+	g := w.sched.Graph
+	virtual := w.runner.VirtualTime
+	for _, sl := range w.sched.PESlots(w.pe) {
+		env := pits.Env{}
+		// External inputs bound by name from the runner's global data.
+		for _, v := range w.flat.ExternalIn[sl.Task] {
+			val, ok := w.runner.Inputs[v]
+			if !ok {
+				return fmt.Errorf("task %s: missing external input %q", sl.Task, v)
+			}
+			env[v] = val
+		}
+		// Arc inputs: from the local store when the producer ran here,
+		// else from a received message. dataReady tracks the latest
+		// virtual message arrival.
+		var dataReady machine.Time
+		for _, a := range g.Pred(sl.Task) {
+			k := msgKey{a.From, sl.Task, a.Var}
+			if w.expected[k] {
+				m, err := w.receive(k)
+				if err != nil {
+					return fmt.Errorf("task %s: %w", sl.Task, err)
+				}
+				env[a.Var] = m.val
+				if m.at > dataReady {
+					dataReady = m.at
+				}
+				continue
+			}
+			prodEnv, ok := w.local[a.From]
+			if !ok {
+				return fmt.Errorf("task %s: input %q from %s neither local nor scheduled as a message",
+					sl.Task, a.Var, a.From)
+			}
+			val, ok := prodEnv[a.Var]
+			if !ok {
+				return fmt.Errorf("task %s: producer %s did not define %q", sl.Task, a.From, a.Var)
+			}
+			env[a.Var] = val
+		}
+
+		start := w.now()
+		if virtual {
+			start = w.clock
+			if dataReady > start {
+				start = dataReady
+			}
+		}
+		w.events = append(w.events, trace.Event{Kind: trace.TaskStart, At: start, Task: sl.Task, PE: w.pe, Dup: sl.Dup})
+		in := &pits.Interp{MaxSteps: w.runner.MaxSteps, Seed: taskSeed(sl.Task)}
+		env = env.Clone() // defensive: never alias values across tasks
+		if err := in.Run(w.progs[sl.Task], env); err != nil {
+			return fmt.Errorf("task %s: %w", sl.Task, err)
+		}
+		finish := w.now()
+		if virtual {
+			finish = start + w.sched.Machine.ExecTime(in.Ops(), w.pe)
+			w.clock = finish
+		}
+		w.events = append(w.events, trace.Event{Kind: trace.TaskEnd, At: finish, Task: sl.Task, PE: w.pe, Dup: sl.Dup})
+		for _, line := range in.Output() {
+			w.printed = append(w.printed, string(sl.Task)+": "+line)
+		}
+		w.local[sl.Task] = env
+
+		// Deliver scheduled messages from this copy.
+		for _, sp := range w.sends[sl.Task] {
+			val, ok := env[sp.key.v]
+			if !ok {
+				return fmt.Errorf("task %s: routine did not produce %q needed by %s", sl.Task, sp.key.v, sp.key.to)
+			}
+			sendAt := w.now()
+			arriveAt := machine.Time(0)
+			if virtual {
+				sendAt = finish
+				arriveAt = finish + w.sched.Machine.CommTime(sp.words, w.pe, sp.toPE)
+			}
+			w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt, Task: sl.Task, PE: w.pe, Var: sp.key.v, Peer: sp.toPE})
+			select {
+			case w.inboxes[sp.toPE] <- message{key: sp.key, val: val, at: arriveAt}:
+			case <-w.done:
+				return fmt.Errorf("aborted while sending to PE %d", sp.toPE)
+			}
+		}
+
+		// External outputs from the primary copy only (duplicates are
+		// communication surrogates, not result owners).
+		if !sl.Dup {
+			for _, v := range w.flat.ExternalOut[sl.Task] {
+				val, ok := env[v]
+				if !ok {
+					return fmt.Errorf("task %s: routine did not produce external output %q", sl.Task, v)
+				}
+				w.outputs[string(sl.Task)+"."+v] = val
+				w.outputs[v] = val
+			}
+		}
+	}
+	return nil
+}
+
+// receive blocks until the identified message arrives, stashing any
+// other messages that show up first.
+func (w *worker) receive(k msgKey) (message, error) {
+	emit := func(m message) message {
+		at := w.now()
+		if w.runner.VirtualTime {
+			at = m.at
+		}
+		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v})
+		return m
+	}
+	if m, ok := w.recvd[k]; ok {
+		delete(w.recvd, k)
+		return emit(m), nil
+	}
+	for {
+		select {
+		case m := <-w.inboxes[w.pe]:
+			if m.key == k {
+				return emit(m), nil
+			}
+			w.recvd[m.key] = m
+		case <-w.done:
+			return message{}, fmt.Errorf("aborted while waiting for %s:%s from %s", k.to, k.v, k.from)
+		}
+	}
+}
+
+// taskSeed derives a deterministic rand() seed from the task name so
+// runs are reproducible regardless of goroutine interleaving.
+func taskSeed(id graph.NodeID) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

@@ -1,0 +1,89 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/trace"
+)
+
+func TestFramesShowRunningTasksAndMessages(t *testing.T) {
+	tr := &trace.Trace{Label: "anim"}
+	tr.Add(trace.Event{Kind: trace.TaskStart, At: 0, Task: "a", PE: 0})
+	tr.Add(trace.Event{Kind: trace.TaskEnd, At: 50, Task: "a", PE: 0})
+	tr.Add(trace.Event{Kind: trace.MsgSend, At: 50, Task: "a", PE: 0, Var: "d", Peer: 1})
+	tr.Add(trace.Event{Kind: trace.MsgRecv, At: 70, Task: "a", PE: 1, Var: "d", Peer: 0})
+	tr.Add(trace.Event{Kind: trace.TaskStart, At: 70, Task: "b", PE: 1})
+	tr.Add(trace.Event{Kind: trace.TaskEnd, At: 100, Task: "b", PE: 1})
+
+	frames, err := Frames(tr, 2, 5) // t = 0, 25, 50, 75, 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if !strings.Contains(frames[0], "RUN a") || !strings.Contains(frames[0], "PE1  idle") {
+		t.Errorf("frame 0:\n%s", frames[0])
+	}
+	// t=50: a finished, message in flight [50,70).
+	if !strings.Contains(frames[2], `msg  "d" PE0 => PE1`) {
+		t.Errorf("frame 2 missing message:\n%s", frames[2])
+	}
+	if !strings.Contains(frames[3], "RUN b") {
+		t.Errorf("frame 3:\n%s", frames[3])
+	}
+	if !strings.Contains(frames[4], "done 2/2") {
+		t.Errorf("final frame:\n%s", frames[4])
+	}
+}
+
+func TestFramesEdgeCases(t *testing.T) {
+	empty := &trace.Trace{}
+	frames, err := Frames(empty, 2, 4)
+	if err != nil || len(frames) != 1 || !strings.Contains(frames[0], "empty") {
+		t.Errorf("empty trace: %v %v", frames, err)
+	}
+	bad := &trace.Trace{}
+	bad.Add(trace.Event{Kind: trace.TaskEnd, At: 5, Task: "x", PE: 0})
+	if _, err := Frames(bad, 1, 3); err == nil {
+		t.Error("broken trace accepted")
+	}
+}
+
+func TestAnimationOfSimulatedSchedule(t *testing.T) {
+	s := demoSchedule(t)
+	tr, err := exec.Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reel, err := Animation(tr, s.Machine.NumPE(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"animation of simulated:etf", "frame 1", "frame 6", "done", "#"} {
+		if !strings.Contains(reel, want) {
+			t.Errorf("reel missing %q", want)
+		}
+	}
+	// The final frame must report all tasks done (ForkJoin(3) has 5).
+	if !strings.Contains(reel, "done 5/5") {
+		t.Errorf("final completion count missing:\n%s", reel)
+	}
+}
+
+func TestProgressBar(t *testing.T) {
+	if got := progressBar(0, 100, 10); got != "[----------]" {
+		t.Errorf("empty bar = %q", got)
+	}
+	if got := progressBar(100, 100, 10); got != "[##########]" {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := progressBar(50, 100, 10); got != "[#####-----]" {
+		t.Errorf("half bar = %q", got)
+	}
+	if got := progressBar(0, 0, 4); got != "[----]" {
+		t.Errorf("zero total = %q", got)
+	}
+}

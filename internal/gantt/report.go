@@ -1,0 +1,52 @@
+package gantt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Report renders a per-processor utilisation table for a schedule:
+// busy and idle time, task counts (with duplicates separated), and the
+// message traffic each processor originates — the numbers behind the
+// Gantt picture.
+func Report(s *sched.Schedule) string {
+	mk := s.Makespan()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.String())
+	b.WriteString("  PE   busy      idle      util   tasks  dups  msgs-out  words-out\n")
+	var totBusy machine.Time
+	for pe := 0; pe < s.Machine.NumPE(); pe++ {
+		busy := s.BusyTime(pe)
+		totBusy += busy
+		idle := mk - busy
+		util := 0.0
+		if mk > 0 {
+			util = float64(busy) / float64(mk)
+		}
+		tasks, dups := 0, 0
+		for _, sl := range s.PESlots(pe) {
+			if sl.Dup {
+				dups++
+			} else {
+				tasks++
+			}
+		}
+		msgs, words := 0, int64(0)
+		for _, m := range s.Msgs {
+			if m.FromPE == pe && m.ToPE != pe {
+				msgs++
+				words += m.Words
+			}
+		}
+		fmt.Fprintf(&b, "  %-4d %-9v %-9v %5.1f%%  %-6d %-5d %-9d %d\n",
+			pe, busy, idle, 100*util, tasks, dups, msgs, words)
+	}
+	if mk > 0 && s.Machine.NumPE() > 0 {
+		fmt.Fprintf(&b, "  mean utilisation %.1f%%, %d processors engaged\n",
+			100*float64(totBusy)/(float64(mk)*float64(s.Machine.NumPE())), s.UsedPEs())
+	}
+	return b.String()
+}

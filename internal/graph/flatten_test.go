@@ -1,0 +1,391 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoLevelDesign builds a small hierarchical design in the style of
+// Figure 1: a top level with storage cells and one decomposable node.
+//
+//	[A] -> (prep) -> <<solve>> -> [x]
+//
+// where solve = input a -> (s1) -> (s2) -> output r.
+func twoLevelDesign() *Graph {
+	solve := New("solve")
+	solve.MustAddInput("a")
+	solve.MustAddTask("s1", "stage 1", 10)
+	solve.MustAddTask("s2", "stage 2", 20)
+	solve.MustAddOutput("r")
+	solve.MustConnect("a", "s1", "a", 3)
+	solve.MustConnect("s1", "s2", "m", 4)
+	solve.MustConnect("s2", "r", "r", 5)
+
+	g := New("top")
+	g.MustAddStorage("A", "A")
+	g.MustAddTask("prep", "prepare", 7)
+	g.MustAddSub("sv", "solver", solve)
+	g.MustAddStorage("X", "x")
+	g.MustConnect("A", "prep", "A", 9)
+	g.MustConnect("prep", "sv", "a", 2)
+	g.MustConnect("sv", "X", "r", 6)
+	return g
+}
+
+func TestFlattenTwoLevel(t *testing.T) {
+	g := twoLevelDesign()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	fg := flat.Graph
+	if err := fg.ValidateFlat(); err != nil {
+		t.Fatalf("ValidateFlat: %v", err)
+	}
+	// Expect tasks: prep, sv/s1, sv/s2.
+	wantNodes := []NodeID{"prep", "sv/s1", "sv/s2"}
+	if fg.Len() != len(wantNodes) {
+		t.Fatalf("flat has %d nodes: %v", fg.Len(), fg.Nodes())
+	}
+	for _, id := range wantNodes {
+		if fg.Node(id) == nil {
+			t.Errorf("missing node %q", id)
+		}
+	}
+	// Arcs: prep -> sv/s1 (var a), sv/s1 -> sv/s2 (m, 4 words).
+	if fg.NumArcs() != 2 {
+		t.Fatalf("flat has %d arcs: %v", fg.NumArcs(), fg.Arcs())
+	}
+	var sawBoundary, sawInner bool
+	for _, a := range fg.Arcs() {
+		switch {
+		case a.From == "prep" && a.To == "sv/s1":
+			sawBoundary = true
+			if a.Var != "a" {
+				t.Errorf("boundary arc var = %q", a.Var)
+			}
+			if a.Words != 3 { // inner words (3) win over outer (2)
+				t.Errorf("boundary arc words = %d, want 3", a.Words)
+			}
+		case a.From == "sv/s1" && a.To == "sv/s2":
+			sawInner = true
+			if a.Words != 4 {
+				t.Errorf("inner arc words = %d, want 4", a.Words)
+			}
+		default:
+			t.Errorf("unexpected arc %+v", a)
+		}
+	}
+	if !sawBoundary || !sawInner {
+		t.Error("expected arcs missing")
+	}
+	// External bindings: prep reads A; sv/s2 writes x (storage X label "x").
+	if got := flat.ExternalIn["prep"]; len(got) != 1 || got[0] != "A" {
+		t.Errorf("ExternalIn[prep] = %v", got)
+	}
+	if got := flat.ExternalOut["sv/s2"]; len(got) != 1 || got[0] != "r" {
+		t.Errorf("ExternalOut[sv/s2] = %v", got)
+	}
+	// Work is preserved.
+	if fg.TotalWork() != 37 {
+		t.Errorf("TotalWork = %d, want 37", fg.TotalWork())
+	}
+}
+
+func TestFlattenNestedSubgraphs(t *testing.T) {
+	innermost := New("leaf")
+	innermost.MustAddInput("p")
+	innermost.MustAddTask("core", "", 5)
+	innermost.MustAddOutput("q")
+	innermost.MustConnect("p", "core", "p", 1)
+	innermost.MustConnect("core", "q", "q", 1)
+
+	mid := New("mid")
+	mid.MustAddInput("u")
+	mid.MustAddSub("leafcall", "", innermost)
+	mid.MustAddOutput("v")
+	mid.MustConnect("u", "leafcall", "p", 1)
+	mid.MustConnect("leafcall", "v", "q", 1)
+
+	top := New("top")
+	top.MustAddTask("a", "", 1)
+	top.MustAddSub("m", "", mid)
+	top.MustAddTask("z", "", 1)
+	top.MustConnect("a", "m", "u", 1)
+	top.MustConnect("m", "z", "v", 1)
+
+	flat, err := top.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	if flat.Graph.Node("m/leafcall/core") == nil {
+		t.Fatalf("nested node id not composed: %v", flat.Graph.Nodes())
+	}
+	order, err := flat.Graph.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[2] != "z" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestFlattenPassThroughPort(t *testing.T) {
+	sub := New("идентичность") // identity subgraph: input wired straight to output
+	sub.MustAddInput("x")
+	sub.MustAddOutput("y")
+	sub.MustConnect("x", "y", "x", 2)
+
+	g := New("top")
+	g.MustAddTask("a", "", 1)
+	g.MustAddSub("s", "", sub)
+	g.MustAddTask("b", "", 1)
+	g.MustConnect("a", "s", "x", 1)
+	g.MustConnect("s", "b", "y", 3)
+
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	arcs := flat.Graph.Arcs()
+	if len(arcs) != 1 || arcs[0].From != "a" || arcs[0].To != "b" {
+		t.Fatalf("arcs = %v", arcs)
+	}
+	if arcs[0].Words != 2 { // inner wins
+		t.Errorf("words = %d, want 2", arcs[0].Words)
+	}
+}
+
+func TestFlattenStorageChain(t *testing.T) {
+	g := New("chain")
+	g.MustAddTask("w", "", 1)
+	g.MustAddStorage("s1", "d1")
+	g.MustAddStorage("s2", "d2")
+	g.MustAddTask("r", "", 1)
+	g.MustConnect("w", "s1", "v", 4)
+	g.MustConnect("s1", "s2", "v", 0)
+	g.MustConnect("s2", "r", "v", 0)
+
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	arcs := flat.Graph.Arcs()
+	if len(arcs) != 1 || arcs[0].From != "w" || arcs[0].To != "r" || arcs[0].Words != 4 {
+		t.Fatalf("arcs = %v", arcs)
+	}
+}
+
+func TestFlattenFanOutStorage(t *testing.T) {
+	g := New("fan")
+	g.MustAddTask("w", "", 1)
+	g.MustAddStorage("s", "shared")
+	g.MustAddTask("r1", "", 1)
+	g.MustAddTask("r2", "", 1)
+	g.MustConnect("w", "s", "v", 8)
+	g.MustConnect("s", "r1", "v", 0)
+	g.MustConnect("s", "r2", "v", 0)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Graph.NumArcs() != 2 {
+		t.Fatalf("arcs = %v", flat.Graph.Arcs())
+	}
+	for _, a := range flat.Graph.Arcs() {
+		if a.From != "w" || a.Words != 8 {
+			t.Errorf("unexpected arc %+v", a)
+		}
+	}
+}
+
+func TestFlattenPreservesOriginal(t *testing.T) {
+	g := twoLevelDesign()
+	before := g.Len()
+	if _, err := g.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != before {
+		t.Errorf("Flatten mutated its receiver: %d -> %d nodes", before, g.Len())
+	}
+	if g.Node("sv").Sub == nil {
+		t.Error("subgraph removed from original")
+	}
+}
+
+func TestFlattenAlreadyFlatIsIdentityShape(t *testing.T) {
+	g := Diamond(5, 3)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Graph.Len() != 4 || flat.Graph.NumArcs() != 4 {
+		t.Errorf("flat = %v", flat.Graph.Summary())
+	}
+	if len(flat.ExternalIn) != 0 || len(flat.ExternalOut) != 0 {
+		t.Errorf("unexpected externals: %v %v", flat.ExternalIn, flat.ExternalOut)
+	}
+}
+
+func TestValidateRejectsBadSubBinding(t *testing.T) {
+	sub := New("sub")
+	sub.MustAddInput("x")
+	sub.MustAddTask("t", "", 1)
+	sub.MustAddOutput("y")
+	sub.MustConnect("x", "t", "x", 1)
+	sub.MustConnect("t", "y", "y", 1)
+
+	t.Run("unknown input var", func(t *testing.T) {
+		g := New("g")
+		g.MustAddTask("a", "", 1)
+		g.MustAddSub("s", "", sub)
+		g.MustConnect("a", "s", "nosuch", 1)
+		if err := g.Validate(); err == nil {
+			t.Error("arc to unknown input port accepted")
+		}
+	})
+	t.Run("unfed input", func(t *testing.T) {
+		g := New("g")
+		g.MustAddSub("s", "", sub)
+		if err := g.Validate(); err == nil {
+			t.Error("unfed input port accepted")
+		}
+	})
+	t.Run("unknown output var", func(t *testing.T) {
+		g := New("g")
+		g.MustAddTask("a", "", 1)
+		g.MustAddTask("b", "", 1)
+		g.MustAddSub("s", "", sub)
+		g.MustConnect("a", "s", "x", 1)
+		g.MustConnect("s", "b", "nosuch", 1)
+		if err := g.Validate(); err == nil {
+			t.Error("arc from unknown output port accepted")
+		}
+	})
+	t.Run("doubly fed input", func(t *testing.T) {
+		g := New("g")
+		g.MustAddTask("a", "", 1)
+		g.MustAddTask("b", "", 1)
+		g.MustAddSub("s", "", sub)
+		g.MustConnect("a", "s", "x", 1)
+		g.MustConnect("b", "s", "x", 1)
+		if err := g.Validate(); err == nil {
+			t.Error("doubly fed input port accepted")
+		}
+	})
+}
+
+func TestValidateRejectsMultiWriterStorage(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	g.MustAddTask("b", "", 1)
+	g.MustAddStorage("s", "cell")
+	g.MustConnect("a", "s", "v", 1)
+	g.MustConnect("b", "s", "v", 1)
+	if err := g.Validate(); err == nil {
+		t.Error("two writers to one storage cell accepted")
+	}
+}
+
+func TestValidateRejectsPortMisuse(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	g.MustAddInput("in")
+	g.MustAddOutput("out")
+	g.MustConnect("a", "in", "v", 1)  // input with a predecessor
+	g.MustConnect("out", "a", "v", 1) // output with a successor
+	if err := g.Validate(); err == nil {
+		t.Error("port misuse accepted")
+	}
+}
+
+func TestValidateFlatRejectsNonTask(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	g.MustAddStorage("s", "cell")
+	if err := g.ValidateFlat(); err == nil {
+		t.Error("storage node accepted in flat graph")
+	}
+	empty := New("empty")
+	if err := empty.ValidateFlat(); err == nil {
+		t.Error("empty graph accepted as flat")
+	}
+}
+
+// Property: random two-level hierarchical designs flatten to valid
+// task graphs that preserve total work and task count.
+func TestFlattenPropertyRandomHierarchies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Inner subgraph: a small chain with one input and one output.
+		innerLen := 1 + rng.Intn(4)
+		sub := New("sub")
+		sub.MustAddInput("in")
+		var innerWork int64
+		for i := 0; i < innerLen; i++ {
+			w := int64(rng.Intn(20) + 1)
+			innerWork += w
+			sub.MustAddTask(NodeID("s"+itoaG(i)), "", w)
+			if i == 0 {
+				sub.MustConnect("in", "s0", "in", 1)
+			} else {
+				sub.MustConnect(NodeID("s"+itoaG(i-1)), NodeID("s"+itoaG(i)), "v"+itoaG(i), 1)
+			}
+		}
+		sub.MustAddOutput("out")
+		sub.MustConnect(NodeID("s"+itoaG(innerLen-1)), "out", "out", 1)
+
+		// Outer: head task -> N sub nodes -> tail task.
+		outer := New("outer")
+		head := outer.MustAddTask("head", "", int64(rng.Intn(20)+1))
+		tail := outer.MustAddTask("tail", "", int64(rng.Intn(20)+1))
+		nSubs := 1 + rng.Intn(3)
+		for k := 0; k < nSubs; k++ {
+			id := NodeID("call" + itoaG(k))
+			outer.MustAddSub(id, "", sub)
+			outer.MustConnect("head", id, "in", 1)
+			outer.MustConnect(id, "tail", "out", 1)
+		}
+		wantTasks := 2 + nSubs*innerLen
+		wantWork := head.Work + tail.Work + int64(nSubs)*innerWork
+
+		flat, err := outer.Flatten()
+		if err != nil {
+			t.Logf("flatten: %v", err)
+			return false
+		}
+		if len(flat.Graph.Tasks()) != wantTasks {
+			t.Logf("tasks = %d, want %d", len(flat.Graph.Tasks()), wantTasks)
+			return false
+		}
+		if flat.Graph.TotalWork() != wantWork {
+			t.Logf("work = %d, want %d", flat.Graph.TotalWork(), wantWork)
+			return false
+		}
+		if err := flat.Graph.ValidateFlat(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		// Depth: head + innerLen + tail.
+		d, err := flat.Graph.Depth()
+		if err != nil || d != innerLen+2 {
+			t.Logf("depth = %d, want %d", d, innerLen+2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoaG(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,370 @@
+// Package graph implements Banger's programming-in-the-large (PITL)
+// hierarchical dataflow graphs.
+//
+// A PITL design is a directed acyclic graph whose nodes are either
+// primitive sequential tasks (to be filled in with a PITS routine),
+// storage cells (the open rectangles of the paper's Figure 1), boundary
+// ports of a subgraph, or decomposable nodes that expand into a
+// lower-level graph. Arcs establish precedence created by control or
+// data dependencies and are labelled with the variable whose data flows
+// along them.
+//
+// Scheduling and execution always operate on a flattened graph: storage
+// cells are elided into direct task-to-task arcs and decomposable nodes
+// are spliced in place (see Flatten).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are unique per graph.
+// Flattening composes IDs hierarchically with '/' (e.g. "forward/y2").
+type NodeID string
+
+// Kind classifies a node of a PITL graph.
+type Kind int
+
+const (
+	// KindTask is a primitive sequential task; it carries a work
+	// estimate and optionally a PITS routine.
+	KindTask Kind = iota
+	// KindStorage is a named data cell (an open rectangle in Figure 1).
+	// Storage is free: it is elided during flattening.
+	KindStorage
+	// KindSub is a decomposable node containing a lower-level graph.
+	KindSub
+	// KindInput marks a boundary port of a subgraph through which a
+	// variable enters from the enclosing level.
+	KindInput
+	// KindOutput marks a boundary port of a subgraph through which a
+	// variable leaves to the enclosing level.
+	KindOutput
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindStorage:
+		return "storage"
+	case KindSub:
+		return "sub"
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is a vertex of a PITL graph.
+type Node struct {
+	ID      NodeID
+	Label   string // human-readable comment, e.g. "fan l21"
+	Kind    Kind
+	Work    int64  // abstract operation count for tasks (>= 0)
+	Routine string // PITS source text for primitive tasks (may be empty)
+	Sub     *Graph // lower-level graph for KindSub nodes
+}
+
+// IsTask reports whether the node is a schedulable primitive task.
+func (n *Node) IsTask() bool { return n.Kind == KindTask }
+
+// Arc is a directed precedence edge labelled with the variable whose
+// data flows from From to To. Words is the message volume in machine
+// words (>= 0; 0 means a pure control dependency).
+type Arc struct {
+	From  NodeID
+	To    NodeID
+	Var   string
+	Words int64
+}
+
+// Graph is a hierarchical PITL dataflow graph.
+//
+// The zero value is not usable; construct with New. Node insertion
+// order is preserved so renderings and schedules are deterministic.
+type Graph struct {
+	Name  string
+	nodes []*Node
+	index map[NodeID]*Node
+	arcs  []Arc
+	succ  map[NodeID][]int // arc indices leaving each node
+	pred  map[NodeID][]int // arc indices entering each node
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		index: make(map[NodeID]*Node),
+		succ:  make(map[NodeID][]int),
+		pred:  make(map[NodeID][]int),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// NumArcs returns the number of arcs.
+func (g *Graph) NumArcs() int { return len(g.arcs) }
+
+// Node returns the node with the given id, or nil if absent.
+func (g *Graph) Node(id NodeID) *Node { return g.index[id] }
+
+// Nodes returns the nodes in insertion order. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Arcs returns the arcs in insertion order. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Arcs() []Arc { return g.arcs }
+
+// Tasks returns the primitive task nodes in insertion order.
+func (g *Graph) Tasks() []*Node {
+	var ts []*Node
+	for _, n := range g.nodes {
+		if n.Kind == KindTask {
+			ts = append(ts, n)
+		}
+	}
+	return ts
+}
+
+func (g *Graph) add(n *Node) (*Node, error) {
+	if n.ID == "" {
+		return nil, fmt.Errorf("graph %q: empty node id", g.Name)
+	}
+	if _, dup := g.index[n.ID]; dup {
+		return nil, fmt.Errorf("graph %q: duplicate node id %q", g.Name, n.ID)
+	}
+	g.nodes = append(g.nodes, n)
+	g.index[n.ID] = n
+	return n, nil
+}
+
+// AddTask adds a primitive task with the given abstract work (operation
+// count). It returns the node so callers can attach a Routine.
+func (g *Graph) AddTask(id NodeID, label string, work int64) (*Node, error) {
+	if work < 0 {
+		return nil, fmt.Errorf("graph %q: task %q has negative work %d", g.Name, id, work)
+	}
+	return g.add(&Node{ID: id, Label: label, Kind: KindTask, Work: work})
+}
+
+// MustAddTask is AddTask that panics on error; intended for building
+// literal example designs.
+func (g *Graph) MustAddTask(id NodeID, label string, work int64) *Node {
+	n, err := g.AddTask(id, label, work)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddStorage adds a named storage cell. Storage nodes are elided by
+// Flatten; they exist so designs can be drawn the way Figure 1 draws
+// them, with data rectangles between tasks.
+func (g *Graph) AddStorage(id NodeID, label string) (*Node, error) {
+	return g.add(&Node{ID: id, Label: label, Kind: KindStorage})
+}
+
+// MustAddStorage is AddStorage that panics on error.
+func (g *Graph) MustAddStorage(id NodeID, label string) *Node {
+	n, err := g.AddStorage(id, label)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddSub adds a decomposable node whose behaviour is given by the
+// lower-level graph sub. The subgraph's KindInput/KindOutput port nodes
+// define how enclosing arcs bind to it: an arc into the sub node with
+// variable v attaches to sub's input port named v, and an arc out with
+// variable v detaches from sub's output port named v.
+func (g *Graph) AddSub(id NodeID, label string, sub *Graph) (*Node, error) {
+	if sub == nil {
+		return nil, fmt.Errorf("graph %q: sub node %q has nil subgraph", g.Name, id)
+	}
+	return g.add(&Node{ID: id, Label: label, Kind: KindSub, Sub: sub})
+}
+
+// MustAddSub is AddSub that panics on error.
+func (g *Graph) MustAddSub(id NodeID, label string, sub *Graph) *Node {
+	n, err := g.AddSub(id, label, sub)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddInput adds a boundary input port. The port's id doubles as the
+// variable name it imports from the enclosing level.
+func (g *Graph) AddInput(id NodeID) (*Node, error) {
+	return g.add(&Node{ID: id, Label: string(id), Kind: KindInput})
+}
+
+// MustAddInput is AddInput that panics on error.
+func (g *Graph) MustAddInput(id NodeID) *Node {
+	n, err := g.AddInput(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddOutput adds a boundary output port named after the variable it
+// exports to the enclosing level.
+func (g *Graph) AddOutput(id NodeID) (*Node, error) {
+	return g.add(&Node{ID: id, Label: string(id), Kind: KindOutput})
+}
+
+// MustAddOutput is AddOutput that panics on error.
+func (g *Graph) MustAddOutput(id NodeID) *Node {
+	n, err := g.AddOutput(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Connect adds an arc carrying variable v (words machine words) from
+// one node to another. Both endpoints must already exist.
+func (g *Graph) Connect(from, to NodeID, v string, words int64) error {
+	if g.index[from] == nil {
+		return fmt.Errorf("graph %q: arc source %q not found", g.Name, from)
+	}
+	if g.index[to] == nil {
+		return fmt.Errorf("graph %q: arc target %q not found", g.Name, to)
+	}
+	if from == to {
+		return fmt.Errorf("graph %q: self-arc on %q", g.Name, from)
+	}
+	if words < 0 {
+		return fmt.Errorf("graph %q: arc %s->%s has negative words %d", g.Name, from, to, words)
+	}
+	g.arcs = append(g.arcs, Arc{From: from, To: to, Var: v, Words: words})
+	i := len(g.arcs) - 1
+	g.succ[from] = append(g.succ[from], i)
+	g.pred[to] = append(g.pred[to], i)
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(from, to NodeID, v string, words int64) {
+	if err := g.Connect(from, to, v, words); err != nil {
+		panic(err)
+	}
+}
+
+// Succ returns the arcs leaving node id, in insertion order.
+func (g *Graph) Succ(id NodeID) []Arc {
+	out := make([]Arc, 0, len(g.succ[id]))
+	for _, i := range g.succ[id] {
+		out = append(out, g.arcs[i])
+	}
+	return out
+}
+
+// Pred returns the arcs entering node id, in insertion order.
+func (g *Graph) Pred(id NodeID) []Arc {
+	out := make([]Arc, 0, len(g.pred[id]))
+	for _, i := range g.pred[id] {
+		out = append(out, g.arcs[i])
+	}
+	return out
+}
+
+// Successors returns the distinct successor node ids of id, sorted.
+func (g *Graph) Successors(id NodeID) []NodeID { return g.neighborIDs(g.succ[id], false) }
+
+// Predecessors returns the distinct predecessor node ids of id, sorted.
+func (g *Graph) Predecessors(id NodeID) []NodeID { return g.neighborIDs(g.pred[id], true) }
+
+func (g *Graph) neighborIDs(arcIdx []int, fromSide bool) []NodeID {
+	seen := make(map[NodeID]bool, len(arcIdx))
+	var out []NodeID
+	for _, i := range arcIdx {
+		id := g.arcs[i].To
+		if fromSide {
+			id = g.arcs[i].From
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entries returns nodes with no predecessors, in insertion order.
+func (g *Graph) Entries() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(g.pred[n.ID]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Exits returns nodes with no successors, in insertion order.
+func (g *Graph) Exits() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(g.succ[n.ID]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalWork returns the sum of Work over all task nodes, the serial
+// computation demand of the design.
+func (g *Graph) TotalWork() int64 {
+	var w int64
+	for _, n := range g.nodes {
+		if n.Kind == KindTask {
+			w += n.Work
+		}
+	}
+	return w
+}
+
+// TotalWords returns the sum of Words over all arcs, the total data
+// volume the design moves.
+func (g *Graph) TotalWords() int64 {
+	var w int64
+	for _, a := range g.arcs {
+		w += a.Words
+	}
+	return w
+}
+
+// Clone returns a deep copy of the graph. Subgraphs are cloned
+// recursively; Routine strings are shared (immutable).
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, n := range g.nodes {
+		nn := &Node{ID: n.ID, Label: n.Label, Kind: n.Kind, Work: n.Work, Routine: n.Routine}
+		if n.Sub != nil {
+			nn.Sub = n.Sub.Clone()
+		}
+		c.nodes = append(c.nodes, nn)
+		c.index[nn.ID] = nn
+	}
+	c.arcs = append(c.arcs, g.arcs...)
+	for id, s := range g.succ {
+		c.succ[id] = append([]int(nil), s...)
+	}
+	for id, p := range g.pred {
+		c.pred[id] = append([]int(nil), p...)
+	}
+	return c
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddTaskAndLookup(t *testing.T) {
+	g := New("g")
+	n, err := g.AddTask("a", "task a", 10)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if n.ID != "a" || n.Kind != KindTask || n.Work != 10 {
+		t.Errorf("node fields wrong: %+v", n)
+	}
+	if got := g.Node("a"); got != n {
+		t.Errorf("Node(a) = %v, want %v", got, n)
+	}
+	if got := g.Node("missing"); got != nil {
+		t.Errorf("Node(missing) = %v, want nil", got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestAddTaskDuplicateID(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	if _, err := g.AddTask("a", "", 2); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestAddTaskEmptyID(t *testing.T) {
+	g := New("g")
+	if _, err := g.AddTask("", "", 1); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestAddTaskNegativeWork(t *testing.T) {
+	g := New("g")
+	if _, err := g.AddTask("a", "", -1); err == nil {
+		t.Fatal("negative work accepted")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	g.MustAddTask("b", "", 1)
+	if err := g.Connect("missing", "b", "v", 1); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := g.Connect("a", "missing", "v", 1); err == nil {
+		t.Error("missing target accepted")
+	}
+	if err := g.Connect("a", "a", "v", 1); err == nil {
+		t.Error("self arc accepted")
+	}
+	if err := g.Connect("a", "b", "v", -5); err == nil {
+		t.Error("negative words accepted")
+	}
+	if err := g.Connect("a", "b", "v", 3); err != nil {
+		t.Errorf("valid arc rejected: %v", err)
+	}
+}
+
+func TestSuccPredNeighbors(t *testing.T) {
+	g := Diamond(5, 2)
+	succ := g.Successors("a")
+	if len(succ) != 2 || succ[0] != "b" || succ[1] != "c" {
+		t.Errorf("Successors(a) = %v", succ)
+	}
+	pred := g.Predecessors("d")
+	if len(pred) != 2 || pred[0] != "b" || pred[1] != "c" {
+		t.Errorf("Predecessors(d) = %v", pred)
+	}
+	if arcs := g.Succ("a"); len(arcs) != 2 || arcs[0].Var != "ab" {
+		t.Errorf("Succ(a) = %v", arcs)
+	}
+	if arcs := g.Pred("a"); len(arcs) != 0 {
+		t.Errorf("Pred(a) = %v, want empty", arcs)
+	}
+}
+
+func TestEntriesExits(t *testing.T) {
+	g := Diamond(1, 1)
+	ent := g.Entries()
+	if len(ent) != 1 || ent[0].ID != "a" {
+		t.Errorf("Entries = %v", ent)
+	}
+	ex := g.Exits()
+	if len(ex) != 1 || ex[0].ID != "d" {
+		t.Errorf("Exits = %v", ex)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := Diamond(5, 3)
+	if w := g.TotalWork(); w != 20 {
+		t.Errorf("TotalWork = %d, want 20", w)
+	}
+	if w := g.TotalWords(); w != 12 {
+		t.Errorf("TotalWords = %d, want 12", w)
+	}
+}
+
+func TestCloneIsDeepForStructure(t *testing.T) {
+	sub := New("sub")
+	sub.MustAddInput("x")
+	sub.MustAddTask("t", "", 4)
+	sub.MustAddOutput("y")
+	sub.MustConnect("x", "t", "x", 1)
+	sub.MustConnect("t", "y", "y", 1)
+
+	g := New("outer")
+	g.MustAddTask("a", "", 2)
+	g.MustAddSub("s", "sub call", sub)
+	g.MustConnect("a", "s", "x", 1)
+
+	c := g.Clone()
+	// Mutating the clone must not affect the original.
+	c.MustAddTask("extra", "", 1)
+	c.Node("s").Sub.MustAddTask("inner-extra", "", 1)
+	if g.Len() != 2 {
+		t.Errorf("original node count changed: %d", g.Len())
+	}
+	if g.Node("s").Sub.Len() != 3 {
+		t.Errorf("original subgraph changed: %d nodes", g.Node("s").Sub.Len())
+	}
+	if c.Node("s").Sub.Len() != 4 {
+		t.Errorf("clone subgraph not mutated: %d nodes", c.Node("s").Sub.Len())
+	}
+}
+
+func TestTasksFilters(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("t1", "", 1)
+	g.MustAddStorage("s1", "data")
+	g.MustAddTask("t2", "", 1)
+	ts := g.Tasks()
+	if len(ts) != 2 || ts[0].ID != "t1" || ts[1].ID != "t2" {
+		t.Errorf("Tasks = %v", ts)
+	}
+	if !ts[0].IsTask() {
+		t.Error("IsTask false for task")
+	}
+	if g.Node("s1").IsTask() {
+		t.Error("IsTask true for storage")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindTask: "task", KindStorage: "storage", KindSub: "sub",
+		KindInput: "input", KindOutput: "output", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestSummaryMentionsShape(t *testing.T) {
+	s := Diamond(5, 3).Summary()
+	for _, want := range []string{"diamond", "4 nodes", "4 arcs", "width 2", "depth 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+}

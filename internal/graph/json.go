@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire form of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Arcs  []jsonArc  `json:"arcs"`
+}
+
+type jsonNode struct {
+	ID      string     `json:"id"`
+	Label   string     `json:"label,omitempty"`
+	Kind    string     `json:"kind"`
+	Work    int64      `json:"work,omitempty"`
+	Routine string     `json:"routine,omitempty"`
+	Sub     *jsonGraph `json:"sub,omitempty"`
+}
+
+type jsonArc struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Var   string `json:"var,omitempty"`
+	Words int64  `json:"words,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindTask:    "task",
+	KindStorage: "storage",
+	KindSub:     "sub",
+	KindInput:   "input",
+	KindOutput:  "output",
+}
+
+var kindValues = map[string]Kind{
+	"task":    KindTask,
+	"storage": KindStorage,
+	"sub":     KindSub,
+	"input":   KindInput,
+	"output":  KindOutput,
+}
+
+func (g *Graph) toJSON() *jsonGraph {
+	jg := &jsonGraph{Name: g.Name}
+	for _, n := range g.nodes {
+		jn := jsonNode{ID: string(n.ID), Label: n.Label, Kind: kindNames[n.Kind], Work: n.Work, Routine: n.Routine}
+		if n.Sub != nil {
+			jn.Sub = n.Sub.toJSON()
+		}
+		jg.Nodes = append(jg.Nodes, jn)
+	}
+	for _, a := range g.arcs {
+		jg.Arcs = append(jg.Arcs, jsonArc{From: string(a.From), To: string(a.To), Var: a.Var, Words: a.Words})
+	}
+	return jg
+}
+
+func fromJSON(jg *jsonGraph) (*Graph, error) {
+	g := New(jg.Name)
+	for _, jn := range jg.Nodes {
+		kind, ok := kindValues[jn.Kind]
+		if !ok {
+			return nil, fmt.Errorf("graph %q: unknown node kind %q", jg.Name, jn.Kind)
+		}
+		n := &Node{ID: NodeID(jn.ID), Label: jn.Label, Kind: kind, Work: jn.Work, Routine: jn.Routine}
+		if jn.Sub != nil {
+			sub, err := fromJSON(jn.Sub)
+			if err != nil {
+				return nil, err
+			}
+			n.Sub = sub
+		} else if kind == KindSub {
+			return nil, fmt.Errorf("graph %q: sub node %q missing subgraph", jg.Name, jn.ID)
+		}
+		if _, err := g.add(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, ja := range jg.Arcs {
+		if err := g.Connect(NodeID(ja.From), NodeID(ja.To), ja.Var, ja.Words); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.toJSON())
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The receiver is replaced
+// wholesale by the decoded graph.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng, err := fromJSON(&jg)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Tasks are ovals,
+// storage cells are boxes, decomposable nodes are double octagons and
+// ports are plain text — matching the visual vocabulary of the paper's
+// Figure 1. Subgraphs are rendered as dot clusters.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	g.dotBody(&b, "", "  ")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (g *Graph) dotBody(b *strings.Builder, prefix, indent string) {
+	for _, n := range g.nodes {
+		id := prefix + string(n.ID)
+		label := n.Label
+		if label == "" {
+			label = string(n.ID)
+		}
+		switch n.Kind {
+		case KindTask:
+			fmt.Fprintf(b, "%s%q [shape=ellipse,label=%q];\n", indent, id, label)
+		case KindStorage:
+			fmt.Fprintf(b, "%s%q [shape=box,label=%q];\n", indent, id, label)
+		case KindInput:
+			fmt.Fprintf(b, "%s%q [shape=plaintext,label=%q];\n", indent, id, "in "+label)
+		case KindOutput:
+			fmt.Fprintf(b, "%s%q [shape=plaintext,label=%q];\n", indent, id, "out "+label)
+		case KindSub:
+			fmt.Fprintf(b, "%ssubgraph \"cluster_%s\" {\n", indent, id)
+			fmt.Fprintf(b, "%s  label=%q;\n", indent, label)
+			fmt.Fprintf(b, "%s  %q [shape=doubleoctagon,label=%q];\n", indent, id, label)
+			n.Sub.dotBody(b, id+"/", indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+	for _, a := range g.arcs {
+		lbl := a.Var
+		if a.Words > 0 {
+			lbl = fmt.Sprintf("%s(%d)", a.Var, a.Words)
+		}
+		fmt.Fprintf(b, "%s%q -> %q [label=%q];\n", indent, prefix+string(a.From), prefix+string(a.To), lbl)
+	}
+}
+
+// ASCII renders the graph as a levelled text diagram: one line per
+// depth level listing its nodes, followed by the arc list. It is the
+// terminal stand-in for the paper's drawn dataflow diagrams.
+func (g *Graph) ASCII() string {
+	order, err := g.TopoSort()
+	if err != nil {
+		return fmt.Sprintf("<<graph %q: %v>>", g.Name, err)
+	}
+	depth := make(map[NodeID]int, len(order))
+	maxd := 0
+	for _, id := range order {
+		d := 0
+		for _, a := range g.Pred(id) {
+			if depth[a.From]+1 > d {
+				d = depth[a.From] + 1
+			}
+		}
+		depth[id] = d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	byDepth := make([][]NodeID, maxd+1)
+	for _, id := range order {
+		byDepth[depth[id]] = append(byDepth[depth[id]], id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q: %d nodes, %d arcs\n", g.Name, g.Len(), g.NumArcs())
+	for d, ids := range byDepth {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var cells []string
+		for _, id := range ids {
+			n := g.index[id]
+			switch n.Kind {
+			case KindStorage:
+				cells = append(cells, fmt.Sprintf("[%s]", id))
+			case KindSub:
+				cells = append(cells, fmt.Sprintf("<<%s>>", id))
+			case KindInput:
+				cells = append(cells, fmt.Sprintf(">%s", id))
+			case KindOutput:
+				cells = append(cells, fmt.Sprintf("%s>", id))
+			default:
+				cells = append(cells, fmt.Sprintf("(%s:%d)", id, n.Work))
+			}
+		}
+		fmt.Fprintf(&b, "  L%-2d %s\n", d, strings.Join(cells, "  "))
+	}
+	b.WriteString("  arcs:\n")
+	for _, a := range g.arcs {
+		fmt.Fprintf(&b, "    %s -%s(%d)-> %s\n", a.From, a.Var, a.Words, a.To)
+	}
+	return b.String()
+}
+
+// Summary returns a one-line description of the graph's size and shape.
+func (g *Graph) Summary() string {
+	w, _ := g.Width()
+	d, _ := g.Depth()
+	return fmt.Sprintf("%s: %d nodes (%d tasks), %d arcs, width %d, depth %d, work %d, words %d",
+		g.Name, g.Len(), len(g.Tasks()), g.NumArcs(), w, d, g.TotalWork(), g.TotalWords())
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopoSort returns the node ids in a topological order (Kahn's
+// algorithm, stable with respect to insertion order). It returns an
+// error naming a node on a cycle if the graph is cyclic.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n.ID] = len(g.pred[n.ID])
+	}
+	// Ready queue ordered by insertion position for determinism.
+	pos := make(map[NodeID]int, len(g.nodes))
+	for i, n := range g.nodes {
+		pos[n.ID] = i
+	}
+	var ready []NodeID
+	for _, n := range g.nodes {
+		if indeg[n.ID] == 0 {
+			ready = append(ready, n.ID)
+		}
+	}
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(ready) > 0 {
+		// Pop the earliest-inserted ready node.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if pos[ready[i]] < pos[ready[best]] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, id)
+		for _, ai := range g.succ[id] {
+			t := g.arcs[ai].To
+			indeg[t]--
+			if indeg[t] == 0 {
+				ready = append(ready, t)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		for _, n := range g.nodes {
+			if indeg[n.ID] > 0 {
+				return nil, fmt.Errorf("graph %q: cycle involving node %q", g.Name, n.ID)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Levels holds the classic list-scheduling priority metrics of a task
+// graph, computed with communication included (arc weight = Words) but
+// in abstract units: work counts for nodes, word counts for arcs. A
+// scheduler converts these to time with its machine model; for
+// prioritisation the abstract values suffice.
+type Levels struct {
+	// TLevel[n] is the length of the longest path from any entry node
+	// to n, excluding n's own work ("earliest possible start" in
+	// abstract units, also called the top level).
+	TLevel map[NodeID]int64
+	// BLevel[n] is the length of the longest path from n to any exit
+	// node, including n's own work (the bottom level).
+	BLevel map[NodeID]int64
+	// SLevel[n] is the static level: BLevel computed ignoring arc
+	// weights (the HLFET priority of Adam, Chandy & Dickson).
+	SLevel map[NodeID]int64
+	// Order is a topological order of the graph.
+	Order []NodeID
+}
+
+// ComputeLevels computes t-levels, b-levels and static levels for the
+// graph. commScale multiplies arc Words when mixing communication into
+// path lengths; pass 1 for the abstract default or a machine-derived
+// ratio to bias priorities toward a particular cost model.
+func (g *Graph) ComputeLevels(commScale int64) (*Levels, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	lv := &Levels{
+		TLevel: make(map[NodeID]int64, len(order)),
+		BLevel: make(map[NodeID]int64, len(order)),
+		SLevel: make(map[NodeID]int64, len(order)),
+		Order:  order,
+	}
+	for _, id := range order {
+		var t int64
+		for _, a := range g.Pred(id) {
+			p := g.index[a.From]
+			cand := lv.TLevel[a.From] + p.Work + a.Words*commScale
+			if cand > t {
+				t = cand
+			}
+		}
+		lv.TLevel[id] = t
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := g.index[id]
+		var b, s int64
+		for _, a := range g.Succ(id) {
+			if c := lv.BLevel[a.To] + a.Words*commScale; c > b {
+				b = c
+			}
+			if c := lv.SLevel[a.To]; c > s {
+				s = c
+			}
+		}
+		lv.BLevel[id] = b + n.Work
+		lv.SLevel[id] = s + n.Work
+	}
+	return lv, nil
+}
+
+// CriticalPath returns the nodes on a longest entry-to-exit path
+// (counting node work plus commScale-weighted arc words) and its
+// length. For an empty graph it returns nil, 0.
+func (g *Graph) CriticalPath(commScale int64) ([]NodeID, int64, error) {
+	lv, err := g.ComputeLevels(commScale)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(lv.Order) == 0 {
+		return nil, 0, nil
+	}
+	// The critical path length is max over nodes of TLevel+BLevel;
+	// start from an entry node achieving it and walk greedily.
+	var best NodeID
+	var bestLen int64 = -1
+	for _, id := range lv.Order {
+		if len(g.pred[id]) > 0 {
+			continue
+		}
+		if l := lv.BLevel[id]; l > bestLen {
+			bestLen = l
+			best = id
+		}
+	}
+	path := []NodeID{best}
+	cur := best
+	for {
+		var next NodeID
+		found := false
+		for _, a := range g.Succ(cur) {
+			want := lv.BLevel[cur] - g.index[cur].Work - a.Words*commScale
+			if lv.BLevel[a.To] == want && want >= 0 {
+				next = a.To
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, bestLen, nil
+}
+
+// Width returns the maximum antichain size as approximated by the
+// largest number of nodes sharing a depth level (longest-path depth,
+// unit arc weights). It bounds attainable parallelism.
+func (g *Graph) Width() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	depth := make(map[NodeID]int, len(order))
+	for _, id := range order {
+		d := 0
+		for _, a := range g.Pred(id) {
+			if depth[a.From]+1 > d {
+				d = depth[a.From] + 1
+			}
+		}
+		depth[id] = d
+	}
+	count := map[int]int{}
+	w := 0
+	for _, d := range depth {
+		count[d]++
+		if count[d] > w {
+			w = count[d]
+		}
+	}
+	return w, nil
+}
+
+// Depth returns the number of nodes on the longest path (unit weights),
+// i.e. the minimum number of sequential steps.
+func (g *Graph) Depth() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	depth := make(map[NodeID]int, len(order))
+	max := 0
+	for _, id := range order {
+		d := 1
+		for _, a := range g.Pred(id) {
+			if depth[a.From]+1 > d {
+				d = depth[a.From] + 1
+			}
+		}
+		depth[id] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Ancestors returns all transitive predecessors of id, sorted.
+func (g *Graph) Ancestors(id NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var walk func(NodeID)
+	walk = func(n NodeID) {
+		for _, a := range g.Pred(n) {
+			if !seen[a.From] {
+				seen[a.From] = true
+				walk(a.From)
+			}
+		}
+	}
+	walk(id)
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Descendants returns all transitive successors of id, sorted.
+func (g *Graph) Descendants(id NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var walk func(NodeID)
+	walk = func(n NodeID) {
+		for _, a := range g.Succ(n) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				walk(a.To)
+			}
+		}
+	}
+	walk(id)
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

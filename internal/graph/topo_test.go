@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoSortChain(t *testing.T) {
+	g := Chain(5, 1, 1)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("order length %d", len(order))
+	}
+	for i, id := range order {
+		if want := NodeID([]string{"t0", "t1", "t2", "t3", "t4"}[i]); id != want {
+			t.Errorf("order[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New("cyc")
+	g.MustAddTask("a", "", 1)
+	g.MustAddTask("b", "", 1)
+	g.MustConnect("a", "b", "x", 0)
+	g.MustConnect("b", "a", "y", 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+// topoRespectsArcs checks the defining property of a topological order.
+func topoRespectsArcs(t *testing.T, g *Graph) {
+	t.Helper()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(pos) != g.Len() {
+		t.Fatalf("order has %d distinct nodes, graph has %d", len(pos), g.Len())
+	}
+	for _, a := range g.Arcs() {
+		if pos[a.From] >= pos[a.To] {
+			t.Errorf("arc %s->%s violated: pos %d >= %d", a.From, a.To, pos[a.From], pos[a.To])
+		}
+	}
+}
+
+func TestTopoSortPropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64, layers, width uint8, density float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := LayeredConfig{
+			Layers: int(layers%6) + 1, Width: int(width%5) + 1,
+			MinWork: 1, MaxWork: 9, MinWords: 0, MaxWords: 4,
+			Density: mod1(density),
+		}
+		g, err := LayeredRandom(rng, cfg)
+		if err != nil {
+			return false
+		}
+		topoRespectsArcs(t, g)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod1(f float64) float64 {
+	if f < 0 {
+		f = -f
+	}
+	for f > 1 {
+		f /= 10
+	}
+	return f
+}
+
+func TestLevelsChain(t *testing.T) {
+	g := Chain(3, 10, 2) // t0 -> t1 -> t2, work 10 each, 2 words per arc
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.TLevel["t0"] != 0 || lv.TLevel["t1"] != 12 || lv.TLevel["t2"] != 24 {
+		t.Errorf("TLevels = %v", lv.TLevel)
+	}
+	if lv.BLevel["t2"] != 10 || lv.BLevel["t1"] != 22 || lv.BLevel["t0"] != 34 {
+		t.Errorf("BLevels = %v", lv.BLevel)
+	}
+	// Static levels ignore arc weights.
+	if lv.SLevel["t0"] != 30 || lv.SLevel["t1"] != 20 || lv.SLevel["t2"] != 10 {
+		t.Errorf("SLevels = %v", lv.SLevel)
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := Diamond(5, 3)
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a(5) -3-> b(5) -3-> d(5): t-level of d = 5+3+5+3 = 16.
+	if lv.TLevel["d"] != 16 {
+		t.Errorf("TLevel[d] = %d, want 16", lv.TLevel["d"])
+	}
+	if lv.BLevel["a"] != 21 {
+		t.Errorf("BLevel[a] = %d, want 21", lv.BLevel["a"])
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	g := Chain(4, 10, 5)
+	path, length, err := g.CriticalPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 4*10+3*5 {
+		t.Errorf("critical path length = %d, want 55", length)
+	}
+	if len(path) != 4 || path[0] != "t0" || path[3] != "t3" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestCriticalPathPicksHeavierBranch(t *testing.T) {
+	g := New("g")
+	g.MustAddTask("a", "", 1)
+	g.MustAddTask("light", "", 1)
+	g.MustAddTask("heavy", "", 100)
+	g.MustAddTask("z", "", 1)
+	g.MustConnect("a", "light", "l", 0)
+	g.MustConnect("a", "heavy", "h", 0)
+	g.MustConnect("light", "z", "lz", 0)
+	g.MustConnect("heavy", "z", "hz", 0)
+	path, length, err := g.CriticalPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 102 {
+		t.Errorf("length = %d, want 102", length)
+	}
+	found := false
+	for _, id := range path {
+		if id == "heavy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("critical path %v skips heavy branch", path)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	g := New("empty")
+	path, length, err := g.CriticalPath(1)
+	if err != nil || path != nil || length != 0 {
+		t.Errorf("empty graph: path=%v len=%d err=%v", path, length, err)
+	}
+}
+
+func TestCriticalPathPropertyMatchesBLevelMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := LayeredRandom(rng, LayeredConfig{Layers: 4, Width: 3, MinWork: 1, MaxWork: 20, MinWords: 0, MaxWords: 10, Density: 0.4})
+		if err != nil {
+			return false
+		}
+		_, length, err := g.CriticalPath(1)
+		if err != nil {
+			return false
+		}
+		lv, err := g.ComputeLevels(1)
+		if err != nil {
+			return false
+		}
+		var max int64
+		for _, id := range lv.Order {
+			if lv.BLevel[id]+lv.TLevel[id] > max {
+				max = lv.BLevel[id] + lv.TLevel[id]
+			}
+		}
+		return length == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthDepth(t *testing.T) {
+	g := ForkJoin(6, 1, 1)
+	w, err := g.Width()
+	if err != nil || w != 6 {
+		t.Errorf("Width = %d (%v), want 6", w, err)
+	}
+	d, err := g.Depth()
+	if err != nil || d != 3 {
+		t.Errorf("Depth = %d (%v), want 3", d, err)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := Chain(4, 1, 1)
+	anc := g.Ancestors("t3")
+	if len(anc) != 3 {
+		t.Errorf("Ancestors(t3) = %v", anc)
+	}
+	desc := g.Descendants("t0")
+	if len(desc) != 3 {
+		t.Errorf("Descendants(t0) = %v", desc)
+	}
+	if got := g.Ancestors("t0"); len(got) != 0 {
+		t.Errorf("Ancestors(t0) = %v, want empty", got)
+	}
+}
+
+func TestAncestorsDescendantsDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := LayeredRandom(rng, LayeredConfig{Layers: 4, Width: 3, MinWork: 1, MaxWork: 5, MinWords: 0, MaxWords: 2, Density: 0.5})
+		if err != nil {
+			return false
+		}
+		// b in Ancestors(a) <=> a in Descendants(b)
+		for _, a := range g.Nodes() {
+			for _, b := range g.Ancestors(a.ID) {
+				found := false
+				for _, d := range g.Descendants(b) {
+					if d == a.ID {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

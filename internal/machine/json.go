@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonMachine is the wire form of a Machine. Topologies are stored as
+// either a spec string ("hypercube:3", "mesh:2x4", ...) or an explicit
+// edge list for custom networks.
+type jsonMachine struct {
+	Name     string   `json:"name"`
+	Topology string   `json:"topology,omitempty"`
+	N        int      `json:"n,omitempty"`
+	Edges    [][2]int `json:"edges,omitempty"`
+	Params   Params   `json:"params"`
+	Speeds   []int64  `json:"speeds,omitempty"`
+}
+
+// ParseTopology builds a topology from a compact spec string:
+//
+//	hypercube:D   mesh:RxC   torus:RxC   tree:BxL
+//	star:N        ring:N     chain:N     full:N
+func ParseTopology(spec string) (*Topology, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology spec %q: want kind:args", spec)
+	}
+	atoi := func(s string) (int, error) {
+		var v int
+		if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+			return 0, fmt.Errorf("topology spec %q: bad number %q", spec, s)
+		}
+		return v, nil
+	}
+	pair := func() (int, int, error) {
+		a, b, ok := strings.Cut(arg, "x")
+		if !ok {
+			return 0, 0, fmt.Errorf("topology spec %q: want AxB", spec)
+		}
+		x, err := atoi(a)
+		if err != nil {
+			return 0, 0, err
+		}
+		y, err := atoi(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return x, y, nil
+	}
+	switch kind {
+	case "hypercube":
+		d, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(d)
+	case "mesh":
+		r, c, err := pair()
+		if err != nil {
+			return nil, err
+		}
+		return Mesh(r, c)
+	case "torus":
+		r, c, err := pair()
+		if err != nil {
+			return nil, err
+		}
+		return Torus(r, c)
+	case "tree":
+		b, l, err := pair()
+		if err != nil {
+			return nil, err
+		}
+		return Tree(b, l)
+	case "star":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Star(n)
+	case "ring":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Ring(n)
+	case "chain":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Chain(n)
+	case "full":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Full(n)
+	default:
+		return nil, fmt.Errorf("topology spec %q: unknown kind %q", spec, kind)
+	}
+}
+
+// Spec returns the compact spec string for a built-in topology name, or
+// "" if the topology was custom-built.
+func (t *Topology) Spec() string {
+	for _, prefix := range []string{"hypercube-", "mesh-", "torus-", "tree-", "star-", "ring-", "chain-", "full-"} {
+		if strings.HasPrefix(t.Name, prefix) {
+			kind := strings.TrimSuffix(prefix, "-")
+			arg := strings.TrimPrefix(t.Name, prefix)
+			if kind == "tree" {
+				// tree-b2-l3 -> tree:2x3
+				var b, l int
+				if n, _ := fmt.Sscanf(arg, "b%d-l%d", &b, &l); n == 2 {
+					return fmt.Sprintf("tree:%dx%d", b, l)
+				}
+				return ""
+			}
+			return kind + ":" + arg
+		}
+	}
+	return ""
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	jm := jsonMachine{Name: m.Name, Params: m.Params, Speeds: m.Speeds}
+	if spec := m.Topo.Spec(); spec != "" {
+		jm.Topology = spec
+	} else {
+		jm.N = m.Topo.N
+		for p := 0; p < m.Topo.N; p++ {
+			for _, q := range m.Topo.adj[p] {
+				if p < q {
+					jm.Edges = append(jm.Edges, [2]int{p, q})
+				}
+			}
+		}
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var jm jsonMachine
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	var topo *Topology
+	var err error
+	if jm.Topology != "" {
+		topo, err = ParseTopology(jm.Topology)
+	} else {
+		topo, err = Custom(jm.Name+"-net", jm.N, jm.Edges)
+	}
+	if err != nil {
+		return err
+	}
+	nm, err := New(jm.Name, topo, jm.Params)
+	if err != nil {
+		return err
+	}
+	if jm.Speeds != nil {
+		if err := nm.SetSpeeds(jm.Speeds); err != nil {
+			return err
+		}
+	}
+	*m = *nm
+	return nil
+}

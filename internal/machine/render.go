@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII renders the topology as an adjacency diagram — the terminal
+// stand-in for the paper's Figure 2 drawings. Mesh and torus networks
+// get a 2-D grid picture; everything else gets an adjacency list.
+func (t *Topology) ASCII() string {
+	var rows, cols int
+	if n, _ := fmt.Sscanf(t.Name, "mesh-%dx%d", &rows, &cols); n == 2 {
+		return t.gridASCII(rows, cols, false)
+	}
+	if n, _ := fmt.Sscanf(t.Name, "torus-%dx%d", &rows, &cols); n == 2 {
+		return t.gridASCII(rows, cols, true)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.String())
+	for p := 0; p < t.N; p++ {
+		fmt.Fprintf(&b, "  PE%-3d --", p)
+		var links []string
+		for _, q := range t.adj[p] {
+			links = append(links, fmt.Sprintf("PE%d", q))
+		}
+		b.WriteString(" " + strings.Join(links, ", ") + "\n")
+	}
+	return b.String()
+}
+
+func (t *Topology) gridASCII(rows, cols int, wrap bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.String())
+	for r := 0; r < rows; r++ {
+		var cells []string
+		for c := 0; c < cols; c++ {
+			cells = append(cells, fmt.Sprintf("[%2d]", r*cols+c))
+		}
+		sep := " -- "
+		line := "  " + strings.Join(cells, sep)
+		if wrap && cols > 1 {
+			line += " --*"
+		}
+		b.WriteString(line + "\n")
+		if r+1 < rows {
+			var bars []string
+			for c := 0; c < cols; c++ {
+				bars = append(bars, "  | ")
+			}
+			b.WriteString("  " + strings.Join(bars, "    ") + "\n")
+		}
+	}
+	if wrap && rows > 1 {
+		b.WriteString("  (column links wrap around)\n")
+	}
+	return b.String()
+}
+
+// DOT renders the topology in Graphviz dot syntax.
+func (t *Topology) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", t.Name)
+	b.WriteString("  node [shape=circle];\n")
+	for p := 0; p < t.N; p++ {
+		fmt.Fprintf(&b, "  %d;\n", p)
+	}
+	for p := 0; p < t.N; p++ {
+		for _, q := range t.adj[p] {
+			if p < q {
+				fmt.Fprintf(&b, "  %d -- %d;\n", p, q)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package pits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a program in canonical PITS style: two-space
+// indentation, one statement per line, minimal parentheses. Formatting
+// then re-parsing yields an equivalent program (tested property).
+func Format(p *Program) string {
+	var b strings.Builder
+	formatBlock(&b, p.Stmts, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatBlock(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		indent(b, depth)
+		formatStmt(b, s, depth)
+		b.WriteByte('\n')
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *Assign:
+		if st.Index != nil {
+			fmt.Fprintf(b, "%s[%s] = %s", st.Name, formatExpr(st.Index, 0), formatExpr(st.Value, 0))
+		} else {
+			fmt.Fprintf(b, "%s = %s", st.Name, formatExpr(st.Value, 0))
+		}
+	case *If:
+		fmt.Fprintf(b, "if %s then\n", formatExpr(st.Cond, 0))
+		formatBlock(b, st.Then, depth+1)
+		if len(st.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("else\n")
+			formatBlock(b, st.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("end")
+	case *While:
+		fmt.Fprintf(b, "while %s do\n", formatExpr(st.Cond, 0))
+		formatBlock(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("end")
+	case *Repeat:
+		fmt.Fprintf(b, "repeat %s do\n", formatExpr(st.Count, 0))
+		formatBlock(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("end")
+	case *For:
+		fmt.Fprintf(b, "for %s = %s to %s", st.Var, formatExpr(st.From, 0), formatExpr(st.To, 0))
+		if st.Step != nil {
+			fmt.Fprintf(b, " step %s", formatExpr(st.Step, 0))
+		}
+		b.WriteString(" do\n")
+		formatBlock(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("end")
+	case *Print:
+		b.WriteString("print")
+		for i, a := range st.Args {
+			if i == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatExpr(a, 0))
+		}
+	case *Formula:
+		fmt.Fprintf(b, "formula %s(%s) = %s", st.Name, strings.Join(st.Params, ", "), formatExpr(st.Body, 0))
+	}
+}
+
+var opText = map[TokKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokCaret: "^", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAnd: "and", TokOr: "or",
+}
+
+// formatExpr renders e, parenthesising when the child binds looser than
+// the parent context precedence.
+func formatExpr(e Expr, parentPrec int) string {
+	switch x := e.(type) {
+	case *Number:
+		return Num(x.Value).String()
+	case *Str:
+		escaped := strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`, "\t", `\t`).Replace(x.Value)
+		return `"` + escaped + `"`
+	case *Bool:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *Var:
+		return x.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", formatExpr(x.Base, 7), formatExpr(x.Index, 0))
+	case *VecLit:
+		parts := make([]string, len(x.Elems))
+		for i, el := range x.Elems {
+			parts[i] = formatExpr(el, 0)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Call:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = formatExpr(a, 0)
+		}
+		return x.Fn + "(" + strings.Join(parts, ", ") + ")"
+	case *Unary:
+		op := "-"
+		if x.Op == TokNot {
+			op = "not "
+		}
+		s := op + formatExpr(x.X, 7)
+		if parentPrec > 6 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Binary:
+		prec := precedence(x.Op)
+		// Left child at same precedence stays unparenthesised for
+		// left-associative operators; right child needs prec+1 (except
+		// right-associative '^', mirrored).
+		leftPrec, rightPrec := prec, prec+1
+		if x.Op == TokCaret {
+			leftPrec, rightPrec = prec+1, prec
+		}
+		s := fmt.Sprintf("%s %s %s", formatExpr(x.X, leftPrec), opText[x.Op], formatExpr(x.Y, rightPrec))
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return fmt.Sprintf("<%T>", e)
+}

@@ -1,0 +1,432 @@
+package pits
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// run executes src with the given inputs and returns the final env.
+func run(t *testing.T, src string, inputs Env) Env {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	env := inputs.Clone()
+	if env == nil {
+		env = Env{}
+	}
+	in := NewInterp()
+	if err := in.Run(prog, env); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return env
+}
+
+func wantNum(t *testing.T, env Env, name string, want float64) {
+	t.Helper()
+	v, ok := env[name]
+	if !ok {
+		t.Fatalf("%s undefined", name)
+	}
+	n, ok := v.(Num)
+	if !ok {
+		t.Fatalf("%s is %s", name, v.TypeName())
+	}
+	if math.Abs(float64(n)-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, float64(n), want)
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	env := run(t, `
+a = 2 + 3 * 4
+b = (2 + 3) * 4
+c = 2 ^ 3 ^ 2
+d = -2 ^ 2
+e2 = 10 % 3
+f = 7 / 2
+`, nil)
+	wantNum(t, env, "a", 14)
+	wantNum(t, env, "b", 20)
+	wantNum(t, env, "c", 512) // right-assoc: 2^(3^2)
+	wantNum(t, env, "d", -4)  // unary binds tighter: (-2)^2? No: -(2^2)
+	wantNum(t, env, "e2", 1)
+	wantNum(t, env, "f", 3.5)
+}
+
+func TestUnaryMinusBindsLooserThanPower(t *testing.T) {
+	// -2^2: our grammar parses unary before binary so -(2)^2 = (-2)^2 = 4?
+	// The test above pinned -4; verify which way the parser actually
+	// resolved it and that it is stable: -2^2 must equal d above.
+	env := run(t, "x = -2 ^ 2\ny = (-2) ^ 2", nil)
+	wantNum(t, env, "y", 4)
+	x := float64(env["x"].(Num))
+	if x != -4 && x != 4 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	env := run(t, `
+a = 1 < 2
+b = 2 <= 1
+c = 1 == 1 and 2 != 3
+d = false or not false
+`, nil)
+	if env["a"] != BoolV(true) || env["b"] != BoolV(false) ||
+		env["c"] != BoolV(true) || env["d"] != BoolV(true) {
+		t.Errorf("logic: a=%v b=%v c=%v d=%v", env["a"], env["b"], env["c"], env["d"])
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right side must not be reached.
+	env := run(t, `
+x = 0
+ok = x == 0 or 1 / x > 1
+ok2 = x != 0 and 1 / x > 1
+`, nil)
+	if env["ok"] != BoolV(true) || env["ok2"] != BoolV(false) {
+		t.Errorf("short circuit failed: %v %v", env["ok"], env["ok2"])
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+if x < 0 then
+  sign = -1
+elseif x == 0 then
+  sign = 0
+else
+  sign = 1
+end
+`
+	for x, want := range map[float64]float64{-5: -1, 0: 0, 7: 1} {
+		env := run(t, src, Env{"x": Num(x)})
+		wantNum(t, env, "sign", want)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	env := run(t, `
+n = 10
+total = 0
+i = 1
+while i <= n do
+  total = total + i
+  i = i + 1
+end
+`, nil)
+	wantNum(t, env, "total", 55)
+}
+
+func TestRepeatLoop(t *testing.T) {
+	env := run(t, `
+x = 1
+repeat 8 do
+  x = x * 2
+end
+`, nil)
+	wantNum(t, env, "x", 256)
+}
+
+func TestForLoopWithStep(t *testing.T) {
+	env := run(t, `
+s = 0
+for i = 10 to 2 step -2 do
+  s = s + i
+end
+`, nil)
+	wantNum(t, env, "s", 30) // 10+8+6+4+2
+}
+
+func TestForLoopZeroTrips(t *testing.T) {
+	env := run(t, `
+s = 42
+for i = 5 to 1 do
+  s = 0
+end
+`, nil)
+	wantNum(t, env, "s", 42)
+}
+
+func TestVectors(t *testing.T) {
+	env := run(t, `
+v = [1, 2, 3]
+v[2] = 20
+first = v[1]
+s = sum(v)
+scaled = v * 2
+combo = v + [10, 10, 10]
+n = len(v)
+`, nil)
+	wantNum(t, env, "first", 1)
+	wantNum(t, env, "s", 24)
+	wantNum(t, env, "n", 3)
+	if got := env["scaled"].(Vec); got[1] != 40 {
+		t.Errorf("scaled = %v", got)
+	}
+	if got := env["combo"].(Vec); got[0] != 11 {
+		t.Errorf("combo = %v", got)
+	}
+}
+
+func TestVectorAssignmentCopies(t *testing.T) {
+	env := run(t, `
+a = [1, 2]
+b = a
+b[1] = 99
+keep = a[1]
+`, nil)
+	wantNum(t, env, "keep", 1)
+}
+
+func TestNewtonRaphsonSqrtFigure4(t *testing.T) {
+	// The paper's Figure 4 task: x = sqrt(a) by Newton–Raphson.
+	src := `
+# SquareRoot task (Figure 4): compute x such that x*x = a
+x = a
+eps = 1e-12
+err = 1
+while err > eps do
+  xold = x
+  x = 0.5 * (xold + a / xold)
+  err = abs(x - xold)
+end
+`
+	env := run(t, src, Env{"a": Num(2)})
+	wantNum(t, env, "x", math.Sqrt2)
+	env = run(t, src, Env{"a": Num(144)})
+	wantNum(t, env, "x", 12)
+}
+
+func TestBuiltins(t *testing.T) {
+	env := run(t, `
+a = sqrt(16)
+b = abs(-3)
+c = min(4, 2, 9)
+d = max([1, 7, 3])
+e2 = floor(2.9)
+f = ceil(2.1)
+g = round(2.5)
+h = pow(2, 10)
+i2 = atan2(1, 1)
+j = mod(7, 3)
+k = dot([1, 2], [3, 4])
+l = norm([3, 4])
+m = mean([2, 4, 6])
+n = ln(e)
+o = log10(1000)
+p = zeros(3)
+q = ones(2)
+r = sort([3, 1, 2])
+`, nil)
+	wantNum(t, env, "a", 4)
+	wantNum(t, env, "b", 3)
+	wantNum(t, env, "c", 2)
+	wantNum(t, env, "d", 7)
+	wantNum(t, env, "e2", 2)
+	wantNum(t, env, "f", 3)
+	wantNum(t, env, "g", 3)
+	wantNum(t, env, "h", 1024)
+	wantNum(t, env, "i2", math.Pi/4)
+	wantNum(t, env, "j", 1)
+	wantNum(t, env, "k", 11)
+	wantNum(t, env, "l", 5)
+	wantNum(t, env, "m", 4)
+	wantNum(t, env, "n", 1)
+	wantNum(t, env, "o", 3)
+	if v := env["p"].(Vec); len(v) != 3 || v[0] != 0 {
+		t.Errorf("zeros = %v", v)
+	}
+	if v := env["q"].(Vec); len(v) != 2 || v[1] != 1 {
+		t.Errorf("ones = %v", v)
+	}
+	if v := env["r"].(Vec); v[0] != 1 || v[2] != 3 {
+		t.Errorf("sort = %v", v)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	env := run(t, "tau = 2 * pi\nen = e", nil)
+	wantNum(t, env, "tau", 2*math.Pi)
+	wantNum(t, env, "en", math.E)
+}
+
+func TestPrintCollectsOutput(t *testing.T) {
+	prog := MustParse(`print "x is", 42
+print [1, 2]
+print`)
+	in := NewInterp()
+	if err := in.Run(prog, Env{}); err != nil {
+		t.Fatal(err)
+	}
+	out := in.Output()
+	if len(out) != 3 || out[0] != "x is 42" || out[1] != "[1, 2]" || out[2] != "" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	prog := MustParse("x = rand()\ny = rand()")
+	run1 := Env{}
+	in1 := &Interp{Seed: 7}
+	if err := in1.Run(prog, run1); err != nil {
+		t.Fatal(err)
+	}
+	run2 := Env{}
+	in2 := &Interp{Seed: 7}
+	if err := in2.Run(prog, run2); err != nil {
+		t.Fatal(err)
+	}
+	if run1["x"] != run2["x"] || run1["y"] != run2["y"] {
+		t.Error("same seed produced different rand() streams")
+	}
+	run3 := Env{}
+	in3 := &Interp{Seed: 8}
+	if err := in3.Run(prog, run3); err != nil {
+		t.Fatal(err)
+	}
+	if run1["x"] == run3["x"] && run1["y"] == run3["y"] {
+		t.Error("different seeds produced identical rand() streams")
+	}
+	if x := float64(run1["x"].(Num)); x < 0 || x >= 1 {
+		t.Errorf("rand out of range: %v", x)
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	prog := MustParse("x = 0\nwhile true do\n  x = x + 1\nend")
+	in := &Interp{MaxSteps: 1000}
+	err := in.Run(prog, Env{})
+	if err == nil {
+		t.Fatal("infinite loop not stopped")
+	}
+	if !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		inputs Env
+		want   string
+	}{
+		{"undefined variable", "y = x + 1", nil, "undefined variable"},
+		{"division by zero", "y = 1 / 0", nil, "division by zero"},
+		{"modulo by zero", "y = 1 % 0", nil, "modulo by zero"},
+		{"bad index type", "v = [1]\ny = v[true]", nil, "index must be a number"},
+		{"fractional index", "v = [1]\ny = v[1.5]", nil, "integer"},
+		{"index out of range", "v = [1, 2]\ny = v[3]", nil, "out of range"},
+		{"index zero (1-based)", "v = [1, 2]\ny = v[0]", nil, "out of range"},
+		{"index non-vector", "x = 5\ny = x[1]", nil, "cannot index"},
+		{"assign into undefined vector", "v[1] = 5", nil, "undefined vector"},
+		{"assign into scalar", "x = 1\nx[1] = 5", nil, "not a vector"},
+		{"unknown function", "y = nosuch(1)", nil, "unknown function"},
+		{"wrong arity", "y = sqrt(1, 2)", nil, "takes 1 argument"},
+		{"sqrt domain", "y = sqrt(-1)", nil, "not a finite"},
+		{"bad condition type", "if 1 then\n  x = 1\nend", nil, "condition must be a boolean"},
+		{"vector length mismatch", "y = [1, 2] + [1, 2, 3]", nil, "lengths"},
+		{"repeat negative", "repeat -1 do\n  x = 1\nend", nil, "repeat count"},
+		{"for zero step", "for i = 1 to 3 step 0 do\n  x = 1\nend", nil, "non-zero"},
+		{"bool arithmetic", "y = true + 1", nil, "cannot apply"},
+		{"negate string", `y = -"a"`, nil, "cannot negate"},
+		{"not a number", "y = not 3", nil, "'not' needs a boolean"},
+		{"compare mixed", "y = 1 < true", nil, "cannot compare"},
+		{"eq mixed", "y = 1 == true", nil, "cannot compare"},
+		{"min empty vector", "y = min([])", nil, "empty vector"},
+		{"dot mismatch", "y = dot([1], [1, 2])", nil, "lengths"},
+		{"zeros negative", "y = zeros(-2)", nil, "bad size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			in := NewInterp()
+			env := tc.inputs.Clone()
+			if env == nil {
+				env = Env{}
+			}
+			err = in.Run(prog, env)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRuntimeErrorHasLine(t *testing.T) {
+	prog := MustParse("a = 1\nb = 2\nc = 1 / 0")
+	in := NewInterp()
+	err := in.Run(prog, Env{})
+	re, ok := err.(*RuntimeError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if re.Line != 3 {
+		t.Errorf("line = %d, want 3", re.Line)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	prog := MustParse("x = 1 + 2")
+	in := NewInterp()
+	if err := in.Run(prog, Env{}); err != nil {
+		t.Fatal(err)
+	}
+	if in.Ops() < 2 { // one add, one assign at minimum
+		t.Errorf("ops = %d", in.Ops())
+	}
+	// A loop body scales the count.
+	loop := MustParse("s = 0\nrepeat 100 do\n  s = s + 1\nend")
+	in2 := NewInterp()
+	if err := in2.Run(loop, Env{}); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Ops() < 200 {
+		t.Errorf("loop ops = %d, want >= 200", in2.Ops())
+	}
+	if in2.Ops() > 1000 {
+		t.Errorf("loop ops = %d, implausibly high", in2.Ops())
+	}
+}
+
+func TestEnvCloneIsolation(t *testing.T) {
+	orig := Env{"v": Vec{1, 2}, "x": Num(5)}
+	c := orig.Clone()
+	c["v"].(Vec)[0] = 99
+	c["x"] = Num(6)
+	if orig["v"].(Vec)[0] != 1 {
+		t.Error("clone aliases vector")
+	}
+	if orig["x"] != Num(5) {
+		t.Error("clone aliases scalar map entry")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := map[string]Value{
+		"3":        Num(3),
+		"3.5":      Num(3.5),
+		"[1, 2.5]": Vec{1, 2.5},
+		"true":     BoolV(true),
+		"false":    BoolV(false),
+		"hi":       StrV("hi"),
+		"1e+20":    Num(1e20),
+		"-7":       Num(-7),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%T.String() = %q, want %q", v, got, want)
+		}
+	}
+}

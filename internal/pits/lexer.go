@@ -1,0 +1,233 @@
+package pits
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer turns PITS source text into tokens. Newlines are significant
+// (they terminate statements, calculator style); '#' starts a comment
+// running to end of line; ';' is an alternative statement terminator
+// lexed as a newline token.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// Lex tokenises the whole source. A trailing newline token is always
+// present before EOF so the parser can treat "statement newline" as the
+// universal form.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == TokEOF {
+			if len(toks) == 0 || toks[len(toks)-1].Kind != TokNewline {
+				toks = append(toks, Token{Kind: TokNewline, Line: tok.Line, Col: tok.Col})
+			}
+			toks = append(toks, tok)
+			return toks, nil
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	// Skip spaces, tabs, carriage returns and comments (not newlines).
+	for {
+		r := l.peek()
+		if r == ' ' || r == '\t' || r == '\r' {
+			l.advance()
+			continue
+		}
+		if r == '#' {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	case r == '\n' || r == ';':
+		l.advance()
+		return Token{Kind: TokNewline, Line: line, Col: col}, nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peek2())):
+		return l.number(line, col)
+	case unicode.IsLetter(r) || r == '_':
+		return l.ident(line, col)
+	case r == '"':
+		return l.str(line, col)
+	}
+	l.advance()
+	two := func(kind TokKind) Token {
+		l.advance()
+		return Token{Kind: kind, Line: line, Col: col}
+	}
+	one := func(kind TokKind) Token {
+		return Token{Kind: kind, Line: line, Col: col}
+	}
+	switch r {
+	case '+':
+		return one(TokPlus), nil
+	case '-':
+		return one(TokMinus), nil
+	case '*':
+		return one(TokStar), nil
+	case '/':
+		return one(TokSlash), nil
+	case '%':
+		return one(TokPercent), nil
+	case '^':
+		return one(TokCaret), nil
+	case '(':
+		return one(TokLParen), nil
+	case ')':
+		return one(TokRParen), nil
+	case '[':
+		return one(TokLBracket), nil
+	case ']':
+		return one(TokRBracket), nil
+	case ',':
+		return one(TokComma), nil
+	case '=':
+		if l.peek() == '=' {
+			return two(TokEq), nil
+		}
+		return one(TokAssign), nil
+	case '!':
+		if l.peek() == '=' {
+			return two(TokNe), nil
+		}
+		return Token{}, errAt(line, col, "unexpected '!' (use 'not' or '!=')")
+	case '<':
+		if l.peek() == '=' {
+			return two(TokLe), nil
+		}
+		return one(TokLt), nil
+	case '>':
+		if l.peek() == '=' {
+			return two(TokGe), nil
+		}
+		return one(TokGt), nil
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(r))
+}
+
+func (l *lexer) number(line, col int) (Token, error) {
+	var b strings.Builder
+	seenDot, seenExp := false, false
+	for {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			b.WriteRune(l.advance())
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			b.WriteRune(l.advance())
+		case (r == 'e' || r == 'E') && !seenExp:
+			seenExp = true
+			b.WriteRune(l.advance())
+			if l.peek() == '+' || l.peek() == '-' {
+				b.WriteRune(l.advance())
+			}
+		default:
+			v, err := strconv.ParseFloat(b.String(), 64)
+			if err != nil {
+				return Token{}, errAt(line, col, "bad number %q", b.String())
+			}
+			return Token{Kind: TokNumber, Text: b.String(), Num: v, Line: line, Col: col}, nil
+		}
+	}
+}
+
+func (l *lexer) ident(line, col int) (Token, error) {
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	text := b.String()
+	if kind, isKW := keywords[text]; isKW {
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+}
+
+func (l *lexer) str(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			return Token{}, errAt(line, col, "unterminated string")
+		}
+		l.advance()
+		if r == '"' {
+			return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
+		}
+		if r == '\\' {
+			esc := l.peek()
+			switch esc {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case '"':
+				b.WriteRune('"')
+			case '\\':
+				b.WriteRune('\\')
+			default:
+				return Token{}, errAt(l.line, l.col, "bad escape \\%s", string(esc))
+			}
+			l.advance()
+			continue
+		}
+		b.WriteRune(r)
+	}
+}

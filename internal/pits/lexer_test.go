@@ -1,0 +1,148 @@
+package pits
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleAssignment(t *testing.T) {
+	toks, err := Lex("x = 3.5 + y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIdent, TokAssign, TokNumber, TokPlus, TokIdent, TokNewline, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[2].Num != 3.5 {
+		t.Errorf("number = %v", toks[2].Num)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("if ifx then thenx end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIf, TokIdent, TokThen, TokIdent, TokEnd}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("== != <= >= < > = + - * / % ^ ( ) [ ] ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAssign,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokCaret,
+		TokLParen, TokRParen, TokLBracket, TokRBracket, TokComma}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"3.25":   3.25,
+		".5":     0.5,
+		"1e3":    1000,
+		"2.5e-2": 0.025,
+		"1E+2":   100,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Num != want {
+			t.Errorf("%q -> %v (%v)", src, toks[0].Num, toks[0].Kind)
+		}
+	}
+}
+
+func TestLexCommentsAndSemicolons(t *testing.T) {
+	toks, err := Lex("x = 1 # set x\ny = 2; z = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newlines := 0
+	for _, tok := range toks {
+		if tok.Kind == TokNewline {
+			newlines++
+		}
+	}
+	if newlines != 3 { // after x=1, after y=2 (';'), after z=3 (implicit final)
+		t.Errorf("newlines = %d, want 3: %v", newlines, kinds(toks))
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`print "a\nb\t\"q\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "a\nb\t\"q\\" {
+		t.Errorf("string = %q", toks[1].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"x = @", `"unterminated`, "x = 1 ! 2", `"bad \q escape"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("%q lexed without error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a = 1\n  b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token "b" is on line 2, col 3.
+	var b Token
+	for _, tok := range toks {
+		if tok.Kind == TokIdent && tok.Text == "b" {
+			b = tok
+		}
+	}
+	if b.Line != 2 || b.Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", b.Line, b.Col)
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := Lex("x = @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 1 || se.Col != 5 {
+		t.Errorf("position %d:%d", se.Line, se.Col)
+	}
+	if se.Error() == "" {
+		t.Error("empty error text")
+	}
+}

@@ -1,0 +1,134 @@
+package pits
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseErrorCases(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing then", "if x < 1\n  y = 2\nend", "expected 'then'"},
+		{"missing end", "if x < 1 then\n  y = 2", "expected 'end'"},
+		{"missing do", "while x < 1\n  y = 2\nend", "expected 'do'"},
+		{"bare expression", "1 + 2", "expected a statement"},
+		{"assign missing rhs", "x =", "expected an expression"},
+		{"dangling operator", "x = 1 +", "expected an expression"},
+		{"unclosed paren", "x = (1 + 2", "expected ')'"},
+		{"unclosed bracket", "x = [1, 2", "expected ']'"},
+		{"unclosed index", "v = [1]\nx = v[1", "expected ']'"},
+		{"for missing to", "for i = 1 do\nend", "expected 'to'"},
+		{"for missing var", "for = 1 to 2 do\nend", "expected identifier"},
+		{"two statements one line", "x = 1 y = 2", "end of statement"},
+		{"stray end", "end", "expected a statement"},
+		{"unclosed call", "x = sqrt(2", "expected ')'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("%q parsed without error", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# only a comment\n"} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(prog.Stmts) != 0 {
+			t.Errorf("%q: %d statements", src, len(prog.Stmts))
+		}
+	}
+}
+
+func TestParseElseifDesugarsToNestedIf(t *testing.T) {
+	prog := MustParse(`
+if a then
+  x = 1
+elseif b then
+  x = 2
+elseif c then
+  x = 3
+else
+  x = 4
+end
+`)
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	top, ok := prog.Stmts[0].(*If)
+	if !ok {
+		t.Fatalf("top is %T", prog.Stmts[0])
+	}
+	lvl2, ok := top.Else[0].(*If)
+	if !ok {
+		t.Fatalf("level 2 is %T", top.Else[0])
+	}
+	lvl3, ok := lvl2.Else[0].(*If)
+	if !ok {
+		t.Fatalf("level 3 is %T", lvl2.Else[0])
+	}
+	if len(lvl3.Else) != 1 {
+		t.Errorf("innermost else missing: %v", lvl3.Else)
+	}
+}
+
+func TestParseNestedBlocks(t *testing.T) {
+	prog := MustParse(`
+for i = 1 to 3 do
+  while i < 2 do
+    if i == 1 then
+      repeat 2 do
+        x = i
+      end
+    end
+    i = i + 1
+  end
+end
+`)
+	if n := prog.NumStmts(); n != 6 {
+		t.Errorf("NumStmts = %d, want 6", n)
+	}
+}
+
+func TestParseIndexedAssignment(t *testing.T) {
+	prog := MustParse("v[i + 1] = 2 * v[i]")
+	a, ok := prog.Stmts[0].(*Assign)
+	if !ok || a.Index == nil || a.Name != "v" {
+		t.Fatalf("stmt = %#v", prog.Stmts[0])
+	}
+}
+
+func TestParseChainedIndex(t *testing.T) {
+	// Indexing the result of an index parses (even though it fails at
+	// runtime on scalars) — grammar composability check.
+	if _, err := Parse("x = m[1][2]"); err != nil {
+		t.Errorf("chained index rejected: %v", err)
+	}
+}
+
+func TestParsePreservesSource(t *testing.T) {
+	src := "x = 1\n"
+	prog := MustParse(src)
+	if prog.Source != src {
+		t.Errorf("Source = %q", prog.Source)
+	}
+}
+
+func TestMustParsePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("if")
+}

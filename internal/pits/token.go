@@ -1,0 +1,126 @@
+// Package pits implements Banger's programming-in-the-small language —
+// the "simplified programming language" a user assembles through the
+// programmable pocket calculator panel of the paper's Figure 4.
+//
+// A PITS routine is a small sequential program over floating-point
+// scalars and vectors, with the simple constructs a scientific
+// calculator offers: assignment, if/else, while, bounded repeat and
+// for loops, print, and a library of scientific functions. One routine
+// fills each primitive node of a PITL dataflow graph; the node's
+// incoming arcs name the variables that are defined before the routine
+// runs and its outgoing arcs name the variables it must leave behind.
+//
+// The interpreter counts abstract operations as it runs, so a trial run
+// (the paper's "instant feedback") doubles as the work measurement the
+// scheduler uses.
+package pits
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds. Keywords and operators each get their own kind so the
+// parser is a plain switch.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokNumber
+	TokString
+	TokIdent
+
+	// Keywords.
+	TokIf
+	TokThen
+	TokElse
+	TokElseif
+	TokEnd
+	TokWhile
+	TokRepeat
+	TokFor
+	TokTo
+	TokStep
+	TokDo
+	TokPrint
+	TokAnd
+	TokOr
+	TokNot
+	TokTrue
+	TokFalse
+	TokFormula
+
+	// Operators and punctuation.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokCaret
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokEq // ==
+	TokNe // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "end of input", TokNewline: "newline", TokNumber: "number",
+	TokString: "string", TokIdent: "identifier",
+	TokIf: "'if'", TokThen: "'then'", TokElse: "'else'", TokElseif: "'elseif'",
+	TokEnd: "'end'", TokWhile: "'while'", TokRepeat: "'repeat'", TokFor: "'for'",
+	TokTo: "'to'", TokStep: "'step'", TokDo: "'do'", TokPrint: "'print'",
+	TokAnd: "'and'", TokOr: "'or'", TokNot: "'not'", TokTrue: "'true'", TokFalse: "'false'",
+	TokFormula: "'formula'",
+	TokAssign:  "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokCaret: "'^'",
+	TokLParen: "'('", TokRParen: "')'", TokLBracket: "'['", TokRBracket: "']'",
+	TokComma: "','", TokEq: "'=='", TokNe: "'!='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+}
+
+// String returns a human-readable token kind name.
+func (k TokKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"if": TokIf, "then": TokThen, "else": TokElse, "elseif": TokElseif,
+	"end": TokEnd, "while": TokWhile, "repeat": TokRepeat, "for": TokFor,
+	"to": TokTo, "step": TokStep, "do": TokDo, "print": TokPrint,
+	"and": TokAnd, "or": TokOr, "not": TokNot, "true": TokTrue, "false": TokFalse,
+	"formula": TokFormula,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string  // raw text for idents and strings
+	Num  float64 // value for numbers
+	Line int     // 1-based source line
+	Col  int     // 1-based source column
+}
+
+// SyntaxError is a lexing or parsing error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pits:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

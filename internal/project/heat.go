@@ -1,0 +1,174 @@
+package project
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+// heatSegments × heatSteps is the default size of the Heat design.
+const (
+	heatSegments = 4
+	heatSteps    = 3
+	heatCells    = 8 // cells per segment
+	heatAlpha    = 0.25
+)
+
+// Heat builds an explicit 1-D heat-diffusion stencil, time-unrolled
+// into a dataflow graph: the rod is split into segments; each time
+// step every segment updates its cells from its own previous values
+// plus one boundary cell from each neighbour. This is the classic
+// "quick-and-dirty" science code the paper's introduction motivates —
+// halo exchange appears naturally as the boundary arcs, and a ring
+// machine matches the communication pattern.
+//
+// Boundary condition: the rod's two ends are clamped to zero
+// (Dirichlet). Initial condition: a hot spike in the middle segments.
+func Heat() (*Project, error) {
+	return HeatSized(heatSegments, heatSteps)
+}
+
+// HeatSized builds the heat design with the given number of segments
+// (>= 2) and unrolled time steps (>= 1).
+func HeatSized(segments, steps int) (*Project, error) {
+	if segments < 2 || steps < 1 {
+		return nil, fmt.Errorf("heat: need >= 2 segments and >= 1 step, got %d/%d", segments, steps)
+	}
+	g := graph.New(fmt.Sprintf("heat-%dx%d", segments, steps))
+	id := func(s, t int) graph.NodeID { return graph.NodeID(fmt.Sprintf("h%d.%d", s, t)) }
+	segVar := func(s, t int) string { return fmt.Sprintf("seg%d_%d", s, t) }
+	lVar := func(s, t int) string { return fmt.Sprintf("lb%d_%d", s, t) } // segment's own left cell, exported
+	rVar := func(s, t int) string { return fmt.Sprintf("rb%d_%d", s, t) } // segment's own right cell, exported
+
+	inputs := pits.Env{"alpha": pits.Num(heatAlpha)}
+	g.MustAddStorage("ALPHA", "alpha")
+	for s := 0; s < segments; s++ {
+		cell := fmt.Sprintf("init%d", s)
+		g.MustAddStorage(graph.NodeID("INIT"+itoa2(s)), cell)
+		vec := make(pits.Vec, heatCells)
+		if s == segments/2-1 || s == segments/2 {
+			for i := range vec {
+				vec[i] = 100
+			}
+		}
+		inputs[cell] = vec
+	}
+
+	// routine builds the PITS update for segment s at step t.
+	routine := func(s, t int) string {
+		src := ""
+		// Bind this step's inputs to generic names.
+		if t == 0 {
+			src += fmt.Sprintf("seg = init%d\n", s)
+		} else {
+			src += fmt.Sprintf("seg = %s\n", segVar(s, t-1))
+		}
+		if s == 0 {
+			src += "lg = 0\n"
+		} else if t == 0 {
+			src += fmt.Sprintf("lg = init%d[%d]\n", s-1, heatCells)
+		} else {
+			src += fmt.Sprintf("lg = %s\n", rVar(s-1, t-1))
+		}
+		if s == segments-1 {
+			src += "rg = 0\n"
+		} else if t == 0 {
+			src += fmt.Sprintf("rg = init%d[1]\n", s+1)
+		} else {
+			src += fmt.Sprintf("rg = %s\n", lVar(s+1, t-1))
+		}
+		src += `m = len(seg)
+new = zeros(m)
+for i = 1 to m do
+  if i == 1 then
+    l = lg
+  else
+    l = seg[i - 1]
+  end
+  if i == m then
+    r = rg
+  else
+    r = seg[i + 1]
+  end
+  new[i] = seg[i] + alpha * (l - 2 * seg[i] + r)
+end
+`
+		src += fmt.Sprintf("%s = new\n", segVar(s, t))
+		src += fmt.Sprintf("%s = new[1]\n", lVar(s, t))
+		src += fmt.Sprintf("%s = new[%d]\n", rVar(s, t), heatCells)
+		return src
+	}
+
+	// Per-cell work: ~10 ops per cell per step plus loop overhead.
+	work := int64(heatCells*12 + 20)
+	for t := 0; t < steps; t++ {
+		for s := 0; s < segments; s++ {
+			n := g.MustAddTask(id(s, t), fmt.Sprintf("segment %d step %d", s, t), work)
+			n.Routine = routine(s, t)
+			g.MustConnect("ALPHA", id(s, t), "alpha", 1)
+			if t == 0 {
+				g.MustConnect(graph.NodeID("INIT"+itoa2(s)), id(s, t), fmt.Sprintf("init%d", s), heatCells)
+				if s > 0 {
+					g.MustConnect(graph.NodeID("INIT"+itoa2(s-1)), id(s, t), fmt.Sprintf("init%d", s-1), heatCells)
+				}
+				if s < segments-1 {
+					g.MustConnect(graph.NodeID("INIT"+itoa2(s+1)), id(s, t), fmt.Sprintf("init%d", s+1), heatCells)
+				}
+				continue
+			}
+			g.MustConnect(id(s, t-1), id(s, t), segVar(s, t-1), heatCells)
+			if s > 0 {
+				g.MustConnect(id(s-1, t-1), id(s, t), rVar(s-1, t-1), 1)
+			}
+			if s < segments-1 {
+				g.MustConnect(id(s+1, t-1), id(s, t), lVar(s+1, t-1), 1)
+			}
+		}
+	}
+	// Final results drain to storage.
+	for s := 0; s < segments; s++ {
+		cell := graph.NodeID(fmt.Sprintf("FINAL%d", s))
+		g.MustAddStorage(cell, fmt.Sprintf("final%d", s))
+		g.MustConnect(id(s, steps-1), cell, segVar(s, steps-1), heatCells)
+	}
+
+	topo, err := machine.Ring(segments)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Project{Name: "heat", Design: g, Machine: m, Inputs: inputs}, nil
+}
+
+// HeatReference computes the same diffusion sequentially in Go for
+// result verification: segments*heatCells cells, zero-clamped ends.
+func HeatReference(segments, steps int, inputs pits.Env) []float64 {
+	n := segments * heatCells
+	cur := make([]float64, n)
+	for s := 0; s < segments; s++ {
+		if v, ok := inputs[fmt.Sprintf("init%d", s)].(pits.Vec); ok {
+			copy(cur[s*heatCells:], v)
+		}
+	}
+	alpha := float64(inputs["alpha"].(pits.Num))
+	next := make([]float64, n)
+	for t := 0; t < steps; t++ {
+		for i := 0; i < n; i++ {
+			l, r := 0.0, 0.0
+			if i > 0 {
+				l = cur[i-1]
+			}
+			if i < n-1 {
+				r = cur[i+1]
+			}
+			next[i] = cur[i] + alpha*(l-2*cur[i]+r)
+		}
+		cur, next = next, cur
+	}
+	return cur
+}

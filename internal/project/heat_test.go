@@ -1,0 +1,153 @@
+package project
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/pits"
+	"repro/internal/sched"
+)
+
+func TestHeatValidates(t *testing.T) {
+	p, err := Heat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// segments*steps tasks.
+	if got := len(flat.Graph.Tasks()); got != heatSegments*heatSteps {
+		t.Errorf("tasks = %d", got)
+	}
+	// The stencil's halo exchange shows up as width = segments.
+	w, err := flat.Graph.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != heatSegments {
+		t.Errorf("width = %d, want %d", w, heatSegments)
+	}
+}
+
+func TestHeatSizedRejectsBadSizes(t *testing.T) {
+	if _, err := HeatSized(1, 3); err == nil {
+		t.Error("1 segment accepted")
+	}
+	if _, err := HeatSized(4, 0); err == nil {
+		t.Error("0 steps accepted")
+	}
+}
+
+// The stencil must compute exactly what a sequential reference computes,
+// under every scheduler.
+func TestHeatMatchesSequentialReference(t *testing.T) {
+	p, err := Heat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HeatReference(heatSegments, heatSteps, p.Inputs)
+	for _, s := range sched.All() {
+		sc, err := s.Schedule(flat.Graph, p.Machine)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		r := &exec.Runner{Inputs: p.Inputs}
+		res, err := r.Run(sc, flat)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for seg := 0; seg < heatSegments; seg++ {
+			got, ok := res.Outputs[fmt.Sprintf("seg%d_%d", seg, heatSteps-1)].(pits.Vec)
+			if !ok {
+				t.Fatalf("%s: segment %d missing from outputs", s.Name(), seg)
+			}
+			for i := 0; i < heatCells; i++ {
+				ref := want[seg*heatCells+i]
+				if math.Abs(got[i]-ref) > 1e-9 {
+					t.Errorf("%s: cell [%d,%d] = %v, want %v", s.Name(), seg, i, got[i], ref)
+				}
+			}
+		}
+	}
+}
+
+// Heat conservation sanity: with zero-clamped ends heat leaks out, so
+// total heat is non-increasing and positive early on.
+func TestHeatIsDissipative(t *testing.T) {
+	p, err := Heat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(steps int) float64 {
+		cur := HeatReference(heatSegments, steps, p.Inputs)
+		s := 0.0
+		for _, v := range cur {
+			s += v
+		}
+		return s
+	}
+	s0, s3, s10 := sum(0), sum(3), sum(10)
+	if !(s0 >= s3 && s3 >= s10) {
+		t.Errorf("heat grew: %v %v %v", s0, s3, s10)
+	}
+	if s10 <= 0 {
+		t.Errorf("all heat vanished too fast: %v", s10)
+	}
+}
+
+func TestHeatRingSuitsStencil(t *testing.T) {
+	// On the matched ring the stencil should engage every processor.
+	p, err := Heat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.MH{}.Schedule(flat.Graph, p.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.UsedPEs() < 2 {
+		t.Errorf("stencil used only %d PEs", sc.UsedPEs())
+	}
+	if sc.Speedup() <= 1.0 {
+		t.Errorf("no speedup on the ring: %.2f", sc.Speedup())
+	}
+}
+
+func TestHeatLargerInstance(t *testing.T) {
+	p, err := HeatSized(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Graph.Tasks()) != 30 {
+		t.Errorf("tasks = %d", len(flat.Graph.Tasks()))
+	}
+	sc, err := sched.ETF{}.Schedule(flat.Graph, p.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package project
+
+import (
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+// LU3x3 reconstructs the paper's Figure 1: a two-level hierarchical
+// PITL dataflow graph performing LU decomposition of a 3×3 linear
+// system Ax=b, with forward and back substitution as decomposable
+// lower-level graphs.
+//
+// Storage cells: A (the 3×3 matrix, row-major 9-vector) and b (the
+// right-hand side) are the writer-less inputs; x is the reader-less
+// output. Tasks follow the paper's naming: fl21, fl31, fl32 are the
+// column "fan" factor tasks and u22..u33 the row updates.
+//
+// The default target machine is an 8-processor hypercube with the
+// harness's standard parameters; the default inputs are a well-
+// conditioned system whose exact solution is x = (1, 2, 3).
+func LU3x3() (*Project, error) {
+	g := graph.New("lu3x3")
+
+	// --- storage (Figure 1's open rectangles) -----------------------
+	g.MustAddStorage("A", "A")
+	g.MustAddStorage("B", "b")
+	g.MustAddStorage("X", "x")
+
+	// --- level 1: factorisation tasks -------------------------------
+	add := func(id graph.NodeID, label, routine string, work int64) {
+		n := g.MustAddTask(id, label, work)
+		n.Routine = routine
+	}
+	add("fl21", "fan l21", "l21 = A[4] / A[1]", 20)
+	add("fl31", "fan l31", "l31 = A[7] / A[1]", 20)
+	add("u22", "update a22", "u22 = A[5] - l21 * A[2]", 25)
+	add("u23", "update a23", "u23 = A[6] - l21 * A[3]", 25)
+	add("u32", "update a32", "a32p = A[8] - l31 * A[2]", 25)
+	add("u33", "update a33", "a33p = A[9] - l31 * A[3]", 25)
+	add("fl32", "fan l32", "l32 = a32p / u22", 20)
+	add("u33b", "update a33 step 2", "u33 = a33p - l32 * u23", 25)
+
+	g.MustConnect("A", "fl21", "A", 9)
+	g.MustConnect("A", "fl31", "A", 9)
+	g.MustConnect("A", "u22", "A", 9)
+	g.MustConnect("A", "u23", "A", 9)
+	g.MustConnect("A", "u32", "A", 9)
+	g.MustConnect("A", "u33", "A", 9)
+	g.MustConnect("fl21", "u22", "l21", 1)
+	g.MustConnect("fl21", "u23", "l21", 1)
+	g.MustConnect("fl31", "u32", "l31", 1)
+	g.MustConnect("fl31", "u33", "l31", 1)
+	g.MustConnect("u32", "fl32", "a32p", 1)
+	g.MustConnect("u22", "fl32", "u22", 1)
+	g.MustConnect("u33", "u33b", "a33p", 1)
+	g.MustConnect("fl32", "u33b", "l32", 1)
+	g.MustConnect("u23", "u33b", "u23", 1)
+
+	// --- level 2: forward substitution Ly = b ------------------------
+	fwd := graph.New("forward")
+	fwd.MustAddInput("b")
+	fwd.MustAddInput("l21")
+	fwd.MustAddInput("l31")
+	fwd.MustAddInput("l32")
+	fwd.MustAddOutput("y")
+	fadd := func(id graph.NodeID, label, routine string, work int64) {
+		n := fwd.MustAddTask(id, label, work)
+		n.Routine = routine
+	}
+	fadd("y1", "solve y1", "y1 = b[1]", 10)
+	fadd("y2", "solve y2", "y2 = b[2] - l21 * y1", 20)
+	fadd("y3", "solve y3", "y3 = b[3] - l31 * y1 - l32 * y2", 30)
+	fadd("pack", "pack y", "y = [y1, y2, y3]", 10)
+	fwd.MustConnect("b", "y1", "b", 3)
+	fwd.MustConnect("b", "y2", "b", 3)
+	fwd.MustConnect("b", "y3", "b", 3)
+	fwd.MustConnect("l21", "y2", "l21", 1)
+	fwd.MustConnect("l31", "y3", "l31", 1)
+	fwd.MustConnect("l32", "y3", "l32", 1)
+	fwd.MustConnect("y1", "y2", "y1", 1)
+	fwd.MustConnect("y1", "y3", "y1", 1)
+	fwd.MustConnect("y2", "y3", "y2", 1)
+	fwd.MustConnect("y1", "pack", "y1", 1)
+	fwd.MustConnect("y2", "pack", "y2", 1)
+	fwd.MustConnect("y3", "pack", "y3", 1)
+	fwd.MustConnect("pack", "y", "y", 3)
+
+	// --- level 2: back substitution Ux = y ---------------------------
+	back := graph.New("back")
+	back.MustAddInput("y")
+	back.MustAddInput("A")
+	back.MustAddInput("u22")
+	back.MustAddInput("u23")
+	back.MustAddInput("u33")
+	back.MustAddOutput("x")
+	badd := func(id graph.NodeID, label, routine string, work int64) {
+		n := back.MustAddTask(id, label, work)
+		n.Routine = routine
+	}
+	badd("x3", "solve x3", "x3 = y[3] / u33", 15)
+	badd("x2", "solve x2", "x2 = (y[2] - u23 * x3) / u22", 25)
+	badd("x1", "solve x1", "x1 = (y[1] - A[2] * x2 - A[3] * x3) / A[1]", 35)
+	badd("packx", "pack x", "x = [x1, x2, x3]", 10)
+	back.MustConnect("y", "x3", "y", 3)
+	back.MustConnect("y", "x2", "y", 3)
+	back.MustConnect("y", "x1", "y", 3)
+	back.MustConnect("u33", "x3", "u33", 1)
+	back.MustConnect("u23", "x2", "u23", 1)
+	back.MustConnect("u22", "x2", "u22", 1)
+	back.MustConnect("A", "x1", "A", 9)
+	back.MustConnect("x3", "x2", "x3", 1)
+	back.MustConnect("x3", "x1", "x3", 1)
+	back.MustConnect("x2", "x1", "x2", 1)
+	back.MustConnect("x1", "packx", "x1", 1)
+	back.MustConnect("x2", "packx", "x2", 1)
+	back.MustConnect("x3", "packx", "x3", 1)
+	back.MustConnect("packx", "x", "x", 3)
+
+	// --- hierarchy wiring --------------------------------------------
+	g.MustAddSub("forward", "forward substitution", fwd)
+	g.MustAddSub("back", "back substitution", back)
+	g.MustConnect("B", "forward", "b", 3)
+	g.MustConnect("fl21", "forward", "l21", 1)
+	g.MustConnect("fl31", "forward", "l31", 1)
+	g.MustConnect("fl32", "forward", "l32", 1)
+	g.MustConnect("forward", "back", "y", 3)
+	g.MustConnect("A", "back", "A", 9)
+	g.MustConnect("u22", "back", "u22", 1)
+	g.MustConnect("u23", "back", "u23", 1)
+	g.MustConnect("u33b", "back", "u33", 1)
+	g.MustConnect("back", "X", "x", 3)
+
+	topo, err := machine.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New("hypercube-8", topo, machine.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+
+	// A = [[2,1,1],[4,3,3],[8,7,9]], b = A·(1,2,3)ᵀ = (7,19,49)ᵀ.
+	return &Project{
+		Name:    "lu3x3",
+		Design:  g,
+		Machine: m,
+		Inputs: pits.Env{
+			"A": pits.Vec{2, 1, 1, 4, 3, 3, 8, 7, 9},
+			"b": pits.Vec{7, 19, 49},
+		},
+	}, nil
+}
+
+// LUSolution returns the exact solution of the default LU3x3 inputs.
+func LUSolution() pits.Vec { return pits.Vec{1, 2, 3} }

@@ -1,0 +1,179 @@
+// Package project ties a Banger design together: the PITL graph, the
+// target machine, and the external input data, in one loadable/savable
+// document. It also ships the built-in sample projects used throughout
+// the reproduction — most importantly the paper's Figure 1 running
+// example, LU decomposition of a 3×3 system Ax=b.
+package project
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+// Project is a complete Banger workspace.
+type Project struct {
+	Name    string
+	Design  *graph.Graph
+	Machine *machine.Machine
+	// Inputs binds the design's external input variables (writer-less
+	// storage cells) to trial values.
+	Inputs pits.Env
+}
+
+// Validate checks the project is internally consistent: the design
+// validates and flattens, every external input variable has a value,
+// and every task routine parses and type-checks against its inputs.
+func (p *Project) Validate() error {
+	if p.Design == nil {
+		return fmt.Errorf("project %q: no design", p.Name)
+	}
+	if p.Machine == nil {
+		return fmt.Errorf("project %q: no machine", p.Name)
+	}
+	flat, err := p.Design.Flatten()
+	if err != nil {
+		return fmt.Errorf("project %q: %w", p.Name, err)
+	}
+	for task, vars := range flat.ExternalIn {
+		for _, v := range vars {
+			if _, ok := p.Inputs[v]; !ok {
+				return fmt.Errorf("project %q: task %s needs external input %q which has no value", p.Name, task, v)
+			}
+		}
+	}
+	for _, n := range flat.Graph.Tasks() {
+		if n.Routine == "" {
+			continue
+		}
+		prog, err := pits.Parse(n.Routine)
+		if err != nil {
+			return fmt.Errorf("project %q: task %s: %w", p.Name, n.ID, err)
+		}
+		var defined []string
+		for _, a := range flat.Graph.Pred(n.ID) {
+			defined = append(defined, a.Var)
+		}
+		defined = append(defined, flat.ExternalIn[n.ID]...)
+		if err := pits.Check(prog, defined); err != nil {
+			return fmt.Errorf("project %q: task %s: %w", p.Name, n.ID, err)
+		}
+	}
+	return nil
+}
+
+// Flatten validates and flattens the design.
+func (p *Project) Flatten() (*graph.Flat, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.Design.Flatten()
+}
+
+// jsonProject is the wire form; inputs become plain JSON numbers and
+// arrays.
+type jsonProject struct {
+	Name    string                     `json:"name"`
+	Design  *graph.Graph               `json:"design"`
+	Machine *machine.Machine           `json:"machine"`
+	Inputs  map[string]json.RawMessage `json:"inputs,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Project) MarshalJSON() ([]byte, error) {
+	jp := jsonProject{Name: p.Name, Design: p.Design, Machine: p.Machine}
+	if len(p.Inputs) > 0 {
+		jp.Inputs = map[string]json.RawMessage{}
+		for k, v := range p.Inputs {
+			var raw []byte
+			var err error
+			switch t := v.(type) {
+			case pits.Num:
+				raw, err = json.Marshal(float64(t))
+			case pits.Vec:
+				raw, err = json.Marshal([]float64(t))
+			case pits.BoolV:
+				raw, err = json.Marshal(bool(t))
+			case pits.StrV:
+				raw, err = json.Marshal(string(t))
+			default:
+				err = fmt.Errorf("project %q: input %q has unserialisable type %s", p.Name, k, v.TypeName())
+			}
+			if err != nil {
+				return nil, err
+			}
+			jp.Inputs[k] = raw
+		}
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Project) UnmarshalJSON(data []byte) error {
+	var jp jsonProject
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	np := Project{Name: jp.Name, Design: jp.Design, Machine: jp.Machine}
+	if jp.Inputs != nil {
+		np.Inputs = pits.Env{}
+		for k, raw := range jp.Inputs {
+			var f float64
+			if err := json.Unmarshal(raw, &f); err == nil {
+				np.Inputs[k] = pits.Num(f)
+				continue
+			}
+			var vec []float64
+			if err := json.Unmarshal(raw, &vec); err == nil {
+				np.Inputs[k] = pits.Vec(vec)
+				continue
+			}
+			var b bool
+			if err := json.Unmarshal(raw, &b); err == nil {
+				np.Inputs[k] = pits.BoolV(b)
+				continue
+			}
+			var s string
+			if err := json.Unmarshal(raw, &s); err == nil {
+				np.Inputs[k] = pits.StrV(s)
+				continue
+			}
+			return fmt.Errorf("project %q: input %q: unsupported JSON value", jp.Name, k)
+		}
+	}
+	*p = np
+	return nil
+}
+
+// builtinTable maps names to constructors.
+func builtinTable() map[string]func() (*Project, error) {
+	return map[string]func() (*Project, error){
+		"lu3x3":       LU3x3,
+		"newton-sqrt": NewtonSqrt,
+		"stats":       StatsPipeline,
+		"heat":        Heat,
+	}
+}
+
+// Builtin returns a fresh copy of the named built-in sample project.
+func Builtin(name string) (*Project, error) {
+	mk, ok := builtinTable()[name]
+	if !ok {
+		return nil, fmt.Errorf("project: no builtin %q (have %v)", name, BuiltinNames())
+	}
+	return mk()
+}
+
+// BuiltinNames lists the built-in sample projects, sorted.
+func BuiltinNames() []string {
+	var names []string
+	for n := range builtinTable() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,119 @@
+package project
+
+import (
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+// NewtonSqrt is the paper's Figure 4 example as a one-task project:
+// the SquareRoot routine computing x = sqrt(a) by Newton–Raphson.
+func NewtonSqrt() (*Project, error) {
+	g := graph.New("newton-sqrt")
+	g.MustAddStorage("Ain", "a")
+	n := g.MustAddTask("sqrt", "SquareRoot", 200)
+	n.Routine = `# SquareRoot (Figure 4): Newton-Raphson for x = sqrt(a)
+x = a
+eps = 1e-12
+err = 1
+while err > eps do
+  xold = x
+  x = 0.5 * (xold + a / xold)
+  err = abs(x - xold)
+end`
+	g.MustAddStorage("Xout", "x")
+	g.MustConnect("Ain", "sqrt", "a", 1)
+	g.MustConnect("sqrt", "Xout", "x", 1)
+
+	topo, err := machine.Full(1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New("single", topo, machine.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Project{
+		Name:    "newton-sqrt",
+		Design:  g,
+		Machine: m,
+		Inputs:  pits.Env{"a": pits.Num(2)},
+	}, nil
+}
+
+// StatsPipeline is a wide scatter/gather design in the spirit of the
+// quick-and-dirty science codes the paper motivates: eight sensor
+// channels are each reduced to mean and spread in parallel, then a
+// combiner ranks the channels. It exercises fan-out, vector data and
+// heavier per-task work.
+func StatsPipeline() (*Project, error) {
+	g := graph.New("stats")
+	g.MustAddStorage("DATA", "data") // 64 readings, 8 per channel
+	inputs := pits.Env{}
+	data := make(pits.Vec, 64)
+	for i := range data {
+		// Deterministic synthetic readings: channel c gets values
+		// around 10*(c+1) with a small wobble.
+		c := i / 8
+		data[i] = float64(10*(c+1)) + float64((i*37)%11) - 5
+	}
+	inputs["data"] = data
+
+	combine := g.MustAddTask("combine", "rank channels", 200)
+	var combineExpr string
+	for c := 0; c < 8; c++ {
+		id := graph.NodeID(chName(c))
+		n := g.MustAddTask(id, "reduce channel "+chName(c), 400)
+		n.Routine = `lo = 1 + ` + itoa2(c*8) + `
+m = 0
+for i = lo to lo + 7 do
+  m = m + data[i]
+end
+m = m / 8
+s = 0
+for i = lo to lo + 7 do
+  s = s + (data[i] - m) ^ 2
+end
+` + chName(c) + `_mean = m
+` + chName(c) + `_var = s / 8`
+		g.MustConnect("DATA", id, "data", 64)
+		g.MustConnect(id, "combine", chName(c)+"_mean", 1)
+		g.MustConnect(id, "combine", chName(c)+"_var", 1)
+		if c > 0 {
+			combineExpr += ", "
+		}
+		combineExpr += chName(c) + "_mean"
+	}
+	combine.Routine = `means = [` + combineExpr + `]
+best = max(means)
+worst = min(means)
+spread = best - worst`
+	g.MustAddStorage("OUT1", "best")
+	g.MustAddStorage("OUT2", "spread")
+	g.MustConnect("combine", "OUT1", "best", 1)
+	g.MustConnect("combine", "OUT2", "spread", 1)
+
+	topo, err := machine.Mesh(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New("mesh-2x4", topo, machine.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Project{Name: "stats", Design: g, Machine: m, Inputs: inputs}, nil
+}
+
+func chName(c int) string { return "ch" + string(rune('0'+c)) }
+
+func itoa2(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

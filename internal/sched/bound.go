@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// LowerBound returns a makespan lower bound for scheduling the flat
+// graph on the machine without duplication: the larger of
+//
+//   - the critical-path bound: the longest chain of task execution
+//     times (communication-free, since co-location is always possible
+//     along one chain), and
+//   - the work bound: total execution time spread perfectly over all
+//     processors.
+//
+// Both use the fastest processor, so the bound also holds for
+// heterogeneous machines. Every valid schedule's makespan is >= this
+// value; the test suite checks it against every heuristic and the
+// exhaustive Optimal search.
+func LowerBound(g *graph.Graph, m *machine.Machine) (machine.Time, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	fastest := 0
+	for pe := 1; pe < m.NumPE(); pe++ {
+		if m.Speed(pe) > m.Speed(fastest) {
+			fastest = pe
+		}
+	}
+	// Critical path over execution times on the fastest processor.
+	longest := map[graph.NodeID]machine.Time{}
+	var cp machine.Time
+	var total machine.Time
+	for _, id := range order {
+		exec := m.ExecTime(g.Node(id).Work, fastest)
+		total += exec
+		best := machine.Time(0)
+		for _, p := range g.Predecessors(id) {
+			if longest[p] > best {
+				best = longest[p]
+			}
+		}
+		longest[id] = best + exec
+		if longest[id] > cp {
+			cp = longest[id]
+		}
+	}
+	work := (total + machine.Time(m.NumPE()) - 1) / machine.Time(m.NumPE())
+	if work > cp {
+		return work, nil
+	}
+	return cp, nil
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+func TestLowerBoundChain(t *testing.T) {
+	g := graph.Chain(4, 10, 5)
+	m := mk(t, "full:4", cheapComm()) // exec = work (startup 0)
+	lb, err := LowerBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain cannot parallelise: CP bound = 40.
+	if lb != 40 {
+		t.Errorf("lb = %v, want 40us", lb)
+	}
+}
+
+func TestLowerBoundIndependent(t *testing.T) {
+	g := graph.New("indep")
+	for _, id := range []graph.NodeID{"a", "b", "c", "d", "e2", "f"} {
+		g.MustAddTask(id, "", 10)
+	}
+	m := mk(t, "full:2", cheapComm())
+	lb, err := LowerBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work bound: 60/2 = 30 > CP bound 10.
+	if lb != 30 {
+		t.Errorf("lb = %v, want 30us", lb)
+	}
+}
+
+func TestLowerBoundUsesFastestProcessor(t *testing.T) {
+	g := graph.Chain(2, 100, 0)
+	topo, _ := machine.Full(2)
+	m, err := machine.New("het", topo, machine.Params{ProcSpeed: 1, TaskStartup: 0, MsgStartup: 1, WordTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSpeeds([]int64{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := LowerBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the fast PE each task is 10us: CP = 20.
+	if lb != 20 {
+		t.Errorf("lb = %v, want 20us", lb)
+	}
+}
+
+// Every scheduler (including the exhaustive optimum) respects the bound.
+func TestAllSchedulersRespectLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: 3, Width: 3, MinWork: 1, MaxWork: 30, MinWords: 0, MaxWords: 15, Density: 0.4,
+		})
+		if err != nil {
+			return false
+		}
+		m := mk(t, "hypercube:2", costlyComm())
+		lb, err := LowerBound(g, m)
+		if err != nil {
+			return false
+		}
+		for _, s := range All() {
+			sc, err := s.Schedule(g, m)
+			if err != nil {
+				return false
+			}
+			if sc.Makespan() < lb {
+				t.Logf("%s makespan %v below bound %v (seed %d)", s.Name(), sc.Makespan(), lb, seed)
+				return false
+			}
+		}
+		if len(g.Tasks()) <= 8 {
+			opt, err := (Optimal{}).Schedule(g, m)
+			if err != nil {
+				return false
+			}
+			if opt.Makespan() < lb {
+				t.Logf("optimal %v below bound %v (seed %d)", opt.Makespan(), lb, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// DSH is Kruatrachue's Duplication Scheduling Heuristic (Kruatrachue &
+// Lewis, "Static Task Scheduling and Grain Packing in Parallel
+// Processing Systems", 1987). It runs static-priority list scheduling
+// like HLFET but, for every candidate processor, first asks how early
+// the task could start if the ancestors whose messages delay it were
+// duplicated into the processor's idle time — trading redundant
+// computation for communication — and then commits the task and its
+// profitable duplicates to the best processor.
+//
+// This implementation duplicates direct critical parents iteratively
+// (each duplication can expose a new critical parent) and accepts a
+// duplication only when it strictly lowers the task's start time on
+// that processor, which guarantees termination.
+type DSH struct {
+	// MaxDupsPerTask bounds how many ancestor copies may be inserted
+	// while placing one task; 0 means the number of predecessors.
+	MaxDupsPerTask int
+}
+
+// Name implements Scheduler.
+func (DSH) Name() string { return "dsh" }
+
+// dupPlan is one ancestor copy the per-PE evaluation decided to insert.
+type dupPlan struct {
+	task  graph.NodeID
+	start machine.Time
+}
+
+// Schedule implements Scheduler.
+func (d DSH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		return nil, err
+	}
+	rt := newReadyTracker(g)
+	for len(rt.ready) > 0 {
+		// Highest static level first (as HLFET).
+		best := 0
+		for i := 1; i < len(rt.ready); i++ {
+			a, c := rt.ready[i], rt.ready[best]
+			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
+				best = i
+			}
+		}
+		t := rt.take(best)
+
+		// Evaluate every processor with hypothetical duplication and
+		// keep the one with the earliest finish.
+		bestPE := -1
+		var bestFinish, bestStart machine.Time
+		var bestPlan []dupPlan
+		for pe := 0; pe < m.NumPE(); pe++ {
+			start, plan, err := d.estWithDups(b, t, pe)
+			if err != nil {
+				return nil, err
+			}
+			finish := start + m.ExecTime(g.Node(t).Work, pe)
+			if bestPE < 0 || finish < bestFinish {
+				bestPE, bestFinish, bestStart, bestPlan = pe, finish, start, plan
+			}
+		}
+		for _, dp := range bestPlan {
+			if _, err := b.place(dp.task, bestPE, dp.start, true); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+			return nil, err
+		}
+		rt.complete(t)
+	}
+	return b.finish("dsh"), nil
+}
+
+// estWithDups computes the earliest start of t on pe allowing ancestor
+// duplication, without mutating the builder. It returns the start and
+// the ordered list of duplicates to insert to achieve it.
+func (d DSH) estWithDups(b *builder, t graph.NodeID, pe int) (machine.Time, []dupPlan, error) {
+	maxDups := d.MaxDupsPerTask
+	if maxDups <= 0 {
+		maxDups = len(b.g.Pred(t))
+	}
+	procFree := b.procFree[pe]
+	virtual := map[graph.NodeID]machine.Time{} // task -> finish of virtual copy on pe
+	var plan []dupPlan
+
+	// arrivalV is builder.arrival extended with the virtual overlay.
+	arrivalV := func(a graph.Arc) (machine.Time, bool, error) {
+		at, src, err := b.arrival(a, pe)
+		if err != nil {
+			return 0, false, err
+		}
+		remote := src.PE != pe
+		if vf, ok := virtual[a.From]; ok && vf <= at {
+			at, remote = vf, false
+		}
+		return at, remote, nil
+	}
+	// estV computes the earliest start of any task on pe under the
+	// overlay (used both for t and for candidate duplicates).
+	estV := func(task graph.NodeID) (machine.Time, error) {
+		start := procFree
+		for _, a := range b.g.Pred(task) {
+			at, _, err := arrivalV(a)
+			if err != nil {
+				return 0, err
+			}
+			if at > start {
+				start = at
+			}
+		}
+		return start, nil
+	}
+
+	for len(plan) < maxDups {
+		start, err := estV(t)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Find the remote arc that pins the start, if any.
+		var critical *graph.Arc
+		pinned := procFree
+		for _, a := range b.g.Pred(t) {
+			a := a
+			at, remote, err := arrivalV(a)
+			if err != nil {
+				return 0, nil, err
+			}
+			if at > pinned {
+				pinned = at
+				if remote {
+					critical = &a
+				} else {
+					critical = nil
+				}
+			}
+		}
+		if critical == nil {
+			return start, plan, nil
+		}
+		cp := critical.From
+		if _, dup := virtual[cp]; dup {
+			return start, plan, nil
+		}
+		dupStart, err := estV(cp)
+		if err != nil {
+			return 0, nil, err
+		}
+		dupFinish := dupStart + b.m.ExecTime(b.g.Node(cp).Work, pe)
+		if dupFinish >= start {
+			return start, plan, nil // duplication cannot beat the message
+		}
+		virtual[cp] = dupFinish
+		procFree = dupFinish
+		plan = append(plan, dupPlan{task: cp, start: dupStart})
+	}
+	start, err := estV(t)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Keep the plan ordered by start so commits respect precedence.
+	sort.Slice(plan, func(i, j int) bool { return plan[i].start < plan[j].start })
+	return start, plan, nil
+}

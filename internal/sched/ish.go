@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// ISH is the Insertion Scheduling Heuristic of Kruatrachue & Lewis:
+// static-priority list scheduling (like HLFET) that, instead of always
+// appending a task after a processor's last slot, may insert it into an
+// idle hole left earlier on the processor while it was waiting for
+// messages. Holes are exactly the "schedule gaps" Kruatrachue's thesis
+// identifies as wasted by non-insertion list schedulers.
+type ISH struct{}
+
+// Name implements Scheduler.
+func (ISH) Name() string { return "ish" }
+
+// insertionPoint finds the earliest start for a task of the given
+// duration on pe, no earlier than ready, considering the idle gaps
+// between already-placed slots. slots must be sorted by start.
+func insertionPoint(slots []Slot, ready machine.Time, dur machine.Time) machine.Time {
+	cur := ready
+	for _, sl := range slots {
+		if cur+dur <= sl.Start {
+			return cur // fits in the gap before this slot
+		}
+		if sl.Finish > cur {
+			cur = sl.Finish
+		}
+	}
+	return cur
+}
+
+// Schedule implements Scheduler.
+func (ISH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		return nil, err
+	}
+	peSlots := make([][]Slot, m.NumPE())
+	rt := newReadyTracker(g)
+	for len(rt.ready) > 0 {
+		// Highest static level first, as HLFET.
+		best := 0
+		for i := 1; i < len(rt.ready); i++ {
+			a, c := rt.ready[i], rt.ready[best]
+			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
+				best = i
+			}
+		}
+		t := rt.take(best)
+		work := g.Node(t).Work
+
+		bestPE := -1
+		var bestStart, bestFinish machine.Time
+		for pe := 0; pe < m.NumPE(); pe++ {
+			// Data-ready time on this processor.
+			var ready machine.Time
+			for _, a := range g.Pred(t) {
+				at, _, err := b.arrival(a, pe)
+				if err != nil {
+					return nil, err
+				}
+				if at > ready {
+					ready = at
+				}
+			}
+			dur := m.ExecTime(work, pe)
+			start := insertionPoint(peSlots[pe], ready, dur)
+			fin := start + dur
+			if bestPE < 0 || fin < bestFinish {
+				bestPE, bestStart, bestFinish = pe, start, fin
+			}
+		}
+		sl, err := b.place(t, bestPE, bestStart, false)
+		if err != nil {
+			return nil, err
+		}
+		peSlots[bestPE] = append(peSlots[bestPE], sl)
+		sort.Slice(peSlots[bestPE], func(i, j int) bool {
+			return peSlots[bestPE][i].Start < peSlots[bestPE][j].Start
+		})
+		rt.complete(t)
+	}
+	return b.finish("ish"), nil
+}

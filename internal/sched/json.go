@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// jsonSchedule is the wire form of a Schedule: self-contained, with the
+// flattened graph and machine embedded so a saved schedule can be
+// reloaded, re-validated and executed later without the project.
+type jsonSchedule struct {
+	Algorithm string           `json:"algorithm"`
+	Graph     *graph.Graph     `json:"graph"`
+	Machine   *machine.Machine `json:"machine"`
+	Slots     []jsonSlot       `json:"slots"`
+	Msgs      []jsonMsg        `json:"msgs,omitempty"`
+}
+
+type jsonSlot struct {
+	Task   string `json:"task"`
+	PE     int    `json:"pe"`
+	Start  int64  `json:"start_us"`
+	Finish int64  `json:"finish_us"`
+	Dup    bool   `json:"dup,omitempty"`
+}
+
+type jsonMsg struct {
+	Var    string `json:"var,omitempty"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	FromPE int    `json:"from_pe"`
+	ToPE   int    `json:"to_pe"`
+	Words  int64  `json:"words,omitempty"`
+	Send   int64  `json:"send_us"`
+	Recv   int64  `json:"recv_us"`
+	Hops   int    `json:"hops,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	js := jsonSchedule{Algorithm: s.Algorithm, Graph: s.Graph, Machine: s.Machine}
+	for _, sl := range s.Slots {
+		js.Slots = append(js.Slots, jsonSlot{
+			Task: string(sl.Task), PE: sl.PE,
+			Start: int64(sl.Start), Finish: int64(sl.Finish), Dup: sl.Dup,
+		})
+	}
+	for _, m := range s.Msgs {
+		js.Msgs = append(js.Msgs, jsonMsg{
+			Var: m.Var, From: string(m.From), To: string(m.To),
+			FromPE: m.FromPE, ToPE: m.ToPE, Words: m.Words,
+			Send: int64(m.Send), Recv: int64(m.Recv), Hops: m.Hops,
+		})
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded schedule is
+// re-validated against its embedded graph and machine, so a tampered
+// file cannot produce an inconsistent schedule silently.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	if js.Graph == nil || js.Machine == nil {
+		return fmt.Errorf("sched: schedule document missing graph or machine")
+	}
+	ns := Schedule{Algorithm: js.Algorithm, Graph: js.Graph, Machine: js.Machine}
+	for _, sl := range js.Slots {
+		ns.Slots = append(ns.Slots, Slot{
+			Task: graph.NodeID(sl.Task), PE: sl.PE,
+			Start: machine.Time(sl.Start), Finish: machine.Time(sl.Finish), Dup: sl.Dup,
+		})
+	}
+	for _, m := range js.Msgs {
+		ns.Msgs = append(ns.Msgs, Msg{
+			Var: m.Var, From: graph.NodeID(m.From), To: graph.NodeID(m.To),
+			FromPE: m.FromPE, ToPE: m.ToPE, Words: m.Words,
+			Send: machine.Time(m.Send), Recv: machine.Time(m.Recv), Hops: m.Hops,
+		})
+	}
+	if err := ns.Validate(); err != nil {
+		return fmt.Errorf("sched: loaded schedule invalid: %w", err)
+	}
+	*s = ns
+	return nil
+}

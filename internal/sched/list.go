@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Scheduler maps a flat task graph onto a machine. Implementations must
+// be deterministic: the same inputs always yield the same schedule.
+type Scheduler interface {
+	Name() string
+	Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error)
+}
+
+// builder holds the incremental state shared by the list schedulers.
+type builder struct {
+	g        *graph.Graph
+	m        *machine.Machine
+	procFree []machine.Time
+	slots    []Slot
+	msgs     []Msg
+	copies   map[graph.NodeID][]Slot // all placed copies of each task
+}
+
+func newBuilder(g *graph.Graph, m *machine.Machine) (*builder, error) {
+	if g == nil || m == nil {
+		return nil, fmt.Errorf("sched: nil graph or machine")
+	}
+	if err := g.ValidateFlat(); err != nil {
+		return nil, fmt.Errorf("sched: graph not flat: %w", err)
+	}
+	return &builder{
+		g:        g,
+		m:        m,
+		procFree: make([]machine.Time, m.NumPE()),
+		copies:   map[graph.NodeID][]Slot{},
+	}, nil
+}
+
+// arrival returns the earliest time the data of arc a can be available
+// on processor pe, minimised over all placed copies of the producer,
+// and the copy achieving it. The producer must already be placed.
+func (b *builder) arrival(a graph.Arc, pe int) (machine.Time, Slot, error) {
+	cps := b.copies[a.From]
+	if len(cps) == 0 {
+		return 0, Slot{}, fmt.Errorf("sched: arc %s->%s: producer not placed", a.From, a.To)
+	}
+	best := cps[0]
+	bestAt := cps[0].Finish + b.m.CommTime(a.Words, cps[0].PE, pe)
+	for _, c := range cps[1:] {
+		at := c.Finish + b.m.CommTime(a.Words, c.PE, pe)
+		if at < bestAt || (at == bestAt && c.PE < best.PE) {
+			bestAt, best = at, c
+		}
+	}
+	return bestAt, best, nil
+}
+
+// est returns the earliest start time of task t on processor pe under
+// the contention-free model (non-insertion: after the processor's last
+// placed slot).
+func (b *builder) est(t graph.NodeID, pe int) (machine.Time, error) {
+	start := b.procFree[pe]
+	for _, a := range b.g.Pred(t) {
+		at, _, err := b.arrival(a, pe)
+		if err != nil {
+			return 0, err
+		}
+		if at > start {
+			start = at
+		}
+	}
+	return start, nil
+}
+
+// place commits task t to processor pe at the given start, records the
+// messages feeding it, and returns the slot.
+func (b *builder) place(t graph.NodeID, pe int, start machine.Time, dup bool) (Slot, error) {
+	n := b.g.Node(t)
+	sl := Slot{Task: t, PE: pe, Start: start, Finish: start + b.m.ExecTime(n.Work, pe), Dup: dup}
+	for _, a := range b.g.Pred(t) {
+		at, src, err := b.arrival(a, pe)
+		if err != nil {
+			return Slot{}, err
+		}
+		if at > start {
+			return Slot{}, fmt.Errorf("sched: task %s placed at %v before data %s arrives at %v", t, start, a.Var, at)
+		}
+		if src.PE != pe {
+			b.msgs = append(b.msgs, Msg{
+				Var: a.Var, From: a.From, To: t,
+				FromPE: src.PE, ToPE: pe, Words: a.Words,
+				Send: src.Finish, Recv: at, Hops: b.m.Topo.Hops(src.PE, pe),
+			})
+		}
+	}
+	b.slots = append(b.slots, sl)
+	b.copies[t] = append(b.copies[t], sl)
+	if sl.Finish > b.procFree[pe] {
+		b.procFree[pe] = sl.Finish
+	}
+	return sl, nil
+}
+
+func (b *builder) finish(alg string) *Schedule {
+	return &Schedule{Graph: b.g, Machine: b.m, Algorithm: alg, Slots: b.slots, Msgs: b.msgs}
+}
+
+// readyTracker yields tasks whose predecessors are all placed.
+type readyTracker struct {
+	g       *graph.Graph
+	pending map[graph.NodeID]int
+	ready   []graph.NodeID
+}
+
+func newReadyTracker(g *graph.Graph) *readyTracker {
+	rt := &readyTracker{g: g, pending: map[graph.NodeID]int{}}
+	for _, n := range g.Nodes() {
+		rt.pending[n.ID] = len(g.Predecessors(n.ID))
+		if rt.pending[n.ID] == 0 {
+			rt.ready = append(rt.ready, n.ID)
+		}
+	}
+	sort.Slice(rt.ready, func(i, j int) bool { return rt.ready[i] < rt.ready[j] })
+	return rt
+}
+
+// complete marks t placed and returns newly ready tasks into the pool.
+func (rt *readyTracker) complete(t graph.NodeID) {
+	for _, s := range rt.g.Successors(t) {
+		rt.pending[s]--
+		if rt.pending[s] == 0 {
+			rt.ready = append(rt.ready, s)
+		}
+	}
+}
+
+// take removes and returns ready[i].
+func (rt *readyTracker) take(i int) graph.NodeID {
+	t := rt.ready[i]
+	rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
+	return t
+}
+
+// Serial schedules every task on processor 0 in topological order. It
+// is the one-processor baseline the paper's speedup chart divides by.
+type Serial struct{}
+
+// Name implements Scheduler.
+func (Serial) Name() string { return "serial" }
+
+// Schedule implements Scheduler.
+func (Serial) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		st, err := b.est(t, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.place(t, 0, st, false); err != nil {
+			return nil, err
+		}
+	}
+	return b.finish("serial"), nil
+}
+
+// HLFET is Highest Level First with Estimated Times: static-priority
+// list scheduling by static b-level, placing each task on the processor
+// where it can start earliest.
+type HLFET struct{}
+
+// Name implements Scheduler.
+func (HLFET) Name() string { return "hlfet" }
+
+// Schedule implements Scheduler.
+func (HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		return nil, err
+	}
+	rt := newReadyTracker(g)
+	for len(rt.ready) > 0 {
+		// Highest static level first; ties by id for determinism.
+		best := 0
+		for i := 1; i < len(rt.ready); i++ {
+			a, c := rt.ready[i], rt.ready[best]
+			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
+				best = i
+			}
+		}
+		t := rt.take(best)
+		work := g.Node(t).Work
+		bestPE, bestStart, bestFinish := -1, machine.Time(0), machine.Time(0)
+		for pe := 0; pe < m.NumPE(); pe++ {
+			st, err := b.est(t, pe)
+			if err != nil {
+				return nil, err
+			}
+			fin := st + m.ExecTime(work, pe)
+			if bestPE < 0 || fin < bestFinish {
+				bestPE, bestStart, bestFinish = pe, st, fin
+			}
+		}
+		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+			return nil, err
+		}
+		rt.complete(t)
+	}
+	return b.finish("hlfet"), nil
+}
+
+// ETF is Earliest Task First: at each step the (ready task, processor)
+// pair with the smallest earliest start time is chosen; ties are broken
+// by higher static level, then task id, then processor index.
+type ETF struct{}
+
+// Name implements Scheduler.
+func (ETF) Name() string { return "etf" }
+
+// Schedule implements Scheduler.
+func (ETF) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		return nil, err
+	}
+	rt := newReadyTracker(g)
+	for len(rt.ready) > 0 {
+		bestIdx, bestPE := -1, -1
+		var bestStart, bestFinish machine.Time
+		for i, t := range rt.ready {
+			work := g.Node(t).Work
+			for pe := 0; pe < m.NumPE(); pe++ {
+				st, err := b.est(t, pe)
+				if err != nil {
+					return nil, err
+				}
+				fin := st + m.ExecTime(work, pe)
+				better := false
+				switch {
+				case bestIdx < 0:
+					better = true
+				case fin != bestFinish:
+					better = fin < bestFinish
+				case lv.SLevel[t] != lv.SLevel[rt.ready[bestIdx]]:
+					better = lv.SLevel[t] > lv.SLevel[rt.ready[bestIdx]]
+				case t != rt.ready[bestIdx]:
+					better = t < rt.ready[bestIdx]
+				default:
+					better = pe < bestPE
+				}
+				if better {
+					bestIdx, bestPE, bestStart, bestFinish = i, pe, st, fin
+				}
+			}
+		}
+		t := rt.take(bestIdx)
+		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+			return nil, err
+		}
+		rt.complete(t)
+	}
+	return b.finish("etf"), nil
+}

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// MH is the mapping heuristic of El-Rewini & Lewis ("Scheduling
+// Parallel Program Tasks onto Arbitrary Target Machines", JPDC 1990) —
+// the scheduler behind PPSE, which Banger reuses. Like ETF it greedily
+// chooses the (ready task, processor) pair that can start earliest, but
+// its communication model routes every message hop by hop over the
+// interconnection network and serialises messages that contend for the
+// same link, so topology (Figure 2) genuinely shapes the schedule.
+type MH struct{}
+
+// Name implements Scheduler.
+func (MH) Name() string { return "mh" }
+
+// link is a directed channel from PE u to adjacent PE v.
+type link struct{ u, v int }
+
+// mhNet tracks per-link availability for the contention model.
+type mhNet struct {
+	m        *machine.Machine
+	linkFree map[link]machine.Time
+}
+
+func newMHNet(m *machine.Machine) *mhNet {
+	return &mhNet{m: m, linkFree: map[link]machine.Time{}}
+}
+
+// reservation is a tentative hop booking produced by deliver.
+type reservation struct {
+	l    link
+	free machine.Time // link becomes free at this time if committed
+}
+
+// deliver computes when a message of words words, ready at the source
+// at send time, arrives at processor q when routed from p over the
+// shortest path with store-and-forward per-hop contention. It returns
+// the arrival time and the link reservations to commit if the placement
+// is chosen. Co-located delivery is free and immediate.
+func (n *mhNet) deliver(words int64, send machine.Time, p, q int) (machine.Time, []reservation) {
+	if p == q {
+		return send, nil
+	}
+	if words < 0 {
+		words = 0
+	}
+	route := n.m.Topo.Route(p, q)
+	at := send + n.m.Params.MsgStartup
+	hop := machine.Time(words) * n.m.Params.WordTime
+	res := make([]reservation, 0, len(route)-1)
+	for i := 1; i < len(route); i++ {
+		l := link{route[i-1], route[i]}
+		start := at
+		if f := n.linkFree[l]; f > start {
+			start = f
+		}
+		at = start + hop
+		res = append(res, reservation{l: l, free: at})
+	}
+	return at, res
+}
+
+// commit applies the reservations of a chosen delivery.
+func (n *mhNet) commit(res []reservation) {
+	for _, r := range res {
+		if r.free > n.linkFree[r.l] {
+			n.linkFree[r.l] = r.free
+		}
+	}
+}
+
+// Schedule implements Scheduler.
+func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := g.ComputeLevels(1)
+	if err != nil {
+		return nil, err
+	}
+	net := newMHNet(m)
+	rt := newReadyTracker(g)
+
+	// estRouted evaluates the earliest start of t on pe under the
+	// contention model, without committing link reservations.
+	estRouted := func(t graph.NodeID, pe int) (machine.Time, error) {
+		start := b.procFree[pe]
+		for _, a := range b.g.Pred(t) {
+			// Choose the producer copy with the earliest routed arrival.
+			cps := b.copies[a.From]
+			var bestAt machine.Time
+			for i, c := range cps {
+				at, _ := net.deliver(a.Words, c.Finish, c.PE, pe)
+				if i == 0 || at < bestAt {
+					bestAt = at
+				}
+			}
+			if len(cps) == 0 {
+				return 0, errNotPlaced(a)
+			}
+			if bestAt > start {
+				start = bestAt
+			}
+		}
+		return start, nil
+	}
+
+	for len(rt.ready) > 0 {
+		bestIdx, bestPE := -1, -1
+		var bestFinish machine.Time
+		for i, t := range rt.ready {
+			work := g.Node(t).Work
+			for pe := 0; pe < m.NumPE(); pe++ {
+				st, err := estRouted(t, pe)
+				if err != nil {
+					return nil, err
+				}
+				fin := st + m.ExecTime(work, pe)
+				better := false
+				switch {
+				case bestIdx < 0:
+					better = true
+				case fin != bestFinish:
+					better = fin < bestFinish
+				case lv.SLevel[t] != lv.SLevel[rt.ready[bestIdx]]:
+					better = lv.SLevel[t] > lv.SLevel[rt.ready[bestIdx]]
+				case t != rt.ready[bestIdx]:
+					better = t < rt.ready[bestIdx]
+				default:
+					better = pe < bestPE
+				}
+				if better {
+					bestIdx, bestPE, bestFinish = i, pe, fin
+				}
+			}
+		}
+		t := rt.take(bestIdx)
+
+		// Commit: route each incoming message in a deterministic order
+		// (messages from earlier-finishing copies first), booking links.
+		type feed struct {
+			arc  graph.Arc
+			src  Slot
+			send machine.Time
+		}
+		var feeds []feed
+		for _, a := range b.g.Pred(t) {
+			cps := b.copies[a.From]
+			best := cps[0]
+			bestAt, _ := net.deliver(a.Words, cps[0].Finish, cps[0].PE, bestPE)
+			for _, c := range cps[1:] {
+				at, _ := net.deliver(a.Words, c.Finish, c.PE, bestPE)
+				if at < bestAt || (at == bestAt && c.PE < best.PE) {
+					bestAt, best = at, c
+				}
+			}
+			feeds = append(feeds, feed{arc: a, src: best, send: best.Finish})
+		}
+		sort.Slice(feeds, func(i, j int) bool {
+			if feeds[i].send != feeds[j].send {
+				return feeds[i].send < feeds[j].send
+			}
+			return feeds[i].arc.From < feeds[j].arc.From
+		})
+		start := b.procFree[bestPE]
+		for _, f := range feeds {
+			at, res := net.deliver(f.arc.Words, f.src.Finish, f.src.PE, bestPE)
+			net.commit(res)
+			if at > start {
+				start = at
+			}
+			if f.src.PE != bestPE {
+				b.msgs = append(b.msgs, Msg{
+					Var: f.arc.Var, From: f.arc.From, To: t,
+					FromPE: f.src.PE, ToPE: bestPE, Words: f.arc.Words,
+					Send: f.src.Finish, Recv: at, Hops: m.Topo.Hops(f.src.PE, bestPE),
+				})
+			}
+		}
+		// Committed contention may push the start past the estimate
+		// (other placements between estimate and commit); never earlier.
+		n := b.g.Node(t)
+		sl := Slot{Task: t, PE: bestPE, Start: start, Finish: start + m.ExecTime(n.Work, bestPE)}
+		b.slots = append(b.slots, sl)
+		b.copies[t] = append(b.copies[t], sl)
+		if sl.Finish > b.procFree[bestPE] {
+			b.procFree[bestPE] = sl.Finish
+		}
+		rt.complete(t)
+	}
+	return b.finish("mh"), nil
+}
+
+func errNotPlaced(a graph.Arc) error {
+	return &notPlacedError{a}
+}
+
+type notPlacedError struct{ a graph.Arc }
+
+func (e *notPlacedError) Error() string {
+	return "sched: arc " + string(e.a.From) + "->" + string(e.a.To) + ": producer not placed"
+}

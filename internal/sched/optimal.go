@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Optimal finds a minimum-makespan schedule (without task duplication)
+// by branch-and-bound over (task sequence, processor assignment) pairs.
+// It exists to keep the heuristics honest: the paper claims PPSE "finds
+// the shortest elapsed execution time schedule", and the test suite
+// uses Optimal as the ground truth on small graphs.
+//
+// The search enumerates list schedules — at each step any ready task
+// may be placed on any processor at its earliest start there. For
+// precedence graphs with communication delays every schedule can be
+// shifted left to such a form without increasing the makespan, so the
+// enumeration covers an optimal (non-duplicating) schedule.
+//
+// Cost is exponential; MaxTasks (default 12) guards against misuse.
+type Optimal struct {
+	// MaxTasks bounds the graph size accepted (0 = 12).
+	MaxTasks int
+}
+
+// Name implements Scheduler.
+func (Optimal) Name() string { return "optimal" }
+
+// Schedule implements Scheduler.
+func (o Optimal) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	max := o.MaxTasks
+	if max <= 0 {
+		max = 12
+	}
+	if n := len(g.Tasks()); n > max {
+		return nil, fmt.Errorf("sched: optimal search limited to %d tasks, graph has %d", max, n)
+	}
+	// Seed the incumbent with a good heuristic so pruning bites early.
+	best, err := ETF{}.Schedule(g, m)
+	if err != nil {
+		return nil, err
+	}
+	if dsh, err := (DSH{}).Schedule(g, m); err == nil {
+		// DSH duplicates, which the search space excludes; use it only
+		// as a bound if duplicate-free.
+		hasDup := false
+		for _, sl := range dsh.Slots {
+			hasDup = hasDup || sl.Dup
+		}
+		if !hasDup && dsh.Makespan() < best.Makespan() {
+			best = dsh
+		}
+	}
+
+	s := &bbState{
+		g: g, m: m,
+		bestMakespan: best.Makespan(),
+		bestSlots:    append([]Slot(nil), best.Slots...),
+		procFree:     make([]machine.Time, m.NumPE()),
+		peCount:      make([]int, m.NumPE()),
+		placed:       map[graph.NodeID]Slot{},
+		pending:      map[graph.NodeID]int{},
+		symmetric:    isFullyConnected(m),
+	}
+	var remaining machine.Time
+	for _, n := range g.Tasks() {
+		s.pending[n.ID] = len(g.Predecessors(n.ID))
+		remaining += m.ExecTime(n.Work, 0)
+	}
+	if m.Speeds == nil { // homogeneous: remaining-work bound is valid
+		s.remainingExec = remaining
+	}
+	s.search(0, 0)
+
+	// Rebuild the message list for the winning slot set.
+	out := &Schedule{Graph: g, Machine: m, Algorithm: "optimal", Slots: s.bestSlots}
+	finish := map[graph.NodeID]Slot{}
+	for _, sl := range out.Slots {
+		finish[sl.Task] = sl
+	}
+	for _, a := range g.Arcs() {
+		from, to := finish[a.From], finish[a.To]
+		if from.PE != to.PE {
+			out.Msgs = append(out.Msgs, Msg{
+				Var: a.Var, From: a.From, To: a.To,
+				FromPE: from.PE, ToPE: to.PE, Words: a.Words,
+				Send: from.Finish, Recv: from.Finish + m.CommTime(a.Words, from.PE, to.PE),
+				Hops: m.Topo.Hops(from.PE, to.PE),
+			})
+		}
+	}
+	return out, nil
+}
+
+// isFullyConnected reports whether every PE pair is adjacent and the
+// machine is homogeneous, which makes processors interchangeable.
+func isFullyConnected(m *machine.Machine) bool {
+	if m.Speeds != nil {
+		return false
+	}
+	return strings.HasPrefix(m.Topo.Name, "full-") || m.Topo.Diameter() <= 1
+}
+
+type bbState struct {
+	g *graph.Graph
+	m *machine.Machine
+
+	bestMakespan machine.Time
+	bestSlots    []Slot
+
+	procFree      []machine.Time
+	peCount       []int // number of slots placed on each PE
+	placed        map[graph.NodeID]Slot
+	stack         []Slot
+	pending       map[graph.NodeID]int
+	remainingExec machine.Time // total ExecTime of unplaced tasks (homogeneous only)
+	symmetric     bool
+}
+
+// search extends the partial schedule; depth counts placed tasks and
+// curMax is the partial makespan.
+func (s *bbState) search(depth int, curMax machine.Time) {
+	if depth == len(s.g.Tasks()) {
+		if curMax < s.bestMakespan {
+			s.bestMakespan = curMax
+			s.bestSlots = append(s.bestSlots[:0], s.stack...)
+		}
+		return
+	}
+	if curMax >= s.bestMakespan {
+		return
+	}
+	// Remaining-work bound: all outstanding execution spread perfectly
+	// over the machine starting from the earliest free processor.
+	if s.remainingExec > 0 {
+		var earliest machine.Time = s.procFree[0]
+		for _, f := range s.procFree[1:] {
+			if f < earliest {
+				earliest = f
+			}
+		}
+		lb := earliest + (s.remainingExec-1)/machine.Time(len(s.procFree)) + 1
+		if lb >= s.bestMakespan && lb > curMax {
+			return
+		}
+	}
+
+	for _, n := range s.g.Tasks() {
+		if s.pending[n.ID] != 0 || s.placed[n.ID].Task != "" {
+			continue
+		}
+		// Symmetry breaking on fully-connected homogeneous machines:
+		// untouched processors are interchangeable, so only the first
+		// fresh one needs exploring.
+		maxPE := len(s.procFree)
+		if s.symmetric {
+			used := 0
+			for _, c := range s.peCount {
+				if c > 0 {
+					used++
+				}
+			}
+			if used+1 < maxPE {
+				maxPE = used + 1
+			}
+		}
+		for pe := 0; pe < maxPE; pe++ {
+			start := s.procFree[pe]
+			feasible := true
+			for _, a := range s.g.Pred(n.ID) {
+				src, ok := s.placed[a.From]
+				if !ok {
+					feasible = false
+					break
+				}
+				at := src.Finish + s.m.CommTime(a.Words, src.PE, pe)
+				if at > start {
+					start = at
+				}
+			}
+			if !feasible {
+				continue
+			}
+			exec := s.m.ExecTime(n.Work, pe)
+			sl := Slot{Task: n.ID, PE: pe, Start: start, Finish: start + exec}
+			newMax := curMax
+			if sl.Finish > newMax {
+				newMax = sl.Finish
+			}
+			if newMax >= s.bestMakespan {
+				continue
+			}
+			// Apply.
+			oldFree := s.procFree[pe]
+			s.procFree[pe] = sl.Finish
+			s.peCount[pe]++
+			s.placed[n.ID] = sl
+			s.stack = append(s.stack, sl)
+			for _, succ := range s.g.Successors(n.ID) {
+				s.pending[succ]--
+			}
+			s.remainingExec -= exec
+
+			s.search(depth+1, newMax)
+
+			// Undo.
+			s.remainingExec += exec
+			for _, succ := range s.g.Successors(n.ID) {
+				s.pending[succ]++
+			}
+			s.stack = s.stack[:len(s.stack)-1]
+			delete(s.placed, n.ID)
+			s.peCount[pe]--
+			s.procFree[pe] = oldFree
+		}
+	}
+}

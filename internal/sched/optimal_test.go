@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+func TestISHFillsHoles(t *testing.T) {
+	// On one processor pair: a chain head forces a wait for a message;
+	// an independent task should slot into the hole under ISH.
+	g := graph.New("holes")
+	g.MustAddTask("a", "", 10)
+	g.MustAddTask("b", "", 10) // needs a's data
+	g.MustAddTask("free", "", 4)
+	g.MustConnect("a", "b", "d", 20)
+	m := mk(t, "full:2", costlyComm()) // comm = 5 + 20 = 25us
+
+	ish, err := ISH{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ish.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything fits on one PE serially in 24us; ISH must not exceed
+	// plain HLFET.
+	hl, err := HLFET{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ish.Makespan() > hl.Makespan() {
+		t.Errorf("ISH %v worse than HLFET %v", ish.Makespan(), hl.Makespan())
+	}
+}
+
+func TestISHInsertsIntoGap(t *testing.T) {
+	// Force a genuine gap: two chains a->b (heavy comm) pinned apart,
+	// then a small независимая task must start inside the idle window.
+	g := graph.New("gap")
+	g.MustAddTask("a", "", 10)
+	g.MustAddTask("b", "", 10)
+	g.MustAddTask("c", "", 30) // keeps PE0 busy so a/b prefer PE1
+	g.MustAddTask("tiny", "", 2)
+	g.MustConnect("a", "b", "d", 30)
+	m := mk(t, "full:2", costlyComm())
+	sc, err := ISH{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// tiny must finish no later than the largest other finish (it fits
+	// in some idle window rather than extending the makespan).
+	tiny, ok := sc.PrimarySlot("tiny")
+	if !ok {
+		t.Fatal("tiny unscheduled")
+	}
+	if tiny.Finish == sc.Makespan() && sc.Makespan() > 40 {
+		t.Errorf("tiny extended the makespan: %+v (makespan %v)", tiny, sc.Makespan())
+	}
+}
+
+func TestInsertionPoint(t *testing.T) {
+	slots := []Slot{
+		{Task: "x", Start: 10, Finish: 20},
+		{Task: "y", Start: 30, Finish: 40},
+	}
+	cases := []struct {
+		ready, dur, want machine.Time
+	}{
+		{0, 10, 0},   // fits before x
+		{0, 11, 40},  // too big for [0,10) and [20,30): goes last
+		{15, 5, 20},  // ready inside x; next gap
+		{15, 15, 40}, // nothing fits until the end
+		{50, 5, 50},  // after everything
+		{0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := insertionPoint(slots, c.ready, c.dur); got != c.want {
+			t.Errorf("insertionPoint(ready=%v dur=%v) = %v, want %v", c.ready, c.dur, got, c.want)
+		}
+	}
+	if got := insertionPoint(nil, 7, 5); got != 7 {
+		t.Errorf("empty PE: %v", got)
+	}
+}
+
+func TestOptimalOnKnownGraphs(t *testing.T) {
+	// Diamond with cheap comm on 2 PEs: optimal overlaps b and c.
+	g := graph.Diamond(10, 10)
+	m := mk(t, "full:2", cheapComm())
+	sc, err := Optimal{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a [0,10]; b [10,20] PE0; c [11,21] PE1; d from 22 -> 32... ETF got
+	// 31; optimal must be <= 31.
+	if sc.Makespan() > 31 {
+		t.Errorf("optimal makespan %v > ETF's 31us", sc.Makespan())
+	}
+	// With costly comm the optimum is the serial schedule.
+	mCost := mk(t, "full:2", costlyComm())
+	sc2, err := Optimal{}.Schedule(g, mCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.Makespan() != 40 {
+		t.Errorf("optimal on costly comm = %v, want serial 40us", sc2.Makespan())
+	}
+}
+
+func TestOptimalRejectsBigGraphs(t *testing.T) {
+	g := graph.Chain(20, 1, 1)
+	m := mk(t, "full:2", cheapComm())
+	if _, err := (Optimal{}).Schedule(g, m); err == nil {
+		t.Error("20-task graph accepted by default optimal search")
+	}
+	if _, err := (Optimal{MaxTasks: 25}).Schedule(g, m); err != nil {
+		t.Errorf("raised limit rejected: %v", err)
+	}
+}
+
+// The central honesty property: no heuristic beats the exhaustive
+// optimum, and the optimum validates, on random small graphs across
+// machine shapes.
+func TestHeuristicsNeverBeatOptimal(t *testing.T) {
+	specs := []string{"full:2", "full:3", "chain:3", "star:3"}
+	f := func(seed int64, pick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: 2 + rng.Intn(2), Width: 1 + rng.Intn(3),
+			MinWork: 1, MaxWork: 20, MinWords: 0, MaxWords: 10, Density: 0.5,
+		})
+		if err != nil {
+			return false
+		}
+		if len(g.Tasks()) > 8 {
+			return true // keep the search fast
+		}
+		m := mk(t, specs[int(pick)%len(specs)], costlyComm())
+		opt, err := (Optimal{}).Schedule(g, m)
+		if err != nil {
+			t.Logf("optimal: %v", err)
+			return false
+		}
+		if err := opt.Validate(); err != nil {
+			t.Logf("optimal invalid (seed %d): %v", seed, err)
+			return false
+		}
+		for _, s := range All() {
+			sc, err := s.Schedule(g, m)
+			if err != nil {
+				return false
+			}
+			// DSH may duplicate, which can legitimately beat the
+			// duplication-free optimum.
+			if s.Name() == "dsh" {
+				continue
+			}
+			if sc.Makespan() < opt.Makespan() {
+				t.Logf("%s (%v) beat optimal (%v) on seed %d machine %s",
+					s.Name(), sc.Makespan(), opt.Makespan(), seed, m.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISHValidOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: 4, Width: 4, MinWork: 1, MaxWork: 40, MinWords: 0, MaxWords: 25, Density: 0.4,
+		})
+		if err != nil {
+			return false
+		}
+		m := mk(t, "hypercube:2", costlyComm())
+		sc, err := ISH{}.Schedule(g, m)
+		if err != nil {
+			t.Logf("ish: %v", err)
+			return false
+		}
+		if err := sc.Validate(); err != nil {
+			t.Logf("ish invalid on seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByNameIncludesOptimalAndISH(t *testing.T) {
+	for _, name := range []string{"optimal", "ish"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, s.Name())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// All returns one instance of every polynomial-time scheduler, in a
+// fixed order suitable for comparison tables: baseline first, then the
+// PPSE heuristics in increasing sophistication. The exponential
+// Optimal search is deliberately excluded; reach it with ByName.
+func All() []Scheduler {
+	return []Scheduler{Serial{}, HLFET{}, ETF{}, ISH{}, MH{}, DSH{}, Pack{}}
+}
+
+// ByName returns the scheduler with the given Name (including
+// "optimal", which All omits), or an error listing the known names.
+func ByName(name string) (Scheduler, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	if name == (Optimal{}).Name() {
+		return Optimal{}, nil
+	}
+	names := []string{(Optimal{}).Name()}
+	for _, s := range All() {
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, names)
+}
+
+// SpeedupPoint is one point of a speedup-prediction curve (the paper's
+// Figure 3 right-hand chart): the predicted speedup of a design on a
+// machine of a given size.
+type SpeedupPoint struct {
+	PEs      int
+	Makespan machine.Time
+	Speedup  float64
+}
+
+// SpeedupCurve schedules the design on each machine in turn and reports
+// the predicted speedup for each, exactly what Banger displays when it
+// maps a PITL design onto 2, 4 and 8 hypercube processors.
+func SpeedupCurve(s Scheduler, g *graph.Graph, machines []*machine.Machine) ([]SpeedupPoint, error) {
+	var pts []SpeedupPoint
+	for _, m := range machines {
+		sc, err := s.Schedule(g, m)
+		if err != nil {
+			return nil, fmt.Errorf("speedup curve on %s: %w", m.Name, err)
+		}
+		pts = append(pts, SpeedupPoint{PEs: m.NumPE(), Makespan: sc.Makespan(), Speedup: sc.Speedup()})
+	}
+	return pts, nil
+}
+
+// Compare schedules the design with every scheduler on the machine and
+// returns the schedules keyed by algorithm name.
+func Compare(g *graph.Graph, m *machine.Machine) (map[string]*Schedule, error) {
+	out := map[string]*Schedule{}
+	for _, s := range All() {
+		sc, err := s.Schedule(g, m)
+		if err != nil {
+			return nil, fmt.Errorf("compare %s: %w", s.Name(), err)
+		}
+		out[s.Name()] = sc
+	}
+	return out, nil
+}

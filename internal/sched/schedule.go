@@ -1,0 +1,286 @@
+// Package sched implements the PPSE scheduling heuristics Banger uses
+// to map a flattened PITL task graph onto a target machine, and the
+// Schedule type (a Gantt chart plus message events) they produce.
+//
+// Implemented schedulers:
+//
+//   - Serial: every task on PE 0 (the speedup baseline).
+//   - HLFET: highest level first with estimated times (Adam/Chandy/
+//     Dickson) — static priority list scheduling.
+//   - ETF: earliest task first (Hwang et al.) — dynamic greedy choice
+//     of the (task, processor) pair that can start soonest.
+//   - MH: the mapping heuristic of El-Rewini & Lewis (JPDC 1990), the
+//     scheduler the paper's reference [1] names — ETF-style selection
+//     with hop-by-hop message routing and per-link contention.
+//   - DSH: Kruatrachue's duplication scheduling heuristic — list
+//     scheduling that copies critical ancestors onto a processor to
+//     erase communication delays.
+//   - Pack: grain packing by linear clustering — chains of heavy
+//     communication are merged into grains, grains are load-balanced
+//     across processors, then times are assigned ETF-style.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Slot is one task occurrence on a processor: one bar of a Gantt chart.
+type Slot struct {
+	Task   graph.NodeID
+	PE     int
+	Start  machine.Time
+	Finish machine.Time
+	// Dup marks duplicated copies inserted by DSH; every task has
+	// exactly one slot with Dup == false.
+	Dup bool
+}
+
+// Msg is one inter-processor message: data for variable Var produced by
+// task From (on FromPE) and consumed by task To (on ToPE). Send is when
+// the message leaves the producer, Recv when the consumer may use it.
+type Msg struct {
+	Var    string
+	From   graph.NodeID
+	To     graph.NodeID
+	FromPE int
+	ToPE   int
+	Words  int64
+	Send   machine.Time
+	Recv   machine.Time
+	Hops   int
+}
+
+// Schedule is the result of mapping a flat task graph onto a machine.
+type Schedule struct {
+	Graph     *graph.Graph // the flattened task graph that was scheduled
+	Machine   *machine.Machine
+	Algorithm string
+	Slots     []Slot
+	Msgs      []Msg
+}
+
+// Makespan returns the finish time of the last slot (0 for an empty
+// schedule).
+func (s *Schedule) Makespan() machine.Time {
+	var m machine.Time
+	for _, sl := range s.Slots {
+		if sl.Finish > m {
+			m = sl.Finish
+		}
+	}
+	return m
+}
+
+// SlotsFor returns every slot (primary and duplicates) of the task.
+func (s *Schedule) SlotsFor(t graph.NodeID) []Slot {
+	var out []Slot
+	for _, sl := range s.Slots {
+		if sl.Task == t {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// PrimarySlot returns the non-duplicate slot of the task, or false.
+func (s *Schedule) PrimarySlot(t graph.NodeID) (Slot, bool) {
+	for _, sl := range s.Slots {
+		if sl.Task == t && !sl.Dup {
+			return sl, true
+		}
+	}
+	return Slot{}, false
+}
+
+// PESlots returns the slots on processor pe sorted by start time.
+func (s *Schedule) PESlots(pe int) []Slot {
+	var out []Slot
+	for _, sl := range s.Slots {
+		if sl.PE == pe {
+			out = append(out, sl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// BusyTime returns the total busy time of processor pe.
+func (s *Schedule) BusyTime(pe int) machine.Time {
+	var b machine.Time
+	for _, sl := range s.Slots {
+		if sl.PE == pe {
+			b += sl.Finish - sl.Start
+		}
+	}
+	return b
+}
+
+// UsedPEs returns how many processors run at least one slot.
+func (s *Schedule) UsedPEs() int {
+	used := map[int]bool{}
+	for _, sl := range s.Slots {
+		used[sl.PE] = true
+	}
+	return len(used)
+}
+
+// SerialTime returns the time the design needs on one processor of this
+// machine: per-task startup plus all work at PE 0's speed, no
+// communication (co-located data is free).
+func (s *Schedule) SerialTime() machine.Time {
+	var total machine.Time
+	for _, n := range s.Graph.Tasks() {
+		total += s.Machine.ExecTime(n.Work, 0)
+	}
+	return total
+}
+
+// Speedup returns SerialTime/Makespan, the paper's speedup-prediction
+// metric (Figure 3's right-hand chart).
+func (s *Schedule) Speedup() float64 {
+	mk := s.Makespan()
+	if mk == 0 {
+		return 1
+	}
+	return float64(s.SerialTime()) / float64(mk)
+}
+
+// Efficiency returns Speedup divided by the number of processors.
+func (s *Schedule) Efficiency() float64 {
+	return s.Speedup() / float64(s.Machine.NumPE())
+}
+
+// Utilization returns mean busy fraction across all processors over the
+// makespan (0 for an empty schedule).
+func (s *Schedule) Utilization() float64 {
+	mk := s.Makespan()
+	if mk == 0 {
+		return 0
+	}
+	var busy machine.Time
+	for pe := 0; pe < s.Machine.NumPE(); pe++ {
+		busy += s.BusyTime(pe)
+	}
+	return float64(busy) / (float64(mk) * float64(s.Machine.NumPE()))
+}
+
+// CommVolume returns the number of cross-processor messages and the
+// total words they carry.
+func (s *Schedule) CommVolume() (msgs int, words int64) {
+	for _, m := range s.Msgs {
+		if m.FromPE != m.ToPE {
+			msgs++
+			words += m.Words
+		}
+	}
+	return msgs, words
+}
+
+// Validate re-checks the schedule against the task graph and machine
+// model, trusting nothing the scheduler did:
+//
+//   - every task has exactly one primary slot, on a valid processor;
+//   - slot durations equal the machine's ExecTime for the task's work;
+//   - no two slots on one processor overlap;
+//   - every arc is satisfied: for every slot of the consuming task
+//     there is some slot of the producing task such that either both
+//     are co-located and producer finishes first, or the consumer
+//     starts no earlier than producer finish plus the machine's
+//     communication time for the arc's words over that hop distance.
+//
+// Contention-aware schedulers may delay messages beyond the contention-
+// free communication time; Validate therefore checks lower bounds.
+func (s *Schedule) Validate() error {
+	var errs []error
+	if s.Graph == nil || s.Machine == nil {
+		return errors.New("schedule: missing graph or machine")
+	}
+	primary := map[graph.NodeID]int{}
+	for _, sl := range s.Slots {
+		if sl.PE < 0 || sl.PE >= s.Machine.NumPE() {
+			errs = append(errs, fmt.Errorf("slot %s on invalid PE %d", sl.Task, sl.PE))
+		}
+		if s.Graph.Node(sl.Task) == nil {
+			errs = append(errs, fmt.Errorf("slot for unknown task %q", sl.Task))
+			continue
+		}
+		if !sl.Dup {
+			primary[sl.Task]++
+		}
+		if sl.Start < 0 || sl.Finish < sl.Start {
+			errs = append(errs, fmt.Errorf("slot %s has bad interval [%v,%v]", sl.Task, sl.Start, sl.Finish))
+		}
+		want := s.Machine.ExecTime(s.Graph.Node(sl.Task).Work, sl.PE)
+		if sl.Finish-sl.Start != want {
+			errs = append(errs, fmt.Errorf("slot %s duration %v != ExecTime %v", sl.Task, sl.Finish-sl.Start, want))
+		}
+	}
+	for _, n := range s.Graph.Tasks() {
+		if primary[n.ID] != 1 {
+			errs = append(errs, fmt.Errorf("task %q has %d primary slots, want 1", n.ID, primary[n.ID]))
+		}
+	}
+	// Overlap check per PE.
+	for pe := 0; pe < s.Machine.NumPE(); pe++ {
+		slots := s.PESlots(pe)
+		for i := 1; i < len(slots); i++ {
+			if slots[i].Start < slots[i-1].Finish {
+				errs = append(errs, fmt.Errorf("PE %d: %s [%v,%v] overlaps %s [%v,%v]",
+					pe, slots[i-1].Task, slots[i-1].Start, slots[i-1].Finish,
+					slots[i].Task, slots[i].Start, slots[i].Finish))
+			}
+		}
+	}
+	// Precedence + communication.
+	for _, a := range s.Graph.Arcs() {
+		producers := s.SlotsFor(a.From)
+		consumers := s.SlotsFor(a.To)
+		if len(producers) == 0 || len(consumers) == 0 {
+			errs = append(errs, fmt.Errorf("arc %s->%s: unscheduled endpoint", a.From, a.To))
+			continue
+		}
+		for _, c := range consumers {
+			satisfied := false
+			for _, p := range producers {
+				ready := p.Finish + s.Machine.CommTime(a.Words, p.PE, c.PE)
+				if c.Start >= ready {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied {
+				errs = append(errs, fmt.Errorf("arc %s->%s: consumer slot on PE %d at %v starts before data can arrive",
+					a.From, a.To, c.PE, c.Start))
+			}
+		}
+	}
+	// Message records must respect the lower-bound latency model.
+	for _, m := range s.Msgs {
+		if m.FromPE == m.ToPE {
+			continue
+		}
+		lb := s.Machine.CommTime(m.Words, m.FromPE, m.ToPE)
+		if m.Recv-m.Send < lb {
+			errs = append(errs, fmt.Errorf("msg %s->%s: latency %v below model lower bound %v",
+				m.From, m.To, m.Recv-m.Send, lb))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// String renders a compact textual summary of the schedule.
+func (s *Schedule) String() string {
+	msgs, words := s.CommVolume()
+	return fmt.Sprintf("%s on %s: makespan %v, speedup %.2f, efficiency %.2f, %d msgs (%d words)",
+		s.Algorithm, s.Machine.Name, s.Makespan(), s.Speedup(), s.Efficiency(), msgs, words)
+}

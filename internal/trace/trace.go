@@ -1,0 +1,200 @@
+// Package trace records and analyses execution event streams produced
+// by the simulator and the parallel runner: Banger's raw material for
+// Gantt charts, utilisation reports and predicted-versus-actual
+// comparisons.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Kind classifies events.
+type Kind int
+
+// Event kinds.
+const (
+	TaskStart Kind = iota
+	TaskEnd
+	MsgSend
+	MsgRecv
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case TaskStart:
+		return "task-start"
+	case TaskEnd:
+		return "task-end"
+	case MsgSend:
+		return "msg-send"
+	case MsgRecv:
+		return "msg-recv"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timestamped occurrence on a processor.
+type Event struct {
+	Kind Kind
+	At   machine.Time
+	Task graph.NodeID // task starting/ending, or message producer
+	PE   int          // where the event happens
+	Var  string       // message variable (message events only)
+	Peer int          // the other processor (message events only)
+	Dup  bool         // event belongs to a duplicate copy
+}
+
+// Trace is an event log. Events may be appended in any order; callers
+// sort once before analysis.
+type Trace struct {
+	Label  string
+	Events []Event
+}
+
+// Add appends an event.
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// kindOrder ranks events sharing a timestamp: a task ending at t
+// precedes a message sent at t, which precedes a message received at t,
+// which precedes a task starting at t — the causal order of a
+// back-to-back schedule.
+var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3}
+
+// Sort orders events by time, then processor, then causal kind order,
+// giving a deterministic log for rendering and comparison.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.PE != b.PE {
+			return a.PE < b.PE
+		}
+		if a.Kind != b.Kind {
+			return kindOrder[a.Kind] < kindOrder[b.Kind]
+		}
+		return a.Task < b.Task
+	})
+}
+
+// Makespan returns the time of the latest event.
+func (t *Trace) Makespan() machine.Time {
+	var m machine.Time
+	for _, e := range t.Events {
+		if e.At > m {
+			m = e.At
+		}
+	}
+	return m
+}
+
+// Span is one busy interval of a processor.
+type Span struct {
+	Task   graph.NodeID
+	Start  machine.Time
+	Finish machine.Time
+	Dup    bool
+}
+
+// Spans reconstructs per-processor busy intervals by pairing
+// TaskStart/TaskEnd events. It returns an error if the log is
+// inconsistent (end without start, overlapping starts on one PE).
+func (t *Trace) Spans() (map[int][]Span, error) {
+	t.Sort()
+	open := map[int]*Span{}
+	out := map[int][]Span{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case TaskStart:
+			if open[e.PE] != nil {
+				return nil, fmt.Errorf("trace: PE %d starts %q while %q still running", e.PE, e.Task, open[e.PE].Task)
+			}
+			open[e.PE] = &Span{Task: e.Task, Start: e.At, Dup: e.Dup}
+		case TaskEnd:
+			sp := open[e.PE]
+			if sp == nil || sp.Task != e.Task {
+				return nil, fmt.Errorf("trace: PE %d ends %q without matching start", e.PE, e.Task)
+			}
+			sp.Finish = e.At
+			out[e.PE] = append(out[e.PE], *sp)
+			open[e.PE] = nil
+		}
+	}
+	for pe, sp := range open {
+		if sp != nil {
+			return nil, fmt.Errorf("trace: PE %d never ends %q", pe, sp.Task)
+		}
+	}
+	return out, nil
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Makespan    machine.Time
+	TasksRun    int
+	DupsRun     int
+	Msgs        int
+	BusyByPE    map[int]machine.Time
+	Utilization float64 // mean busy fraction over PEs that appear in the trace
+}
+
+// Summarize computes summary statistics. numPE is the machine size the
+// trace ran on (idle processors count toward utilisation).
+func (t *Trace) Summarize(numPE int) (*Stats, error) {
+	spans, err := t.Spans()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{Makespan: t.Makespan(), BusyByPE: map[int]machine.Time{}}
+	for pe, ss := range spans {
+		for _, s := range ss {
+			st.BusyByPE[pe] += s.Finish - s.Start
+			if s.Dup {
+				st.DupsRun++
+			} else {
+				st.TasksRun++
+			}
+		}
+	}
+	for _, e := range t.Events {
+		if e.Kind == MsgSend {
+			st.Msgs++
+		}
+	}
+	if st.Makespan > 0 && numPE > 0 {
+		var busy machine.Time
+		for _, b := range st.BusyByPE {
+			busy += b
+		}
+		st.Utilization = float64(busy) / (float64(st.Makespan) * float64(numPE))
+	}
+	return st, nil
+}
+
+// String renders the trace as one line per event.
+func (t *Trace) String() string {
+	t.Sort()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %q: %d events\n", t.Label, len(t.Events))
+	for _, e := range t.Events {
+		switch e.Kind {
+		case TaskStart, TaskEnd:
+			fmt.Fprintf(&b, "  %8v PE%-2d %-10s %s", e.At, e.PE, e.Kind, e.Task)
+			if e.Dup {
+				b.WriteString(" (dup)")
+			}
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "  %8v PE%-2d %-10s %s:%s peer=PE%d\n", e.At, e.PE, e.Kind, e.Task, e.Var, e.Peer)
+		}
+	}
+	return b.String()
+}

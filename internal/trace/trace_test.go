@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSpansPairing(t *testing.T) {
+	tr := &Trace{Label: "t"}
+	tr.Add(Event{Kind: TaskEnd, At: 10, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 0, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 10, Task: "b", PE: 0})
+	tr.Add(Event{Kind: TaskEnd, At: 25, Task: "b", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 5, Task: "c", PE: 1, Dup: true})
+	tr.Add(Event{Kind: TaskEnd, At: 9, Task: "c", PE: 1, Dup: true})
+	spans, err := tr.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans[0]) != 2 || len(spans[1]) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0][0].Task != "a" || spans[0][0].Finish != 10 {
+		t.Errorf("span = %+v", spans[0][0])
+	}
+	if !spans[1][0].Dup {
+		t.Error("dup flag lost")
+	}
+}
+
+func TestSpansDetectInconsistency(t *testing.T) {
+	overlap := &Trace{}
+	overlap.Add(Event{Kind: TaskStart, At: 0, Task: "a", PE: 0})
+	overlap.Add(Event{Kind: TaskStart, At: 1, Task: "b", PE: 0})
+	if _, err := overlap.Spans(); err == nil {
+		t.Error("overlapping starts accepted")
+	}
+	orphanEnd := &Trace{}
+	orphanEnd.Add(Event{Kind: TaskEnd, At: 5, Task: "a", PE: 0})
+	if _, err := orphanEnd.Spans(); err == nil {
+		t.Error("end without start accepted")
+	}
+	neverEnds := &Trace{}
+	neverEnds.Add(Event{Kind: TaskStart, At: 0, Task: "a", PE: 0})
+	if _, err := neverEnds.Spans(); err == nil {
+		t.Error("unterminated task accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Kind: TaskStart, At: 0, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskEnd, At: 10, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 0, Task: "b", PE: 1, Dup: true})
+	tr.Add(Event{Kind: TaskEnd, At: 5, Task: "b", PE: 1, Dup: true})
+	tr.Add(Event{Kind: MsgSend, At: 10, Task: "a", PE: 0, Var: "v", Peer: 1})
+	tr.Add(Event{Kind: MsgRecv, At: 12, Task: "a", PE: 1, Var: "v", Peer: 0})
+	st, err := tr.Summarize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 12 {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+	if st.TasksRun != 1 || st.DupsRun != 1 || st.Msgs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BusyByPE[0] != 10 || st.BusyByPE[1] != 5 {
+		t.Errorf("busy = %v", st.BusyByPE)
+	}
+	wantUtil := float64(15) / float64(12*2)
+	if st.Utilization < wantUtil-1e-9 || st.Utilization > wantUtil+1e-9 {
+		t.Errorf("utilization = %f, want %f", st.Utilization, wantUtil)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st, err := (&Trace{}).Summarize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 0 || st.Utilization != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Kind: TaskEnd, At: 5, Task: "b", PE: 1})
+	tr.Add(Event{Kind: TaskStart, At: 5, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 1, Task: "c", PE: 2})
+	tr.Sort()
+	if tr.Events[0].Task != "c" || tr.Events[1].PE != 0 {
+		t.Errorf("order = %v", tr.Events)
+	}
+}
+
+func TestStringRendersEvents(t *testing.T) {
+	tr := &Trace{Label: "demo"}
+	tr.Add(Event{Kind: TaskStart, At: 0, Task: "a", PE: 0})
+	tr.Add(Event{Kind: TaskEnd, At: 3, Task: "a", PE: 0})
+	tr.Add(Event{Kind: MsgSend, At: 3, Task: "a", PE: 0, Var: "v", Peer: 1})
+	s := tr.String()
+	for _, want := range []string{"demo", "task-start", "task-end", "msg-send", "a:v"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TaskStart.String() != "task-start" || Kind(42).String() != "kind(42)" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	tr := &Trace{}
+	if tr.Makespan() != machine.Time(0) {
+		t.Error("empty trace makespan != 0")
+	}
+	tr.Add(Event{Kind: TaskEnd, At: 99, Task: "x", PE: 0})
+	tr.Add(Event{Kind: TaskStart, At: 5, Task: "x", PE: 0})
+	if tr.Makespan() != 99 {
+		t.Errorf("makespan = %v", tr.Makespan())
+	}
+}

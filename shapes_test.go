@@ -1,0 +1,224 @@
+package banger_test
+
+// Shape regression tests: every qualitative claim EXPERIMENTS.md makes
+// about the reproduced figures is pinned here, so a refactor that
+// silently changes "who wins, by roughly what factor, where crossovers
+// fall" fails CI rather than quietly invalidating the writeup.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/project"
+	"repro/internal/sched"
+)
+
+func hyperMachine(t *testing.T, dim int, p machine.Params) *machine.Machine {
+	t.Helper()
+	topo, err := machine.Hypercube(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(topo.Name, topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Figure 3 shape: LU speedup rises from 1 through 2 and 4 PEs, then
+// plateaus — it never exceeds the graph's width bound and never drops
+// when processors are added.
+func TestShapeFig3LUSpeedupCurve(t *testing.T) {
+	env, err := core.OpenBuiltin("lu3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := env.SpeedupCurve("mh", []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pts[1].Speedup > pts[0].Speedup*1.2) {
+		t.Errorf("2 PEs should clearly beat 1: %+v", pts)
+	}
+	if pts[2].Speedup < pts[1].Speedup || pts[3].Speedup < pts[2].Speedup {
+		t.Errorf("speedup not monotone: %+v", pts)
+	}
+	w, err := env.Flat.Graph.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[3].Speedup > float64(w) {
+		t.Errorf("speedup %.2f exceeds width bound %d", pts[3].Speedup, w)
+	}
+	// Plateau: 8 PEs gain little over 4 on this narrow design.
+	if pts[3].Speedup > pts[2].Speedup*1.25 {
+		t.Errorf("no plateau: 4 PEs %.2f vs 8 PEs %.2f", pts[2].Speedup, pts[3].Speedup)
+	}
+}
+
+// Experiment A shape: a width-16 FFT reaches (near-)ideal speedup on
+// 8 processors under the contention-free list schedulers.
+func TestShapeFFTReachesIdealSpeedup(t *testing.T) {
+	fft, err := graph.FFT(16, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hyperMachine(t, 3, machine.DefaultParams())
+	for _, name := range []string{"hlfet", "etf", "ish", "dsh"} {
+		s, err := sched.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := s.Schedule(fft, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Speedup() < 7.5 {
+			t.Errorf("%s: FFT16 speedup %.2f on 8 PEs, want >= 7.5", name, sc.Speedup())
+		}
+	}
+}
+
+// Experiment A shape: at extreme communication cost, duplication (DSH)
+// is the only heuristic that still beats serial execution.
+func TestShapeDSHWinsAtHighCCR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: 8, Width: 8, MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := machine.DefaultParams()
+	params.WordTime = 16
+	m := hyperMachine(t, 3, params)
+	dsh, err := (sched.DSH{}).Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsh.Speedup() <= 1.0 {
+		t.Errorf("DSH speedup %.2f at word_time 16, want > 1", dsh.Speedup())
+	}
+	etf, err := (sched.ETF{}).Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsh.Makespan() >= etf.Makespan() {
+		t.Errorf("DSH (%v) should beat ETF (%v) at high CCR", dsh.Makespan(), etf.Makespan())
+	}
+}
+
+// Experiment B shape: makespan is monotone in message startup, and the
+// scheduler consolidates onto fewer processors as messages get dearer.
+func TestShapeMachineParameterMonotonicity(t *testing.T) {
+	env, err := core.OpenBuiltin("lu3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CalibrateWork(); err != nil {
+		t.Fatal(err)
+	}
+	var prevMakespan machine.Time
+	var firstPEs, lastPEs int
+	for i, ms := range []machine.Time{0, 5, 20, 80} {
+		params := machine.Params{ProcSpeed: 1, TaskStartup: 1, MsgStartup: ms, WordTime: 1}
+		m := hyperMachine(t, 3, params)
+		sc, err := env.ScheduleOn("mh", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Makespan() < prevMakespan {
+			t.Errorf("makespan dropped when msg startup rose to %v", ms)
+		}
+		prevMakespan = sc.Makespan()
+		if i == 0 {
+			firstPEs = sc.UsedPEs()
+		}
+		lastPEs = sc.UsedPEs()
+	}
+	if lastPEs > firstPEs {
+		t.Errorf("scheduler spread wider (%d -> %d PEs) as comm got dearer", firstPEs, lastPEs)
+	}
+}
+
+// Experiment E shape: the heat stencil weak-scales at >= 85% efficiency
+// through 8 processors when the ring grows with the problem.
+func TestShapeHeatWeakScaling(t *testing.T) {
+	for _, segs := range []int{2, 4, 8} {
+		p, err := project.HeatSized(segs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := p.Design.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := (sched.MH{}).Schedule(flat.Graph, p.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Efficiency() < 0.85 {
+			t.Errorf("%d segments: efficiency %.2f, want >= 0.85", segs, sc.Efficiency())
+		}
+	}
+}
+
+// Topology shape: for the same design and scheduler, a fully-connected
+// machine is never slower than a star of the same size under MH.
+func TestShapeTopologyOrdering(t *testing.T) {
+	g := graph.ForkJoin(6, 30, 20)
+	params := machine.DefaultParams()
+	mkTopo := func(mk func() (*machine.Topology, error)) *machine.Machine {
+		topo, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(topo.Name, topo, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full := mkTopo(func() (*machine.Topology, error) { return machine.Full(8) })
+	star := mkTopo(func() (*machine.Topology, error) { return machine.Star(8) })
+	sFull, err := (sched.MH{}).Schedule(g, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStar, err := (sched.MH{}).Schedule(g, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFull.Makespan() > sStar.Makespan() {
+		t.Errorf("full (%v) slower than star (%v)", sFull.Makespan(), sStar.Makespan())
+	}
+}
+
+// Serial baseline shape: every heuristic beats or matches serial on the
+// stats pipeline (an embarrassingly parallel reduction with cheap data).
+func TestShapeEveryHeuristicBeatsSerialOnStats(t *testing.T) {
+	env, err := core.OpenBuiltin("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := env.Schedule("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sched.All() {
+		if s.Name() == "serial" {
+			continue
+		}
+		sc, err := env.Schedule(s.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Makespan() > serial.Makespan() {
+			t.Errorf("%s (%v) worse than serial (%v) on stats", s.Name(), sc.Makespan(), serial.Makespan())
+		}
+	}
+}
