@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The runner is the only genuinely concurrent subsystem (one goroutine
+# per processor, plus the schedule index and routing tables shared
+# read-only); run it under the race detector.
+race:
+	$(GO) test -race ./internal/exec/...
+
+# Tier-1 verification: what every PR must keep green.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

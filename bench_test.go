@@ -13,6 +13,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/gantt"
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/pits"
@@ -221,24 +222,80 @@ func BenchmarkRehearse(b *testing.B) {
 	}
 }
 
+// scalingGraph builds the deterministic random layered DAG used by the
+// scaling benchmarks: layers*width tasks at density 0.3.
+func scalingGraph(b *testing.B, layers, width int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: layers, Width: width,
+		MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// scalingSizes covers interactive sizes (16..256 tasks) plus the large
+// generated graphs (~500/2000/8000 tasks) where asymptotic behaviour
+// dominates.
+var scalingSizes = []struct{ layers, width int }{
+	{4, 4}, {8, 8}, {16, 16}, {25, 20}, {50, 40}, {100, 80},
+}
+
 // BenchmarkSchedulerScaling measures MH on growing random graphs,
 // checking the heuristic stays usable at interactive sizes.
 func BenchmarkSchedulerScaling(b *testing.B) {
-	for _, size := range []struct{ layers, width int }{{4, 4}, {8, 8}, {16, 16}} {
-		rng := rand.New(rand.NewSource(7))
-		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
-			Layers: size.layers, Width: size.width,
-			MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, size := range scalingSizes {
+		g := scalingGraph(b, size.layers, size.width)
 		m := hypercubeMachine(b, 3)
 		b.Run(g.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := (sched.MH{}).Schedule(g, m); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidate measures re-checking an ETF schedule of a large
+// random graph against the graph and machine model — the hot path of
+// every load-from-JSON and every property test.
+func BenchmarkValidate(b *testing.B) {
+	for _, size := range scalingSizes[3:] { // 500/2000/8000 tasks
+		g := scalingGraph(b, size.layers, size.width)
+		m := hypercubeMachine(b, 3)
+		sc, err := (sched.ETF{}).Schedule(g, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sc.Validate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGanttRender measures rendering the ASCII Gantt chart plus
+// the utilisation report for an ETF schedule of a large random graph —
+// the display loop of the paper's schedule/inspect/tweak cycle.
+func BenchmarkGanttRender(b *testing.B) {
+	for _, size := range scalingSizes[3:] { // 500/2000/8000 tasks
+		g := scalingGraph(b, size.layers, size.width)
+		m := hypercubeMachine(b, 3)
+		sc, err := (sched.ETF{}).Schedule(g, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = gantt.Chart(sc, 100)
+				_ = gantt.Report(sc)
 			}
 		})
 	}

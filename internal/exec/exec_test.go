@@ -98,6 +98,53 @@ func TestSimulateMatchesContentionFreeSchedulers(t *testing.T) {
 	}
 }
 
+// Property-style version of the exact-replay check: across many random
+// layered graphs and machine shapes, the simulator must re-derive every
+// contention-free scheduler's slot times exactly.
+func TestSimulateReproducesContentionFreeSchedulersRandom(t *testing.T) {
+	schedulers := []sched.Scheduler{sched.Serial{}, sched.HLFET{}, sched.ETF{}, sched.ISH{}, sched.DSH{}, sched.Pack{}}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: 2 + int(seed%4), Width: 2 + int(seed%3),
+			MinWork: 1, MaxWork: 50, MinWords: 0, MaxWords: 25, Density: 0.35,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []string{"hypercube:2", "mesh:2x2", "star:4"} {
+			m := testMachine(t, spec, params())
+			for _, s := range schedulers {
+				sc, err := s.Schedule(g, m)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, spec, s.Name(), err)
+				}
+				tr, err := Simulate(sc)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, spec, s.Name(), err)
+				}
+				spans, err := tr.Spans()
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, spec, s.Name(), err)
+				}
+				for pe := 0; pe < m.NumPE(); pe++ {
+					want := sc.PESlots(pe)
+					got := spans[pe]
+					if len(got) != len(want) {
+						t.Fatalf("seed %d %s/%s PE%d: %d spans vs %d slots", seed, spec, s.Name(), pe, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Task != want[i].Task || got[i].Start != want[i].Start || got[i].Finish != want[i].Finish {
+							t.Errorf("seed %d %s/%s PE%d slot %d: simulated %+v vs scheduled %+v",
+								seed, spec, s.Name(), pe, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestSimulateMHNeverBeatenByScheduledTimes(t *testing.T) {
 	// MH charges link contention the simulator doesn't model, so the
 	// simulated (contention-free) makespan must be <= MH's estimate.
@@ -313,6 +360,162 @@ func TestRunnerErrors(t *testing.T) {
 			t.Errorf("err = %v", err)
 		}
 	})
+}
+
+// calibrate runs every routine once in topological order (a miniature
+// rehearsal) and sets each task's Work to its measured interpreter ops,
+// so virtual-time execution and the machine model agree exactly.
+func calibrate(t *testing.T, flat *graph.Flat, inputs pits.Env) {
+	t.Helper()
+	order, err := flat.Graph.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := map[graph.NodeID]pits.Env{}
+	for _, id := range order {
+		n := flat.Graph.Node(id)
+		env := pits.Env{}
+		for _, v := range flat.ExternalIn[id] {
+			env[v] = inputs[v]
+		}
+		for _, a := range flat.Graph.Pred(id) {
+			env[a.Var] = produced[a.From][a.Var]
+		}
+		prog, err := pits.Parse(n.Routine)
+		if err != nil {
+			t.Fatalf("task %s: %v", id, err)
+		}
+		ops, out, _, err := pits.Measure(prog, env)
+		if err != nil {
+			t.Fatalf("task %s: %v", id, err)
+		}
+		produced[id] = out
+		n.Work = ops
+		if n.Work < 1 {
+			n.Work = 1
+		}
+	}
+}
+
+// The virtual-time runner trace and the discrete-event simulation must
+// be event-for-event identical — same kinds, times, tasks, variables
+// and peer processors — for a contention-free schedule of a calibrated
+// design. This is what makes real-run traces directly diffable against
+// predictions.
+func TestRunnerVirtualTraceMatchesSimulate(t *testing.T) {
+	flat := diamondDesign(t)
+	inputs := pits.Env{"x0": pits.Num(3)}
+	calibrate(t, flat, inputs)
+	for _, spec := range []string{"full:2", "hypercube:2", "star:4"} {
+		m := testMachine(t, spec, params())
+		for _, s := range []sched.Scheduler{sched.ETF{}, sched.HLFET{}, sched.Pack{}} {
+			sc, err := s.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, s.Name(), err)
+			}
+			sim, err := Simulate(sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, s.Name(), err)
+			}
+			r := &Runner{Inputs: inputs, VirtualTime: true}
+			res, err := r.Run(sc, flat)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec, s.Name(), err)
+			}
+			got := res.Trace
+			got.Sort()
+			sim.Sort()
+			if len(got.Events) != len(sim.Events) {
+				t.Fatalf("%s/%s: %d run events vs %d simulated\nrun:\n%s\nsim:\n%s",
+					spec, s.Name(), len(got.Events), len(sim.Events), got, sim)
+			}
+			for i := range sim.Events {
+				if got.Events[i] != sim.Events[i] {
+					t.Errorf("%s/%s event %d: run %+v != simulated %+v",
+						spec, s.Name(), i, got.Events[i], sim.Events[i])
+				}
+			}
+		}
+	}
+}
+
+// When one worker fails, the others die with cascade-abort errors; the
+// reported error must lead with the originating failure, not the
+// cascade.
+func TestRunnerReportsRootCauseBeforeCascade(t *testing.T) {
+	g := graph.New("cascade")
+	a := g.MustAddTask("a", "runaway", 10)
+	c := g.MustAddTask("c", "consumer", 10)
+	a.Routine = "u = 1\nwhile true do\n  u = u + 1\nend"
+	c.Routine = "z = u"
+	g.MustConnect("a", "c", "u", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:2", params())
+	// Hand-placed schedule pinning the consumer to the other processor,
+	// so its worker is blocked in receive when the producer fails.
+	sc := &sched.Schedule{Graph: flat.Graph, Machine: m, Algorithm: "hand",
+		Slots: []sched.Slot{
+			{Task: "a", PE: 0, Start: 0, Finish: 11},
+			{Task: "c", PE: 1, Start: 17, Finish: 28},
+		},
+		Msgs: []sched.Msg{{Var: "u", From: "a", To: "c", FromPE: 0, ToPE: 1, Words: 1, Send: 11, Recv: 17, Hops: 1}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{MaxSteps: 1_000}
+	_, err = r.Run(sc, flat)
+	if err == nil {
+		t.Fatal("runaway run succeeded")
+	}
+	msg := err.Error()
+	rootAt := strings.Index(msg, "step limit")
+	cascadeAt := strings.Index(msg, "aborted")
+	if rootAt < 0 {
+		t.Fatalf("root cause missing from error: %v", err)
+	}
+	if cascadeAt >= 0 && cascadeAt < rootAt {
+		t.Errorf("cascade reported before root cause: %v", err)
+	}
+	if !strings.Contains(msg, "cascade") {
+		t.Errorf("cascade count missing from error: %v", err)
+	}
+}
+
+// Two tasks exporting the same unqualified variable must be rejected
+// loudly instead of silently overwriting each other in merge order.
+func TestRunnerDetectsOutputNameCollision(t *testing.T) {
+	g := graph.New("collide")
+	t1 := g.MustAddTask("t1", "", 5)
+	t2 := g.MustAddTask("t2", "", 5)
+	t1.Routine = "v = 1"
+	t2.Routine = "v = 2"
+	g.MustAddStorage("O1", "v")
+	g.MustAddStorage("O2", "v")
+	g.MustConnect("t1", "O1", "v", 1)
+	g.MustConnect("t2", "O2", "v", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:2", params())
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{}
+	_, err = r.Run(sc, flat)
+	if err == nil {
+		t.Fatal("colliding external outputs accepted")
+	}
+	for _, want := range []string{`"v"`, "t1", "t2", "t1.v", "t2.v"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("collision error missing %q: %v", want, err)
+		}
+	}
 }
 
 func TestRunnerCollectsPrints(t *testing.T) {

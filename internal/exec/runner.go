@@ -55,11 +55,13 @@ type Result struct {
 }
 
 // message carries one arc's data between processor goroutines, plus
-// its virtual arrival time when the runner is in virtual-time mode.
+// the sending processor and the virtual arrival time when the runner is
+// in virtual-time mode.
 type message struct {
-	key msgKey
-	val pits.Value
-	at  machine.Time
+	key    msgKey
+	val    pits.Value
+	fromPE int
+	at     machine.Time
 }
 
 // msgKey identifies a scheduled message: producer task, consumer task,
@@ -85,6 +87,11 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 	}
 	g := s.Graph
 	numPE := s.Machine.NumPE()
+	// Build the schedule's index and the topology's routing tables now:
+	// both caches fill lazily and unsynchronized, and every worker
+	// goroutine reads them.
+	s.Finalize()
+	s.Machine.Topo.Precompute()
 
 	// Parse every routine up front; fail fast before spawning workers.
 	progs := map[graph.NodeID]*pits.Program{}
@@ -137,7 +144,7 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 			pe: pe, runner: r, sched: s, flat: flat, progs: progs,
 			expected: expect[pe], sends: sends[pe],
 			inboxes: inboxes, done: done, now: now,
-			outputs: pits.Env{},
+			outputs: pits.Env{}, exports: map[string]graph.NodeID{},
 		}
 	}
 
@@ -153,26 +160,61 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 	}
 	wg.Wait()
 
-	var errs []error
+	// One failing worker aborts the run, which makes every other worker
+	// fail too ("aborted while sending/waiting"). Those cascade errors
+	// are consequences, not causes: report the originating failures
+	// first and fold the cascade into a count so the root cause is the
+	// first thing the user reads.
+	var roots, cascades []error
 	for _, w := range workers {
-		if w.err != nil {
-			errs = append(errs, fmt.Errorf("PE %d: %w", w.pe, w.err))
+		if w.err == nil {
+			continue
+		}
+		e := fmt.Errorf("PE %d: %w", w.pe, w.err)
+		if errors.Is(w.err, errAborted) {
+			cascades = append(cascades, e)
+		} else {
+			roots = append(roots, e)
 		}
 	}
-	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+	switch {
+	case len(roots) > 0 && len(cascades) > 0:
+		return nil, fmt.Errorf("%w\n(%d other workers aborted in cascade)", errors.Join(roots...), len(cascades))
+	case len(roots) > 0:
+		return nil, errors.Join(roots...)
+	case len(cascades) > 0:
+		// Shouldn't happen — an abort always has an originating failure
+		// — but never swallow an error.
+		return nil, errors.Join(cascades...)
 	}
 	res := &Result{Outputs: pits.Env{}, Trace: &trace.Trace{Label: "run:" + s.Algorithm}, Elapsed: time.Since(start)}
+	owner := map[string]graph.NodeID{} // unqualified external output -> exporting task
 	for _, w := range workers {
 		res.Trace.Events = append(res.Trace.Events, w.events...)
 		for k, v := range w.outputs {
 			res.Outputs[k] = v
+		}
+		for v, task := range w.exports {
+			if prev, clash := owner[v]; clash && prev != task {
+				a, b := prev, task
+				if b < a {
+					a, b = b, a
+				}
+				return nil, fmt.Errorf("exec: external output %q exported by both task %s and task %s; rename one or read the qualified keys %q and %q",
+					v, a, b, string(a)+"."+v, string(b)+"."+v)
+			}
+			owner[v] = task
+			res.Outputs[v] = res.Outputs[string(task)+"."+v]
 		}
 		res.Printed = append(res.Printed, w.printed...)
 	}
 	res.Trace.Sort()
 	return res, nil
 }
+
+// errAborted marks a worker failure that is a consequence of another
+// worker's abort, not a root cause.
+var errAborted = errors.New("aborted")
 
 // worker owns one simulated processor during a run.
 type worker struct {
@@ -188,7 +230,8 @@ type worker struct {
 	now      func() machine.Time
 
 	events  []trace.Event
-	outputs pits.Env
+	outputs pits.Env                // qualified "task.var" external outputs
+	exports map[string]graph.NodeID // unqualified external output -> exporting task
 	printed []string
 	err     error
 
@@ -280,14 +323,16 @@ func (w *worker) run() error {
 			}
 			w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt, Task: sl.Task, PE: w.pe, Var: sp.key.v, Peer: sp.toPE})
 			select {
-			case w.inboxes[sp.toPE] <- message{key: sp.key, val: val, at: arriveAt}:
+			case w.inboxes[sp.toPE] <- message{key: sp.key, val: val, fromPE: w.pe, at: arriveAt}:
 			case <-w.done:
-				return fmt.Errorf("aborted while sending to PE %d", sp.toPE)
+				return fmt.Errorf("%w while sending to PE %d", errAborted, sp.toPE)
 			}
 		}
 
 		// External outputs from the primary copy only (duplicates are
-		// communication surrogates, not result owners).
+		// communication surrogates, not result owners). Only the
+		// qualified "task.var" key is written here; Run merges the
+		// unqualified names and rejects collisions between tasks.
 		if !sl.Dup {
 			for _, v := range w.flat.ExternalOut[sl.Task] {
 				val, ok := env[v]
@@ -295,7 +340,7 @@ func (w *worker) run() error {
 					return fmt.Errorf("task %s: routine did not produce external output %q", sl.Task, v)
 				}
 				w.outputs[string(sl.Task)+"."+v] = val
-				w.outputs[v] = val
+				w.exports[v] = sl.Task
 			}
 		}
 	}
@@ -310,7 +355,7 @@ func (w *worker) receive(k msgKey) (message, error) {
 		if w.runner.VirtualTime {
 			at = m.at
 		}
-		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v})
+		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v, Peer: m.fromPE})
 		return m
 	}
 	if m, ok := w.recvd[k]; ok {
@@ -325,7 +370,7 @@ func (w *worker) receive(k msgKey) (message, error) {
 			}
 			w.recvd[m.key] = m
 		case <-w.done:
-			return message{}, fmt.Errorf("aborted while waiting for %s:%s from %s", k.to, k.v, k.from)
+			return message{}, fmt.Errorf("%w while waiting for %s:%s from %s", errAborted, k.to, k.v, k.from)
 		}
 	}
 }

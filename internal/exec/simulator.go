@@ -21,12 +21,15 @@ import (
 )
 
 // Simulate replays the schedule's placements (which task on which
-// processor, in which local order, including duplicates) under the
-// contention-free machine model and derives start/finish times from
-// first principles. For schedules produced by the contention-free
-// schedulers the derived times equal the scheduled times; for MH the
-// derived times may be earlier (MH also charges link contention).
-// The returned trace contains task and message events.
+// processor, in which local order, including duplicates) and its
+// message routing (which producer copy feeds each consumer copy)
+// under the contention-free machine model, deriving start/finish
+// times from first principles. For schedules produced by the
+// contention-free schedulers — including DSH, whose duplicates make
+// the producer-copy choice significant — the derived times equal the
+// scheduled times; for MH the derived times may be earlier (MH also
+// charges link contention). The returned trace contains task and
+// message events.
 func Simulate(s *sched.Schedule) (*trace.Trace, error) {
 	if s == nil || s.Graph == nil || s.Machine == nil {
 		return nil, fmt.Errorf("exec: nil schedule")
@@ -34,11 +37,8 @@ func Simulate(s *sched.Schedule) (*trace.Trace, error) {
 	m := s.Machine
 	g := s.Graph
 
-	// Per-PE slot order comes from the schedule.
-	type slotRef struct {
-		sl  sched.Slot
-		seq int // execution order on its PE
-	}
+	// Per-PE slot order comes from the schedule's index (shared,
+	// pre-sorted; read-only here).
 	byPE := make([][]sched.Slot, m.NumPE())
 	for pe := 0; pe < m.NumPE(); pe++ {
 		byPE[pe] = s.PESlots(pe)
@@ -51,6 +51,24 @@ func Simulate(s *sched.Schedule) (*trace.Trace, error) {
 	}
 	finish := map[copyKey]machine.Time{}
 	done := map[copyKey]bool{}
+	placed := map[copyKey]bool{}
+	for _, sl := range s.Slots {
+		placed[copyKey{sl.Task, sl.PE}] = true
+	}
+	// The schedule's message records name the producer copy each
+	// consumer copy was routed from. Replaying that choice (instead of
+	// greedily taking whichever copy happens to be simulated first)
+	// is what makes the replay exact for duplication schedules, where
+	// several copies of a producer coexist.
+	type srcKey struct {
+		from, to graph.NodeID
+		v        string
+		toPE     int
+	}
+	src := map[srcKey]int{}
+	for _, msg := range s.Msgs {
+		src[srcKey{msg.From, msg.To, msg.Var, msg.ToPE}] = msg.FromPE
+	}
 	idx := make([]int, m.NumPE()) // next slot to run per PE
 	procFree := make([]machine.Time, m.NumPE())
 
@@ -75,14 +93,31 @@ func Simulate(s *sched.Schedule) (*trace.Trace, error) {
 				for _, a := range g.Pred(sl.Task) {
 					bestAt := machine.Time(-1)
 					var bestKey copyKey
-					for q := 0; q < m.NumPE(); q++ {
+					if q, ok := src[srcKey{a.From, sl.Task, a.Var, pe}]; ok {
+						// Wait for the copy the schedule routed from.
 						k := copyKey{a.From, q}
-						if !done[k] {
-							continue
+						if done[k] {
+							bestAt, bestKey = finish[k]+m.CommTime(a.Words, q, pe), k
 						}
-						at := finish[k] + m.CommTime(a.Words, q, pe)
-						if bestAt < 0 || at < bestAt {
-							bestAt, bestKey = at, k
+					} else if placed[copyKey{a.From, pe}] {
+						// No message recorded: the schedule fed this arc
+						// from the co-located copy.
+						k := copyKey{a.From, pe}
+						if done[k] {
+							bestAt, bestKey = finish[k], k
+						}
+					} else {
+						// Hand-built schedule with no message records:
+						// fall back to the earliest-arriving finished copy.
+						for q := 0; q < m.NumPE(); q++ {
+							k := copyKey{a.From, q}
+							if !done[k] {
+								continue
+							}
+							at := finish[k] + m.CommTime(a.Words, q, pe)
+							if bestAt < 0 || at < bestAt {
+								bestAt, bestKey = at, k
+							}
 						}
 					}
 					if bestAt < 0 {

@@ -90,14 +90,24 @@ func render(header string, rows map[int][]bar, numPE int, makespan machine.Time,
 			if bar.dup {
 				label = "+" + label
 			}
+			// Fill the cell in place: "[label###]" truncated to the
+			// cell, or bare '#'s when too narrow for brackets.
 			cell := hi - lo
-			txt := []rune("[" + label + strings.Repeat("#", width) + "]")
 			if cell < 3 {
-				txt = []rune(strings.Repeat("#", cell))
-			} else {
-				txt = append(txt[:cell-1], ']')
+				for i := lo; i < hi; i++ {
+					line[i] = '#'
+				}
+				continue
 			}
-			copy(line[lo:hi], txt[:cell])
+			line[lo], line[hi-1] = '[', ']'
+			lr := []rune(label)
+			for i := 1; i < cell-1; i++ {
+				if i-1 < len(lr) {
+					line[lo+i] = lr[i-1]
+				} else {
+					line[lo+i] = '#'
+				}
+			}
 		}
 		fmt.Fprintf(&b, "  PE%-2d |%s|\n", pe, string(line))
 	}

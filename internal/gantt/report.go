@@ -34,13 +34,7 @@ func Report(s *sched.Schedule) string {
 				tasks++
 			}
 		}
-		msgs, words := 0, int64(0)
-		for _, m := range s.Msgs {
-			if m.FromPE == pe && m.ToPE != pe {
-				msgs++
-				words += m.Words
-			}
-		}
+		msgs, words := s.OutTraffic(pe)
 		fmt.Fprintf(&b, "  %-4d %-9v %-9v %5.1f%%  %-6d %-5d %-9d %d\n",
 			pe, busy, idle, 100*util, tasks, dups, msgs, words)
 	}

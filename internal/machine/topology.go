@@ -222,6 +222,12 @@ func (t *Topology) NumLinks() int {
 	return total / 2
 }
 
+// Precompute forces the lazy BFS routing tables to be built now. The
+// lazy build is not synchronized, so any code that shares a Topology
+// across goroutines (the scheduler registry's comparison sweeps, the
+// runner's workers) must call Precompute on one goroutine first.
+func (t *Topology) Precompute() { t.buildRoutes() }
+
 // buildRoutes runs BFS from every source, filling dist and nextH.
 func (t *Topology) buildRoutes() {
 	if t.dist != nil {

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Index is an immutable set of derived views over a finalized schedule:
+// per-processor slot lists pre-sorted by start time, a per-task slot
+// map covering primaries and duplicates, and the aggregate figures
+// (makespan, per-PE busy time, outbound traffic) every display and
+// check re-derives otherwise. It turns the Schedule accessors from
+// linear scans over all slots into map and slice lookups, which is what
+// keeps Validate, the simulator, the runner and the Gantt renderers
+// linear as graphs grow.
+//
+// Invalidation is by construction: schedulers assemble slots in a
+// private builder and create the Schedule exactly once, finished, so an
+// index built from a Schedule can never go stale. Code that mutates
+// Slots or Msgs of an already-indexed Schedule by hand breaks that
+// contract and owns the consequences.
+type Index struct {
+	byPE     [][]Slot                // per PE, sorted by (Start, Task); shared, callers must not mutate
+	byTask   map[graph.NodeID][]Slot // every copy of each task, in Slots order
+	primary  map[graph.NodeID]Slot   // the non-duplicate copy of each task
+	busy     []machine.Time          // per-PE total busy time
+	msgsOut  []int                   // per-PE cross-PE messages originated
+	wordsOut []int64                 // per-PE cross-PE words originated
+	makespan machine.Time
+	usedPEs  int
+}
+
+// index returns the schedule's Index, building it on first use. The
+// build is not synchronized: concurrent callers (the runner's workers)
+// are safe only because Runner.Run forces the build before spawning
+// goroutines; any other concurrent user must do the same via an
+// accessor call on a single goroutine first.
+func (s *Schedule) index() *Index {
+	if s.idx == nil {
+		s.idx = buildIndex(s)
+	}
+	return s.idx
+}
+
+// buildIndex derives every view in one pass over Slots and Msgs. Slots
+// naming processors outside the machine appear only in the per-task
+// views; Validate reports them from its own slot pass.
+func buildIndex(s *Schedule) *Index {
+	numPE := 0
+	if s.Machine != nil {
+		numPE = s.Machine.NumPE()
+	}
+	idx := &Index{
+		byPE:     make([][]Slot, numPE),
+		byTask:   make(map[graph.NodeID][]Slot, len(s.Slots)),
+		primary:  make(map[graph.NodeID]Slot, len(s.Slots)),
+		busy:     make([]machine.Time, numPE),
+		msgsOut:  make([]int, numPE),
+		wordsOut: make([]int64, numPE),
+	}
+	for _, sl := range s.Slots {
+		idx.byTask[sl.Task] = append(idx.byTask[sl.Task], sl)
+		if _, seen := idx.primary[sl.Task]; !sl.Dup && !seen {
+			idx.primary[sl.Task] = sl
+		}
+		if sl.Finish > idx.makespan {
+			idx.makespan = sl.Finish
+		}
+		if sl.PE >= 0 && sl.PE < numPE {
+			idx.byPE[sl.PE] = append(idx.byPE[sl.PE], sl)
+			idx.busy[sl.PE] += sl.Finish - sl.Start
+		}
+	}
+	for pe := range idx.byPE {
+		slots := idx.byPE[pe]
+		sort.Slice(slots, func(i, j int) bool {
+			if slots[i].Start != slots[j].Start {
+				return slots[i].Start < slots[j].Start
+			}
+			return slots[i].Task < slots[j].Task
+		})
+		if len(slots) > 0 {
+			idx.usedPEs++
+		}
+	}
+	for _, m := range s.Msgs {
+		if m.FromPE == m.ToPE {
+			continue
+		}
+		if m.FromPE >= 0 && m.FromPE < numPE {
+			idx.msgsOut[m.FromPE]++
+			idx.wordsOut[m.FromPE] += m.Words
+		}
+	}
+	return idx
+}

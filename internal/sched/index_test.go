@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// randLayered builds a deterministic random layered DAG for index and
+// Validate stress tests.
+func randLayered(t *testing.T, seed int64, layers, width int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: layers, Width: width,
+		MinWork: 5, MaxWork: 60, MinWords: 1, MaxWords: 20, Density: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestIndexMatchesBruteForce checks every indexed accessor against a
+// recomputation straight from Slots and Msgs, on schedules with and
+// without duplicates.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+		p    machine.Params
+		spec string
+	}{
+		{"etf", ETF{}, cheapComm(), "hypercube:3"},
+		{"dsh-dup-heavy", DSH{}, costlyComm(), "mesh:2x2"},
+		{"mh", MH{}, costlyComm(), "star:4"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randLayered(t, 11, 8, 6)
+			m := mk(t, tc.spec, tc.p)
+			s, err := tc.s.Schedule(g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Makespan.
+			var mk machine.Time
+			for _, sl := range s.Slots {
+				if sl.Finish > mk {
+					mk = sl.Finish
+				}
+			}
+			if got := s.Makespan(); got != mk {
+				t.Errorf("Makespan = %v, brute force %v", got, mk)
+			}
+
+			used := 0
+			for pe := 0; pe < m.NumPE(); pe++ {
+				// PESlots: same set as filtering Slots, sorted by start.
+				var want []Slot
+				for _, sl := range s.Slots {
+					if sl.PE == pe {
+						want = append(want, sl)
+					}
+				}
+				got := s.PESlots(pe)
+				if len(got) != len(want) {
+					t.Fatalf("PE%d: PESlots has %d slots, brute force %d", pe, len(got), len(want))
+				}
+				for i := 1; i < len(got); i++ {
+					if got[i].Start < got[i-1].Start {
+						t.Errorf("PE%d: PESlots not sorted at %d", pe, i)
+					}
+				}
+				seen := map[graph.NodeID]int{}
+				var busy machine.Time
+				for _, sl := range want {
+					seen[sl.Task]++
+					busy += sl.Finish - sl.Start
+				}
+				for _, sl := range got {
+					seen[sl.Task]--
+				}
+				for task, n := range seen {
+					if n != 0 {
+						t.Errorf("PE%d: PESlots disagrees on %s by %d", pe, task, n)
+					}
+				}
+				if len(want) > 0 {
+					used++
+				}
+
+				// BusyTime.
+				if got := s.BusyTime(pe); got != busy {
+					t.Errorf("PE%d: BusyTime = %v, brute force %v", pe, got, busy)
+				}
+
+				// OutTraffic.
+				msgs, words := 0, int64(0)
+				for _, msg := range s.Msgs {
+					if msg.FromPE == pe && msg.ToPE != pe {
+						msgs++
+						words += msg.Words
+					}
+				}
+				if gm, gw := s.OutTraffic(pe); gm != msgs || gw != words {
+					t.Errorf("PE%d: OutTraffic = (%d, %d), brute force (%d, %d)", pe, gm, gw, msgs, words)
+				}
+			}
+			if got := s.UsedPEs(); got != used {
+				t.Errorf("UsedPEs = %d, brute force %d", got, used)
+			}
+
+			// SlotsFor: every copy of every task, primaries flagged.
+			for _, n := range g.Nodes() {
+				id := n.ID
+				var want []Slot
+				for _, sl := range s.Slots {
+					if sl.Task == id {
+						want = append(want, sl)
+					}
+				}
+				if got := s.SlotsFor(id); !reflect.DeepEqual(got, want) {
+					t.Errorf("SlotsFor(%s) = %v, brute force %v", id, got, want)
+				}
+				prim, ok := s.PrimarySlot(id)
+				if !ok {
+					t.Errorf("PrimarySlot(%s) missing", id)
+				} else if prim.Dup {
+					t.Errorf("PrimarySlot(%s) returned a duplicate", id)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateMHContentionAware runs MH — whose times include link
+// contention on shared routes — over random graphs on star and mesh
+// topologies and requires the indexed Validate to accept every result.
+func TestValidateMHContentionAware(t *testing.T) {
+	for _, spec := range []string{"star:4", "mesh:2x2", "mesh:2x3"} {
+		for seed := int64(0); seed < 4; seed++ {
+			g := randLayered(t, seed, 6, 5)
+			m := mk(t, spec, costlyComm())
+			s, err := MH{}.Schedule(g, m)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", spec, seed, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s seed %d: MH schedule failed Validate: %v", spec, seed, err)
+			}
+		}
+	}
+}
+
+// TestValidateDSHDuplicateHeavy makes communication expensive enough
+// that DSH duplicates aggressively, then requires Validate to accept
+// the duplicate-bearing schedules it produces.
+func TestValidateDSHDuplicateHeavy(t *testing.T) {
+	dups := 0
+	for seed := int64(0); seed < 4; seed++ {
+		g := randLayered(t, seed, 6, 5)
+		m := mk(t, "hypercube:2", costlyComm())
+		s, err := DSH{}.Schedule(g, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("seed %d: DSH schedule failed Validate: %v", seed, err)
+		}
+		for _, sl := range s.Slots {
+			if sl.Dup {
+				dups++
+			}
+		}
+	}
+	if dups == 0 {
+		t.Error("DSH produced no duplicates under costly comm; test exercises nothing")
+	}
+}
+
+// TestCompareAndSpeedupCurveDeterministic runs the concurrent Compare
+// and SpeedupCurve repeatedly and requires identical results each time:
+// the goroutine fan-out must not leak nondeterminism into the output.
+func TestCompareAndSpeedupCurveDeterministic(t *testing.T) {
+	g := randLayered(t, 3, 6, 5)
+	m := mk(t, "hypercube:3", costlyComm())
+	base, err := Compare(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(All()) {
+		t.Fatalf("Compare returned %d schedules, want %d", len(base), len(All()))
+	}
+	for round := 0; round < 3; round++ {
+		again, err := Compare(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, sc := range base {
+			got, ok := again[name]
+			if !ok {
+				t.Fatalf("round %d: %s missing", round, name)
+			}
+			if !reflect.DeepEqual(got.Slots, sc.Slots) || got.Makespan() != sc.Makespan() {
+				t.Errorf("round %d: %s schedule differs between runs", round, name)
+			}
+		}
+	}
+
+	machines := []*machine.Machine{
+		mk(t, "hypercube:1", costlyComm()),
+		mk(t, "hypercube:2", costlyComm()),
+		mk(t, "hypercube:3", costlyComm()),
+	}
+	basePts, err := SpeedupCurve(ETF{}, g, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basePts) != 3 || basePts[0].PEs != 2 || basePts[1].PEs != 4 || basePts[2].PEs != 8 {
+		t.Fatalf("SpeedupCurve order not preserved: %+v", basePts)
+	}
+	for round := 0; round < 3; round++ {
+		pts, err := SpeedupCurve(ETF{}, g, machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pts, basePts) {
+			t.Errorf("round %d: SpeedupCurve differs: %+v vs %+v", round, pts, basePts)
+		}
+	}
+}

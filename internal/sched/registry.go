@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -44,31 +45,74 @@ type SpeedupPoint struct {
 	Speedup  float64
 }
 
-// SpeedupCurve schedules the design on each machine in turn and reports
-// the predicted speedup for each, exactly what Banger displays when it
-// maps a PITL design onto 2, 4 and 8 hypercube processors.
+// SpeedupCurve schedules the design on each machine and reports the
+// predicted speedup for each, exactly what Banger displays when it maps
+// a PITL design onto 2, 4 and 8 hypercube processors. The machine sizes
+// are independent, so they are scheduled concurrently; the returned
+// points keep the order of machines.
 func SpeedupCurve(s Scheduler, g *graph.Graph, machines []*machine.Machine) ([]SpeedupPoint, error) {
-	var pts []SpeedupPoint
-	for _, m := range machines {
-		sc, err := s.Schedule(g, m)
-		if err != nil {
-			return nil, fmt.Errorf("speedup curve on %s: %w", m.Name, err)
+	pts := make([]SpeedupPoint, len(machines))
+	errs := make([]error, len(machines))
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		if m == nil {
+			return nil, fmt.Errorf("speedup curve: nil machine at index %d", i)
 		}
-		pts = append(pts, SpeedupPoint{PEs: m.NumPE(), Makespan: sc.Makespan(), Speedup: sc.Speedup()})
+		m.Topo.Precompute() // routing tables build lazily; force before sharing
+		wg.Add(1)
+		go func(i int, m *machine.Machine) {
+			defer wg.Done()
+			sc, err := s.Schedule(g, m)
+			if err != nil {
+				errs[i] = fmt.Errorf("speedup curve on %s: %w", m.Name, err)
+				return
+			}
+			pts[i] = SpeedupPoint{PEs: m.NumPE(), Makespan: sc.Makespan(), Speedup: sc.Speedup()}
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return pts, nil
 }
 
-// Compare schedules the design with every scheduler on the machine and
-// returns the schedules keyed by algorithm name.
+// Compare schedules the design with every scheduler on the machine,
+// one goroutine per scheduler, and returns the schedules keyed by
+// algorithm name. Schedulers are deterministic and share nothing but
+// the read-only graph and machine, so the concurrent result is
+// identical to the sequential one.
 func Compare(g *graph.Graph, m *machine.Machine) (map[string]*Schedule, error) {
+	if g == nil || m == nil {
+		return nil, fmt.Errorf("compare: nil graph or machine")
+	}
+	all := All()
+	scs := make([]*Schedule, len(all))
+	errs := make([]error, len(all))
+	m.Topo.Precompute() // routing tables build lazily; force before sharing
+	var wg sync.WaitGroup
+	for i, s := range all {
+		wg.Add(1)
+		go func(i int, s Scheduler) {
+			defer wg.Done()
+			sc, err := s.Schedule(g, m)
+			if err != nil {
+				errs[i] = fmt.Errorf("compare %s: %w", s.Name(), err)
+				return
+			}
+			sc.Finalize()
+			scs[i] = sc
+		}(i, s)
+	}
+	wg.Wait()
 	out := map[string]*Schedule{}
-	for _, s := range All() {
-		sc, err := s.Schedule(g, m)
-		if err != nil {
-			return nil, fmt.Errorf("compare %s: %w", s.Name(), err)
+	for i, s := range all {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out[s.Name()] = sc
+		out[s.Name()] = scs[i]
 	}
 	return out, nil
 }

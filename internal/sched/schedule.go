@@ -23,7 +23,6 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -56,82 +55,78 @@ type Msg struct {
 }
 
 // Schedule is the result of mapping a flat task graph onto a machine.
+// Schedules are finalized by construction: every scheduler assembles
+// slots in a private builder and creates the Schedule exactly once, so
+// the derived views in idx never go stale. Mutating Slots or Msgs after
+// any accessor has been called yields stale answers.
 type Schedule struct {
 	Graph     *graph.Graph // the flattened task graph that was scheduled
 	Machine   *machine.Machine
 	Algorithm string
 	Slots     []Slot
 	Msgs      []Msg
+
+	idx *Index // lazily-built derived views; see index.go
 }
+
+// Finalize builds the schedule's derived views eagerly. Callers that
+// will read the schedule from several goroutines (the runner's workers)
+// must call it — or any accessor — once beforehand; the lazy build
+// itself is not synchronized.
+func (s *Schedule) Finalize() { s.index() }
 
 // Makespan returns the finish time of the last slot (0 for an empty
 // schedule).
 func (s *Schedule) Makespan() machine.Time {
-	var m machine.Time
-	for _, sl := range s.Slots {
-		if sl.Finish > m {
-			m = sl.Finish
-		}
-	}
-	return m
+	return s.index().makespan
 }
 
 // SlotsFor returns every slot (primary and duplicates) of the task.
+// The returned slice is shared with the schedule's index; callers must
+// not modify it.
 func (s *Schedule) SlotsFor(t graph.NodeID) []Slot {
-	var out []Slot
-	for _, sl := range s.Slots {
-		if sl.Task == t {
-			out = append(out, sl)
-		}
-	}
-	return out
+	return s.index().byTask[t]
 }
 
 // PrimarySlot returns the non-duplicate slot of the task, or false.
 func (s *Schedule) PrimarySlot(t graph.NodeID) (Slot, bool) {
-	for _, sl := range s.Slots {
-		if sl.Task == t && !sl.Dup {
-			return sl, true
-		}
-	}
-	return Slot{}, false
+	sl, ok := s.index().primary[t]
+	return sl, ok
 }
 
-// PESlots returns the slots on processor pe sorted by start time.
+// PESlots returns the slots on processor pe sorted by start time. The
+// returned slice is shared with the schedule's index; callers must not
+// modify it.
 func (s *Schedule) PESlots(pe int) []Slot {
-	var out []Slot
-	for _, sl := range s.Slots {
-		if sl.PE == pe {
-			out = append(out, sl)
-		}
+	idx := s.index()
+	if pe < 0 || pe >= len(idx.byPE) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		return out[i].Task < out[j].Task
-	})
-	return out
+	return idx.byPE[pe]
 }
 
 // BusyTime returns the total busy time of processor pe.
 func (s *Schedule) BusyTime(pe int) machine.Time {
-	var b machine.Time
-	for _, sl := range s.Slots {
-		if sl.PE == pe {
-			b += sl.Finish - sl.Start
-		}
+	idx := s.index()
+	if pe < 0 || pe >= len(idx.busy) {
+		return 0
 	}
-	return b
+	return idx.busy[pe]
+}
+
+// OutTraffic returns the cross-processor messages processor pe
+// originates and the words they carry.
+func (s *Schedule) OutTraffic(pe int) (msgs int, words int64) {
+	idx := s.index()
+	if pe < 0 || pe >= len(idx.msgsOut) {
+		return 0, 0
+	}
+	return idx.msgsOut[pe], idx.wordsOut[pe]
 }
 
 // UsedPEs returns how many processors run at least one slot.
 func (s *Schedule) UsedPEs() int {
-	used := map[int]bool{}
-	for _, sl := range s.Slots {
-		used[sl.PE] = true
-	}
-	return len(used)
+	return s.index().usedPEs
 }
 
 // SerialTime returns the time the design needs on one processor of this
@@ -168,8 +163,8 @@ func (s *Schedule) Utilization() float64 {
 		return 0
 	}
 	var busy machine.Time
-	for pe := 0; pe < s.Machine.NumPE(); pe++ {
-		busy += s.BusyTime(pe)
+	for _, b := range s.index().busy {
+		busy += b
 	}
 	return float64(busy) / (float64(mk) * float64(s.Machine.NumPE()))
 }
@@ -205,6 +200,7 @@ func (s *Schedule) Validate() error {
 	if s.Graph == nil || s.Machine == nil {
 		return errors.New("schedule: missing graph or machine")
 	}
+	idx := s.index()
 	primary := map[graph.NodeID]int{}
 	for _, sl := range s.Slots {
 		if sl.PE < 0 || sl.PE >= s.Machine.NumPE() {
@@ -230,9 +226,8 @@ func (s *Schedule) Validate() error {
 			errs = append(errs, fmt.Errorf("task %q has %d primary slots, want 1", n.ID, primary[n.ID]))
 		}
 	}
-	// Overlap check per PE.
-	for pe := 0; pe < s.Machine.NumPE(); pe++ {
-		slots := s.PESlots(pe)
+	// Overlap check per PE over the index's pre-sorted slot lists.
+	for pe, slots := range idx.byPE {
 		for i := 1; i < len(slots); i++ {
 			if slots[i].Start < slots[i-1].Finish {
 				errs = append(errs, fmt.Errorf("PE %d: %s [%v,%v] overlaps %s [%v,%v]",
@@ -241,10 +236,11 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
-	// Precedence + communication.
+	// Precedence + communication: per-task map lookups instead of
+	// per-arc scans over every slot.
 	for _, a := range s.Graph.Arcs() {
-		producers := s.SlotsFor(a.From)
-		consumers := s.SlotsFor(a.To)
+		producers := idx.byTask[a.From]
+		consumers := idx.byTask[a.To]
 		if len(producers) == 0 || len(consumers) == 0 {
 			errs = append(errs, fmt.Errorf("arc %s->%s: unscheduled endpoint", a.From, a.To))
 			continue

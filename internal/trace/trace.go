@@ -68,7 +68,10 @@ func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
 var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3}
 
 // Sort orders events by time, then processor, then causal kind order,
-// giving a deterministic log for rendering and comparison.
+// then task, variable and peer, giving a deterministic log for
+// rendering and comparison. The full key matters when diffing traces
+// from different engines: two messages from one task at one instant
+// must land in the same order regardless of which engine emitted them.
 func (t *Trace) Sort() {
 	sort.SliceStable(t.Events, func(i, j int) bool {
 		a, b := t.Events[i], t.Events[j]
@@ -81,7 +84,13 @@ func (t *Trace) Sort() {
 		if a.Kind != b.Kind {
 			return kindOrder[a.Kind] < kindOrder[b.Kind]
 		}
-		return a.Task < b.Task
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		return a.Peer < b.Peer
 	})
 }
 
