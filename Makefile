@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,13 @@ race:
 	$(GO) test -race ./internal/exec/...
 
 # Tier-1 verification: what every PR must keep green.
-verify: build vet test race
+verify: build vet test race bench-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# One-iteration pass over the scheduler scaling benchmarks: catches
+# crashes or pathological slowdowns in the hot path without the cost of
+# a statistically meaningful benchmark run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=SchedulerScaling -benchtime=1x .

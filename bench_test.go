@@ -244,17 +244,28 @@ var scalingSizes = []struct{ layers, width int }{
 	{4, 4}, {8, 8}, {16, 16}, {25, 20}, {50, 40}, {100, 80},
 }
 
-// BenchmarkSchedulerScaling measures MH on growing random graphs,
-// checking the heuristic stays usable at interactive sizes.
+// BenchmarkSchedulerScaling measures the greedy schedulers on growing
+// random graphs, checking each heuristic stays usable at interactive
+// sizes. Allocation counts are reported because the incremental
+// scheduler core's main promise is doing this work without per-
+// evaluation garbage.
 func BenchmarkSchedulerScaling(b *testing.B) {
-	for _, size := range scalingSizes {
-		g := scalingGraph(b, size.layers, size.width)
-		m := hypercubeMachine(b, 3)
-		b.Run(g.Name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := (sched.MH{}).Schedule(g, m); err != nil {
-					b.Fatal(err)
-				}
+	schedulers := []sched.Scheduler{
+		sched.MH{}, sched.ETF{}, sched.HLFET{}, sched.DSH{}, sched.ISH{},
+	}
+	for _, s := range schedulers {
+		b.Run(s.Name(), func(b *testing.B) {
+			for _, size := range scalingSizes {
+				g := scalingGraph(b, size.layers, size.width)
+				m := hypercubeMachine(b, 3)
+				b.Run(g.Name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := s.Schedule(g, m); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
 			}
 		})
 	}

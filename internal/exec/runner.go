@@ -260,7 +260,7 @@ func (w *worker) run() error {
 		// else from a received message. dataReady tracks the latest
 		// virtual message arrival.
 		var dataReady machine.Time
-		for _, a := range g.Pred(sl.Task) {
+		for _, a := range g.PredArcs(sl.Task) {
 			k := msgKey{a.From, sl.Task, a.Var}
 			if w.expected[k] {
 				m, err := w.receive(k)

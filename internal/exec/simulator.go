@@ -90,7 +90,7 @@ func Simulate(s *sched.Schedule) (*trace.Trace, error) {
 					at   machine.Time
 				}
 				var feeds []feed
-				for _, a := range g.Pred(sl.Task) {
+				for _, a := range g.PredArcs(sl.Task) {
 					bestAt := machine.Time(-1)
 					var bestKey copyKey
 					if q, ok := src[srcKey{a.From, sl.Task, a.Var, pe}]; ok {

@@ -93,8 +93,8 @@ type Graph struct {
 	nodes []*Node
 	index map[NodeID]*Node
 	arcs  []Arc
-	succ  map[NodeID][]int // arc indices leaving each node
-	pred  map[NodeID][]int // arc indices entering each node
+	succ  map[NodeID][]Arc // arcs leaving each node, insertion order
+	pred  map[NodeID][]Arc // arcs entering each node, insertion order
 }
 
 // New returns an empty graph with the given name.
@@ -102,8 +102,8 @@ func New(name string) *Graph {
 	return &Graph{
 		Name:  name,
 		index: make(map[NodeID]*Node),
-		succ:  make(map[NodeID][]int),
-		pred:  make(map[NodeID][]int),
+		succ:  make(map[NodeID][]Arc),
+		pred:  make(map[NodeID][]Arc),
 	}
 }
 
@@ -248,10 +248,10 @@ func (g *Graph) Connect(from, to NodeID, v string, words int64) error {
 	if words < 0 {
 		return fmt.Errorf("graph %q: arc %s->%s has negative words %d", g.Name, from, to, words)
 	}
-	g.arcs = append(g.arcs, Arc{From: from, To: to, Var: v, Words: words})
-	i := len(g.arcs) - 1
-	g.succ[from] = append(g.succ[from], i)
-	g.pred[to] = append(g.pred[to], i)
+	a := Arc{From: from, To: to, Var: v, Words: words}
+	g.arcs = append(g.arcs, a)
+	g.succ[from] = append(g.succ[from], a)
+	g.pred[to] = append(g.pred[to], a)
 	return nil
 }
 
@@ -262,37 +262,41 @@ func (g *Graph) MustConnect(from, to NodeID, v string, words int64) {
 	}
 }
 
-// Succ returns the arcs leaving node id, in insertion order.
+// Succ returns a copy of the arcs leaving node id, in insertion order.
+// Hot paths should prefer SuccArcs, which does not allocate.
 func (g *Graph) Succ(id NodeID) []Arc {
-	out := make([]Arc, 0, len(g.succ[id]))
-	for _, i := range g.succ[id] {
-		out = append(out, g.arcs[i])
-	}
-	return out
+	return append([]Arc(nil), g.succ[id]...)
 }
 
-// Pred returns the arcs entering node id, in insertion order.
+// Pred returns a copy of the arcs entering node id, in insertion order.
+// Hot paths should prefer PredArcs, which does not allocate.
 func (g *Graph) Pred(id NodeID) []Arc {
-	out := make([]Arc, 0, len(g.pred[id]))
-	for _, i := range g.pred[id] {
-		out = append(out, g.arcs[i])
-	}
-	return out
+	return append([]Arc(nil), g.pred[id]...)
 }
+
+// SuccArcs returns the arcs leaving node id, in insertion order. The
+// slice is shared with the graph's arc index and must be treated as
+// read-only; it stays valid until the graph is mutated.
+func (g *Graph) SuccArcs(id NodeID) []Arc { return g.succ[id] }
+
+// PredArcs returns the arcs entering node id, in insertion order. The
+// slice is shared with the graph's arc index and must be treated as
+// read-only; it stays valid until the graph is mutated.
+func (g *Graph) PredArcs(id NodeID) []Arc { return g.pred[id] }
 
 // Successors returns the distinct successor node ids of id, sorted.
-func (g *Graph) Successors(id NodeID) []NodeID { return g.neighborIDs(g.succ[id], false) }
+func (g *Graph) Successors(id NodeID) []NodeID { return neighborIDs(g.succ[id], false) }
 
 // Predecessors returns the distinct predecessor node ids of id, sorted.
-func (g *Graph) Predecessors(id NodeID) []NodeID { return g.neighborIDs(g.pred[id], true) }
+func (g *Graph) Predecessors(id NodeID) []NodeID { return neighborIDs(g.pred[id], true) }
 
-func (g *Graph) neighborIDs(arcIdx []int, fromSide bool) []NodeID {
-	seen := make(map[NodeID]bool, len(arcIdx))
+func neighborIDs(arcs []Arc, fromSide bool) []NodeID {
+	seen := make(map[NodeID]bool, len(arcs))
 	var out []NodeID
-	for _, i := range arcIdx {
-		id := g.arcs[i].To
+	for _, a := range arcs {
+		id := a.To
 		if fromSide {
-			id = g.arcs[i].From
+			id = a.From
 		}
 		if !seen[id] {
 			seen[id] = true
@@ -361,10 +365,10 @@ func (g *Graph) Clone() *Graph {
 	}
 	c.arcs = append(c.arcs, g.arcs...)
 	for id, s := range g.succ {
-		c.succ[id] = append([]int(nil), s...)
+		c.succ[id] = append([]Arc(nil), s...)
 	}
 	for id, p := range g.pred {
-		c.pred[id] = append([]int(nil), p...)
+		c.pred[id] = append([]Arc(nil), p...)
 	}
 	return c
 }

@@ -71,11 +71,11 @@ func ShardTask(g *Graph, id NodeID, n int, gatherWork int64, gatherRoutine strin
 		kept = append(kept, a)
 	}
 	g.arcs = kept
-	g.succ = map[NodeID][]int{}
-	g.pred = map[NodeID][]int{}
-	for i, a := range g.arcs {
-		g.succ[a.From] = append(g.succ[a.From], i)
-		g.pred[a.To] = append(g.pred[a.To], i)
+	g.succ = map[NodeID][]Arc{}
+	g.pred = map[NodeID][]Arc{}
+	for _, a := range g.arcs {
+		g.succ[a.From] = append(g.succ[a.From], a)
+		g.pred[a.To] = append(g.pred[a.To], a)
 	}
 
 	for k := 1; k <= n; k++ {

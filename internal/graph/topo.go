@@ -6,52 +6,90 @@ import (
 )
 
 // TopoSort returns the node ids in a topological order (Kahn's
-// algorithm, stable with respect to insertion order). It returns an
-// error naming a node on a cycle if the graph is cyclic.
+// algorithm, stable with respect to insertion order: among ready nodes
+// the earliest-inserted one is emitted first). It returns an error
+// naming a node on a cycle if the graph is cyclic.
 func (g *Graph) TopoSort() ([]NodeID, error) {
-	indeg := make(map[NodeID]int, len(g.nodes))
-	for _, n := range g.nodes {
-		indeg[n.ID] = len(g.pred[n.ID])
+	n := len(g.nodes)
+	pos := make(map[NodeID]int, n)
+	for i, nd := range g.nodes {
+		pos[nd.ID] = i
 	}
-	// Ready queue ordered by insertion position for determinism.
-	pos := make(map[NodeID]int, len(g.nodes))
-	for i, n := range g.nodes {
-		pos[n.ID] = i
+	indeg := make([]int, n)
+	for i, nd := range g.nodes {
+		indeg[i] = len(g.pred[nd.ID])
 	}
-	var ready []NodeID
-	for _, n := range g.nodes {
-		if indeg[n.ID] == 0 {
-			ready = append(ready, n.ID)
+	// Min-heap of insertion positions: pops the earliest-inserted ready
+	// node in O(log n) instead of a linear scan of the ready pool.
+	ready := make(minIntHeap, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready.push(i)
 		}
 	}
-	order := make([]NodeID, 0, len(g.nodes))
+	order := make([]NodeID, 0, n)
 	for len(ready) > 0 {
-		// Pop the earliest-inserted ready node.
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			if pos[ready[i]] < pos[ready[best]] {
-				best = i
-			}
-		}
-		id := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
+		i := ready.pop()
+		id := g.nodes[i].ID
 		order = append(order, id)
-		for _, ai := range g.succ[id] {
-			t := g.arcs[ai].To
-			indeg[t]--
-			if indeg[t] == 0 {
-				ready = append(ready, t)
+		for _, a := range g.succ[id] {
+			ti := pos[a.To]
+			indeg[ti]--
+			if indeg[ti] == 0 {
+				ready.push(ti)
 			}
 		}
 	}
-	if len(order) != len(g.nodes) {
-		for _, n := range g.nodes {
-			if indeg[n.ID] > 0 {
-				return nil, fmt.Errorf("graph %q: cycle involving node %q", g.Name, n.ID)
+	if len(order) != n {
+		for i, nd := range g.nodes {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("graph %q: cycle involving node %q", g.Name, nd.ID)
 			}
 		}
 	}
 	return order, nil
+}
+
+// minIntHeap is a plain binary min-heap over ints, avoiding the
+// interface boxing of container/heap on this hot path.
+type minIntHeap []int
+
+func (h *minIntHeap) push(x int) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *minIntHeap) pop() int {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && s[l] < s[m] {
+			m = l
+		}
+		if r < len(s) && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Levels holds the classic list-scheduling priority metrics of a task
@@ -91,7 +129,7 @@ func (g *Graph) ComputeLevels(commScale int64) (*Levels, error) {
 	}
 	for _, id := range order {
 		var t int64
-		for _, a := range g.Pred(id) {
+		for _, a := range g.pred[id] {
 			p := g.index[a.From]
 			cand := lv.TLevel[a.From] + p.Work + a.Words*commScale
 			if cand > t {
@@ -104,7 +142,7 @@ func (g *Graph) ComputeLevels(commScale int64) (*Levels, error) {
 		id := order[i]
 		n := g.index[id]
 		var b, s int64
-		for _, a := range g.Succ(id) {
+		for _, a := range g.succ[id] {
 			if c := lv.BLevel[a.To] + a.Words*commScale; c > b {
 				b = c
 			}
@@ -147,7 +185,7 @@ func (g *Graph) CriticalPath(commScale int64) ([]NodeID, int64, error) {
 	for {
 		var next NodeID
 		found := false
-		for _, a := range g.Succ(cur) {
+		for _, a := range g.succ[cur] {
 			want := lv.BLevel[cur] - g.index[cur].Work - a.Words*commScale
 			if lv.BLevel[a.To] == want && want >= 0 {
 				next = a.To
@@ -175,7 +213,7 @@ func (g *Graph) Width() (int, error) {
 	depth := make(map[NodeID]int, len(order))
 	for _, id := range order {
 		d := 0
-		for _, a := range g.Pred(id) {
+		for _, a := range g.pred[id] {
 			if depth[a.From]+1 > d {
 				d = depth[a.From] + 1
 			}
@@ -204,7 +242,7 @@ func (g *Graph) Depth() (int, error) {
 	max := 0
 	for _, id := range order {
 		d := 1
-		for _, a := range g.Pred(id) {
+		for _, a := range g.pred[id] {
 			if depth[a.From]+1 > d {
 				d = depth[a.From] + 1
 			}
@@ -222,7 +260,7 @@ func (g *Graph) Ancestors(id NodeID) []NodeID {
 	seen := map[NodeID]bool{}
 	var walk func(NodeID)
 	walk = func(n NodeID) {
-		for _, a := range g.Pred(n) {
+		for _, a := range g.pred[n] {
 			if !seen[a.From] {
 				seen[a.From] = true
 				walk(a.From)
@@ -243,7 +281,7 @@ func (g *Graph) Descendants(id NodeID) []NodeID {
 	seen := map[NodeID]bool{}
 	var walk func(NodeID)
 	walk = func(n NodeID) {
-		for _, a := range g.Succ(n) {
+		for _, a := range g.succ[n] {
 			if !seen[a.To] {
 				seen[a.To] = true
 				walk(a.To)

@@ -37,9 +37,9 @@ func LowerBound(g *graph.Graph, m *machine.Machine) (machine.Time, error) {
 		exec := m.ExecTime(g.Node(id).Work, fastest)
 		total += exec
 		best := machine.Time(0)
-		for _, p := range g.Predecessors(id) {
-			if longest[p] > best {
-				best = longest[p]
+		for _, a := range g.PredArcs(id) {
+			if longest[a.From] > best {
+				best = longest[a.From]
 			}
 		}
 		longest[id] = best + exec

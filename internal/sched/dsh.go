@@ -31,8 +31,20 @@ func (DSH) Name() string { return "dsh" }
 
 // dupPlan is one ancestor copy the per-PE evaluation decided to insert.
 type dupPlan struct {
-	task  graph.NodeID
+	task  int32
 	start machine.Time
+}
+
+// dshState holds the per-Schedule scratch buffers of the hypothetical
+// duplication evaluation, so estWithDups runs without allocating: the
+// virtual overlay is a flat finish array validated by an epoch stamp
+// instead of a fresh map per (task, pe) evaluation.
+type dshState struct {
+	virtFinish []machine.Time // finish of the virtual copy on the candidate pe
+	virtStamp  []uint32       // overlay entry valid iff stamp == epoch
+	epoch      uint32
+	plan       []dupPlan // scratch for the evaluation in progress
+	bestPlan   []dupPlan // retained copy of the best processor's plan
 }
 
 // Schedule implements Scheduler.
@@ -41,38 +53,32 @@ func (d DSH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
+	c := b.c
+	st := &dshState{
+		virtFinish: make([]machine.Time, c.n),
+		virtStamp:  make([]uint32, c.n),
 	}
-	rt := newReadyTracker(g)
-	for len(rt.ready) > 0 {
-		// Highest static level first (as HLFET).
-		best := 0
-		for i := 1; i < len(rt.ready); i++ {
-			a, c := rt.ready[i], rt.ready[best]
-			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
-				best = i
-			}
-		}
-		t := rt.take(best)
+	h := newReadyHeap(c)
+	for h.len() > 0 {
+		t := h.pop() // highest static level first (as HLFET)
 
 		// Evaluate every processor with hypothetical duplication and
 		// keep the one with the earliest finish.
 		bestPE := -1
 		var bestFinish, bestStart machine.Time
-		var bestPlan []dupPlan
-		for pe := 0; pe < m.NumPE(); pe++ {
-			start, plan, err := d.estWithDups(b, t, pe)
+		st.bestPlan = st.bestPlan[:0]
+		for pe := 0; pe < c.pes; pe++ {
+			start, plan, err := d.estWithDups(b, st, t, pe)
 			if err != nil {
 				return nil, err
 			}
-			finish := start + m.ExecTime(g.Node(t).Work, pe)
+			finish := start + c.exec(t, pe)
 			if bestPE < 0 || finish < bestFinish {
-				bestPE, bestFinish, bestStart, bestPlan = pe, finish, start, plan
+				bestPE, bestFinish, bestStart = pe, finish, start
+				st.bestPlan = append(st.bestPlan[:0], plan...)
 			}
 		}
-		for _, dp := range bestPlan {
+		for _, dp := range st.bestPlan {
 			if _, err := b.place(dp.task, bestPE, dp.start, true); err != nil {
 				return nil, err
 			}
@@ -80,40 +86,43 @@ func (d DSH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
 			return nil, err
 		}
-		rt.complete(t)
+		h.complete(t)
 	}
 	return b.finish("dsh"), nil
 }
 
 // estWithDups computes the earliest start of t on pe allowing ancestor
 // duplication, without mutating the builder. It returns the start and
-// the ordered list of duplicates to insert to achieve it.
-func (d DSH) estWithDups(b *builder, t graph.NodeID, pe int) (machine.Time, []dupPlan, error) {
+// the ordered list of duplicates to insert to achieve it. The returned
+// slice aliases st.plan and is only valid until the next call.
+func (d DSH) estWithDups(b *builder, st *dshState, t int32, pe int) (machine.Time, []dupPlan, error) {
+	c := b.c
+	preds := c.predArcsOf(t)
 	maxDups := d.MaxDupsPerTask
 	if maxDups <= 0 {
-		maxDups = len(b.g.Pred(t))
+		maxDups = len(preds)
 	}
 	procFree := b.procFree[pe]
-	virtual := map[graph.NodeID]machine.Time{} // task -> finish of virtual copy on pe
-	var plan []dupPlan
+	st.epoch++
+	st.plan = st.plan[:0]
 
 	// arrivalV is builder.arrival extended with the virtual overlay.
-	arrivalV := func(a graph.Arc) (machine.Time, bool, error) {
+	arrivalV := func(a carc) (machine.Time, bool, error) {
 		at, src, err := b.arrival(a, pe)
 		if err != nil {
 			return 0, false, err
 		}
 		remote := src.PE != pe
-		if vf, ok := virtual[a.From]; ok && vf <= at {
-			at, remote = vf, false
+		if st.virtStamp[a.from] == st.epoch && st.virtFinish[a.from] <= at {
+			at, remote = st.virtFinish[a.from], false
 		}
 		return at, remote, nil
 	}
 	// estV computes the earliest start of any task on pe under the
 	// overlay (used both for t and for candidate duplicates).
-	estV := func(task graph.NodeID) (machine.Time, error) {
+	estV := func(task int32) (machine.Time, error) {
 		start := procFree
-		for _, a := range b.g.Pred(task) {
+		for _, a := range c.predArcsOf(task) {
 			at, _, err := arrivalV(a)
 			if err != nil {
 				return 0, err
@@ -125,16 +134,15 @@ func (d DSH) estWithDups(b *builder, t graph.NodeID, pe int) (machine.Time, []du
 		return start, nil
 	}
 
-	for len(plan) < maxDups {
+	for len(st.plan) < maxDups {
 		start, err := estV(t)
 		if err != nil {
 			return 0, nil, err
 		}
 		// Find the remote arc that pins the start, if any.
-		var critical *graph.Arc
+		critical := int32(-1)
 		pinned := procFree
-		for _, a := range b.g.Pred(t) {
-			a := a
+		for _, a := range preds {
 			at, remote, err := arrivalV(a)
 			if err != nil {
 				return 0, nil, err
@@ -142,36 +150,36 @@ func (d DSH) estWithDups(b *builder, t graph.NodeID, pe int) (machine.Time, []du
 			if at > pinned {
 				pinned = at
 				if remote {
-					critical = &a
+					critical = a.from
 				} else {
-					critical = nil
+					critical = -1
 				}
 			}
 		}
-		if critical == nil {
-			return start, plan, nil
+		if critical < 0 {
+			return start, st.plan, nil
 		}
-		cp := critical.From
-		if _, dup := virtual[cp]; dup {
-			return start, plan, nil
+		if st.virtStamp[critical] == st.epoch {
+			return start, st.plan, nil // already duplicated
 		}
-		dupStart, err := estV(cp)
+		dupStart, err := estV(critical)
 		if err != nil {
 			return 0, nil, err
 		}
-		dupFinish := dupStart + b.m.ExecTime(b.g.Node(cp).Work, pe)
+		dupFinish := dupStart + c.exec(critical, pe)
 		if dupFinish >= start {
-			return start, plan, nil // duplication cannot beat the message
+			return start, st.plan, nil // duplication cannot beat the message
 		}
-		virtual[cp] = dupFinish
+		st.virtFinish[critical] = dupFinish
+		st.virtStamp[critical] = st.epoch
 		procFree = dupFinish
-		plan = append(plan, dupPlan{task: cp, start: dupStart})
+		st.plan = append(st.plan, dupPlan{task: critical, start: dupStart})
 	}
 	start, err := estV(t)
 	if err != nil {
 		return 0, nil, err
 	}
 	// Keep the plan ordered by start so commits respect precedence.
-	sort.Slice(plan, func(i, j int) bool { return plan[i].start < plan[j].start })
-	return start, plan, nil
+	sort.Slice(st.plan, func(i, j int) bool { return st.plan[i].start < st.plan[j].start })
+	return start, st.plan, nil
 }

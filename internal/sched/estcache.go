@@ -1,0 +1,62 @@
+package sched
+
+import "repro/internal/machine"
+
+// estCache is the incremental earliest-start-time cache behind
+// builder.est. It memoizes the data-ready time of every (task, pe)
+// pair — the max over predecessor arcs of the best copy's arrival —
+// which is the expensive part of an EST query: the greedy schedulers
+// re-evaluate every (ready task, pe) pair each step, but placing one
+// task only changes the data-ready time of its direct successors
+// (their producer gained a copy). Processor availability is NOT part
+// of the cached value; est applies procFree live, so advancing a PE's
+// procFree needs no invalidation at all.
+//
+// Invalidation is by version counter: entry (t, pe) is valid iff
+// ver[t*P+pe] == taskVer[t], and placing a copy of any task bumps
+// taskVer of its successors. taskVer starts at 1 with ver zeroed so
+// every entry begins invalid.
+type estCache struct {
+	pes     int
+	arr     []machine.Time // n×P cached data-ready times
+	ver     []uint32       // n×P version an entry was computed at
+	taskVer []uint32       // per-task current version
+}
+
+func newEstCache(n, pes int) estCache {
+	e := estCache{
+		pes:     pes,
+		arr:     make([]machine.Time, n*pes),
+		ver:     make([]uint32, n*pes),
+		taskVer: make([]uint32, n),
+	}
+	for i := range e.taskVer {
+		e.taskVer[i] = 1
+	}
+	return e
+}
+
+// invalidate drops every cached entry of task t (all PEs at once).
+func (e *estCache) invalidate(t int32) { e.taskVer[t]++ }
+
+// dataReady returns the earliest time all of t's inputs can be present
+// on pe (0 for entry tasks), from the cache when the entry is current.
+func (b *builder) dataReady(t int32, pe int) (machine.Time, error) {
+	i := int(t)*b.cache.pes + pe
+	if b.cache.ver[i] == b.cache.taskVer[t] {
+		return b.cache.arr[i], nil
+	}
+	var ready machine.Time
+	for _, a := range b.c.predArcsOf(t) {
+		at, _, err := b.arrival(a, pe)
+		if err != nil {
+			return 0, err
+		}
+		if at > ready {
+			ready = at
+		}
+	}
+	b.cache.arr[i] = ready
+	b.cache.ver[i] = b.cache.taskVer[t]
+	return ready, nil
+}

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// The golden equivalence suite pins every scheduler's exact output —
+// the full slot and message lists, not just the makespan — on seeded
+// random graphs across the paper's topology families. The goldens in
+// testdata/golden_schedules.json were recorded from the original
+// (pre-optimization) scheduler implementations; the incremental EST
+// cache and compiled graph view must reproduce them byte for byte.
+//
+// Regenerate (only when the scheduling semantics intentionally change)
+// with:
+//
+//	go test ./internal/sched -run TestGoldenEquivalence -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_schedules.json from the current schedulers")
+
+const goldenPath = "testdata/golden_schedules.json"
+
+// goldenEntry is one (graph, machine, scheduler) combination.
+type goldenEntry struct {
+	Graph    string       `json:"graph"`
+	Machine  string       `json:"machine"`
+	Alg      string       `json:"alg"`
+	Makespan machine.Time `json:"makespan"`
+	Slots    int          `json:"slots"`
+	Msgs     int          `json:"msgs"`
+	// SHA256 is the hash of the canonical rendering of the complete
+	// slot and message lists, in schedule order.
+	SHA256 string `json:"sha256"`
+}
+
+// goldenGraphs builds the seeded random graphs the suite runs on.
+// Sizes are chosen so the original O(n^2·P·d) schedulers record them
+// in seconds while still exercising non-trivial ready-pool dynamics.
+func goldenGraphs(t testing.TB) []*graph.Graph {
+	t.Helper()
+	var gs []*graph.Graph
+	for _, c := range []struct {
+		seed    int64
+		cfg     graph.LayeredConfig
+		rename  string
+	}{
+		{seed: 11, cfg: graph.LayeredConfig{Layers: 5, Width: 4, MinWork: 5, MaxWork: 60, MinWords: 1, MaxWords: 30, Density: 0.4}, rename: "g20"},
+		{seed: 22, cfg: graph.LayeredConfig{Layers: 8, Width: 6, MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3}, rename: "g48"},
+		{seed: 33, cfg: graph.LayeredConfig{Layers: 12, Width: 10, MinWork: 1, MaxWork: 120, MinWords: 0, MaxWords: 60, Density: 0.25}, rename: "g120"},
+	} {
+		rng := rand.New(rand.NewSource(c.seed))
+		g, err := graph.LayeredRandom(rng, c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Name = c.rename
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// goldenMachines builds one machine per topology family of the paper's
+// Figure 2 (hypercube, mesh, star, fully-connected).
+func goldenMachines(t testing.TB) []*machine.Machine {
+	t.Helper()
+	var ms []*machine.Machine
+	mk := func(topo *machine.Topology, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	mk(machine.Hypercube(3))
+	mk(machine.Mesh(2, 3))
+	mk(machine.Star(6))
+	mk(machine.Full(8))
+	return ms
+}
+
+// canonicalFingerprint renders the complete schedule deterministically
+// and hashes it. Any change to any slot or message field changes the
+// hash.
+func canonicalFingerprint(s *Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s\n", s.Algorithm)
+	for _, sl := range s.Slots {
+		fmt.Fprintf(&b, "slot %s pe=%d start=%d finish=%d dup=%v\n",
+			sl.Task, sl.PE, int64(sl.Start), int64(sl.Finish), sl.Dup)
+	}
+	for _, m := range s.Msgs {
+		fmt.Fprintf(&b, "msg %s %s->%s pe%d->pe%d words=%d send=%d recv=%d hops=%d\n",
+			m.Var, m.From, m.To, m.FromPE, m.ToPE, m.Words, int64(m.Send), int64(m.Recv), m.Hops)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func goldenKey(g, m, alg string) string { return g + "|" + m + "|" + alg }
+
+func TestGoldenEquivalence(t *testing.T) {
+	graphs := goldenGraphs(t)
+	machines := goldenMachines(t)
+
+	var entries []goldenEntry
+	for _, g := range graphs {
+		for _, m := range machines {
+			for _, s := range All() {
+				sc, err := s.Schedule(g, m)
+				if err != nil {
+					t.Fatalf("%s on %s/%s: %v", s.Name(), g.Name, m.Name, err)
+				}
+				if err := sc.Validate(); err != nil {
+					t.Fatalf("%s on %s/%s: invalid schedule: %v", s.Name(), g.Name, m.Name, err)
+				}
+				entries = append(entries, goldenEntry{
+					Graph: g.Name, Machine: m.Name, Alg: s.Name(),
+					Makespan: sc.Makespan(), Slots: len(sc.Slots), Msgs: len(sc.Msgs),
+					SHA256: canonicalFingerprint(sc),
+				})
+			}
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden schedules to %s", len(entries), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-golden to record): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByKey := make(map[string]goldenEntry, len(want))
+	for _, e := range want {
+		wantByKey[goldenKey(e.Graph, e.Machine, e.Alg)] = e
+	}
+	if len(want) != len(entries) {
+		t.Errorf("golden file has %d entries, suite produced %d", len(want), len(entries))
+	}
+	for _, got := range entries {
+		key := goldenKey(got.Graph, got.Machine, got.Alg)
+		w, ok := wantByKey[key]
+		if !ok {
+			t.Errorf("%s: no golden recorded", key)
+			continue
+		}
+		if got != w {
+			t.Errorf("%s: schedule diverged from golden:\n got  %+v\nwant %+v", key, got, w)
+		}
+	}
+}

@@ -40,39 +40,22 @@ func (ISH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
-	}
-	peSlots := make([][]Slot, m.NumPE())
-	rt := newReadyTracker(g)
-	for len(rt.ready) > 0 {
-		// Highest static level first, as HLFET.
-		best := 0
-		for i := 1; i < len(rt.ready); i++ {
-			a, c := rt.ready[i], rt.ready[best]
-			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
-				best = i
-			}
-		}
-		t := rt.take(best)
-		work := g.Node(t).Work
+	c := b.c
+	peSlots := make([][]Slot, c.pes)
+	h := newReadyHeap(c)
+	for h.len() > 0 {
+		t := h.pop() // highest static level first, as HLFET
 
 		bestPE := -1
 		var bestStart, bestFinish machine.Time
-		for pe := 0; pe < m.NumPE(); pe++ {
-			// Data-ready time on this processor.
-			var ready machine.Time
-			for _, a := range g.Pred(t) {
-				at, _, err := b.arrival(a, pe)
-				if err != nil {
-					return nil, err
-				}
-				if at > ready {
-					ready = at
-				}
+		for pe := 0; pe < c.pes; pe++ {
+			// Data-ready time on this processor (cached incrementally;
+			// insertion ignores procFree by design).
+			ready, err := b.dataReady(t, pe)
+			if err != nil {
+				return nil, err
 			}
-			dur := m.ExecTime(work, pe)
+			dur := c.exec(t, pe)
 			start := insertionPoint(peSlots[pe], ready, dur)
 			fin := start + dur
 			if bestPE < 0 || fin < bestFinish {
@@ -83,11 +66,15 @@ func (ISH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 		if err != nil {
 			return nil, err
 		}
-		peSlots[bestPE] = append(peSlots[bestPE], sl)
-		sort.Slice(peSlots[bestPE], func(i, j int) bool {
-			return peSlots[bestPE][i].Start < peSlots[bestPE][j].Start
-		})
-		rt.complete(t)
+		// Keep the processor's slot list sorted by start with a binary
+		// insert instead of re-sorting after every placement.
+		s := peSlots[bestPE]
+		i := sort.Search(len(s), func(i int) bool { return s[i].Start > sl.Start })
+		s = append(s, Slot{})
+		copy(s[i+1:], s[i:])
+		s[i] = sl
+		peSlots[bestPE] = s
+		h.complete(t)
 	}
 	return b.finish("ish"), nil
 }

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -15,14 +14,16 @@ type Scheduler interface {
 	Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error)
 }
 
-// builder holds the incremental state shared by the list schedulers.
+// builder holds the incremental state shared by the list schedulers,
+// working entirely on the compiled graph view (dense task ids).
 type builder struct {
-	g        *graph.Graph
-	m        *machine.Machine
+	c        *compiled
 	procFree []machine.Time
 	slots    []Slot
 	msgs     []Msg
-	copies   map[graph.NodeID][]Slot // all placed copies of each task
+	copies   [][]Slot // dense id -> all placed copies of the task
+	copyBuf  []Slot   // backing store for each task's first copy
+	cache    estCache
 }
 
 func newBuilder(g *graph.Graph, m *machine.Machine) (*builder, error) {
@@ -32,26 +33,44 @@ func newBuilder(g *graph.Graph, m *machine.Machine) (*builder, error) {
 	if err := g.ValidateFlat(); err != nil {
 		return nil, fmt.Errorf("sched: graph not flat: %w", err)
 	}
-	return &builder{
-		g:        g,
-		m:        m,
-		procFree: make([]machine.Time, m.NumPE()),
-		copies:   map[graph.NodeID][]Slot{},
-	}, nil
+	c, err := compile(g, m)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		c:        c,
+		procFree: make([]machine.Time, c.pes),
+		slots:    make([]Slot, 0, c.n),
+		msgs:     make([]Msg, 0, len(c.arcs)),
+		copies:   make([][]Slot, c.n),
+		copyBuf:  make([]Slot, c.n),
+		cache:    newEstCache(c.n, c.pes),
+	}
+	// Every task has exactly one copy unless a duplication scheduler
+	// adds more, so give each its own cap-1 backing slot up front.
+	for i := range b.copies {
+		b.copies[i] = b.copyBuf[i:i:i+1]
+	}
+	return b, nil
+}
+
+// errProducerNotPlaced is the shared "producer not placed" error.
+func errProducerNotPlaced(a graph.Arc) error {
+	return fmt.Errorf("sched: arc %s->%s: producer not placed", a.From, a.To)
 }
 
 // arrival returns the earliest time the data of arc a can be available
 // on processor pe, minimised over all placed copies of the producer,
 // and the copy achieving it. The producer must already be placed.
-func (b *builder) arrival(a graph.Arc, pe int) (machine.Time, Slot, error) {
-	cps := b.copies[a.From]
+func (b *builder) arrival(a carc, pe int) (machine.Time, Slot, error) {
+	cps := b.copies[a.from]
 	if len(cps) == 0 {
-		return 0, Slot{}, fmt.Errorf("sched: arc %s->%s: producer not placed", a.From, a.To)
+		return 0, Slot{}, errProducerNotPlaced(b.c.arcs[a.aidx])
 	}
 	best := cps[0]
-	bestAt := cps[0].Finish + b.m.CommTime(a.Words, cps[0].PE, pe)
+	bestAt := best.Finish + b.c.comm(a.words, best.PE, pe)
 	for _, c := range cps[1:] {
-		at := c.Finish + b.m.CommTime(a.Words, c.PE, pe)
+		at := c.Finish + b.c.comm(a.words, c.PE, pe)
 		if at < bestAt || (at == bestAt && c.PE < best.PE) {
 			bestAt, best = at, c
 		}
@@ -61,88 +80,61 @@ func (b *builder) arrival(a graph.Arc, pe int) (machine.Time, Slot, error) {
 
 // est returns the earliest start time of task t on processor pe under
 // the contention-free model (non-insertion: after the processor's last
-// placed slot).
-func (b *builder) est(t graph.NodeID, pe int) (machine.Time, error) {
-	start := b.procFree[pe]
-	for _, a := range b.g.Pred(t) {
-		at, _, err := b.arrival(a, pe)
-		if err != nil {
-			return 0, err
-		}
-		if at > start {
-			start = at
-		}
+// placed slot). The data-ready part comes from the incremental cache.
+func (b *builder) est(t int32, pe int) (machine.Time, error) {
+	ready, err := b.dataReady(t, pe)
+	if err != nil {
+		return 0, err
 	}
-	return start, nil
+	if pf := b.procFree[pe]; pf > ready {
+		return pf, nil
+	}
+	return ready, nil
 }
 
 // place commits task t to processor pe at the given start, records the
 // messages feeding it, and returns the slot.
-func (b *builder) place(t graph.NodeID, pe int, start machine.Time, dup bool) (Slot, error) {
-	n := b.g.Node(t)
-	sl := Slot{Task: t, PE: pe, Start: start, Finish: start + b.m.ExecTime(n.Work, pe), Dup: dup}
-	for _, a := range b.g.Pred(t) {
+func (b *builder) place(t int32, pe int, start machine.Time, dup bool) (Slot, error) {
+	id := b.c.ids[t]
+	sl := Slot{Task: id, PE: pe, Start: start, Finish: start + b.c.exec(t, pe), Dup: dup}
+	for _, a := range b.c.predArcsOf(t) {
 		at, src, err := b.arrival(a, pe)
 		if err != nil {
 			return Slot{}, err
 		}
+		oa := &b.c.arcs[a.aidx]
 		if at > start {
-			return Slot{}, fmt.Errorf("sched: task %s placed at %v before data %s arrives at %v", t, start, a.Var, at)
+			return Slot{}, fmt.Errorf("sched: task %s placed at %v before data %s arrives at %v", id, start, oa.Var, at)
 		}
 		if src.PE != pe {
 			b.msgs = append(b.msgs, Msg{
-				Var: a.Var, From: a.From, To: t,
-				FromPE: src.PE, ToPE: pe, Words: a.Words,
-				Send: src.Finish, Recv: at, Hops: b.m.Topo.Hops(src.PE, pe),
+				Var: oa.Var, From: oa.From, To: id,
+				FromPE: src.PE, ToPE: pe, Words: oa.Words,
+				Send: src.Finish, Recv: at, Hops: b.c.m.Topo.Hops(src.PE, pe),
 			})
 		}
 	}
-	b.slots = append(b.slots, sl)
-	b.copies[t] = append(b.copies[t], sl)
-	if sl.Finish > b.procFree[pe] {
-		b.procFree[pe] = sl.Finish
-	}
+	b.commitSlot(t, sl)
 	return sl, nil
 }
 
+// commitSlot records a placed slot: appends it, registers the copy,
+// advances the processor, and invalidates the cached earliest-start
+// entries of the task's direct successors (the only tasks whose
+// data-ready times the new copy can change).
+func (b *builder) commitSlot(t int32, sl Slot) {
+	b.slots = append(b.slots, sl)
+	b.copies[t] = append(b.copies[t], sl)
+	if sl.Finish > b.procFree[sl.PE] {
+		b.procFree[sl.PE] = sl.Finish
+	}
+	for _, s := range b.c.succIDsOf(t) {
+		b.cache.invalidate(s)
+	}
+}
+
 func (b *builder) finish(alg string) *Schedule {
-	return &Schedule{Graph: b.g, Machine: b.m, Algorithm: alg, Slots: b.slots, Msgs: b.msgs}
-}
-
-// readyTracker yields tasks whose predecessors are all placed.
-type readyTracker struct {
-	g       *graph.Graph
-	pending map[graph.NodeID]int
-	ready   []graph.NodeID
-}
-
-func newReadyTracker(g *graph.Graph) *readyTracker {
-	rt := &readyTracker{g: g, pending: map[graph.NodeID]int{}}
-	for _, n := range g.Nodes() {
-		rt.pending[n.ID] = len(g.Predecessors(n.ID))
-		if rt.pending[n.ID] == 0 {
-			rt.ready = append(rt.ready, n.ID)
-		}
-	}
-	sort.Slice(rt.ready, func(i, j int) bool { return rt.ready[i] < rt.ready[j] })
-	return rt
-}
-
-// complete marks t placed and returns newly ready tasks into the pool.
-func (rt *readyTracker) complete(t graph.NodeID) {
-	for _, s := range rt.g.Successors(t) {
-		rt.pending[s]--
-		if rt.pending[s] == 0 {
-			rt.ready = append(rt.ready, s)
-		}
-	}
-}
-
-// take removes and returns ready[i].
-func (rt *readyTracker) take(i int) graph.NodeID {
-	t := rt.ready[i]
-	rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
-	return t
+	return &Schedule{Graph: b.c.g, Machine: b.c.m, Algorithm: alg, Slots: b.slots, Msgs: b.msgs}
 }
 
 // Serial schedules every task on processor 0 in topological order. It
@@ -158,11 +150,7 @@ func (Serial) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, err
-	}
-	for _, t := range order {
+	for _, t := range b.c.topo {
 		st, err := b.est(t, 0)
 		if err != nil {
 			return nil, err
@@ -188,29 +176,16 @@ func (HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
-	}
-	rt := newReadyTracker(g)
-	for len(rt.ready) > 0 {
-		// Highest static level first; ties by id for determinism.
-		best := 0
-		for i := 1; i < len(rt.ready); i++ {
-			a, c := rt.ready[i], rt.ready[best]
-			if lv.SLevel[a] > lv.SLevel[c] || (lv.SLevel[a] == lv.SLevel[c] && a < c) {
-				best = i
-			}
-		}
-		t := rt.take(best)
-		work := g.Node(t).Work
+	h := newReadyHeap(b.c)
+	for h.len() > 0 {
+		t := h.pop() // highest static level first; ties by id
 		bestPE, bestStart, bestFinish := -1, machine.Time(0), machine.Time(0)
-		for pe := 0; pe < m.NumPE(); pe++ {
+		for pe := 0; pe < b.c.pes; pe++ {
 			st, err := b.est(t, pe)
 			if err != nil {
 				return nil, err
 			}
-			fin := st + m.ExecTime(work, pe)
+			fin := st + b.c.exec(t, pe)
 			if bestPE < 0 || fin < bestFinish {
 				bestPE, bestStart, bestFinish = pe, st, fin
 			}
@@ -218,7 +193,7 @@ func (HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
 			return nil, err
 		}
-		rt.complete(t)
+		h.complete(t)
 	}
 	return b.finish("hlfet"), nil
 }
@@ -237,37 +212,34 @@ func (ETF) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
-	}
-	rt := newReadyTracker(g)
+	c := b.c
+	rt := newReadyTracker(c)
 	for len(rt.ready) > 0 {
 		bestIdx, bestPE := -1, -1
+		bestT := int32(-1)
 		var bestStart, bestFinish machine.Time
 		for i, t := range rt.ready {
-			work := g.Node(t).Work
-			for pe := 0; pe < m.NumPE(); pe++ {
+			for pe := 0; pe < c.pes; pe++ {
 				st, err := b.est(t, pe)
 				if err != nil {
 					return nil, err
 				}
-				fin := st + m.ExecTime(work, pe)
+				fin := st + c.exec(t, pe)
 				better := false
 				switch {
 				case bestIdx < 0:
 					better = true
 				case fin != bestFinish:
 					better = fin < bestFinish
-				case lv.SLevel[t] != lv.SLevel[rt.ready[bestIdx]]:
-					better = lv.SLevel[t] > lv.SLevel[rt.ready[bestIdx]]
-				case t != rt.ready[bestIdx]:
-					better = t < rt.ready[bestIdx]
+				case c.slevel[t] != c.slevel[bestT]:
+					better = c.slevel[t] > c.slevel[bestT]
+				case t != bestT:
+					better = c.rank[t] < c.rank[bestT]
 				default:
 					better = pe < bestPE
 				}
 				if better {
-					bestIdx, bestPE, bestStart, bestFinish = i, pe, st, fin
+					bestIdx, bestPE, bestT, bestStart, bestFinish = i, pe, t, st, fin
 				}
 			}
 		}

@@ -19,60 +19,125 @@ type MH struct{}
 // Name implements Scheduler.
 func (MH) Name() string { return "mh" }
 
-// link is a directed channel from PE u to adjacent PE v.
-type link struct{ u, v int }
-
-// mhNet tracks per-link availability for the contention model.
+// mhNet tracks per-link availability for the contention model. Links
+// are discovered lazily and given dense ids; every (p,q) pair's route
+// is memoized as a shared sequence of link ids so the hot estimation
+// loop never rebuilds a path or touches a map.
+//
+// It also maintains the state behind MH's incremental routed-arrival
+// cache. Because routing is destination-based (the next hop out of u
+// depends only on u and the final destination q), the directed link
+// u->v lies on a route toward q iff NextHop(u, q) == v; linkDests
+// precomputes, per link, exactly the destination PEs whose deliveries
+// can traverse it. When a commit actually advances a link's free time,
+// destEpoch of those destinations is bumped, invalidating only the
+// cached arrivals that could observe the change.
 type mhNet struct {
-	m        *machine.Machine
-	linkFree map[link]machine.Time
+	pes      int
+	topo     *machine.Topology
+	startup  machine.Time
+	wordTime machine.Time
+
+	routeIDs  [][]int32          // flat p*pes+q -> link-id sequence (nil until built)
+	linkIdx   map[[2]int]int32   // directed (u,v) -> link id
+	linkFree  []machine.Time     // per link id
+	linkDests [][]int32          // per link id: destinations routed over it
+
+	epoch     uint64   // bumped once per commit phase
+	destEpoch []uint64 // per PE: epoch of the last commit affecting it
 }
 
 func newMHNet(m *machine.Machine) *mhNet {
-	return &mhNet{m: m, linkFree: map[link]machine.Time{}}
+	return &mhNet{
+		pes:       m.NumPE(),
+		topo:      m.Topo,
+		startup:   m.Params.MsgStartup,
+		wordTime:  m.Params.WordTime,
+		routeIDs:  make([][]int32, m.NumPE()*m.NumPE()),
+		linkIdx:   map[[2]int]int32{},
+		destEpoch: make([]uint64, m.NumPE()),
+	}
 }
 
-// reservation is a tentative hop booking produced by deliver.
-type reservation struct {
-	l    link
-	free machine.Time // link becomes free at this time if committed
+// route returns the memoized link-id sequence of the shortest path from
+// p to q (p != q), building it — and the dest lists of any new links —
+// on first use.
+func (n *mhNet) route(p, q int) []int32 {
+	idx := p*n.pes + q
+	if r := n.routeIDs[idx]; r != nil {
+		return r
+	}
+	path := n.topo.Route(p, q)
+	r := make([]int32, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		u, v := path[i-1], path[i]
+		l, ok := n.linkIdx[[2]int{u, v}]
+		if !ok {
+			l = int32(len(n.linkFree))
+			n.linkIdx[[2]int{u, v}] = l
+			n.linkFree = append(n.linkFree, 0)
+			var dests []int32
+			for d := 0; d < n.pes; d++ {
+				if n.topo.NextHop(u, d) == v {
+					dests = append(dests, int32(d))
+				}
+			}
+			n.linkDests = append(n.linkDests, dests)
+		}
+		r = append(r, l)
+	}
+	n.routeIDs[idx] = r
+	return r
 }
 
 // deliver computes when a message of words words, ready at the source
 // at send time, arrives at processor q when routed from p over the
-// shortest path with store-and-forward per-hop contention. It returns
-// the arrival time and the link reservations to commit if the placement
-// is chosen. Co-located delivery is free and immediate.
-func (n *mhNet) deliver(words int64, send machine.Time, p, q int) (machine.Time, []reservation) {
+// shortest path with store-and-forward per-hop contention, without
+// booking anything. Co-located delivery is free and immediate.
+func (n *mhNet) deliver(words int64, send machine.Time, p, q int) machine.Time {
 	if p == q {
-		return send, nil
+		return send
 	}
 	if words < 0 {
 		words = 0
 	}
-	route := n.m.Topo.Route(p, q)
-	at := send + n.m.Params.MsgStartup
-	hop := machine.Time(words) * n.m.Params.WordTime
-	res := make([]reservation, 0, len(route)-1)
-	for i := 1; i < len(route); i++ {
-		l := link{route[i-1], route[i]}
-		start := at
-		if f := n.linkFree[l]; f > start {
-			start = f
+	at := send + n.startup
+	hop := machine.Time(words) * n.wordTime
+	for _, l := range n.route(p, q) {
+		if f := n.linkFree[l]; f > at {
+			at = f
 		}
-		at = start + hop
-		res = append(res, reservation{l: l, free: at})
+		at += hop
 	}
-	return at, res
+	return at
 }
 
-// commit applies the reservations of a chosen delivery.
-func (n *mhNet) commit(res []reservation) {
-	for _, r := range res {
-		if r.free > n.linkFree[r.l] {
-			n.linkFree[r.l] = r.free
+// commitDeliver is deliver plus booking: each traversed link's free
+// time is advanced to the hop's completion when later than the current
+// value, and the destinations routed over a changed link have their
+// epoch bumped so stale cached arrivals are recomputed.
+func (n *mhNet) commitDeliver(words int64, send machine.Time, p, q int) machine.Time {
+	if p == q {
+		return send
+	}
+	if words < 0 {
+		words = 0
+	}
+	at := send + n.startup
+	hop := machine.Time(words) * n.wordTime
+	for _, l := range n.route(p, q) {
+		if f := n.linkFree[l]; f > at {
+			at = f
+		}
+		at += hop
+		if at > n.linkFree[l] {
+			n.linkFree[l] = at
+			for _, d := range n.linkDests[l] {
+				n.destEpoch[d] = n.epoch
+			}
 		}
 	}
+	return at
 }
 
 // Schedule implements Scheduler.
@@ -81,63 +146,88 @@ func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
-	}
+	c := b.c
 	net := newMHNet(m)
-	rt := newReadyTracker(g)
+	rt := newReadyTracker(c)
+
+	// Routed data-arrival cache: arr[t*P+pe] is the max over t's
+	// predecessor arcs of the best copy's routed arrival, stamped with
+	// the net epoch it was computed at. An entry stays valid until a
+	// commit advances a link on some route toward pe (MH never
+	// duplicates, so producer copies are fixed once t is ready);
+	// procFree is applied live and needs no invalidation.
+	arr := make([]machine.Time, c.n*c.pes)
+	stamp := make([]uint64, c.n*c.pes)
+	for i := range arr {
+		arr[i] = -1
+	}
 
 	// estRouted evaluates the earliest start of t on pe under the
 	// contention model, without committing link reservations.
-	estRouted := func(t graph.NodeID, pe int) (machine.Time, error) {
-		start := b.procFree[pe]
-		for _, a := range b.g.Pred(t) {
-			// Choose the producer copy with the earliest routed arrival.
-			cps := b.copies[a.From]
-			var bestAt machine.Time
-			for i, c := range cps {
-				at, _ := net.deliver(a.Words, c.Finish, c.PE, pe)
-				if i == 0 || at < bestAt {
-					bestAt = at
+	estRouted := func(t int32, pe int) (machine.Time, error) {
+		i := int(t)*c.pes + pe
+		a := arr[i]
+		if a < 0 || stamp[i] < net.destEpoch[pe] {
+			a = 0
+			for _, pa := range c.predArcsOf(t) {
+				// Choose the producer copy with the earliest routed
+				// arrival; the producer must already be placed.
+				cps := b.copies[pa.from]
+				if len(cps) == 0 {
+					return 0, errProducerNotPlaced(c.arcs[pa.aidx])
+				}
+				bestAt := net.deliver(pa.words, cps[0].Finish, cps[0].PE, pe)
+				for _, cp := range cps[1:] {
+					if at := net.deliver(pa.words, cp.Finish, cp.PE, pe); at < bestAt {
+						bestAt = at
+					}
+				}
+				if bestAt > a {
+					a = bestAt
 				}
 			}
-			if len(cps) == 0 {
-				return 0, errNotPlaced(a)
-			}
-			if bestAt > start {
-				start = bestAt
-			}
+			arr[i] = a
+			stamp[i] = net.epoch
 		}
-		return start, nil
+		if pf := b.procFree[pe]; pf > a {
+			return pf, nil
+		}
+		return a, nil
 	}
+
+	type feed struct {
+		a    carc
+		src  Slot
+		send machine.Time
+	}
+	var feeds []feed
 
 	for len(rt.ready) > 0 {
 		bestIdx, bestPE := -1, -1
+		bestT := int32(-1)
 		var bestFinish machine.Time
 		for i, t := range rt.ready {
-			work := g.Node(t).Work
-			for pe := 0; pe < m.NumPE(); pe++ {
+			for pe := 0; pe < c.pes; pe++ {
 				st, err := estRouted(t, pe)
 				if err != nil {
 					return nil, err
 				}
-				fin := st + m.ExecTime(work, pe)
+				fin := st + c.exec(t, pe)
 				better := false
 				switch {
 				case bestIdx < 0:
 					better = true
 				case fin != bestFinish:
 					better = fin < bestFinish
-				case lv.SLevel[t] != lv.SLevel[rt.ready[bestIdx]]:
-					better = lv.SLevel[t] > lv.SLevel[rt.ready[bestIdx]]
-				case t != rt.ready[bestIdx]:
-					better = t < rt.ready[bestIdx]
+				case c.slevel[t] != c.slevel[bestT]:
+					better = c.slevel[t] > c.slevel[bestT]
+				case t != bestT:
+					better = c.rank[t] < c.rank[bestT]
 				default:
 					better = pe < bestPE
 				}
 				if better {
-					bestIdx, bestPE, bestFinish = i, pe, fin
+					bestIdx, bestPE, bestT, bestFinish = i, pe, t, fin
 				}
 			}
 		}
@@ -145,65 +235,48 @@ func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 
 		// Commit: route each incoming message in a deterministic order
 		// (messages from earlier-finishing copies first), booking links.
-		type feed struct {
-			arc  graph.Arc
-			src  Slot
-			send machine.Time
-		}
-		var feeds []feed
-		for _, a := range b.g.Pred(t) {
-			cps := b.copies[a.From]
+		// Bump the epoch first so the bookings invalidate exactly the
+		// cached arrivals of destinations they can affect.
+		net.epoch++
+		feeds = feeds[:0]
+		for _, pa := range c.predArcsOf(t) {
+			cps := b.copies[pa.from]
 			best := cps[0]
-			bestAt, _ := net.deliver(a.Words, cps[0].Finish, cps[0].PE, bestPE)
-			for _, c := range cps[1:] {
-				at, _ := net.deliver(a.Words, c.Finish, c.PE, bestPE)
-				if at < bestAt || (at == bestAt && c.PE < best.PE) {
-					bestAt, best = at, c
+			bestAt := net.deliver(pa.words, cps[0].Finish, cps[0].PE, bestPE)
+			for _, cp := range cps[1:] {
+				at := net.deliver(pa.words, cp.Finish, cp.PE, bestPE)
+				if at < bestAt || (at == bestAt && cp.PE < best.PE) {
+					bestAt, best = at, cp
 				}
 			}
-			feeds = append(feeds, feed{arc: a, src: best, send: best.Finish})
+			feeds = append(feeds, feed{a: pa, src: best, send: best.Finish})
 		}
 		sort.Slice(feeds, func(i, j int) bool {
 			if feeds[i].send != feeds[j].send {
 				return feeds[i].send < feeds[j].send
 			}
-			return feeds[i].arc.From < feeds[j].arc.From
+			return c.rank[feeds[i].a.from] < c.rank[feeds[j].a.from]
 		})
 		start := b.procFree[bestPE]
 		for _, f := range feeds {
-			at, res := net.deliver(f.arc.Words, f.src.Finish, f.src.PE, bestPE)
-			net.commit(res)
+			at := net.commitDeliver(f.a.words, f.src.Finish, f.src.PE, bestPE)
 			if at > start {
 				start = at
 			}
 			if f.src.PE != bestPE {
+				oa := &c.arcs[f.a.aidx]
 				b.msgs = append(b.msgs, Msg{
-					Var: f.arc.Var, From: f.arc.From, To: t,
-					FromPE: f.src.PE, ToPE: bestPE, Words: f.arc.Words,
+					Var: oa.Var, From: oa.From, To: c.ids[t],
+					FromPE: f.src.PE, ToPE: bestPE, Words: oa.Words,
 					Send: f.src.Finish, Recv: at, Hops: m.Topo.Hops(f.src.PE, bestPE),
 				})
 			}
 		}
 		// Committed contention may push the start past the estimate
 		// (other placements between estimate and commit); never earlier.
-		n := b.g.Node(t)
-		sl := Slot{Task: t, PE: bestPE, Start: start, Finish: start + m.ExecTime(n.Work, bestPE)}
-		b.slots = append(b.slots, sl)
-		b.copies[t] = append(b.copies[t], sl)
-		if sl.Finish > b.procFree[bestPE] {
-			b.procFree[bestPE] = sl.Finish
-		}
+		sl := Slot{Task: c.ids[t], PE: bestPE, Start: start, Finish: start + c.exec(t, bestPE)}
+		b.commitSlot(t, sl)
 		rt.complete(t)
 	}
 	return b.finish("mh"), nil
-}
-
-func errNotPlaced(a graph.Arc) error {
-	return &notPlacedError{a}
-}
-
-type notPlacedError struct{ a graph.Arc }
-
-func (e *notPlacedError) Error() string {
-	return "sched: arc " + string(e.a.From) + "->" + string(e.a.To) + ": producer not placed"
 }

@@ -170,7 +170,7 @@ func (s *bbState) search(depth int, curMax machine.Time) {
 		for pe := 0; pe < maxPE; pe++ {
 			start := s.procFree[pe]
 			feasible := true
-			for _, a := range s.g.Pred(n.ID) {
+			for _, a := range s.g.PredArcs(n.ID) {
 				src, ok := s.placed[a.From]
 				if !ok {
 					feasible = false

@@ -25,34 +25,34 @@ func (Pack) Name() string { return "pack" }
 
 // Schedule implements Scheduler.
 func (Pack) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	if g == nil || m == nil {
-		return nil, fmt.Errorf("sched: nil graph or machine")
-	}
-	if err := g.ValidateFlat(); err != nil {
-		return nil, fmt.Errorf("sched: graph not flat: %w", err)
+	b, err := newBuilder(g, m)
+	if err != nil {
+		return nil, err
 	}
 	clusters, err := linearClusters(g)
 	if err != nil {
 		return nil, err
 	}
 	assign := packClusters(g, m, clusters)
-	return scheduleFixed(g, m, assign, "pack")
+	return scheduleFixed(b, assign, "pack")
 }
 
 // linearClusters peels critical paths off the graph until every task
 // belongs to exactly one cluster. Returned clusters are ordered by
 // decreasing creation priority (first cluster = global critical path).
 func linearClusters(g *graph.Graph) ([][]graph.NodeID, error) {
+	// One topological sort serves every peel; the subgraph only shrinks.
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
 	remaining := map[graph.NodeID]bool{}
 	for _, n := range g.Nodes() {
 		remaining[n.ID] = true
 	}
 	var clusters [][]graph.NodeID
 	for len(remaining) > 0 {
-		path, err := criticalPathWithin(g, remaining)
-		if err != nil {
-			return nil, err
-		}
+		path := criticalPathWithin(g, order, remaining)
 		if len(path) == 0 {
 			// Cannot happen on a DAG with remaining nodes; guard anyway.
 			return nil, fmt.Errorf("sched: linear clustering stalled with %d tasks left", len(remaining))
@@ -66,12 +66,8 @@ func linearClusters(g *graph.Graph) ([][]graph.NodeID, error) {
 }
 
 // criticalPathWithin finds the longest work+words path restricted to
-// the given node subset.
-func criticalPathWithin(g *graph.Graph, within map[graph.NodeID]bool) ([]graph.NodeID, error) {
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, err
-	}
+// the given node subset. order must be a topological order of g.
+func criticalPathWithin(g *graph.Graph, order []graph.NodeID, within map[graph.NodeID]bool) []graph.NodeID {
 	blevel := map[graph.NodeID]int64{}
 	next := map[graph.NodeID]graph.NodeID{}
 	for i := len(order) - 1; i >= 0; i-- {
@@ -81,7 +77,7 @@ func criticalPathWithin(g *graph.Graph, within map[graph.NodeID]bool) ([]graph.N
 		}
 		var best int64
 		var bestNext graph.NodeID
-		for _, a := range g.Succ(id) {
+		for _, a := range g.SuccArcs(id) {
 			if !within[a.To] {
 				continue
 			}
@@ -103,8 +99,8 @@ func criticalPathWithin(g *graph.Graph, within map[graph.NodeID]bool) ([]graph.N
 		}
 		// Only start from subset-local sources for true linear chains.
 		hasPredWithin := false
-		for _, p := range g.Predecessors(id) {
-			if within[p] {
+		for _, a := range g.PredArcs(id) {
+			if within[a.From] {
 				hasPredWithin = true
 				break
 			}
@@ -118,7 +114,7 @@ func criticalPathWithin(g *graph.Graph, within map[graph.NodeID]bool) ([]graph.N
 		}
 	}
 	if startLen < 0 {
-		return nil, nil
+		return nil
 	}
 	var path []graph.NodeID
 	for cur := start; ; {
@@ -129,7 +125,7 @@ func criticalPathWithin(g *graph.Graph, within map[graph.NodeID]bool) ([]graph.N
 		}
 		cur = nx
 	}
-	return path, nil
+	return path
 }
 
 // packClusters maps clusters onto processors: largest total work first,
@@ -173,21 +169,19 @@ func packClusters(g *graph.Graph, m *machine.Machine, clusters [][]graph.NodeID)
 // scheduleFixed assigns start times when each task's processor is
 // already decided: repeatedly start the ready task that can begin
 // earliest on its assigned processor.
-func scheduleFixed(g *graph.Graph, m *machine.Machine, assign map[graph.NodeID]int, alg string) (*Schedule, error) {
-	b, err := newBuilder(g, m)
-	if err != nil {
-		return nil, err
+func scheduleFixed(b *builder, assign map[graph.NodeID]int, alg string) (*Schedule, error) {
+	c := b.c
+	pa := make([]int, c.n)
+	for id, pe := range assign {
+		pa[c.idOf[id]] = pe
 	}
-	lv, err := g.ComputeLevels(1)
-	if err != nil {
-		return nil, err
-	}
-	rt := newReadyTracker(g)
+	rt := newReadyTracker(c)
 	for len(rt.ready) > 0 {
 		bestIdx := -1
+		bestT := int32(-1)
 		var bestStart machine.Time
 		for i, t := range rt.ready {
-			st, err := b.est(t, assign[t])
+			st, err := b.est(t, pa[t])
 			if err != nil {
 				return nil, err
 			}
@@ -197,17 +191,17 @@ func scheduleFixed(g *graph.Graph, m *machine.Machine, assign map[graph.NodeID]i
 				better = true
 			case st != bestStart:
 				better = st < bestStart
-			case lv.SLevel[t] != lv.SLevel[rt.ready[bestIdx]]:
-				better = lv.SLevel[t] > lv.SLevel[rt.ready[bestIdx]]
+			case c.slevel[t] != c.slevel[bestT]:
+				better = c.slevel[t] > c.slevel[bestT]
 			default:
-				better = t < rt.ready[bestIdx]
+				better = c.rank[t] < c.rank[bestT]
 			}
 			if better {
-				bestIdx, bestStart = i, st
+				bestIdx, bestT, bestStart = i, t, st
 			}
 		}
 		t := rt.take(bestIdx)
-		if _, err := b.place(t, assign[t], bestStart, false); err != nil {
+		if _, err := b.place(t, pa[t], bestStart, false); err != nil {
 			return nil, err
 		}
 		rt.complete(t)

@@ -212,11 +212,13 @@ func TestMHRespectsTopologyDistance(t *testing.T) {
 func TestMHLinkContentionSerialisesMessages(t *testing.T) {
 	m := mk(t, "chain:3", machine.Params{ProcSpeed: 1, TaskStartup: 0, MsgStartup: 2, WordTime: 1})
 	net := newMHNet(m)
-	// Two 10-word messages from PE0 to PE2, both ready at t=0.
-	at1, res1 := net.deliver(10, 0, 0, 2)
-	net.commit(res1)
-	at2, res2 := net.deliver(10, 0, 0, 2)
-	net.commit(res2)
+	// Two 10-word messages from PE0 to PE2, both ready at t=0. The
+	// estimate must match what the commit then books.
+	if at := net.deliver(10, 0, 0, 2); at != 22 {
+		t.Errorf("estimated first arrival = %v, want 22us", at)
+	}
+	at1 := net.commitDeliver(10, 0, 0, 2)
+	at2 := net.commitDeliver(10, 0, 0, 2)
 	// First: startup 2, hop0 [2,12], hop1 [12,22] -> 22.
 	if at1 != 22 {
 		t.Errorf("first arrival = %v, want 22us", at1)
@@ -225,9 +227,9 @@ func TestMHLinkContentionSerialisesMessages(t *testing.T) {
 	if at2 != 32 {
 		t.Errorf("second arrival = %v, want 32us", at2)
 	}
-	// Co-located delivery is free.
-	if at, res := net.deliver(10, 7, 1, 1); at != 7 || res != nil {
-		t.Errorf("co-located delivery = %v, %v", at, res)
+	// Co-located delivery is free and books nothing.
+	if at := net.commitDeliver(10, 7, 1, 1); at != 7 {
+		t.Errorf("co-located delivery = %v, want 7us", at)
 	}
 }
 
