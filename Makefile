@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke
+.PHONY: build test vet race verify bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,12 @@ test:
 
 # The runner is the only genuinely concurrent subsystem (one goroutine
 # per processor, plus the schedule index and routing tables shared
-# read-only); run it under the race detector.
+# read-only); run it under the race detector. The recovery planner is
+# exercised concurrently by the runner's crash handling, so its tests
+# join the race pass too.
 race:
 	$(GO) test -race ./internal/exec/...
+	$(GO) test -race ./internal/sched/ -run Recover
 
 # Tier-1 verification: what every PR must keep green.
 verify: build vet test race bench-smoke
@@ -28,3 +31,9 @@ bench:
 # a statistically meaningful benchmark run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=SchedulerScaling -benchtime=1x .
+
+# Chaos soak: the seeded fault-injection suite 50 times under the race
+# detector — crashes, drops, duplicates, delays and corruptions against
+# the recovering runtime.
+chaos:
+	$(GO) test -race -count=50 -run 'Fault|Crash|Random|Watchdog|Stall|Duplicate' ./internal/exec/

@@ -7,7 +7,9 @@ package banger_test
 // them.
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/codegen"
@@ -309,5 +311,70 @@ func BenchmarkGanttRender(b *testing.B) {
 				_ = gantt.Report(sc)
 			}
 		})
+	}
+}
+
+// runnerDesign builds a layered calculator design of layers*width+1
+// real PITS tasks: every layer-l task combines two layer-(l-1) results,
+// layer 0 reads the external input, and a final sink folds the last
+// layer into one external output. Unlike the scheduler-scaling random
+// graphs, every task carries an executable routine, so the parallel
+// runner can actually interpret it.
+func runnerDesign(b *testing.B, layers, width int) (*graph.Flat, pits.Env) {
+	b.Helper()
+	g := graph.New("layered-calc")
+	g.MustAddStorage("IN", "x")
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			id := graph.NodeID(fmt.Sprintf("t%d_%d", l, i))
+			n := g.MustAddTask(id, string(id), int64(10+(l*7+i*3)%20))
+			v := fmt.Sprintf("v%d_%d", l, i)
+			if l == 0 {
+				n.Routine = fmt.Sprintf("%s = x + %d", v, i)
+				g.MustConnect("IN", id, "x", 1)
+				continue
+			}
+			left := fmt.Sprintf("v%d_%d", l-1, i)
+			right := fmt.Sprintf("v%d_%d", l-1, (i+1)%width)
+			n.Routine = fmt.Sprintf("%s = %s + %s * 2", v, left, right)
+			g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", l-1, i)), id, left, 1)
+			g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", l-1, (i+1)%width)), id, right, 1)
+		}
+	}
+	snk := g.MustAddTask("snk", "sink", 20)
+	terms := make([]string, width)
+	for i := 0; i < width; i++ {
+		v := fmt.Sprintf("v%d_%d", layers-1, i)
+		terms[i] = v
+		g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", layers-1, i)), "snk", v, 1)
+	}
+	snk.Routine = "out = " + strings.Join(terms, " + ")
+	g.MustAddStorage("OUT", "out")
+	g.MustConnect("snk", "OUT", "out", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return flat, pits.Env{"x": pits.Num(3)}
+}
+
+// BenchmarkRunnerVirtual measures the goroutine runner in deterministic
+// virtual time on a ~500-task layered calculator design scheduled by
+// ETF onto an 8-processor hypercube — the fault-tolerant runtime's
+// fault-free fast path (watchdogs armed, no retries, no checksums).
+// Baseline: BENCH_PR3.json.
+func BenchmarkRunnerVirtual(b *testing.B) {
+	flat, inputs := runnerDesign(b, 20, 25) // 501 tasks
+	m := hypercubeMachine(b, 3)
+	sc, err := (sched.ETF{}).Schedule(flat.Graph, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &exec.Runner{Inputs: inputs, VirtualTime: true}
+		if _, err := r.Run(sc, flat); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

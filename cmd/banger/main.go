@@ -103,7 +103,8 @@ commands:
   simulate -project P [-alg A]
   animate  -project P [-alg A] [-frames N]
   rehearse -project P
-  run      -project P [-alg A] [-virtual] [-chart]
+  run      -project P [-alg A] [-virtual] [-chart] [-retry] [-grace G]
+           [-faults SPEC|rand] [-fault-seed N]
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
   demo
@@ -379,6 +380,10 @@ func cmdRun(args []string) error {
 	proj, alg := projectFlags(fs)
 	virtual := fs.Bool("virtual", false, "stamp the trace in deterministic virtual time")
 	chart := fs.Bool("chart", false, "draw the executed trace as a Gantt chart")
+	faults := fs.String("faults", "", `inject faults: "rand" or a spec like "crash:1@0,drop:a->b:u" (see banger help)`)
+	faultSeed := fs.Int64("fault-seed", 1, "seed for -faults rand")
+	grace := fs.Float64("grace", 0, "watchdog grace factor over predicted arrival times (0 = machine default)")
+	retry := fs.Bool("retry", false, "acknowledged delivery with retransmission (absorbs drops/dups)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -390,11 +395,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	run := env.Run
-	if *virtual {
-		run = env.RunVirtual
+	runner := &exec.Runner{VirtualTime: *virtual, Retry: *retry, Grace: *grace}
+	switch {
+	case *faults == "":
+	case *faults == "rand":
+		runner.Faults = exec.RandomFaults(*faultSeed, sc)
+		if runner.Faults == nil {
+			fmt.Println("schedule offers nothing to break; running fault-free")
+		} else {
+			fmt.Printf("injecting seeded faults: %s\n", runner.Faults)
+		}
+	default:
+		if runner.Faults, err = exec.ParseFaults(*faults); err != nil {
+			return err
+		}
 	}
-	res, err := run(sc)
+	res, err := env.RunWith(sc, runner)
 	if err != nil {
 		return err
 	}
@@ -404,6 +420,10 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("ran %d tasks (+%d duplicates) on %d goroutine PEs in %v\n",
 		st.TasksRun, st.DupsRun, sc.Machine.NumPE(), res.Elapsed)
+	if st.Faults > 0 || st.Retries > 0 || st.Rescheduled > 0 {
+		fmt.Printf("survived %d injected faults: %d retries, %d tasks rescheduled by recovery\n",
+			st.Faults, st.Retries, st.Rescheduled)
+	}
 	if *virtual {
 		fmt.Printf("virtual makespan %v (schedule predicted %v)\n", res.Trace.Makespan(), sc.Makespan())
 	}

@@ -114,6 +114,16 @@ func (e *Environment) RunVirtual(sc *sched.Schedule) (*exec.Result, error) {
 	return r.Run(sc, e.Flat)
 }
 
+// RunWith executes the schedule with a caller-configured runner (fault
+// injection, retry, watchdog and grace settings). The project's input
+// data is bound automatically unless the runner already carries inputs.
+func (e *Environment) RunWith(sc *sched.Schedule, r *exec.Runner) (*exec.Result, error) {
+	if r.Inputs == nil {
+		r.Inputs = e.Project.Inputs
+	}
+	return r.Run(sc, e.Flat)
+}
+
 // GenerateCode emits a standalone Go program for the schedule.
 func (e *Environment) GenerateCode(sc *sched.Schedule) (string, error) {
 	return codegen.Generate(sc, e.Flat, e.Project.Inputs)

@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// This file is the run coordinator: the goroutine that watches worker
+// life-cycle events, detects global stalls, and — when a processor
+// crashes — drives the pause/replan/resume recovery protocol.
+
+// wevent is a worker life-cycle notification to the coordinator.
+type wevent struct {
+	kind wekind
+	pe   int
+}
+
+type wekind int
+
+const (
+	evIdle   wekind = iota // worker finished its current slot list
+	evCrash                // worker hit an injected crash and died
+	evParked               // worker reached the recovery barrier
+)
+
+// era is one epoch of execution between recoveries. pause is closed to
+// order every live worker to the barrier; resume is closed once the new
+// plan is installed. Messages stamp their era's epoch so deliveries
+// from before a recovery are recognisably stale.
+type era struct {
+	epoch  int64
+	pause  chan struct{}
+	resume chan struct{}
+}
+
+// controller owns the shared state of one Run call.
+type controller struct {
+	runner *Runner
+	s      *sched.Schedule
+	flat   *graph.Flat
+	numPE  int
+
+	inboxes []chan xmsg
+	done    chan struct{} // closed to abort the run (some worker failed)
+	finish  chan struct{} // closed on clean completion (all workers idle)
+
+	doneOnce   sync.Once
+	finishOnce sync.Once
+
+	events chan wevent
+
+	era      atomic.Pointer[era]
+	seq      atomic.Uint64 // message sequence numbers
+	progress atomic.Uint64 // bumped per task completion and accepted message
+
+	mu      sync.Mutex
+	extra   []trace.Event  // events emitted outside worker goroutines
+	waiting map[int]string // pe -> edge currently waited on (stall diagnosis)
+	runErr  error          // coordinator-detected failure (stall, unrecoverable crash)
+
+	bg sync.WaitGroup // retry, delay and stall goroutines
+
+	workers   []*worker
+	faults    *faultState
+	retry     bool
+	checksums bool
+	grace     float64
+	now       func() machine.Time
+}
+
+func (c *controller) abort()    { c.doneOnce.Do(func() { close(c.done) }) }
+func (c *controller) complete() { c.finishOnce.Do(func() { close(c.finish) }) }
+
+// fail records a coordinator-level root cause and aborts the run.
+func (c *controller) fail(err error) {
+	c.mu.Lock()
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	c.mu.Unlock()
+	c.abort()
+}
+
+// addEvent appends a trace event from outside a worker goroutine.
+func (c *controller) addEvent(e trace.Event) {
+	c.mu.Lock()
+	c.extra = append(c.extra, e)
+	c.mu.Unlock()
+}
+
+// setWaiting records what processor pe is blocked on ("" clears it).
+func (c *controller) setWaiting(pe int, edge string) {
+	c.mu.Lock()
+	if edge == "" {
+		delete(c.waiting, pe)
+	} else {
+		c.waiting[pe] = edge
+	}
+	c.mu.Unlock()
+}
+
+// waitingSummary renders the blocked processors for stall diagnostics.
+func (c *controller) waitingSummary() string {
+	return c.waitingExcept(-1)
+}
+
+// waitingExcept renders the blocked processors other than skip — a
+// watchdog that fires downstream of the real loss uses it to point at
+// the edge that is actually missing.
+func (c *controller) waitingExcept(skip int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pes := make([]int, 0, len(c.waiting))
+	for pe := range c.waiting {
+		if pe != skip {
+			pes = append(pes, pe)
+		}
+	}
+	if len(pes) == 0 {
+		if skip < 0 {
+			return "no worker waiting on a message"
+		}
+		return ""
+	}
+	sort.Ints(pes)
+	parts := make([]string, len(pes))
+	for i, pe := range pes {
+		parts[i] = fmt.Sprintf("PE %d waits for %s", pe, c.waiting[pe])
+	}
+	return strings.Join(parts, "; ")
+}
+
+// post sends a life-cycle event to the coordinator, giving up if the
+// run aborts.
+func (c *controller) post(ev wevent) {
+	select {
+	case c.events <- ev:
+	case <-c.done:
+	}
+}
+
+// coordinate is the coordinator loop. It ends the run cleanly when all
+// live workers are idle, and runs the recovery protocol on each crash.
+func (c *controller) coordinate() {
+	live := c.numPE
+	idle := 0
+	dead := make([]bool, c.numPE)
+	for {
+		select {
+		case <-c.done:
+			return
+		case ev := <-c.events:
+			switch ev.kind {
+			case evIdle:
+				idle++
+				if idle >= live {
+					c.complete()
+					return
+				}
+			case evCrash:
+				dead[ev.pe] = true
+				live--
+				if live == 0 {
+					c.fail(fmt.Errorf("exec: all processors crashed"))
+					return
+				}
+				if !c.recoverRun(dead, &live) {
+					return
+				}
+				idle = 0
+			}
+		}
+	}
+}
+
+// recoverRun drives one recovery: order every live worker to the
+// barrier, replan the lost work with sched.Recover, install the new
+// assignments and release the workers into the next era. Returns false
+// if the run must end instead.
+func (c *controller) recoverRun(dead []bool, live *int) bool {
+	er := c.era.Load()
+	close(er.pause)
+	parked := 0
+	for parked < *live {
+		select {
+		case <-c.done:
+			return false
+		case ev := <-c.events:
+			switch ev.kind {
+			case evParked:
+				parked++
+			case evCrash:
+				// A second processor died racing the pause.
+				dead[ev.pe] = true
+				*live--
+				if *live == 0 {
+					c.fail(fmt.Errorf("exec: all processors crashed"))
+					return false
+				}
+			case evIdle:
+				// Stale: the worker will park too.
+			}
+		}
+	}
+
+	// Every live worker is parked: their state is safe to read (the
+	// evParked receive orders their writes before ours) and to rewrite
+	// (closing resume orders our writes before their reads).
+	// Each surviving task result is attributed to its lowest live
+	// holder (the ascending pe loop makes the choice deterministic).
+	liveMask := make([]bool, c.numPE)
+	doneTasks := map[graph.NodeID]int{}
+	for pe := 0; pe < c.numPE; pe++ {
+		if dead[pe] {
+			continue
+		}
+		liveMask[pe] = true
+		for t := range c.workers[pe].local {
+			if _, ok := doneTasks[t]; !ok {
+				doneTasks[t] = pe
+			}
+		}
+	}
+
+	plan, err := sched.Recover(c.s, sched.RecoverState{Live: liveMask, Done: doneTasks})
+	if err != nil {
+		c.fail(fmt.Errorf("exec: crash recovery failed: %w", err))
+		return false
+	}
+	c.install(plan, doneTasks, dead, er)
+
+	next := &era{epoch: er.epoch + 1, pause: make(chan struct{}), resume: make(chan struct{})}
+	c.era.Store(next)
+	close(er.resume)
+	return true
+}
+
+// install rewrites the parked workers' assignments from the recovery
+// plan and records the rescheduling in the trace.
+func (c *controller) install(plan *sched.Reassignment, doneTasks map[graph.NodeID]int, dead []bool, er *era) {
+	numPE := c.numPE
+	newSlots := make([][]sched.Slot, numPE)
+	for _, sl := range plan.Slots {
+		newSlots[sl.PE] = append(newSlots[sl.PE], sl)
+	}
+	expected := make([]map[msgKey]machine.Time, numPE)
+	sends := make([]map[graph.NodeID][]sendPlan, numPE)
+	resends := make([][]sendPlan, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		expected[pe] = map[msgKey]machine.Time{}
+		sends[pe] = map[graph.NodeID][]sendPlan{}
+	}
+	for _, m := range plan.Msgs {
+		k := msgKey{m.From, m.To, m.Var}
+		expected[m.ToPE][k] = m.Recv
+		sp := sendPlan{key: k, toPE: m.ToPE, words: m.Words}
+		if _, held := doneTasks[m.From]; held {
+			// The producer's result survives on m.FromPE: that worker
+			// re-sends the value from its local store at era start.
+			resends[m.FromPE] = append(resends[m.FromPE], sp)
+		} else {
+			sends[m.FromPE][m.From] = append(sends[m.FromPE][m.From], sp)
+		}
+	}
+
+	// Timestamp for the rescheduling events: the wall clock, or the
+	// latest live virtual clock in virtual-time mode.
+	at := c.now()
+	if c.runner.VirtualTime {
+		at = 0
+		for pe, w := range c.workers {
+			if !dead[pe] && w.clock > at {
+				at = w.clock
+			}
+		}
+	}
+	for _, sl := range plan.Slots {
+		orig := sl.PE
+		if ps, ok := c.s.PrimarySlot(sl.Task); ok {
+			orig = ps.PE
+		}
+		c.addEvent(trace.Event{Kind: trace.TaskRescheduled, At: at, Task: sl.Task,
+			PE: sl.PE, Peer: orig, Note: "recovery"})
+	}
+
+	for pe, w := range c.workers {
+		if dead[pe] {
+			continue
+		}
+		w.slots = newSlots[pe]
+		w.cursor = 0
+		w.expected = expected[pe]
+		w.sends = sends[pe]
+		w.resends = resends[pe]
+		w.epoch = er.epoch + 1
+	}
+
+	// Adopt orphaned external outputs: a task whose result survives
+	// (so it will not re-run) but whose exporting copy died must be
+	// exported by its holder instead.
+	tasks := make([]graph.NodeID, 0, len(doneTasks))
+	for t := range doneTasks {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	for _, t := range tasks {
+		holder := doneTasks[t]
+		for _, v := range c.flat.ExternalOut[t] {
+			q := string(t) + "." + v
+			present := false
+			for pe, w := range c.workers {
+				if dead[pe] {
+					continue
+				}
+				if _, ok := w.outputs[q]; ok {
+					present = true
+					break
+				}
+			}
+			if present {
+				continue
+			}
+			hw := c.workers[holder]
+			if val, ok := hw.local[t][v]; ok {
+				hw.outputs[q] = val
+				hw.exports[v] = t
+			}
+		}
+	}
+}
+
+// stallWatch fails the run if no task completes and no message is
+// accepted for the stall timeout: the global backstop behind the
+// per-receive watchdogs.
+func (c *controller) stallWatch(timeout time.Duration) {
+	defer c.bg.Done()
+	step := timeout / 4
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	tick := time.NewTicker(step)
+	defer tick.Stop()
+	last := c.progress.Load()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.finish:
+			return
+		case <-tick.C:
+			cur := c.progress.Load()
+			if cur != last {
+				last = cur
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= timeout {
+				c.fail(fmt.Errorf("exec: run stalled: no progress for %v (%s)", timeout, c.waitingSummary()))
+				return
+			}
+		}
+	}
+}

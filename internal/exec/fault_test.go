@@ -1,0 +1,444 @@
+package exec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// wideDesign builds a two-source / three-middle / one-sink design with
+// real routines, wide enough that every scheduler spreads it across
+// processors and produces cross-PE messages.
+func wideDesign(t *testing.T) *graph.Flat {
+	t.Helper()
+	g := graph.New("wide-calc")
+	g.MustAddStorage("X0", "x0")
+	g.MustAddStorage("X1", "x1")
+	s1 := g.MustAddTask("s1", "src1", 40)
+	s2 := g.MustAddTask("s2", "src2", 40)
+	m1 := g.MustAddTask("m1", "mid1", 30)
+	m2 := g.MustAddTask("m2", "mid2", 35)
+	m3 := g.MustAddTask("m3", "mid3", 45)
+	snk := g.MustAddTask("snk", "sink", 20)
+	g.MustAddStorage("Y", "y")
+	s1.Routine = "p = x0 + 1"
+	s2.Routine = "q = x1 * 2"
+	m1.Routine = "r1 = p + q"
+	m2.Routine = "r2 = p - q"
+	m3.Routine = "r3 = p * q"
+	snk.Routine = "y = r1 + r2 + r3"
+	g.MustConnect("X0", "s1", "x0", 1)
+	g.MustConnect("X1", "s2", "x1", 1)
+	for _, mid := range []graph.NodeID{"m1", "m2", "m3"} {
+		g.MustConnect("s1", mid, "p", 1)
+		g.MustConnect("s2", mid, "q", 1)
+	}
+	g.MustConnect("m1", "snk", "r1", 1)
+	g.MustConnect("m2", "snk", "r2", 1)
+	g.MustConnect("m3", "snk", "r3", 1)
+	g.MustConnect("snk", "Y", "y", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat
+}
+
+func wideInputs() pits.Env {
+	return pits.Env{"x0": pits.Num(6), "x1": pits.Num(3)}
+}
+
+// countKinds tallies trace events by kind.
+func countKinds(tr *trace.Trace) map[trace.Kind]int {
+	n := map[trace.Kind]int{}
+	for _, e := range tr.Events {
+		n[e.Kind]++
+	}
+	return n
+}
+
+// TestFaultMatrix is the table-driven robustness sweep: every fault
+// kind against every topology and scheduler combination, asserting the
+// faulty run reproduces the fault-free outputs exactly and that the
+// trace records the injected fault (and, where retransmission is the
+// healing mechanism, the retries).
+func TestFaultMatrix(t *testing.T) {
+	flat := wideDesign(t)
+	algs := []sched.Scheduler{sched.MH{}, sched.DSH{}}
+	topos := []string{"hypercube:2", "star:4", "full:4"}
+	kinds := []FaultKind{FaultCrash, FaultDrop, FaultDup, FaultDelay, FaultCorrupt}
+	for _, spec := range topos {
+		for _, alg := range algs {
+			m := testMachine(t, spec, params())
+			s, err := alg.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := &Runner{Inputs: wideInputs()}
+			want, err := clean.Run(s, flat)
+			if err != nil {
+				t.Fatalf("%s/%s fault-free: %v", spec, alg.Name(), err)
+			}
+			for _, kind := range kinds {
+				t.Run(spec+"/"+alg.Name()+"/"+kind.String(), func(t *testing.T) {
+					var fault Fault
+					switch kind {
+					case FaultCrash:
+						pe := -1
+						for p := 0; p < m.NumPE(); p++ {
+							if len(s.PESlots(p)) > 0 {
+								pe = p
+								break
+							}
+						}
+						if pe < 0 {
+							t.Skip("no busy PE to crash")
+						}
+						fault = Fault{Kind: FaultCrash, PE: pe, Slot: 0}
+					default:
+						var msg *sched.Msg
+						for i := range s.Msgs {
+							if s.Msgs[i].FromPE != s.Msgs[i].ToPE {
+								msg = &s.Msgs[i]
+								break
+							}
+						}
+						if msg == nil {
+							t.Skip("schedule has no cross-PE message to fault")
+						}
+						fault = Fault{Kind: kind, From: msg.From, To: msg.To, Var: msg.Var, Count: 1}
+						if kind == FaultDelay {
+							fault.Delay = 2000 // 2ms wall
+						}
+					}
+					r := &Runner{
+						Inputs: wideInputs(),
+						Faults: &FaultPlan{Faults: []Fault{fault}},
+						Retry:  true, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+					}
+					got, err := r.Run(s, flat)
+					if err != nil {
+						t.Fatalf("faulty run: %v", err)
+					}
+					if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+						t.Errorf("outputs diverged under %s:\n got %v\nwant %v", fault, got.Outputs, want.Outputs)
+					}
+					n := countKinds(got.Trace)
+					if n[trace.FaultInjected] == 0 {
+						t.Errorf("trace records no injected fault for %s", fault)
+					}
+					switch kind {
+					case FaultCrash:
+						if n[trace.TaskRescheduled] == 0 {
+							t.Errorf("crash recovery recorded no rescheduled tasks")
+						}
+					case FaultDrop, FaultCorrupt:
+						if n[trace.MsgRetry] == 0 {
+							t.Errorf("%s healed without a recorded retry", kind)
+						}
+					}
+					st, err := got.Trace.Summarize(m.NumPE())
+					if err != nil {
+						t.Fatalf("summarize: %v", err)
+					}
+					if st.Faults != n[trace.FaultInjected] || st.Retries != n[trace.MsgRetry] || st.Rescheduled != n[trace.TaskRescheduled] {
+						t.Errorf("stats disagree with event counts: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// chainSchedule hand-places a 4-task chain a->b->d->e so that PE 0 runs
+// a, d, e and PE 1 runs b, forcing the messages a->b:u and b->d:v
+// across the wire. Crash PE 0 at slot 2 and the crash fires only after
+// d completed — i.e. after b's reply arrived, which itself needs the
+// retransmission when a->b:u is dropped. Every fault/retry/reschedule
+// event is then deterministic.
+func chainSchedule(t *testing.T) (*sched.Schedule, *graph.Flat) {
+	t.Helper()
+	g := graph.New("chain-calc")
+	g.MustAddStorage("X0", "x0")
+	a := g.MustAddTask("a", "a", 10)
+	b := g.MustAddTask("b", "b", 10)
+	d := g.MustAddTask("d", "d", 10)
+	e := g.MustAddTask("e", "e", 10)
+	g.MustAddStorage("OUT", "out")
+	a.Routine = "u = 2 * x0"
+	b.Routine = "v = u + 1"
+	d.Routine = "z = v * 2"
+	e.Routine = "out = z + 1"
+	g.MustConnect("X0", "a", "x0", 1)
+	g.MustConnect("a", "b", "u", 1)
+	g.MustConnect("b", "d", "v", 1)
+	g.MustConnect("d", "e", "z", 1)
+	g.MustConnect("e", "OUT", "out", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, "full:2", params())
+	s := &sched.Schedule{
+		Graph: flat.Graph, Machine: m, Algorithm: "hand",
+		Slots: []sched.Slot{
+			{Task: "a", PE: 0, Start: 0, Finish: 11},
+			{Task: "b", PE: 1, Start: 17, Finish: 28},
+			{Task: "d", PE: 0, Start: 34, Finish: 45},
+			{Task: "e", PE: 0, Start: 45, Finish: 56},
+		},
+		Msgs: []sched.Msg{
+			{Var: "u", From: "a", To: "b", FromPE: 0, ToPE: 1, Words: 1, Send: 11, Recv: 17, Hops: 1},
+			{Var: "v", From: "b", To: "d", FromPE: 1, ToPE: 0, Words: 1, Send: 28, Recv: 34, Hops: 1},
+		},
+	}
+	s.Finalize()
+	return s, flat
+}
+
+// TestCrashAndDropRecoverExactOutputs is the headline acceptance run: a
+// seeded plan that drops a message and crashes a processor must still
+// complete with outputs byte-identical to the fault-free run, and the
+// trace must record the faults, the retry that healed the drop and the
+// tasks recovery moved.
+func TestCrashAndDropRecoverExactOutputs(t *testing.T) {
+	s, flat := chainSchedule(t)
+	inputs := pits.Env{"x0": pits.Num(5)}
+	want, err := (&Runner{Inputs: inputs}).Run(s, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaults("drop:a->b:u,crash:0@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Inputs: inputs, Faults: plan,
+		Retry: true, RetryBase: 2 * time.Millisecond, RetryCap: 10 * time.Millisecond,
+	}
+	got, err := r.Run(s, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+		t.Errorf("outputs diverged:\n got %v\nwant %v", got.Outputs, want.Outputs)
+	}
+	n := countKinds(got.Trace)
+	if n[trace.FaultInjected] != 2 {
+		t.Errorf("want 2 FaultInjected events (drop + crash), got %d", n[trace.FaultInjected])
+	}
+	if n[trace.MsgRetry] == 0 {
+		t.Errorf("dropped message healed without a recorded retry")
+	}
+	if n[trace.TaskRescheduled] == 0 {
+		t.Errorf("crash recovery recorded no rescheduled tasks")
+	}
+	// The tasks the dead processor still owed (d ran; a re-derivable;
+	// e pending) must all have been replanned onto the survivor.
+	moved := map[graph.NodeID]bool{}
+	for _, ev := range got.Trace.Events {
+		if ev.Kind == trace.TaskRescheduled {
+			if ev.PE != 1 {
+				t.Errorf("task %s rescheduled onto PE %d; only PE 1 survives", ev.Task, ev.PE)
+			}
+			moved[ev.Task] = true
+		}
+	}
+	if !moved["e"] {
+		t.Errorf("pending task e not rescheduled; moved: %v", moved)
+	}
+}
+
+// TestWatchdogNamesLostMessage: a dropped message without retry must
+// fail with a watchdog timeout naming the missing edge — not hang.
+func TestWatchdogNamesLostMessage(t *testing.T) {
+	s, flat := chainSchedule(t)
+	plan, err := ParseFaults("drop:a->b:u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Inputs:      pits.Env{"x0": pits.Num(5)},
+		Faults:      plan,
+		WatchdogMin: 50 * time.Millisecond,
+	}
+	_, err = r.Run(s, flat)
+	if err == nil {
+		t.Fatal("lost message without retry did not fail")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("error is not a watchdog timeout: %v", err)
+	}
+	if !strings.Contains(err.Error(), "a->b:u") {
+		t.Errorf("watchdog error does not name the missing edge: %v", err)
+	}
+}
+
+// TestStallDetectorBacksUpWatchdog: with per-receive watchdogs off, the
+// global stall detector must still turn the lost message into a
+// diagnosable failure.
+func TestStallDetectorBacksUpWatchdog(t *testing.T) {
+	s, flat := chainSchedule(t)
+	plan, err := ParseFaults("drop:a->b:u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Inputs:       pits.Env{"x0": pits.Num(5)},
+		Faults:       plan,
+		NoWatchdog:   true,
+		StallTimeout: 150 * time.Millisecond,
+	}
+	_, err = r.Run(s, flat)
+	if err == nil {
+		t.Fatal("stalled run did not fail")
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("error is not a stall report: %v", err)
+	}
+	if !strings.Contains(err.Error(), "a->b:u") {
+		t.Errorf("stall report does not say what PE 1 was waiting for: %v", err)
+	}
+}
+
+// TestDuplicateDeliveryRejected: a malformed schedule that records the
+// same message twice must be rejected at the receiver, not silently
+// absorbed by overwriting the stash.
+func TestDuplicateDeliveryRejected(t *testing.T) {
+	s, flat := chainSchedule(t)
+	dup := *s
+	dup.Msgs = append(append([]sched.Msg{}, s.Msgs...), s.Msgs[0]) // a->b:u twice
+	hand := &sched.Schedule{Graph: dup.Graph, Machine: dup.Machine, Algorithm: "hand-dup",
+		Slots: dup.Slots, Msgs: dup.Msgs}
+	hand.Finalize()
+	r := &Runner{Inputs: pits.Env{"x0": pits.Num(5)}}
+	_, err := r.Run(hand, flat)
+	if err == nil {
+		t.Fatal("doubled message record not rejected")
+	}
+	if !strings.Contains(err.Error(), "duplicate delivery") {
+		t.Errorf("error does not report the duplicate delivery: %v", err)
+	}
+}
+
+// TestInjectedDuplicateAbsorbed: the same delivery duplicated by the
+// chaos harness (same sequence number) must be absorbed silently.
+func TestInjectedDuplicateAbsorbed(t *testing.T) {
+	s, flat := chainSchedule(t)
+	inputs := pits.Env{"x0": pits.Num(5)}
+	want, err := (&Runner{Inputs: inputs}).Run(s, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaults("dup:a->b:u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Runner{Inputs: inputs, Faults: plan}).Run(s, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+		t.Errorf("outputs diverged under dup fault:\n got %v\nwant %v", got.Outputs, want.Outputs)
+	}
+}
+
+// TestMissingInputsFailFast: missing external inputs must be one clear
+// preflight error naming every absent variable, with no worker spawned
+// and no cascade report.
+func TestMissingInputsFailFast(t *testing.T) {
+	flat := wideDesign(t)
+	m := testMachine(t, "full:2", params())
+	s, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = (&Runner{Inputs: pits.Env{"x0": pits.Num(1)}}).Run(s, flat)
+	if err == nil {
+		t.Fatal("missing input not reported")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "external input") || !strings.Contains(msg, `"x1"`) {
+		t.Errorf("preflight error should name the missing external input x1: %v", err)
+	}
+	if strings.Contains(msg, "cascade") {
+		t.Errorf("preflight error reads like a runtime cascade: %v", err)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	plan, err := ParseFaults("crash:1@2, drop:a->b:u, dup:a->b:u@3, delay:b->d:v@500, corrupt:m1->snk:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: FaultCrash, PE: 1, Slot: 2},
+		{Kind: FaultDrop, From: "a", To: "b", Var: "u", Count: 1},
+		{Kind: FaultDup, From: "a", To: "b", Var: "u", Count: 3},
+		{Kind: FaultDelay, From: "b", To: "d", Var: "v", Delay: 500, Count: 1},
+		{Kind: FaultCorrupt, From: "m1", To: "snk", Var: "r1", Count: 1},
+	}
+	if !reflect.DeepEqual(plan.Faults, want) {
+		t.Errorf("parsed %+v\nwant %+v", plan.Faults, want)
+	}
+	for _, bad := range []string{"", "zap:a->b:u", "crash:1", "drop:a:u", "delay:a->b:u", "drop:->b:u", "dup:a->b:u@-1"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	flat := wideDesign(t)
+	m := testMachine(t, "hypercube:2", params())
+	s, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomFaults(7, s)
+	b := RandomFaults(7, s)
+	if a == nil {
+		t.Fatal("RandomFaults returned nil for a schedule with work and messages")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed drew different plans:\n%v\n%v", a, b)
+	}
+	if len(a.Faults) < 2 {
+		t.Errorf("want a crash and a drop, got %v", a)
+	}
+}
+
+// TestRandomFaultsSurvived: seeded random crash+drop plans across many
+// seeds must all recover to the exact fault-free outputs (the make
+// chaos loop runs this 50x under -race).
+func TestRandomFaultsSurvived(t *testing.T) {
+	flat := wideDesign(t)
+	m := testMachine(t, "hypercube:2", params())
+	s, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Runner{Inputs: wideInputs()}).Run(s, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		r := &Runner{
+			Inputs: wideInputs(), Faults: RandomFaults(seed, s),
+			Retry: true, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		}
+		got, err := r.Run(s, flat)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+			t.Errorf("seed %d: outputs diverged:\n got %v\nwant %v", seed, got.Outputs, want.Outputs)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/trace"
+)
+
+// This file is the message transport: sequence-numbered, checksummed
+// deliveries with optional acknowledge-and-retransmit reliability
+// (capped exponential backoff), so dropped and duplicated messages are
+// absorbed instead of wedging the run.
+
+// xmsg carries one arc's data between processor goroutines.
+type xmsg struct {
+	key    msgKey
+	val    pits.Value
+	fromPE int
+	at     machine.Time // virtual arrival (VirtualTime mode)
+	seq    uint64       // unique per logical transmission; duplicates share it
+	epoch  int64        // era the message belongs to; stale eras are discarded
+	sum    uint64       // payload checksum (0 = unchecked)
+	ack    chan struct{} // receiver acknowledges here (reliable mode only)
+}
+
+// checksum fingerprints a payload so in-transit corruption is
+// detectable at the receiver.
+func checksum(v pits.Value) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v.TypeName()))
+	h.Write([]byte{'|'})
+	h.Write([]byte(v.String()))
+	s := h.Sum64()
+	if s == 0 {
+		return 1 // 0 means "unchecked"
+	}
+	return s
+}
+
+// ackMsg acknowledges receipt; retransmission stops. Safe on messages
+// without an ack channel and on repeated calls.
+func ackMsg(m xmsg) {
+	if m.ack == nil {
+		return
+	}
+	select {
+	case m.ack <- struct{}{}:
+	default:
+	}
+}
+
+// deliver enqueues one copy for toPE, giving up if the run ends.
+func (c *controller) deliver(m xmsg, toPE int) bool {
+	select {
+	case c.inboxes[toPE] <- m:
+		return true
+	case <-c.done:
+		return false
+	case <-c.finish:
+		return false
+	}
+}
+
+// sendReliable ships m to toPE with retransmission: deliver copies
+// (possibly 0 — an injected drop), wait for the ack with exponential
+// backoff, and retransmit the original payload until acknowledged or
+// the run ends. orig is the uncorrupted payload; retransmissions use it
+// so a corrupted or dropped first copy heals. Runs in a background
+// goroutine so the sending worker never blocks on a slow consumer.
+func (c *controller) sendReliable(m xmsg, orig pits.Value, toPE, copies int, wallDelay time.Duration) {
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		if wallDelay > 0 {
+			t := time.NewTimer(wallDelay)
+			select {
+			case <-t.C:
+			case <-c.done:
+				t.Stop()
+				return
+			}
+		}
+		wait := c.runner.retryBase()
+		cap := c.runner.retryCap()
+		attempt := 0
+		for {
+			for i := 0; i < copies; i++ {
+				if !c.deliver(m, toPE) {
+					return
+				}
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-m.ack:
+				t.Stop()
+				return
+			case <-c.done:
+				t.Stop()
+				return
+			case <-c.finish:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if c.era.Load().epoch != m.epoch {
+				// The world changed under this message: recovery
+				// replanned the run and the receiver would discard it.
+				return
+			}
+			attempt++
+			copies = 1
+			m.val = orig
+			if m.sum != 0 {
+				m.sum = checksum(orig)
+			}
+			at := c.now()
+			if c.runner.VirtualTime {
+				at = m.at
+			}
+			c.addEvent(trace.Event{Kind: trace.MsgRetry, At: at, Task: m.key.from,
+				PE: m.fromPE, Var: m.key.v, Peer: toPE, Note: fmt.Sprintf("attempt %d", attempt)})
+			wait *= 2
+			if wait > cap {
+				wait = cap
+			}
+		}
+	}()
+}
+
+// sendDelayed enqueues one copy after a wall-clock delay without
+// blocking the sending worker (unreliable mode with an injected delay).
+func (c *controller) sendDelayed(m xmsg, toPE int, wallDelay time.Duration) {
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		t := time.NewTimer(wallDelay)
+		select {
+		case <-t.C:
+			c.deliver(m, toPE)
+		case <-c.done:
+			t.Stop()
+		}
+	}()
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +22,14 @@ import (
 // from the wall clock, so the trace shows genuine parallel execution;
 // correctness of results is independent of interleaving because PITS
 // routines are deterministic (rand() is seeded per task name).
+//
+// The runner is fault-tolerant: an optional FaultPlan injects crashes
+// and message faults at reproducible points, per-receive watchdogs turn
+// lost messages into diagnosable timeouts, Retry enables acknowledged
+// delivery with retransmission, and a crashed processor triggers
+// recovery — surviving workers pause at a barrier while sched.Recover
+// replans the lost work onto live processors, then the run resumes and
+// produces the same outputs a fault-free run would.
 type Runner struct {
 	// Inputs provides the design's external data: values for every
 	// variable that flows from writer-less storage cells
@@ -37,6 +47,62 @@ type Runner struct {
 	// a rehearsal, a contention-free schedule's Gantt chart and the
 	// virtual-time trace of its real execution coincide exactly.
 	VirtualTime bool
+
+	// Faults optionally injects deterministic faults (see FaultPlan).
+	Faults *FaultPlan
+	// Retry enables sequence-numbered delivery with acknowledgements
+	// and capped exponential backoff, absorbing dropped and duplicated
+	// messages transparently.
+	Retry bool
+	// RetryBase is the first retransmission backoff (0 = 15ms).
+	RetryBase time.Duration
+	// RetryCap bounds the exponential backoff (0 = 120ms).
+	RetryCap time.Duration
+	// Grace scales the schedule's predicted arrival times into watchdog
+	// deadlines (0 = the machine's GraceFactor).
+	Grace float64
+	// WatchdogMin is the floor every watchdog deadline includes, so
+	// tiny predicted times don't produce hair-trigger timeouts on a
+	// loaded host (0 = 1s).
+	WatchdogMin time.Duration
+	// NoWatchdog disables per-receive watchdogs (the global stall
+	// detector still runs).
+	NoWatchdog bool
+	// StallTimeout bounds how long the whole run may go without any
+	// task completing or message arriving before it is failed as
+	// stalled (0 = 30s, negative = disabled).
+	StallTimeout time.Duration
+}
+
+func (r *Runner) retryBase() time.Duration {
+	if r.RetryBase > 0 {
+		return r.RetryBase
+	}
+	return 15 * time.Millisecond
+}
+
+func (r *Runner) retryCap() time.Duration {
+	if r.RetryCap > 0 {
+		return r.RetryCap
+	}
+	return 120 * time.Millisecond
+}
+
+func (r *Runner) watchdogMin() time.Duration {
+	if r.WatchdogMin > 0 {
+		return r.WatchdogMin
+	}
+	return time.Second
+}
+
+func (r *Runner) stallTimeout() time.Duration {
+	if r.StallTimeout > 0 {
+		return r.StallTimeout
+	}
+	if r.StallTimeout < 0 {
+		return 0
+	}
+	return 30 * time.Second
 }
 
 // Result is the outcome of a parallel run.
@@ -52,16 +118,6 @@ type Result struct {
 	Trace *trace.Trace
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
-}
-
-// message carries one arc's data between processor goroutines, plus
-// the sending processor and the virtual arrival time when the runner is
-// in virtual-time mode.
-type message struct {
-	key    msgKey
-	val    pits.Value
-	fromPE int
-	at     machine.Time
 }
 
 // msgKey identifies a scheduled message: producer task, consumer task,
@@ -93,6 +149,12 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 	s.Finalize()
 	s.Machine.Topo.Precompute()
 
+	// Fail fast on missing external inputs: one clear error before any
+	// worker spawns, instead of a root-cause-plus-cascade report.
+	if err := r.checkInputs(flat); err != nil {
+		return nil, err
+	}
+
 	// Parse every routine up front; fail fast before spawning workers.
 	progs := map[graph.NodeID]*pits.Program{}
 	for _, n := range g.Tasks() {
@@ -110,12 +172,13 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 		progs[n.ID] = prog
 	}
 
-	// Expected cross-PE messages per consumer processor, and the
-	// deliveries each producer copy must make, from the schedule.
-	expect := make([]map[msgKey]bool, numPE)
+	// Expected cross-PE messages per consumer processor (with their
+	// predicted arrival times, the watchdog basis), and the deliveries
+	// each producer copy must make, from the schedule.
+	expect := make([]map[msgKey]machine.Time, numPE)
 	sends := make([]map[graph.NodeID][]sendPlan, numPE)
 	for pe := 0; pe < numPE; pe++ {
-		expect[pe] = map[msgKey]bool{}
+		expect[pe] = map[msgKey]machine.Time{}
 		sends[pe] = map[graph.NodeID][]sendPlan{}
 	}
 	for _, msg := range s.Msgs {
@@ -123,30 +186,61 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 			continue
 		}
 		k := msgKey{msg.From, msg.To, msg.Var}
-		expect[msg.ToPE][k] = true
+		if _, dup := expect[msg.ToPE][k]; dup {
+			return nil, fmt.Errorf("exec: schedule records duplicate delivery of %s->%s:%s to PE %d",
+				msg.From, msg.To, msg.Var, msg.ToPE)
+		}
+		expect[msg.ToPE][k] = msg.Recv
 		sends[msg.FromPE][msg.From] = append(sends[msg.FromPE][msg.From],
 			sendPlan{key: k, toPE: msg.ToPE, words: msg.Words})
 	}
 
-	inboxes := make([]chan message, numPE)
-	for pe := range inboxes {
-		inboxes[pe] = make(chan message, len(s.Msgs)+1)
+	faults := newFaultState(r.Faults)
+	grace := r.Grace
+	if grace <= 0 {
+		grace = s.Machine.GraceFactor()
 	}
-	done := make(chan struct{})
-	var closeOnce sync.Once
-	abort := func() { closeOnce.Do(func() { close(done) }) }
-
-	workers := make([]*worker, numPE)
 	start := time.Now()
 	now := func() machine.Time { return machine.Time(time.Since(start).Microseconds()) }
+
+	ctrl := &controller{
+		runner: r, s: s, flat: flat, numPE: numPE,
+		inboxes: make([]chan xmsg, numPE),
+		done:    make(chan struct{}),
+		finish:  make(chan struct{}),
+		events:  make(chan wevent, numPE*4+16),
+		waiting: map[int]string{},
+		faults:  faults, retry: r.Retry, checksums: faults.checksums,
+		grace: grace, now: now,
+	}
+	// Inboxes are sized so no delivery ever blocks past the run's end:
+	// every scheduled and recovery-planned message fits, with room for
+	// injected duplicates.
+	inboxCap := (numPE + 1) * (len(s.Msgs) + len(g.Arcs()) + 2)
+	for pe := range ctrl.inboxes {
+		ctrl.inboxes[pe] = make(chan xmsg, inboxCap)
+	}
+	ctrl.era.Store(&era{pause: make(chan struct{}), resume: make(chan struct{})})
+
+	workers := make([]*worker, numPE)
 	for pe := 0; pe < numPE; pe++ {
 		workers[pe] = &worker{
-			pe: pe, runner: r, sched: s, flat: flat, progs: progs,
-			expected: expect[pe], sends: sends[pe],
-			inboxes: inboxes, done: done, now: now,
+			pe: pe, runner: r, sched: s, flat: flat, progs: progs, ctrl: ctrl, now: now,
+			slots: s.PESlots(pe), expected: expect[pe], sends: sends[pe],
 			outputs: pits.Env{}, exports: map[string]graph.NodeID{},
 		}
 	}
+	ctrl.workers = workers
+
+	if st := r.stallTimeout(); st > 0 {
+		ctrl.bg.Add(1)
+		go ctrl.stallWatch(st)
+	}
+	coordDone := make(chan struct{})
+	go func() {
+		ctrl.coordinate()
+		close(coordDone)
+	}()
 
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -154,11 +248,13 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 		go func(w *worker) {
 			defer wg.Done()
 			if w.err = w.run(); w.err != nil {
-				abort()
+				ctrl.abort()
 			}
 		}(w)
 	}
 	wg.Wait()
+	<-coordDone
+	ctrl.bg.Wait()
 
 	// One failing worker aborts the run, which makes every other worker
 	// fail too ("aborted while sending/waiting"). Those cascade errors
@@ -166,6 +262,9 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 	// first and fold the cascade into a count so the root cause is the
 	// first thing the user reads.
 	var roots, cascades []error
+	if ctrl.runErr != nil {
+		roots = append(roots, ctrl.runErr)
+	}
 	for _, w := range workers {
 		if w.err == nil {
 			continue
@@ -188,9 +287,16 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 		return nil, errors.Join(cascades...)
 	}
 	res := &Result{Outputs: pits.Env{}, Trace: &trace.Trace{Label: "run:" + s.Algorithm}, Elapsed: time.Since(start)}
+	res.Trace.Events = append(res.Trace.Events, ctrl.extra...)
 	owner := map[string]graph.NodeID{} // unqualified external output -> exporting task
 	for _, w := range workers {
+		// A crashed worker's trace survives (it shows what happened up
+		// to the crash) but its results died with it: recovery
+		// recomputed them elsewhere.
 		res.Trace.Events = append(res.Trace.Events, w.events...)
+		if w.dead {
+			continue
+		}
 		for k, v := range w.outputs {
 			res.Outputs[k] = v
 		}
@@ -212,168 +318,31 @@ func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
 	return res, nil
 }
 
+// checkInputs validates the runner's Inputs against the design's
+// external input variables, reporting every missing one at once.
+func (r *Runner) checkInputs(flat *graph.Flat) error {
+	missing := map[string]bool{}
+	for _, vars := range flat.ExternalIn {
+		for _, v := range vars {
+			if _, ok := r.Inputs[v]; !ok {
+				missing[v] = true
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(missing))
+	for v := range missing {
+		names = append(names, fmt.Sprintf("%q", v))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("exec: missing external input(s) %s: provide them via Runner.Inputs", strings.Join(names, ", "))
+}
+
 // errAborted marks a worker failure that is a consequence of another
 // worker's abort, not a root cause.
 var errAborted = errors.New("aborted")
-
-// worker owns one simulated processor during a run.
-type worker struct {
-	pe       int
-	runner   *Runner
-	sched    *sched.Schedule
-	flat     *graph.Flat
-	progs    map[graph.NodeID]*pits.Program
-	expected map[msgKey]bool
-	sends    map[graph.NodeID][]sendPlan
-	inboxes  []chan message
-	done     chan struct{}
-	now      func() machine.Time
-
-	events  []trace.Event
-	outputs pits.Env                // qualified "task.var" external outputs
-	exports map[string]graph.NodeID // unqualified external output -> exporting task
-	printed []string
-	err     error
-
-	clock machine.Time              // virtual-time clock (VirtualTime mode)
-	local map[graph.NodeID]pits.Env // outputs of tasks executed here
-	recvd map[msgKey]message
-}
-
-// run executes the worker's slot list in schedule order.
-func (w *worker) run() error {
-	w.local = map[graph.NodeID]pits.Env{}
-	w.recvd = map[msgKey]message{}
-	g := w.sched.Graph
-	virtual := w.runner.VirtualTime
-	for _, sl := range w.sched.PESlots(w.pe) {
-		env := pits.Env{}
-		// External inputs bound by name from the runner's global data.
-		for _, v := range w.flat.ExternalIn[sl.Task] {
-			val, ok := w.runner.Inputs[v]
-			if !ok {
-				return fmt.Errorf("task %s: missing external input %q", sl.Task, v)
-			}
-			env[v] = val
-		}
-		// Arc inputs: from the local store when the producer ran here,
-		// else from a received message. dataReady tracks the latest
-		// virtual message arrival.
-		var dataReady machine.Time
-		for _, a := range g.PredArcs(sl.Task) {
-			k := msgKey{a.From, sl.Task, a.Var}
-			if w.expected[k] {
-				m, err := w.receive(k)
-				if err != nil {
-					return fmt.Errorf("task %s: %w", sl.Task, err)
-				}
-				env[a.Var] = m.val
-				if m.at > dataReady {
-					dataReady = m.at
-				}
-				continue
-			}
-			prodEnv, ok := w.local[a.From]
-			if !ok {
-				return fmt.Errorf("task %s: input %q from %s neither local nor scheduled as a message",
-					sl.Task, a.Var, a.From)
-			}
-			val, ok := prodEnv[a.Var]
-			if !ok {
-				return fmt.Errorf("task %s: producer %s did not define %q", sl.Task, a.From, a.Var)
-			}
-			env[a.Var] = val
-		}
-
-		start := w.now()
-		if virtual {
-			start = w.clock
-			if dataReady > start {
-				start = dataReady
-			}
-		}
-		w.events = append(w.events, trace.Event{Kind: trace.TaskStart, At: start, Task: sl.Task, PE: w.pe, Dup: sl.Dup})
-		in := &pits.Interp{MaxSteps: w.runner.MaxSteps, Seed: taskSeed(sl.Task)}
-		env = env.Clone() // defensive: never alias values across tasks
-		if err := in.Run(w.progs[sl.Task], env); err != nil {
-			return fmt.Errorf("task %s: %w", sl.Task, err)
-		}
-		finish := w.now()
-		if virtual {
-			finish = start + w.sched.Machine.ExecTime(in.Ops(), w.pe)
-			w.clock = finish
-		}
-		w.events = append(w.events, trace.Event{Kind: trace.TaskEnd, At: finish, Task: sl.Task, PE: w.pe, Dup: sl.Dup})
-		for _, line := range in.Output() {
-			w.printed = append(w.printed, string(sl.Task)+": "+line)
-		}
-		w.local[sl.Task] = env
-
-		// Deliver scheduled messages from this copy.
-		for _, sp := range w.sends[sl.Task] {
-			val, ok := env[sp.key.v]
-			if !ok {
-				return fmt.Errorf("task %s: routine did not produce %q needed by %s", sl.Task, sp.key.v, sp.key.to)
-			}
-			sendAt := w.now()
-			arriveAt := machine.Time(0)
-			if virtual {
-				sendAt = finish
-				arriveAt = finish + w.sched.Machine.CommTime(sp.words, w.pe, sp.toPE)
-			}
-			w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt, Task: sl.Task, PE: w.pe, Var: sp.key.v, Peer: sp.toPE})
-			select {
-			case w.inboxes[sp.toPE] <- message{key: sp.key, val: val, fromPE: w.pe, at: arriveAt}:
-			case <-w.done:
-				return fmt.Errorf("%w while sending to PE %d", errAborted, sp.toPE)
-			}
-		}
-
-		// External outputs from the primary copy only (duplicates are
-		// communication surrogates, not result owners). Only the
-		// qualified "task.var" key is written here; Run merges the
-		// unqualified names and rejects collisions between tasks.
-		if !sl.Dup {
-			for _, v := range w.flat.ExternalOut[sl.Task] {
-				val, ok := env[v]
-				if !ok {
-					return fmt.Errorf("task %s: routine did not produce external output %q", sl.Task, v)
-				}
-				w.outputs[string(sl.Task)+"."+v] = val
-				w.exports[v] = sl.Task
-			}
-		}
-	}
-	return nil
-}
-
-// receive blocks until the identified message arrives, stashing any
-// other messages that show up first.
-func (w *worker) receive(k msgKey) (message, error) {
-	emit := func(m message) message {
-		at := w.now()
-		if w.runner.VirtualTime {
-			at = m.at
-		}
-		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v, Peer: m.fromPE})
-		return m
-	}
-	if m, ok := w.recvd[k]; ok {
-		delete(w.recvd, k)
-		return emit(m), nil
-	}
-	for {
-		select {
-		case m := <-w.inboxes[w.pe]:
-			if m.key == k {
-				return emit(m), nil
-			}
-			w.recvd[m.key] = m
-		case <-w.done:
-			return message{}, fmt.Errorf("%w while waiting for %s:%s from %s", errAborted, k.to, k.v, k.from)
-		}
-	}
-}
 
 // taskSeed derives a deterministic rand() seed from the task name so
 // runs are reproducible regardless of goroutine interleaving.

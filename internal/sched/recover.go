@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// This file implements the recovery planner the fault-tolerant runner
+// invokes after a processor crash: given which processors are still
+// alive and which tasks' results survive on them, it maps every task
+// whose results were lost (or never produced) onto the live processors,
+// respecting the task graph's precedence constraints. It reuses the
+// compiled graph view and the ETF selection rule of the ordinary
+// schedulers, so a recovery plan is just another (partial) schedule.
+
+// RecoverState describes the surviving state of an interrupted run at
+// the recovery barrier.
+type RecoverState struct {
+	// Live flags each processor of the schedule's machine as alive.
+	Live []bool
+	// Done maps each task whose computed outputs survive to one live
+	// processor holding them (the worker-local environment acting as
+	// the checkpoint). Tasks absent from Done are re-planned.
+	Done map[graph.NodeID]int
+}
+
+// Reassignment is a recovery plan: fresh slots for every task not in
+// Done, placed on live processors only, plus the message records
+// feeding them — from surviving holders (Send = 0: the data already
+// exists) and between re-planned tasks. Slot and message times are
+// planning estimates relative to the resume instant (t = 0); the
+// runner uses them for per-PE ordering and watchdog deadlines, not as
+// a wall-clock promise.
+type Reassignment struct {
+	Slots []Slot
+	Msgs  []Msg
+	// Moved lists the re-planned tasks in placement order (for
+	// TaskRescheduled trace events).
+	Moved []graph.NodeID
+}
+
+// Recover plans the continuation of schedule s after the processors
+// with Live[pe] == false crashed. It finalizes s (callers invoking
+// Recover concurrently must finalize first). The plan is deterministic:
+// identical inputs yield identical plans.
+func Recover(s *Schedule, st RecoverState) (*Reassignment, error) {
+	if s == nil || s.Graph == nil || s.Machine == nil {
+		return nil, fmt.Errorf("sched: recover: nil schedule")
+	}
+	numPE := s.Machine.NumPE()
+	if len(st.Live) != numPE {
+		return nil, fmt.Errorf("sched: recover: %d liveness flags for %d processors", len(st.Live), numPE)
+	}
+	anyLive := false
+	for _, l := range st.Live {
+		anyLive = anyLive || l
+	}
+	if !anyLive {
+		return nil, fmt.Errorf("sched: recover: no live processors")
+	}
+	for t, pe := range st.Done {
+		if pe < 0 || pe >= numPE || !st.Live[pe] {
+			return nil, fmt.Errorf("sched: recover: task %s held on dead or invalid PE %d", t, pe)
+		}
+		if s.Graph.Node(t) == nil {
+			return nil, fmt.Errorf("sched: recover: unknown done task %q", t)
+		}
+	}
+	s.Finalize()
+	c, err := compile(s.Graph, s.Machine)
+	if err != nil {
+		return nil, err
+	}
+
+	// The needed set: tasks with no surviving results.
+	needed := make([]bool, c.n)
+	remaining := 0
+	for t := 0; t < c.n; t++ {
+		if _, ok := st.Done[c.ids[t]]; !ok {
+			needed[t] = true
+			remaining++
+		}
+	}
+	plan := &Reassignment{}
+	if remaining == 0 {
+		return plan, nil
+	}
+
+	// Pending counts over *needed* distinct predecessors only; done
+	// predecessors are data sources available at t = 0.
+	pending := make([]int32, c.n)
+	seen := make([]int32, c.n)
+	for t := int32(0); t < int32(c.n); t++ {
+		if !needed[t] {
+			continue
+		}
+		for _, a := range c.predArcsOf(t) {
+			if needed[a.from] && seen[a.from] != t+1 {
+				seen[a.from] = t + 1
+				pending[t]++
+			}
+		}
+	}
+	var ready []int32
+	for t := int32(0); t < int32(c.n); t++ {
+		if needed[t] && pending[t] == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	newPE := make([]int, c.n)
+	finish := make([]machine.Time, c.n)
+	procFree := make([]machine.Time, numPE)
+
+	// arrival returns when arc a's data can be on pe: from the holder
+	// (finish 0) for surviving producers, from the re-planned copy
+	// otherwise (which must already be placed).
+	arrival := func(a carc, pe int) machine.Time {
+		if needed[a.from] {
+			return finish[a.from] + c.comm(a.words, newPE[a.from], pe)
+		}
+		return c.comm(a.words, st.Done[c.ids[a.from]], pe)
+	}
+
+	for remaining > 0 {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("sched: recover: %d tasks unreachable (cycle or inconsistent done set)", remaining)
+		}
+		// ETF selection over (ready task, live PE): minimise finish
+		// time; ties by higher static level, then task name order,
+		// then processor index.
+		bestIdx, bestPE := -1, -1
+		bestT := int32(-1)
+		var bestStart, bestFinish machine.Time
+		for i, t := range ready {
+			for pe := 0; pe < numPE; pe++ {
+				if !st.Live[pe] {
+					continue
+				}
+				st0 := procFree[pe]
+				for _, a := range c.predArcsOf(t) {
+					if at := arrival(a, pe); at > st0 {
+						st0 = at
+					}
+				}
+				fin := st0 + c.exec(t, pe)
+				better := false
+				switch {
+				case bestIdx < 0:
+					better = true
+				case fin != bestFinish:
+					better = fin < bestFinish
+				case c.slevel[t] != c.slevel[bestT]:
+					better = c.slevel[t] > c.slevel[bestT]
+				case t != bestT:
+					better = c.rank[t] < c.rank[bestT]
+				default:
+					better = pe < bestPE
+				}
+				if better {
+					bestIdx, bestPE, bestT, bestStart, bestFinish = i, pe, t, st0, fin
+				}
+			}
+		}
+		t := bestT
+		id := c.ids[t]
+		plan.Slots = append(plan.Slots, Slot{Task: id, PE: bestPE, Start: bestStart, Finish: bestFinish})
+		plan.Moved = append(plan.Moved, id)
+		for _, a := range c.predArcsOf(t) {
+			oa := &c.arcs[a.aidx]
+			var srcPE int
+			var srcFinish machine.Time
+			if needed[a.from] {
+				srcPE, srcFinish = newPE[a.from], finish[a.from]
+			} else {
+				srcPE, srcFinish = st.Done[c.ids[a.from]], 0
+			}
+			if srcPE == bestPE {
+				continue
+			}
+			plan.Msgs = append(plan.Msgs, Msg{
+				Var: oa.Var, From: oa.From, To: id,
+				FromPE: srcPE, ToPE: bestPE, Words: oa.Words,
+				Send: srcFinish, Recv: srcFinish + c.comm(a.words, srcPE, bestPE),
+				Hops: s.Machine.Topo.Hops(srcPE, bestPE),
+			})
+		}
+		newPE[t], finish[t] = bestPE, bestFinish
+		procFree[bestPE] = bestFinish
+		// swap-remove from the pool; release successors.
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		remaining--
+		for _, su := range c.succIDsOf(t) {
+			if !needed[su] {
+				continue
+			}
+			pending[su]--
+			if pending[su] == 0 {
+				ready = append(ready, su)
+			}
+		}
+	}
+	return plan, nil
+}

@@ -22,6 +22,17 @@ const (
 	TaskEnd
 	MsgSend
 	MsgRecv
+	// FaultInjected records the chaos harness applying an injected
+	// fault: a message dropped/duplicated/delayed/corrupted at the
+	// sender, or a processor crash. Note carries the fault kind.
+	FaultInjected
+	// MsgRetry records a retransmission of an unacknowledged message
+	// by the reliable transport.
+	MsgRetry
+	// TaskRescheduled records the recovery planner moving a task to a
+	// live processor after a crash; Peer is the processor the task was
+	// originally placed on.
+	TaskRescheduled
 )
 
 // String returns the event kind name.
@@ -35,6 +46,12 @@ func (k Kind) String() string {
 		return "msg-send"
 	case MsgRecv:
 		return "msg-recv"
+	case FaultInjected:
+		return "fault"
+	case MsgRetry:
+		return "msg-retry"
+	case TaskRescheduled:
+		return "rescheduled"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -49,6 +66,7 @@ type Event struct {
 	Var  string       // message variable (message events only)
 	Peer int          // the other processor (message events only)
 	Dup  bool         // event belongs to a duplicate copy
+	Note string       // free-form detail (fault kind, retry attempt)
 }
 
 // Trace is an event log. Events may be appended in any order; callers
@@ -65,7 +83,8 @@ func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
 // precedes a message sent at t, which precedes a message received at t,
 // which precedes a task starting at t — the causal order of a
 // back-to-back schedule.
-var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3}
+var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3,
+	FaultInjected: 4, MsgRetry: 5, TaskRescheduled: 6}
 
 // Sort orders events by time, then processor, then causal kind order,
 // then task, variable and peer, giving a deterministic log for
@@ -151,6 +170,9 @@ type Stats struct {
 	TasksRun    int
 	DupsRun     int
 	Msgs        int
+	Faults      int // injected faults recorded in the trace
+	Retries     int // message retransmissions
+	Rescheduled int // tasks moved by crash recovery
 	BusyByPE    map[int]machine.Time
 	Utilization float64 // mean busy fraction over PEs that appear in the trace
 }
@@ -174,8 +196,15 @@ func (t *Trace) Summarize(numPE int) (*Stats, error) {
 		}
 	}
 	for _, e := range t.Events {
-		if e.Kind == MsgSend {
+		switch e.Kind {
+		case MsgSend:
 			st.Msgs++
+		case FaultInjected:
+			st.Faults++
+		case MsgRetry:
+			st.Retries++
+		case TaskRescheduled:
+			st.Rescheduled++
 		}
 	}
 	if st.Makespan > 0 && numPE > 0 {
@@ -199,6 +228,16 @@ func (t *Trace) String() string {
 			fmt.Fprintf(&b, "  %8v PE%-2d %-10s %s", e.At, e.PE, e.Kind, e.Task)
 			if e.Dup {
 				b.WriteString(" (dup)")
+			}
+			b.WriteByte('\n')
+		case FaultInjected, MsgRetry, TaskRescheduled:
+			fmt.Fprintf(&b, "  %8v PE%-2d %-10s %s", e.At, e.PE, e.Kind, e.Task)
+			if e.Var != "" {
+				fmt.Fprintf(&b, ":%s", e.Var)
+			}
+			fmt.Fprintf(&b, " peer=PE%d", e.Peer)
+			if e.Note != "" {
+				fmt.Fprintf(&b, " (%s)", e.Note)
 			}
 			b.WriteByte('\n')
 		default:
