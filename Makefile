@@ -15,10 +15,13 @@ test:
 # per processor, plus the schedule index and routing tables shared
 # read-only); run it under the race detector. The recovery planner is
 # exercised concurrently by the runner's crash handling, so its tests
-# join the race pass too.
+# join the race pass, as do the wire transport (coordinator, worker
+# daemons, reconnect relay) and the multi-process CLI integration tests.
 race:
 	$(GO) test -race ./internal/exec/...
 	$(GO) test -race ./internal/sched/ -run Recover
+	$(GO) test -race ./internal/wire/
+	$(GO) test -race ./cmd/banger/
 
 # Tier-1 verification: what every PR must keep green.
 verify: build vet test race bench-smoke

@@ -7,9 +7,11 @@ package banger_test
 // them.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/codegen"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/pits"
 	"repro/internal/project"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 func mustLU(b *testing.B) *core.Environment {
@@ -373,6 +376,70 @@ func BenchmarkRunnerVirtual(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := &exec.Runner{Inputs: inputs, VirtualTime: true}
+		if _, err := r.Run(sc, flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerTCP measures the same 501-task design distributed
+// over two worker daemons on loopback TCP: every cross-worker message
+// is framed, checksummed and routed through the coordinator, so the
+// delta against BenchmarkRunnerWall is the wire transport's overhead
+// (connection handshakes included — each iteration is a full run).
+// Baseline: BENCH_PR4.json.
+func BenchmarkRunnerTCP(b *testing.B) {
+	flat, inputs := runnerDesign(b, 20, 25) // 501 tasks
+	m := hypercubeMachine(b, 3)
+	sc, err := (sched.ETF{}).Schedule(flat.Graph, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ready := make(chan string, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wire.ServeWorker(ctx, wire.TCP(), "127.0.0.1:0", wire.WorkerOptions{},
+				func(bound string) { ready <- bound })
+		}()
+		addrs = append(addrs, <-ready)
+	}
+	b.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+
+	co := &wire.Coordinator{
+		Transport: wire.TCP(), Addrs: addrs,
+		Runner: &exec.Runner{Inputs: inputs},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.Run(ctx, sc, flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerWall is the single-process wall-clock twin of
+// BenchmarkRunnerTCP: identical design, schedule and machine, all
+// processors on in-process channels. The TCP/Wall ratio isolates what
+// the distributed message plane costs.
+func BenchmarkRunnerWall(b *testing.B) {
+	flat, inputs := runnerDesign(b, 20, 25) // 501 tasks
+	m := hypercubeMachine(b, 3)
+	sc, err := (sched.ETF{}).Schedule(flat.Graph, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &exec.Runner{Inputs: inputs}
 		if _, err := r.Run(sc, flat); err != nil {
 			b.Fatal(err)
 		}

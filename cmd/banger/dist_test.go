@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	goexec "os/exec"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestHelperWorkerProcess is not a test: re-executed by the integration
+// tests below with BANGER_WORKER_HELPER=1 it becomes a real `banger
+// worker` daemon in its own process.
+func TestHelperWorkerProcess(t *testing.T) {
+	if os.Getenv("BANGER_WORKER_HELPER") != "1" {
+		t.Skip("helper process for the dist integration tests")
+	}
+	if err := cmdWorker([]string{"-listen", "127.0.0.1:0", "-quiet"}); err != nil {
+		fmt.Fprintln(os.Stderr, "worker helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnWorkerProcess re-executes the test binary as a worker daemon and
+// returns its loopback address and process handle.
+func spawnWorkerProcess(t *testing.T) (string, *goexec.Cmd) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := goexec.Command(exe, "-test.run", "^TestHelperWorkerProcess$")
+	cmd.Env = append(os.Environ(), "BANGER_WORKER_HELPER=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+				addrCh <- a
+				break
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, cmd
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker process never reported its address")
+		return "", nil
+	}
+}
+
+// luBaseline runs the LU project single-process and returns the
+// environment, schedule and fault-free result.
+func luBaseline(t *testing.T) (*core.Environment, *exec.Result) {
+	t.Helper()
+	env, err := core.OpenBuiltin("lu3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, res
+}
+
+// TestDistProcessLU: the paper's LU example distributed over two real
+// worker processes on loopback TCP produces byte-identical outputs to
+// the single-process runner.
+func TestDistProcessLU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	env, single := luBaseline(t)
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a1, _ := spawnWorkerProcess(t)
+	a2, _ := spawnWorkerProcess(t)
+	co := &wire.Coordinator{
+		Transport: wire.TCP(), Addrs: []string{a1, a2},
+		Runner:         &exec.Runner{Inputs: env.Project.Inputs},
+		HeartbeatEvery: 50 * time.Millisecond,
+		PeerTimeout:    3 * time.Second,
+		Logf:           t.Logf,
+	}
+	dist, err := co.Run(context.Background(), sc, env.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+		t.Errorf("outputs diverged:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+	}
+	if !reflect.DeepEqual(dist.Printed, single.Printed) {
+		t.Errorf("printed lines diverged:\n dist   %q\n single %q", dist.Printed, single.Printed)
+	}
+	// The textual rendering the CLI prints must match byte for byte.
+	render := func(r *exec.Result) string {
+		var b strings.Builder
+		old := os.Stdout
+		pr, pw, _ := os.Pipe()
+		os.Stdout = pw
+		printOutputs(r.Outputs)
+		pw.Close()
+		os.Stdout = old
+		buf := make([]byte, 1<<16)
+		n, _ := pr.Read(buf)
+		b.Write(buf[:n])
+		return b.String()
+	}
+	if d, s := render(dist), render(single); d != s {
+		t.Errorf("rendered outputs diverged:\n dist:\n%s single:\n%s", d, s)
+	}
+}
+
+// TestDistProcessKillWorker: SIGKILLing one worker process mid-run
+// triggers heartbeat-loss recovery and the run completes on the
+// survivor with the fault-free outputs.
+func TestDistProcessKillWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	env, single := luBaseline(t)
+	sc, err := env.Schedule("etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the run open with a wall-time delay on a message crossing
+	// the two worker blocks, so the kill lands mid-run while the
+	// consumer's worker is waiting.
+	numPE := sc.Machine.NumPE()
+	blocks := wire.Partition(numPE, 2)
+	workerOf := make([]int, numPE)
+	for i, block := range blocks {
+		for _, pe := range block {
+			workerOf[pe] = i
+		}
+	}
+	victim := -1
+	var spec string
+	for _, msg := range sc.Msgs {
+		if workerOf[msg.FromPE] != workerOf[msg.ToPE] {
+			victim = workerOf[msg.ToPE]
+			spec = fmt.Sprintf("delay:%s->%s:%s@2000000", msg.From, msg.To, msg.Var)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("LU schedule has no cross-worker message to delay")
+	}
+	plan, err := exec.ParseFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a1, c1 := spawnWorkerProcess(t)
+	a2, c2 := spawnWorkerProcess(t)
+	addrs := []string{a1, a2}
+	victimCmd := []*goexec.Cmd{c1, c2}[victim]
+
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		victimCmd.Process.Signal(syscall.SIGKILL)
+	}()
+
+	co := &wire.Coordinator{
+		Transport: wire.TCP(), Addrs: addrs,
+		// The watchdog floor sits above the injected 2s delay so the
+		// kill is detected by heartbeat loss, not a receive watchdog.
+		Runner: &exec.Runner{Inputs: env.Project.Inputs, Faults: plan,
+			WatchdogMin: 10 * time.Second},
+		HeartbeatEvery: 50 * time.Millisecond,
+		PeerTimeout:    600 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	dist, err := co.Run(context.Background(), sc, env.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+		t.Errorf("outputs diverged after losing a worker:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+	}
+	if !reflect.DeepEqual(dist.Printed, single.Printed) {
+		t.Errorf("printed lines diverged after losing a worker:\n dist   %q\n single %q", dist.Printed, single.Printed)
+	}
+	lost, rescheduled := 0, 0
+	for _, e := range dist.Trace.Events {
+		switch e.Kind {
+		case trace.PeerLost:
+			lost++
+		case trace.TaskRescheduled:
+			rescheduled++
+		}
+	}
+	if lost == 0 {
+		t.Error("trace records no lost worker")
+	}
+	if rescheduled == 0 {
+		t.Error("recovery rescheduled no tasks")
+	}
+}

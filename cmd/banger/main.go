@@ -19,20 +19,26 @@
 //	animate    frame-by-frame replay of a simulated execution
 //	rehearse   trial-run the whole design sequentially (instant feedback)
 //	run        execute the scheduled program on goroutines (wall-clock
-//	           or deterministic virtual time)
+//	           or deterministic virtual time), locally or distributed
+//	           over worker daemons with -dist
+//	worker     host processors for a remote coordinator's "run -dist"
 //	calc       open the calculator panel of one task
 //	codegen    generate a standalone Go program
 //	demo       guided tour over the LU example
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/calc"
 	"repro/internal/core"
@@ -43,6 +49,7 @@ import (
 	"repro/internal/pits"
 	"repro/internal/project"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -71,6 +78,8 @@ func main() {
 		err = cmdRehearse(args)
 	case "run":
 		err = cmdRun(args)
+	case "worker":
+		err = cmdWorker(args)
 	case "calc":
 		err = cmdCalc(args)
 	case "codegen":
@@ -105,6 +114,9 @@ commands:
   rehearse -project P
   run      -project P [-alg A] [-virtual] [-chart] [-retry] [-grace G]
            [-faults SPEC|rand] [-fault-seed N]
+           [-dist HOST:PORT,HOST:PORT,...] [-calibrate]
+           [-peer-timeout D] [-heartbeat D]
+  worker   [-listen HOST:PORT]  host processors for a remote "run -dist"
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
   demo
@@ -384,6 +396,10 @@ func cmdRun(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "seed for -faults rand")
 	grace := fs.Float64("grace", 0, "watchdog grace factor over predicted arrival times (0 = machine default)")
 	retry := fs.Bool("retry", false, "acknowledged delivery with retransmission (absorbs drops/dups)")
+	dist := fs.String("dist", "", "distribute over running workers: comma-separated host:port list")
+	calibrate := fs.Bool("calibrate", false, "with -dist: measure wire latency and recalibrate the machine model before scheduling")
+	peerTimeout := fs.Duration("peer-timeout", 3*time.Second, "with -dist: silence budget before a worker is declared dead")
+	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "with -dist: keepalive cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -391,11 +407,46 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sc, err := env.Schedule(*alg)
+
+	// Ctrl-C cancels the run and, in distributed mode, tears the
+	// workers down cleanly instead of leaving them mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var addrs []string
+	if *dist != "" {
+		for _, a := range strings.Split(*dist, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("-dist needs at least one worker address")
+		}
+	}
+
+	m := env.Project.Machine
+	if *calibrate {
+		if len(addrs) == 0 {
+			return fmt.Errorf("-calibrate needs -dist workers to measure against")
+		}
+		probe := &wire.Coordinator{Transport: wire.TCP(), Addrs: addrs}
+		cal, err := probe.Calibrate(ctx, 8)
+		if err != nil {
+			return fmt.Errorf("calibrating against %s: %w", addrs[0], err)
+		}
+		fmt.Printf("measured wire: message startup %dus, per-word %dus\n", cal.MsgStartup, cal.WordTime)
+		if m, err = m.Calibrated(cal); err != nil {
+			return err
+		}
+	}
+	sc, err := env.ScheduleOn(*alg, m)
 	if err != nil {
 		return err
 	}
-	runner := &exec.Runner{VirtualTime: *virtual, Retry: *retry, Grace: *grace}
+
+	runner := &exec.Runner{VirtualTime: *virtual, Retry: *retry, Grace: *grace,
+		Inputs: env.Project.Inputs}
 	switch {
 	case *faults == "":
 	case *faults == "rand":
@@ -410,7 +461,20 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	res, err := env.RunWith(sc, runner)
+
+	var res *exec.Result
+	if len(addrs) > 0 {
+		co := &wire.Coordinator{
+			Transport: wire.TCP(), Addrs: addrs, Runner: runner,
+			HeartbeatEvery: *heartbeat, PeerTimeout: *peerTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "dist: "+format+"\n", args...)
+			},
+		}
+		res, err = co.Run(ctx, sc, env.Flat)
+	} else {
+		res, err = runner.RunContext(ctx, sc, env.Flat)
+	}
 	if err != nil {
 		return err
 	}
@@ -418,8 +482,16 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ran %d tasks (+%d duplicates) on %d goroutine PEs in %v\n",
-		st.TasksRun, st.DupsRun, sc.Machine.NumPE(), res.Elapsed)
+	if len(addrs) > 0 {
+		fmt.Printf("ran %d tasks (+%d duplicates) on %d PEs across %d workers in %v (%d bytes on the wire)\n",
+			st.TasksRun, st.DupsRun, sc.Machine.NumPE(), st.Peers, res.Elapsed, st.WireBytes)
+		if st.PeersLost > 0 {
+			fmt.Printf("lost %d worker(s) mid-run; recovery completed on the survivors\n", st.PeersLost)
+		}
+	} else {
+		fmt.Printf("ran %d tasks (+%d duplicates) on %d goroutine PEs in %v\n",
+			st.TasksRun, st.DupsRun, sc.Machine.NumPE(), res.Elapsed)
+	}
 	if st.Faults > 0 || st.Retries > 0 || st.Rescheduled > 0 {
 		fmt.Printf("survived %d injected faults: %d retries, %d tasks rescheduled by recovery\n",
 			st.Faults, st.Retries, st.Rescheduled)
@@ -439,6 +511,31 @@ func cmdRun(args []string) error {
 	}
 	printOutputs(res.Outputs)
 	return nil
+}
+
+// cmdWorker runs a worker daemon: it hosts a share of the processors
+// for a coordinator running "banger run -dist". The daemon keeps
+// serving runs until interrupted.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9040", "address to listen on (port 0 picks a free one)")
+	quiet := fs.Bool("quiet", false, "suppress per-run log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := wire.WorkerOptions{}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		}
+	}
+	return wire.ServeWorker(ctx, wire.TCP(), *listen, opts, func(bound string) {
+		// The bound address goes to stdout so scripts (and the
+		// integration tests) can pick up a ":0" port.
+		fmt.Printf("listening on %s\n", bound)
+	})
 }
 
 // printOutputs prints an environment's bindings sorted by name.

@@ -42,12 +42,42 @@ type era struct {
 	resume chan struct{}
 }
 
-// controller owns the shared state of one Run call.
+// sessCmd is one request from the session API (Pause/Resume) to the
+// distributed coordinator loop.
+type sessCmd struct {
+	kind  cmdKind
+	plan  *ResumePlan
+	reply chan sessReply
+}
+
+type cmdKind int
+
+const (
+	cmdPause cmdKind = iota
+	cmdResume
+)
+
+type sessReply struct {
+	state *PauseState
+}
+
+// controller owns the shared state of one execution session.
 type controller struct {
 	runner *Runner
 	s      *sched.Schedule
 	flat   *graph.Flat
 	numPE  int
+
+	// hosted flags the processors this process runs (nil = all); plane
+	// carries remote traffic when hosting a subset. cmds feeds
+	// Pause/Resume requests to the distributed coordinator loop.
+	hosted []bool
+	plane  RemotePlane
+	cmds   chan sessCmd
+	// quiescent is set while every live hosted worker is idle or parked
+	// (distributed mode only): local progress legitimately stops while
+	// other processes still work, so the stall detector must hold fire.
+	quiescent atomic.Bool
 
 	inboxes []chan xmsg
 	done    chan struct{} // closed to abort the run (some worker failed)
@@ -79,6 +109,25 @@ type controller struct {
 
 func (c *controller) abort()    { c.doneOnce.Do(func() { close(c.done) }) }
 func (c *controller) complete() { c.finishOnce.Do(func() { close(c.finish) }) }
+
+// isLocal reports whether processor pe is hosted by this process.
+func (c *controller) isLocal(pe int) bool {
+	return c.hosted == nil || (pe >= 0 && pe < len(c.hosted) && c.hosted[pe])
+}
+
+// numLocal counts the processors hosted by this process.
+func (c *controller) numLocal() int {
+	if c.hosted == nil {
+		return c.numPE
+	}
+	n := 0
+	for _, h := range c.hosted {
+		if h {
+			n++
+		}
+	}
+	return n
+}
 
 // fail records a coordinator-level root cause and aborts the run.
 func (c *controller) fail(err error) {
@@ -148,9 +197,16 @@ func (c *controller) post(ev wevent) {
 	}
 }
 
-// coordinate is the coordinator loop. It ends the run cleanly when all
-// live workers are idle, and runs the recovery protocol on each crash.
+// coordinate is the coordinator loop. Hosting the whole machine it ends
+// the run cleanly when all live workers are idle and runs the recovery
+// protocol on each crash; hosting a subset it reports idleness and
+// crashes to the remote plane and obeys the global coordinator's
+// Pause/Resume/FinishRun commands instead.
 func (c *controller) coordinate() {
+	if c.plane != nil {
+		c.coordinateRemote()
+		return
+	}
 	live := c.numPE
 	idle := 0
 	dead := make([]bool, c.numPE)
@@ -244,34 +300,120 @@ func (c *controller) recoverRun(dead []bool, live *int) bool {
 	return true
 }
 
+// assignment is the per-processor derivation of a recovery plan: slot
+// lists, expected arrivals with predicted times, sends from re-run
+// producers and era-start re-sends of surviving results.
+type assignment struct {
+	slots    [][]sched.Slot
+	expected []map[msgKey]machine.Time
+	sends    []map[graph.NodeID][]sendPlan
+	resends  [][]sendPlan
+}
+
+// deriveAssignment turns a recovery plan's global slot and message lists
+// into per-processor worker assignments. done maps surviving tasks to
+// their holders: deliveries from them become era-start re-sends from the
+// holder's local store instead of sends attached to a task execution.
+func deriveAssignment(numPE int, slots []sched.Slot, msgs []sched.Msg, done map[graph.NodeID]int) *assignment {
+	a := &assignment{
+		slots:    make([][]sched.Slot, numPE),
+		expected: make([]map[msgKey]machine.Time, numPE),
+		sends:    make([]map[graph.NodeID][]sendPlan, numPE),
+		resends:  make([][]sendPlan, numPE),
+	}
+	for _, sl := range slots {
+		a.slots[sl.PE] = append(a.slots[sl.PE], sl)
+	}
+	for pe := 0; pe < numPE; pe++ {
+		a.expected[pe] = map[msgKey]machine.Time{}
+		a.sends[pe] = map[graph.NodeID][]sendPlan{}
+	}
+	for _, m := range msgs {
+		k := msgKey{m.From, m.To, m.Var}
+		a.expected[m.ToPE][k] = m.Recv
+		sp := sendPlan{key: k, toPE: m.ToPE, words: m.Words}
+		if _, held := done[m.From]; held {
+			// The producer's result survives on m.FromPE: that worker
+			// re-sends the value from its local store at era start.
+			a.resends[m.FromPE] = append(a.resends[m.FromPE], sp)
+		} else {
+			a.sends[m.FromPE][m.From] = append(a.sends[m.FromPE][m.From], sp)
+		}
+	}
+	return a
+}
+
+// applyAssignment rewrites the parked live hosted workers' per-era state
+// from the derived assignment.
+func (c *controller) applyAssignment(a *assignment, epoch int64, dead []bool) {
+	for pe, w := range c.workers {
+		if w == nil || dead[pe] || w.dead {
+			continue
+		}
+		w.slots = a.slots[pe]
+		w.cursor = 0
+		w.expected = a.expected[pe]
+		w.sends = a.sends[pe]
+		w.resends = a.resends[pe]
+		w.epoch = epoch
+	}
+}
+
+// computeAdoptions finds orphaned external outputs: a task whose result
+// survives (so it will not re-run) but whose exporting copy died must be
+// exported by its holder instead. Only meaningful when every worker is
+// in this process; distributed runs compute adoptions globally from the
+// sessions' PauseStates.
+func (c *controller) computeAdoptions(doneTasks map[graph.NodeID]int, dead []bool) []Adoption {
+	tasks := make([]graph.NodeID, 0, len(doneTasks))
+	for t := range doneTasks {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	var ads []Adoption
+	for _, t := range tasks {
+		for _, v := range c.flat.ExternalOut[t] {
+			q := string(t) + "." + v
+			present := false
+			for pe, w := range c.workers {
+				if w == nil || dead[pe] {
+					continue
+				}
+				if _, ok := w.outputs[q]; ok {
+					present = true
+					break
+				}
+			}
+			if !present {
+				ads = append(ads, Adoption{Task: t, Var: v, PE: doneTasks[t]})
+			}
+		}
+	}
+	return ads
+}
+
+// applyAdoptions re-exports orphaned external outputs from their
+// surviving holders. Adoptions naming remote holders are skipped: their
+// hosting process applies them.
+func (c *controller) applyAdoptions(ads []Adoption) {
+	for _, a := range ads {
+		if a.PE < 0 || a.PE >= c.numPE {
+			continue
+		}
+		hw := c.workers[a.PE]
+		if hw == nil || hw.dead {
+			continue
+		}
+		if val, ok := hw.local[a.Task][a.Var]; ok {
+			hw.outputs[string(a.Task)+"."+a.Var] = val
+			hw.exports[a.Var] = a.Task
+		}
+	}
+}
+
 // install rewrites the parked workers' assignments from the recovery
 // plan and records the rescheduling in the trace.
 func (c *controller) install(plan *sched.Reassignment, doneTasks map[graph.NodeID]int, dead []bool, er *era) {
-	numPE := c.numPE
-	newSlots := make([][]sched.Slot, numPE)
-	for _, sl := range plan.Slots {
-		newSlots[sl.PE] = append(newSlots[sl.PE], sl)
-	}
-	expected := make([]map[msgKey]machine.Time, numPE)
-	sends := make([]map[graph.NodeID][]sendPlan, numPE)
-	resends := make([][]sendPlan, numPE)
-	for pe := 0; pe < numPE; pe++ {
-		expected[pe] = map[msgKey]machine.Time{}
-		sends[pe] = map[graph.NodeID][]sendPlan{}
-	}
-	for _, m := range plan.Msgs {
-		k := msgKey{m.From, m.To, m.Var}
-		expected[m.ToPE][k] = m.Recv
-		sp := sendPlan{key: k, toPE: m.ToPE, words: m.Words}
-		if _, held := doneTasks[m.From]; held {
-			// The producer's result survives on m.FromPE: that worker
-			// re-sends the value from its local store at era start.
-			resends[m.FromPE] = append(resends[m.FromPE], sp)
-		} else {
-			sends[m.FromPE][m.From] = append(sends[m.FromPE][m.From], sp)
-		}
-	}
-
 	// Timestamp for the rescheduling events: the wall clock, or the
 	// latest live virtual clock in virtual-time mode.
 	at := c.now()
@@ -292,50 +434,178 @@ func (c *controller) install(plan *sched.Reassignment, doneTasks map[graph.NodeI
 			PE: sl.PE, Peer: orig, Note: "recovery"})
 	}
 
-	for pe, w := range c.workers {
-		if dead[pe] {
+	a := deriveAssignment(c.numPE, plan.Slots, plan.Msgs, doneTasks)
+	c.applyAssignment(a, er.epoch+1, dead)
+	c.applyAdoptions(c.computeAdoptions(doneTasks, dead))
+}
+
+// coordinateRemote is the coordinator loop of a session hosting a
+// subset of the machine: crashes and idleness are reported to the
+// remote plane (the global coordinator decides what to do), and
+// Pause/Resume arrive as commands instead of being self-initiated.
+func (c *controller) coordinateRemote() {
+	live := c.numLocal()
+	idle := 0
+	if live == 0 {
+		// A session hosting no processors is trivially quiescent; it
+		// exists only to be told the run finished.
+		c.quiescent.Store(true)
+	}
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.finish:
+			return
+		case ev := <-c.events:
+			switch ev.kind {
+			case evIdle:
+				idle++
+				if idle >= live {
+					c.quiescent.Store(true)
+					c.plane.LocalIdle()
+				}
+			case evCrash:
+				live--
+				if live <= 0 {
+					c.quiescent.Store(true)
+				}
+				c.plane.LocalCrash(ev.pe)
+			}
+		case cmd := <-c.cmds:
+			switch cmd.kind {
+			case cmdPause:
+				st, ok := c.pauseLocal(&live)
+				cmd.reply <- sessReply{state: st}
+				if !ok {
+					return
+				}
+				idle = 0
+			case cmdResume:
+				c.resumeLocal(cmd.plan)
+				idle = 0
+				if live > 0 {
+					c.quiescent.Store(false)
+				}
+				cmd.reply <- sessReply{}
+			}
+		}
+	}
+}
+
+// pauseLocal drives every live hosted worker to the recovery barrier
+// and snapshots the state the global coordinator needs to replan.
+// Returns false if the session aborted instead.
+func (c *controller) pauseLocal(live *int) (*PauseState, bool) {
+	c.quiescent.Store(true)
+	er := c.era.Load()
+	close(er.pause)
+	parked := 0
+	for parked < *live {
+		select {
+		case <-c.done:
+			return nil, false
+		case ev := <-c.events:
+			switch ev.kind {
+			case evParked:
+				parked++
+			case evCrash:
+				// A processor died racing the pause; report it so the
+				// global replan sees it too.
+				*live--
+				c.plane.LocalCrash(ev.pe)
+			case evIdle:
+				// Stale: the worker will park too.
+			}
+		}
+	}
+	// Every live hosted worker is parked: state is safe to read (the
+	// evParked receive orders their writes before ours). Each surviving
+	// task result is attributed to its lowest live local holder; the
+	// global coordinator breaks cross-process ties the same way, by
+	// ascending processor.
+	st := &PauseState{Done: map[graph.NodeID]int{}}
+	held := map[string]bool{}
+	for pe := 0; pe < c.numPE; pe++ {
+		w := c.workers[pe]
+		if w == nil {
 			continue
 		}
-		w.slots = newSlots[pe]
-		w.cursor = 0
-		w.expected = expected[pe]
-		w.sends = sends[pe]
-		w.resends = resends[pe]
-		w.epoch = er.epoch + 1
-	}
-
-	// Adopt orphaned external outputs: a task whose result survives
-	// (so it will not re-run) but whose exporting copy died must be
-	// exported by its holder instead.
-	tasks := make([]graph.NodeID, 0, len(doneTasks))
-	for t := range doneTasks {
-		tasks = append(tasks, t)
-	}
-	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
-	for _, t := range tasks {
-		holder := doneTasks[t]
-		for _, v := range c.flat.ExternalOut[t] {
-			q := string(t) + "." + v
-			present := false
-			for pe, w := range c.workers {
-				if dead[pe] {
-					continue
-				}
-				if _, ok := w.outputs[q]; ok {
-					present = true
-					break
-				}
-			}
-			if present {
-				continue
-			}
-			hw := c.workers[holder]
-			if val, ok := hw.local[t][v]; ok {
-				hw.outputs[q] = val
-				hw.exports[v] = t
+		if w.dead {
+			st.Dead = append(st.Dead, pe)
+			continue
+		}
+		for t := range w.local {
+			if _, ok := st.Done[t]; !ok {
+				st.Done[t] = pe
 			}
 		}
+		for q := range w.outputs {
+			held[q] = true
+		}
+		if w.clock > st.Clock {
+			st.Clock = w.clock
+		}
 	}
+	st.Held = make([]string, 0, len(held))
+	for q := range held {
+		st.Held = append(st.Held, q)
+	}
+	sort.Strings(st.Held)
+	return st, true
+}
+
+// resumeLocal installs this process's share of the global recovery plan
+// and releases the parked workers into the new era.
+func (c *controller) resumeLocal(p *ResumePlan) {
+	a := deriveAssignment(c.numPE, p.Slots, p.Msgs, p.Done)
+	c.applyAssignment(a, p.Epoch, p.Dead)
+	c.applyAdoptions(p.Adopt)
+	er := c.era.Load()
+	next := &era{epoch: p.Epoch, pause: make(chan struct{}), resume: make(chan struct{})}
+	c.era.Store(next)
+	close(er.resume)
+}
+
+// sendRemote hands a cross-process delivery to the remote plane.
+// Injected duplicate/drop faults were applied by the caller (copies)
+// and delay faults became wallDelay; the exec-level ack/retry protocol
+// does not span processes — the transport delivers reliably and in
+// order on its own, and injected drops are repaired by the receiver's
+// watchdog exactly as on the direct in-process path.
+func (c *controller) sendRemote(m xmsg, toPE, copies int, wallDelay time.Duration) error {
+	if copies == 0 {
+		return nil
+	}
+	m.ack = nil
+	rm := RemoteMsg{From: m.key.from, To: m.key.to, Var: m.key.v,
+		FromPE: m.fromPE, ToPE: toPE, Seq: m.seq, Epoch: m.epoch,
+		At: m.at, Sum: m.sum, Val: m.val}
+	if wallDelay > 0 {
+		c.bg.Add(1)
+		go func() {
+			defer c.bg.Done()
+			t := time.NewTimer(wallDelay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				for i := 0; i < copies; i++ {
+					if err := c.plane.DeliverRemote(rm); err != nil {
+						c.fail(fmt.Errorf("exec: remote delivery to PE %d: %w", toPE, err))
+						return
+					}
+				}
+			case <-c.done:
+			}
+		}()
+		return nil
+	}
+	for i := 0; i < copies; i++ {
+		if err := c.plane.DeliverRemote(rm); err != nil {
+			return fmt.Errorf("remote delivery to PE %d: %w", toPE, err)
+		}
+	}
+	return nil
 }
 
 // stallWatch fails the run if no task completes and no message is
@@ -359,7 +629,10 @@ func (c *controller) stallWatch(timeout time.Duration) {
 			return
 		case <-tick.C:
 			cur := c.progress.Load()
-			if cur != last {
+			// A quiescent distributed session (all hosted workers idle
+			// or parked) legitimately makes no progress while other
+			// processes still work.
+			if cur != last || c.quiescent.Load() {
 				last = cur
 				lastChange = time.Now()
 				continue

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -162,8 +163,8 @@ func ParseFaults(spec string) (*FaultPlan, error) {
 		}
 		f := Fault{Kind: kind, From: graph.NodeID(from), To: graph.NodeID(to), Var: v, Count: 1}
 		if arg != "" {
-			var n int64
-			if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n <= 0 {
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || n <= 0 {
 				return nil, fmt.Errorf("fault %q: bad count/delay %q", part, arg)
 			}
 			if kind == FaultDelay {
@@ -237,7 +238,7 @@ func RandomFaults(seed int64, s *sched.Schedule) *FaultPlan {
 // concurrently).
 type faultState struct {
 	mu        sync.Mutex
-	crashes   map[int]int       // pe -> executed-task index to die at
+	crashes   map[int]int // pe -> executed-task index to die at
 	msgFaults map[msgKey][]*msgFault
 	checksums bool // any corrupt fault present
 }

@@ -387,9 +387,43 @@ func TestParseFaults(t *testing.T) {
 	if !reflect.DeepEqual(plan.Faults, want) {
 		t.Errorf("parsed %+v\nwant %+v", plan.Faults, want)
 	}
-	for _, bad := range []string{"", "zap:a->b:u", "crash:1", "drop:a:u", "delay:a->b:u", "drop:->b:u", "dup:a->b:u@-1"} {
-		if _, err := ParseFaults(bad); err == nil {
-			t.Errorf("ParseFaults(%q) accepted", bad)
+}
+
+// TestParseFaultsErrors pins the error message for every malformed
+// spec shape: the -faults flag is the user-facing surface of the fault
+// injector and a vague parse error wastes a debugging session.
+func TestParseFaultsErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error message
+	}{
+		{"", "no faults"},
+		{" , ,", "no faults"},
+		{"crash", "want kind:args"},
+		{"zap:a->b:u", `unknown kind "zap"`},
+		{"crash:1", "want crash:PE@SLOT"},
+		{"crash:one@2", "want crash:PE@SLOT"},
+		{"crash:-1@2", "negative PE or slot"},
+		{"crash:1@-2", "negative PE or slot"},
+		{"drop:a:u", "want FROM->TO:VAR"},
+		{"drop:->b:u", "want FROM->TO:VAR"},
+		{"drop:a->:u", "want FROM->TO:VAR"},
+		{"drop:a->b:", "want FROM->TO:VAR"},
+		{"delay:a->b:u", "want delay:FROM->TO:VAR@USEC"},
+		{"delay:a->b:u@fast", `bad count/delay "fast"`},
+		{"delay:a->b:u@0", `bad count/delay "0"`},
+		{"dup:a->b:u@-1", `bad count/delay "-1"`},
+		{"corrupt:a->b:u@1.5", `bad count/delay "1.5"`},
+		{"drop:a->b:u, crash:oops", "want crash:PE@SLOT"},
+	}
+	for _, tc := range cases {
+		_, err := ParseFaults(tc.spec)
+		if err == nil {
+			t.Errorf("ParseFaults(%q) accepted a malformed spec", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseFaults(%q) = %q, want it to mention %q", tc.spec, err, tc.want)
 		}
 	}
 }

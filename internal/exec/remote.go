@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// This file is the transport seam of the runner: the types a remote
+// message plane (internal/wire) exchanges with a hosted execution
+// session. A single-process run never touches any of this — its
+// deliveries stay on the in-process channel path — but a distributed
+// run hosts only a subset of the machine's processors per OS process
+// and hands every cross-process delivery, idle notification and crash
+// report to a RemotePlane.
+
+// RemoteMsg is one scheduled delivery crossing a process boundary: the
+// wire-facing form of the runner's internal message, minus the ack
+// channel (process-boundary reliability belongs to the transport).
+type RemoteMsg struct {
+	From, To graph.NodeID
+	Var      string
+	FromPE   int
+	ToPE     int
+	// Seq identifies the logical transmission; injected duplicates
+	// share it, so receivers can absorb them.
+	Seq uint64
+	// Epoch is the recovery era the message belongs to; receivers
+	// discard messages from dead eras.
+	Epoch int64
+	// At is the virtual arrival stamp (VirtualTime runs).
+	At machine.Time
+	// Sum is the fnv64a checksum of the original payload when corrupt
+	// faults armed end-to-end checksums (0 = unchecked). The transport
+	// adds its own frame-level checksum independently.
+	Sum uint64
+	Val pits.Value
+}
+
+// RemotePlane connects a session hosting a subset of processors to the
+// rest of a distributed run. Implementations must be safe for
+// concurrent use: worker goroutines deliver concurrently.
+type RemotePlane interface {
+	// DeliverRemote ships one message toward the process hosting
+	// m.ToPE. An error fails the sending task (and so the run).
+	DeliverRemote(m RemoteMsg) error
+	// LocalIdle reports that every live locally-hosted processor
+	// finished its current era's slot list.
+	LocalIdle()
+	// LocalCrash reports an injected crash killing locally-hosted
+	// processor pe. The coordinator must drive a global recovery.
+	LocalCrash(pe int)
+}
+
+// Partial is one process's share of a run's result: qualified external
+// outputs, the export name map, print lines and raw trace events. The
+// coordinator merges partials with MergePartials.
+type Partial struct {
+	// Outputs holds qualified "task.var" external outputs of the
+	// process's surviving workers.
+	Outputs pits.Env
+	// Exports maps unqualified external output names to the exporting
+	// task.
+	Exports map[string]graph.NodeID
+	Printed []string
+	Events  []trace.Event
+}
+
+// PauseState is what a paused session reports so the coordinator can
+// plan a global recovery.
+type PauseState struct {
+	// Done maps each task whose result survives in this process to the
+	// lowest live local processor holding it.
+	Done map[graph.NodeID]int
+	// Held lists the qualified "task.var" external output keys already
+	// exported in this process (recovery uses it to adopt orphans).
+	Held []string
+	// Dead lists locally-hosted processors that have crashed.
+	Dead []int
+	// Clock is the latest virtual clock among live local processors
+	// (VirtualTime runs; the coordinator stamps recovery events with
+	// the global maximum).
+	Clock machine.Time
+}
+
+// Adoption instructs a surviving holder of a finished task's result to
+// export an external output whose original exporting copy died.
+type Adoption struct {
+	Task graph.NodeID
+	Var  string
+	PE   int
+}
+
+// ResumePlan is the recovery assignment a session installs at the
+// barrier: the global replan restricted by each process to its hosted
+// processors.
+type ResumePlan struct {
+	// Epoch is the new era; messages from older eras are discarded.
+	Epoch int64
+	// Slots and Msgs are the full recovery plan (sched.Recover's
+	// Reassignment); sessions derive their hosted processors' share.
+	Slots []sched.Slot
+	Msgs  []sched.Msg
+	// Done maps surviving tasks to their holding processor (the
+	// checkpoint): deliveries from them are re-sends, not re-runs.
+	Done map[graph.NodeID]int
+	// Dead flags every processor of the machine that is gone.
+	Dead []bool
+	// Adopt lists orphaned external outputs to re-export locally.
+	Adopt []Adoption
+}
+
+// MergePartials combines per-process partial results into a run's
+// external outputs and print lines: qualified keys are unioned, and
+// each unqualified external output name is bound to its single
+// exporting task — two tasks exporting the same name is an error, with
+// the qualified keys to read instead.
+func MergePartials(parts ...*Partial) (pits.Env, []string, error) {
+	outputs := pits.Env{}
+	owner := map[string]graph.NodeID{}
+	var printed []string
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for k, v := range p.Outputs {
+			outputs[k] = v
+		}
+		printed = append(printed, p.Printed...)
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for v, task := range p.Exports {
+			if prev, clash := owner[v]; clash && prev != task {
+				return nil, nil, exportCollision(v, prev, task)
+			}
+			owner[v] = task
+			outputs[v] = outputs[string(task)+"."+v]
+		}
+	}
+	return outputs, printed, nil
+}
+
+// exportCollision is the shared error for two tasks exporting the same
+// unqualified external output name.
+func exportCollision(v string, a, b graph.NodeID) error {
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Errorf("exec: external output %q exported by both task %s and task %s; rename one or read the qualified keys %q and %q",
+		v, a, b, string(a)+"."+v, string(b)+"."+v)
+}

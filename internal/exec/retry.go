@@ -20,10 +20,10 @@ type xmsg struct {
 	key    msgKey
 	val    pits.Value
 	fromPE int
-	at     machine.Time // virtual arrival (VirtualTime mode)
-	seq    uint64       // unique per logical transmission; duplicates share it
-	epoch  int64        // era the message belongs to; stale eras are discarded
-	sum    uint64       // payload checksum (0 = unchecked)
+	at     machine.Time  // virtual arrival (VirtualTime mode)
+	seq    uint64        // unique per logical transmission; duplicates share it
+	epoch  int64         // era the message belongs to; stale eras are discarded
+	sum    uint64        // payload checksum (0 = unchecked)
 	ack    chan struct{} // receiver acknowledges here (reliable mode only)
 }
 

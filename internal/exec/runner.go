@@ -1,16 +1,15 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/machine"
 	"repro/internal/pits"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -138,182 +137,38 @@ type sendPlan struct {
 // Run executes the schedule against flat, the flattened design the
 // schedule was computed from.
 func (r *Runner) Run(s *sched.Schedule, flat *graph.Flat) (*Result, error) {
-	if s == nil || flat == nil || s.Graph == nil || s.Machine == nil {
-		return nil, fmt.Errorf("exec: nil schedule or design")
-	}
-	g := s.Graph
-	numPE := s.Machine.NumPE()
-	// Build the schedule's index and the topology's routing tables now:
-	// both caches fill lazily and unsynchronized, and every worker
-	// goroutine reads them.
-	s.Finalize()
-	s.Machine.Topo.Precompute()
+	return r.RunContext(context.Background(), s, flat)
+}
 
-	// Fail fast on missing external inputs: one clear error before any
-	// worker spawns, instead of a root-cause-plus-cascade report.
-	if err := r.checkInputs(flat); err != nil {
+// RunContext is Run with cancellation: when ctx is cancelled, the run
+// aborts and the cancellation is reported as its root cause.
+func (r *Runner) RunContext(ctx context.Context, s *sched.Schedule, flat *graph.Flat) (*Result, error) {
+	ses, err := r.StartSession(s, flat, nil, nil)
+	if err != nil {
 		return nil, err
 	}
-
-	// Parse every routine up front; fail fast before spawning workers.
-	progs := map[graph.NodeID]*pits.Program{}
-	for _, n := range g.Tasks() {
-		if n.Routine == "" {
-			// A routine-less task is a no-op placeholder: legal in
-			// scheduling studies, and at run time it simply produces
-			// nothing.
-			progs[n.ID] = &pits.Program{}
-			continue
-		}
-		prog, err := pits.Parse(n.Routine)
-		if err != nil {
-			return nil, fmt.Errorf("exec: task %s: %w", n.ID, err)
-		}
-		progs[n.ID] = prog
-	}
-
-	// Expected cross-PE messages per consumer processor (with their
-	// predicted arrival times, the watchdog basis), and the deliveries
-	// each producer copy must make, from the schedule.
-	expect := make([]map[msgKey]machine.Time, numPE)
-	sends := make([]map[graph.NodeID][]sendPlan, numPE)
-	for pe := 0; pe < numPE; pe++ {
-		expect[pe] = map[msgKey]machine.Time{}
-		sends[pe] = map[graph.NodeID][]sendPlan{}
-	}
-	for _, msg := range s.Msgs {
-		if msg.FromPE == msg.ToPE {
-			continue
-		}
-		k := msgKey{msg.From, msg.To, msg.Var}
-		if _, dup := expect[msg.ToPE][k]; dup {
-			return nil, fmt.Errorf("exec: schedule records duplicate delivery of %s->%s:%s to PE %d",
-				msg.From, msg.To, msg.Var, msg.ToPE)
-		}
-		expect[msg.ToPE][k] = msg.Recv
-		sends[msg.FromPE][msg.From] = append(sends[msg.FromPE][msg.From],
-			sendPlan{key: k, toPE: msg.ToPE, words: msg.Words})
-	}
-
-	faults := newFaultState(r.Faults)
-	grace := r.Grace
-	if grace <= 0 {
-		grace = s.Machine.GraceFactor()
-	}
-	start := time.Now()
-	now := func() machine.Time { return machine.Time(time.Since(start).Microseconds()) }
-
-	ctrl := &controller{
-		runner: r, s: s, flat: flat, numPE: numPE,
-		inboxes: make([]chan xmsg, numPE),
-		done:    make(chan struct{}),
-		finish:  make(chan struct{}),
-		events:  make(chan wevent, numPE*4+16),
-		waiting: map[int]string{},
-		faults:  faults, retry: r.Retry, checksums: faults.checksums,
-		grace: grace, now: now,
-	}
-	// Inboxes are sized so no delivery ever blocks past the run's end:
-	// every scheduled and recovery-planned message fits, with room for
-	// injected duplicates.
-	inboxCap := (numPE + 1) * (len(s.Msgs) + len(g.Arcs()) + 2)
-	for pe := range ctrl.inboxes {
-		ctrl.inboxes[pe] = make(chan xmsg, inboxCap)
-	}
-	ctrl.era.Store(&era{pause: make(chan struct{}), resume: make(chan struct{})})
-
-	workers := make([]*worker, numPE)
-	for pe := 0; pe < numPE; pe++ {
-		workers[pe] = &worker{
-			pe: pe, runner: r, sched: s, flat: flat, progs: progs, ctrl: ctrl, now: now,
-			slots: s.PESlots(pe), expected: expect[pe], sends: sends[pe],
-			outputs: pits.Env{}, exports: map[string]graph.NodeID{},
-		}
-	}
-	ctrl.workers = workers
-
-	if st := r.stallTimeout(); st > 0 {
-		ctrl.bg.Add(1)
-		go ctrl.stallWatch(st)
-	}
-	coordDone := make(chan struct{})
-	go func() {
-		ctrl.coordinate()
-		close(coordDone)
-	}()
-
-	var wg sync.WaitGroup
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			if w.err = w.run(); w.err != nil {
-				ctrl.abort()
+	if ctx != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				ses.Abort(fmt.Errorf("exec: run cancelled: %w", ctx.Err()))
+			case <-stop:
 			}
-		}(w)
+		}()
 	}
-	wg.Wait()
-	<-coordDone
-	ctrl.bg.Wait()
-
-	// One failing worker aborts the run, which makes every other worker
-	// fail too ("aborted while sending/waiting"). Those cascade errors
-	// are consequences, not causes: report the originating failures
-	// first and fold the cascade into a count so the root cause is the
-	// first thing the user reads.
-	var roots, cascades []error
-	if ctrl.runErr != nil {
-		roots = append(roots, ctrl.runErr)
+	p, err := ses.Wait()
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range workers {
-		if w.err == nil {
-			continue
-		}
-		e := fmt.Errorf("PE %d: %w", w.pe, w.err)
-		if errors.Is(w.err, errAborted) {
-			cascades = append(cascades, e)
-		} else {
-			roots = append(roots, e)
-		}
+	outputs, printed, err := MergePartials(p)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case len(roots) > 0 && len(cascades) > 0:
-		return nil, fmt.Errorf("%w\n(%d other workers aborted in cascade)", errors.Join(roots...), len(cascades))
-	case len(roots) > 0:
-		return nil, errors.Join(roots...)
-	case len(cascades) > 0:
-		// Shouldn't happen — an abort always has an originating failure
-		// — but never swallow an error.
-		return nil, errors.Join(cascades...)
-	}
-	res := &Result{Outputs: pits.Env{}, Trace: &trace.Trace{Label: "run:" + s.Algorithm}, Elapsed: time.Since(start)}
-	res.Trace.Events = append(res.Trace.Events, ctrl.extra...)
-	owner := map[string]graph.NodeID{} // unqualified external output -> exporting task
-	for _, w := range workers {
-		// A crashed worker's trace survives (it shows what happened up
-		// to the crash) but its results died with it: recovery
-		// recomputed them elsewhere.
-		res.Trace.Events = append(res.Trace.Events, w.events...)
-		if w.dead {
-			continue
-		}
-		for k, v := range w.outputs {
-			res.Outputs[k] = v
-		}
-		for v, task := range w.exports {
-			if prev, clash := owner[v]; clash && prev != task {
-				a, b := prev, task
-				if b < a {
-					a, b = b, a
-				}
-				return nil, fmt.Errorf("exec: external output %q exported by both task %s and task %s; rename one or read the qualified keys %q and %q",
-					v, a, b, string(a)+"."+v, string(b)+"."+v)
-			}
-			owner[v] = task
-			res.Outputs[v] = res.Outputs[string(task)+"."+v]
-		}
-		res.Printed = append(res.Printed, w.printed...)
-	}
+	res := &Result{Outputs: outputs, Printed: printed,
+		Trace:   &trace.Trace{Label: "run:" + s.Algorithm, Events: p.Events},
+		Elapsed: ses.Elapsed()}
 	res.Trace.Sort()
 	return res, nil
 }

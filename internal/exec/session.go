@@ -1,0 +1,316 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/sched"
+)
+
+// Session is one process's share of a running schedule: the worker
+// goroutines of its hosted processors plus the coordinator loop that
+// watches them. A single-process Run hosts every processor and drives
+// the session itself; a distributed run hosts a subset per process and
+// drives each session remotely through Deliver/Pause/Resume/FinishRun,
+// with cross-process deliveries flowing through the RemotePlane.
+type Session struct {
+	runner    *Runner
+	s         *sched.Schedule
+	flat      *graph.Flat
+	ctrl      *controller
+	workers   []*worker
+	start     time.Time
+	wg        sync.WaitGroup
+	coordDone chan struct{}
+}
+
+// StartSession validates the schedule and launches the hosted workers.
+// hosted flags which processors run in this process (nil = all, the
+// single-process mode); a non-nil hosted requires a plane to carry
+// deliveries to and notifications about the rest of the machine.
+func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool, plane RemotePlane) (*Session, error) {
+	if s == nil || flat == nil || s.Graph == nil || s.Machine == nil {
+		return nil, fmt.Errorf("exec: nil schedule or design")
+	}
+	g := s.Graph
+	numPE := s.Machine.NumPE()
+	if hosted != nil {
+		if len(hosted) != numPE {
+			return nil, fmt.Errorf("exec: %d hosted flags for %d processors", len(hosted), numPE)
+		}
+		if plane == nil {
+			return nil, fmt.Errorf("exec: hosting a subset of processors requires a remote plane")
+		}
+	} else if plane != nil {
+		return nil, fmt.Errorf("exec: remote plane without hosted set")
+	}
+	// Build the schedule's index and the topology's routing tables now:
+	// both caches fill lazily and unsynchronized, and every worker
+	// goroutine reads them.
+	s.Finalize()
+	s.Machine.Topo.Precompute()
+
+	// Fail fast on missing external inputs: one clear error before any
+	// worker spawns, instead of a root-cause-plus-cascade report.
+	if err := r.checkInputs(flat); err != nil {
+		return nil, err
+	}
+
+	// Parse every routine up front; fail fast before spawning workers.
+	progs := map[graph.NodeID]*pits.Program{}
+	for _, n := range g.Tasks() {
+		if n.Routine == "" {
+			// A routine-less task is a no-op placeholder: legal in
+			// scheduling studies, and at run time it simply produces
+			// nothing.
+			progs[n.ID] = &pits.Program{}
+			continue
+		}
+		prog, err := pits.Parse(n.Routine)
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %s: %w", n.ID, err)
+		}
+		progs[n.ID] = prog
+	}
+
+	// Expected cross-PE messages per consumer processor (with their
+	// predicted arrival times, the watchdog basis), and the deliveries
+	// each producer copy must make, from the schedule.
+	expect := make([]map[msgKey]machine.Time, numPE)
+	sends := make([]map[graph.NodeID][]sendPlan, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		expect[pe] = map[msgKey]machine.Time{}
+		sends[pe] = map[graph.NodeID][]sendPlan{}
+	}
+	for _, msg := range s.Msgs {
+		if msg.FromPE == msg.ToPE {
+			continue
+		}
+		k := msgKey{msg.From, msg.To, msg.Var}
+		if _, dup := expect[msg.ToPE][k]; dup {
+			return nil, fmt.Errorf("exec: schedule records duplicate delivery of %s->%s:%s to PE %d",
+				msg.From, msg.To, msg.Var, msg.ToPE)
+		}
+		expect[msg.ToPE][k] = msg.Recv
+		sends[msg.FromPE][msg.From] = append(sends[msg.FromPE][msg.From],
+			sendPlan{key: k, toPE: msg.ToPE, words: msg.Words})
+	}
+
+	faults := newFaultState(r.Faults)
+	grace := r.Grace
+	if grace <= 0 {
+		grace = s.Machine.GraceFactor()
+	}
+	start := time.Now()
+	now := func() machine.Time { return machine.Time(time.Since(start).Microseconds()) }
+
+	ctrl := &controller{
+		runner: r, s: s, flat: flat, numPE: numPE,
+		hosted: hosted, plane: plane,
+		cmds:    make(chan sessCmd),
+		inboxes: make([]chan xmsg, numPE),
+		done:    make(chan struct{}),
+		finish:  make(chan struct{}),
+		events:  make(chan wevent, numPE*4+16),
+		waiting: map[int]string{},
+		faults:  faults, retry: r.Retry, checksums: faults.checksums,
+		grace: grace, now: now,
+	}
+	// Inboxes are sized so no delivery ever blocks past the run's end:
+	// every scheduled and recovery-planned message fits, with room for
+	// injected duplicates.
+	inboxCap := (numPE + 1) * (len(s.Msgs) + len(g.Arcs()) + 2)
+	for pe := range ctrl.inboxes {
+		ctrl.inboxes[pe] = make(chan xmsg, inboxCap)
+	}
+	ctrl.era.Store(&era{pause: make(chan struct{}), resume: make(chan struct{})})
+
+	workers := make([]*worker, numPE)
+	for pe := 0; pe < numPE; pe++ {
+		if !ctrl.isLocal(pe) {
+			continue
+		}
+		workers[pe] = &worker{
+			pe: pe, runner: r, sched: s, flat: flat, progs: progs, ctrl: ctrl, now: now,
+			slots: s.PESlots(pe), expected: expect[pe], sends: sends[pe],
+			outputs: pits.Env{}, exports: map[string]graph.NodeID{},
+		}
+	}
+	ctrl.workers = workers
+
+	ses := &Session{
+		runner: r, s: s, flat: flat, ctrl: ctrl, workers: workers,
+		start: start, coordDone: make(chan struct{}),
+	}
+
+	if st := r.stallTimeout(); st > 0 {
+		ctrl.bg.Add(1)
+		go ctrl.stallWatch(st)
+	}
+	go func() {
+		ctrl.coordinate()
+		close(ses.coordDone)
+	}()
+
+	for _, w := range workers {
+		if w == nil {
+			continue
+		}
+		ses.wg.Add(1)
+		go func(w *worker) {
+			defer ses.wg.Done()
+			if w.err = w.run(); w.err != nil {
+				ctrl.abort()
+			}
+		}(w)
+	}
+	return ses, nil
+}
+
+// Deliver injects a message that arrived from another process into the
+// hosting processor's inbox. Late deliveries after completion are
+// dropped; deliveries after an abort report it.
+func (ses *Session) Deliver(m RemoteMsg) error {
+	c := ses.ctrl
+	if m.ToPE < 0 || m.ToPE >= c.numPE || !c.isLocal(m.ToPE) {
+		return fmt.Errorf("exec: delivery for PE %d, which is not hosted here", m.ToPE)
+	}
+	x := xmsg{key: msgKey{m.From, m.To, m.Var}, val: m.Val, fromPE: m.FromPE,
+		at: m.At, seq: m.Seq, epoch: m.Epoch, sum: m.Sum}
+	select {
+	case c.inboxes[m.ToPE] <- x:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("exec: session aborted")
+	case <-c.finish:
+		return nil
+	}
+}
+
+// Progress returns the session's progress counter (completed tasks and
+// accepted messages): the payload of liveness heartbeats.
+func (ses *Session) Progress() uint64 { return ses.ctrl.progress.Load() }
+
+// Elapsed is the wall-clock time since the session started.
+func (ses *Session) Elapsed() time.Duration { return time.Since(ses.start) }
+
+// command round-trips one request through the coordinator loop.
+func (ses *Session) command(cmd sessCmd) (sessReply, error) {
+	c := ses.ctrl
+	select {
+	case c.cmds <- cmd:
+	case <-c.done:
+		return sessReply{}, fmt.Errorf("exec: session aborted")
+	case <-c.finish:
+		return sessReply{}, fmt.Errorf("exec: session already finished")
+	}
+	select {
+	case rep := <-cmd.reply:
+		return rep, nil
+	case <-c.done:
+		return sessReply{}, fmt.Errorf("exec: session aborted")
+	}
+}
+
+// Pause drives every live hosted worker to the recovery barrier and
+// reports the state the coordinator needs to replan: surviving task
+// results, exported outputs, local deaths and the virtual clock.
+func (ses *Session) Pause() (*PauseState, error) {
+	rep, err := ses.command(sessCmd{kind: cmdPause, reply: make(chan sessReply, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if rep.state == nil {
+		return nil, fmt.Errorf("exec: session aborted during pause")
+	}
+	return rep.state, nil
+}
+
+// Resume installs the recovery plan's hosted share and releases the
+// parked workers into the new era. Only legal after Pause.
+func (ses *Session) Resume(p *ResumePlan) error {
+	if p == nil || len(p.Dead) != ses.ctrl.numPE {
+		return fmt.Errorf("exec: malformed resume plan")
+	}
+	_, err := ses.command(sessCmd{kind: cmdResume, plan: p, reply: make(chan sessReply, 1)})
+	return err
+}
+
+// FinishRun declares the run globally complete (every process idle);
+// hosted workers unwind and Wait can collect the partial result.
+func (ses *Session) FinishRun() { ses.ctrl.complete() }
+
+// Abort fails the session with the given root cause.
+func (ses *Session) Abort(err error) { ses.ctrl.fail(err) }
+
+// Wait blocks until the session has fully unwound and returns this
+// process's partial result, or the run's root-cause error(s).
+func (ses *Session) Wait() (*Partial, error) {
+	ses.wg.Wait()
+	<-ses.coordDone
+	ses.ctrl.bg.Wait()
+
+	// One failing worker aborts the run, which makes every other worker
+	// fail too ("aborted while sending/waiting"). Those cascade errors
+	// are consequences, not causes: report the originating failures
+	// first and fold the cascade into a count so the root cause is the
+	// first thing the user reads.
+	var roots, cascades []error
+	if ses.ctrl.runErr != nil {
+		roots = append(roots, ses.ctrl.runErr)
+	}
+	for _, w := range ses.workers {
+		if w == nil || w.err == nil {
+			continue
+		}
+		e := fmt.Errorf("PE %d: %w", w.pe, w.err)
+		if errors.Is(w.err, errAborted) {
+			cascades = append(cascades, e)
+		} else {
+			roots = append(roots, e)
+		}
+	}
+	switch {
+	case len(roots) > 0 && len(cascades) > 0:
+		return nil, fmt.Errorf("%w\n(%d other workers aborted in cascade)", errors.Join(roots...), len(cascades))
+	case len(roots) > 0:
+		return nil, errors.Join(roots...)
+	case len(cascades) > 0:
+		// Shouldn't happen — an abort always has an originating failure
+		// — but never swallow an error.
+		return nil, errors.Join(cascades...)
+	}
+
+	p := &Partial{Outputs: pits.Env{}, Exports: map[string]graph.NodeID{}}
+	p.Events = append(p.Events, ses.ctrl.extra...)
+	for _, w := range ses.workers {
+		if w == nil {
+			continue
+		}
+		// A crashed worker's trace survives (it shows what happened up
+		// to the crash) but its results died with it: recovery
+		// recomputed them elsewhere.
+		p.Events = append(p.Events, w.events...)
+		if w.dead {
+			continue
+		}
+		for k, v := range w.outputs {
+			p.Outputs[k] = v
+		}
+		for v, task := range w.exports {
+			// Collisions between workers of one process are caught
+			// here; MergePartials catches the cross-process ones.
+			if prev, clash := p.Exports[v]; clash && prev != task {
+				return nil, exportCollision(v, prev, task)
+			}
+			p.Exports[v] = task
+		}
+		p.Printed = append(p.Printed, w.printed...)
+	}
+	return p, nil
+}

@@ -299,6 +299,11 @@ func (w *worker) send(sp sendPlan, val pits.Value, sendAt, arriveAt machine.Time
 			m.val = corruptValue(val)
 		}
 	}
+	if !w.ctrl.isLocal(sp.toPE) {
+		// The consumer lives in another process: hand the message to
+		// the remote plane, which owns process-boundary reliability.
+		return w.ctrl.sendRemote(m, sp.toPE, copies, wallDelay)
+	}
 	if w.ctrl.retry {
 		m.ack = make(chan struct{}, 4)
 		w.ctrl.sendReliable(m, val, sp.toPE, copies, wallDelay)

@@ -1,0 +1,54 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrated(t *testing.T) {
+	topo, err := Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("test", topo, Params{ProcSpeed: 2, TaskStartup: 3, MsgStartup: 5, WordTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := m.Calibrated(Calibration{MsgStartup: 120, WordTime: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Params.MsgStartup != 120 || cm.Params.WordTime != 2 {
+		t.Errorf("calibrated params = %+v", cm.Params)
+	}
+	if cm.Params.ProcSpeed != 2 || cm.Params.TaskStartup != 3 {
+		t.Errorf("compute params changed: %+v", cm.Params)
+	}
+	if m.Params.MsgStartup != 5 {
+		t.Error("original machine mutated")
+	}
+	if !strings.HasSuffix(cm.Name, "/calibrated") {
+		t.Errorf("name %q", cm.Name)
+	}
+	// CommTime uses the calibrated costs: 1 hop, 4 words.
+	if got := cm.CommTime(4, 0, 1); got != 120+4*2 {
+		t.Errorf("CommTime = %v", got)
+	}
+
+	// Zero word time keeps the model's: the wire was too fast to
+	// resolve, but communication must not become free.
+	cm2, err := m.Calibrated(Calibration{MsgStartup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm2.Params.WordTime != 1 {
+		t.Errorf("word time = %v, want model's 1", cm2.Params.WordTime)
+	}
+
+	if _, err := m.Calibrated(Calibration{}); err == nil {
+		t.Error("empty calibration accepted")
+	}
+	if _, err := m.Calibrated(Calibration{MsgStartup: -1}); err == nil {
+		t.Error("negative calibration accepted")
+	}
+}

@@ -36,11 +36,11 @@ type compiled struct {
 	n   int // number of tasks
 	pes int
 
-	ids  []graph.NodeID           // dense id -> NodeID (insertion order)
-	idOf map[graph.NodeID]int32   // NodeID -> dense id
-	rank []int32                  // dense id -> position in sorted-NodeID order
-	work []int64                  // dense id -> abstract work
-	arcs []graph.Arc              // shared with g.Arcs(); aidx points here
+	ids  []graph.NodeID         // dense id -> NodeID (insertion order)
+	idOf map[graph.NodeID]int32 // NodeID -> dense id
+	rank []int32                // dense id -> position in sorted-NodeID order
+	work []int64                // dense id -> abstract work
+	arcs []graph.Arc            // shared with g.Arcs(); aidx points here
 
 	// Predecessor/successor arcs in CSR layout, arc-insertion order
 	// within each node (matching graph.PredArcs/SuccArcs).

@@ -52,9 +52,9 @@ func goldenGraphs(t testing.TB) []*graph.Graph {
 	t.Helper()
 	var gs []*graph.Graph
 	for _, c := range []struct {
-		seed    int64
-		cfg     graph.LayeredConfig
-		rename  string
+		seed   int64
+		cfg    graph.LayeredConfig
+		rename string
 	}{
 		{seed: 11, cfg: graph.LayeredConfig{Layers: 5, Width: 4, MinWork: 5, MaxWork: 60, MinWords: 1, MaxWords: 30, Density: 0.4}, rename: "g20"},
 		{seed: 22, cfg: graph.LayeredConfig{Layers: 8, Width: 6, MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3}, rename: "g48"},

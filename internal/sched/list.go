@@ -49,7 +49,7 @@ func newBuilder(g *graph.Graph, m *machine.Machine) (*builder, error) {
 	// Every task has exactly one copy unless a duplication scheduler
 	// adds more, so give each its own cap-1 backing slot up front.
 	for i := range b.copies {
-		b.copies[i] = b.copyBuf[i:i:i+1]
+		b.copies[i] = b.copyBuf[i : i : i+1]
 	}
 	return b, nil
 }

@@ -38,10 +38,10 @@ type mhNet struct {
 	startup  machine.Time
 	wordTime machine.Time
 
-	routeIDs  [][]int32          // flat p*pes+q -> link-id sequence (nil until built)
-	linkIdx   map[[2]int]int32   // directed (u,v) -> link id
-	linkFree  []machine.Time     // per link id
-	linkDests [][]int32          // per link id: destinations routed over it
+	routeIDs  [][]int32        // flat p*pes+q -> link-id sequence (nil until built)
+	linkIdx   map[[2]int]int32 // directed (u,v) -> link id
+	linkFree  []machine.Time   // per link id
+	linkDests [][]int32        // per link id: destinations routed over it
 
 	epoch     uint64   // bumped once per commit phase
 	destEpoch []uint64 // per PE: epoch of the last commit affecting it

@@ -33,6 +33,16 @@ const (
 	// live processor after a crash; Peer is the processor the task was
 	// originally placed on.
 	TaskRescheduled
+	// PeerConnected records a distributed run attaching a worker
+	// process: Peer is the worker index, Note its address.
+	PeerConnected
+	// PeerLost records a worker process declared dead (heartbeat loss
+	// or unrecoverable connection failure); its processors are treated
+	// exactly like crashed PEs. Peer is the worker index.
+	PeerLost
+	// WireBytes records the bytes a distributed run moved over one peer
+	// connection (Bytes totals both directions, Note breaks them down).
+	WireBytes
 )
 
 // String returns the event kind name.
@@ -52,6 +62,12 @@ func (k Kind) String() string {
 		return "msg-retry"
 	case TaskRescheduled:
 		return "rescheduled"
+	case PeerConnected:
+		return "peer-up"
+	case PeerLost:
+		return "peer-lost"
+	case WireBytes:
+		return "wire-bytes"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -59,14 +75,15 @@ func (k Kind) String() string {
 
 // Event is one timestamped occurrence on a processor.
 type Event struct {
-	Kind Kind
-	At   machine.Time
-	Task graph.NodeID // task starting/ending, or message producer
-	PE   int          // where the event happens
-	Var  string       // message variable (message events only)
-	Peer int          // the other processor (message events only)
-	Dup  bool         // event belongs to a duplicate copy
-	Note string       // free-form detail (fault kind, retry attempt)
+	Kind  Kind
+	At    machine.Time
+	Task  graph.NodeID // task starting/ending, or message producer
+	PE    int          // where the event happens
+	Var   string       // message variable (message events only)
+	Peer  int          // the other processor (message events only)
+	Dup   bool         // event belongs to a duplicate copy
+	Note  string       // free-form detail (fault kind, retry attempt)
+	Bytes int64        // payload size (wire events only)
 }
 
 // Trace is an event log. Events may be appended in any order; callers
@@ -84,7 +101,8 @@ func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
 // which precedes a task starting at t — the causal order of a
 // back-to-back schedule.
 var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3,
-	FaultInjected: 4, MsgRetry: 5, TaskRescheduled: 6}
+	FaultInjected: 4, MsgRetry: 5, TaskRescheduled: 6,
+	PeerConnected: 7, PeerLost: 8, WireBytes: 9}
 
 // Sort orders events by time, then processor, then causal kind order,
 // then task, variable and peer, giving a deterministic log for
@@ -170,9 +188,12 @@ type Stats struct {
 	TasksRun    int
 	DupsRun     int
 	Msgs        int
-	Faults      int // injected faults recorded in the trace
-	Retries     int // message retransmissions
-	Rescheduled int // tasks moved by crash recovery
+	Faults      int   // injected faults recorded in the trace
+	Retries     int   // message retransmissions
+	Rescheduled int   // tasks moved by crash recovery
+	Peers       int   // worker processes that joined a distributed run
+	PeersLost   int   // worker processes declared dead mid-run
+	WireBytes   int64 // bytes moved over peer connections
 	BusyByPE    map[int]machine.Time
 	Utilization float64 // mean busy fraction over PEs that appear in the trace
 }
@@ -205,6 +226,12 @@ func (t *Trace) Summarize(numPE int) (*Stats, error) {
 			st.Retries++
 		case TaskRescheduled:
 			st.Rescheduled++
+		case PeerConnected:
+			st.Peers++
+		case PeerLost:
+			st.PeersLost++
+		case WireBytes:
+			st.WireBytes += e.Bytes
 		}
 	}
 	if st.Makespan > 0 && numPE > 0 {
@@ -236,6 +263,15 @@ func (t *Trace) String() string {
 				fmt.Fprintf(&b, ":%s", e.Var)
 			}
 			fmt.Fprintf(&b, " peer=PE%d", e.Peer)
+			if e.Note != "" {
+				fmt.Fprintf(&b, " (%s)", e.Note)
+			}
+			b.WriteByte('\n')
+		case PeerConnected, PeerLost, WireBytes:
+			fmt.Fprintf(&b, "  %8v %-10s worker=%d", e.At, e.Kind, e.Peer)
+			if e.Kind == WireBytes {
+				fmt.Fprintf(&b, " bytes=%d", e.Bytes)
+			}
 			if e.Note != "" {
 				fmt.Fprintf(&b, " (%s)", e.Note)
 			}

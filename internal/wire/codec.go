@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+// Binary codec for PITS values and scheduled messages. JSON is used for
+// control payloads (handshakes, recovery plans), but data payloads need
+// an exact float representation — NaN and the infinities are legal PITS
+// values and JSON cannot carry them — so values travel as raw IEEE-754
+// bits.
+
+// Value type tags.
+const (
+	tagNum byte = iota + 1
+	tagVec
+	tagBool
+	tagStr
+)
+
+// AppendValue appends the binary encoding of v.
+func AppendValue(b []byte, v pits.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case pits.Num:
+		b = append(b, tagNum)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(float64(x)))
+	case pits.Vec:
+		b = append(b, tagVec)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(x)))
+		for _, f := range x {
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	case pits.BoolV:
+		b = append(b, tagBool)
+		if x {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case pits.StrV:
+		b = append(b, tagStr)
+		b = appendString(b, string(x))
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T value", v)
+	}
+	return b, nil
+}
+
+// DecodeValue decodes one value and returns the remaining bytes.
+func DecodeValue(b []byte) (pits.Value, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("wire: truncated value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagNum:
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("wire: truncated number")
+		}
+		return pits.Num(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case tagVec:
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("wire: truncated vector length")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < 8*n {
+			return nil, nil, fmt.Errorf("wire: truncated vector of %d elements", n)
+		}
+		v := make(pits.Vec, n)
+		for i := 0; i < n; i++ {
+			v[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+		}
+		return v, b[8*n:], nil
+	case tagBool:
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("wire: truncated boolean")
+		}
+		return pits.BoolV(b[0] != 0), b[1:], nil
+	case tagStr:
+		s, rest, err := decodeString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pits.StrV(s), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// EncodeEnv encodes an environment with sorted keys (deterministic
+// bytes for identical environments).
+func EncodeEnv(e pits.Env) ([]byte, error) {
+	keys := make([]string, 0, len(e))
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
+	var err error
+	for _, k := range keys {
+		b = appendString(b, k)
+		if b, err = AppendValue(b, e[k]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeEnv decodes an environment.
+func DecodeEnv(b []byte) (pits.Env, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: truncated environment")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	e := make(pits.Env, n)
+	for i := 0; i < n; i++ {
+		k, rest, err := decodeString(b)
+		if err != nil {
+			return nil, err
+		}
+		v, rest, err := DecodeValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		e[k] = v
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after environment", len(b))
+	}
+	return e, nil
+}
+
+// EncodeMsg encodes one scheduled cross-process message. The consumer
+// processor sits at a fixed offset so the coordinator can route a Data
+// frame without decoding the payload (see MsgDest).
+func EncodeMsg(m exec.RemoteMsg) ([]byte, error) {
+	b := binary.BigEndian.AppendUint32(nil, uint32(m.ToPE))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.FromPE))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Epoch))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.At))
+	b = binary.BigEndian.AppendUint64(b, m.Sum)
+	b = appendString(b, string(m.From))
+	b = appendString(b, string(m.To))
+	b = appendString(b, m.Var)
+	return AppendValue(b, m.Val)
+}
+
+// MsgDest reads the consumer processor from an encoded message without
+// decoding the rest.
+func MsgDest(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("wire: truncated message")
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
+}
+
+// DecodeMsg decodes one scheduled cross-process message.
+func DecodeMsg(b []byte) (exec.RemoteMsg, error) {
+	var m exec.RemoteMsg
+	if len(b) < 40 {
+		return m, fmt.Errorf("wire: truncated message header")
+	}
+	m.ToPE = int(binary.BigEndian.Uint32(b[0:]))
+	m.FromPE = int(binary.BigEndian.Uint32(b[4:]))
+	m.Seq = binary.BigEndian.Uint64(b[8:])
+	m.Epoch = int64(binary.BigEndian.Uint64(b[16:]))
+	m.At = machine.Time(binary.BigEndian.Uint64(b[24:]))
+	m.Sum = binary.BigEndian.Uint64(b[32:])
+	b = b[40:]
+	var s string
+	var err error
+	if s, b, err = decodeString(b); err != nil {
+		return m, err
+	}
+	m.From = graph.NodeID(s)
+	if s, b, err = decodeString(b); err != nil {
+		return m, err
+	}
+	m.To = graph.NodeID(s)
+	if m.Var, b, err = decodeString(b); err != nil {
+		return m, err
+	}
+	if m.Val, b, err = DecodeValue(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes after message", len(b))
+	}
+	return m, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("wire: truncated string length")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("wire: truncated string of %d bytes", n)
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/pits"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []pits.Value{
+		pits.Num(0),
+		pits.Num(-3.25),
+		pits.Num(math.Inf(1)),
+		pits.Num(math.Inf(-1)),
+		pits.Num(math.MaxFloat64),
+		pits.Num(math.SmallestNonzeroFloat64),
+		pits.Vec{},
+		pits.Vec{1.5, math.Inf(1), -0.0},
+		pits.BoolV(true),
+		pits.BoolV(false),
+		pits.StrV(""),
+		pits.StrV("hello, wire ✓"),
+	}
+	for _, v := range values {
+		b, err := AppendValue(nil, v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, rest, err := DecodeValue(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v left %d trailing bytes", v, len(rest))
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip: got %#v want %#v", got, v)
+		}
+	}
+
+	// NaN != NaN, so it needs its own check: the bit pattern survives.
+	b, err := AppendValue(nil, pits.Num(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeValue(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := got.(pits.Num); !ok || !math.IsNaN(float64(n)) {
+		t.Errorf("NaN did not survive the wire: %#v", got)
+	}
+}
+
+func TestEnvRoundTripDeterministic(t *testing.T) {
+	env := pits.Env{
+		"x":   pits.Num(3),
+		"vec": pits.Vec{1, 2, 3},
+		"ok":  pits.BoolV(true),
+		"s":   pits.StrV("text"),
+	}
+	b1, err := EncodeEnv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeEnv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Error("identical environments encoded to different bytes")
+	}
+	got, err := DecodeEnv(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("round trip: got %#v want %#v", got, env)
+	}
+}
+
+func TestMsgRoundTripAndDest(t *testing.T) {
+	m := exec.RemoteMsg{
+		From: "producer", To: "consumer", Var: "u",
+		FromPE: 3, ToPE: 5, Seq: 77, Epoch: 2,
+		At: machine.Time(1234), Sum: 0xdeadbeef,
+		Val: pits.Vec{1, math.Inf(-1), 3},
+	}
+	b, err := EncodeMsg(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := MsgDest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest != m.ToPE {
+		t.Errorf("MsgDest = %d, want %d", dest, m.ToPE)
+	}
+	got, err := DecodeMsg(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip:\n got %#v\nwant %#v", got, m)
+	}
+
+	if _, err := DecodeMsg(b[:20]); err == nil {
+		t.Error("truncated message decoded without error")
+	}
+	if _, err := DecodeMsg(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+}
+
+func TestRunOptsRoundTrip(t *testing.T) {
+	plan, err := exec.ParseFaults("crash:1@2,drop:a->b:u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &exec.Runner{VirtualTime: true, Retry: true, RetryBase: 1000, RetryCap: 8000,
+		Grace: 2.5, WatchdogMin: 500, NoWatchdog: false, StallTimeout: 90000,
+		MaxSteps: 1 << 20, Faults: plan}
+	got, err := OptsFor(r).Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VirtualTime != r.VirtualTime || got.Retry != r.Retry ||
+		got.RetryBase != r.RetryBase || got.RetryCap != r.RetryCap ||
+		got.Grace != r.Grace || got.WatchdogMin != r.WatchdogMin ||
+		got.StallTimeout != r.StallTimeout || got.MaxSteps != r.MaxSteps {
+		t.Errorf("runner knobs did not survive the wire:\n got %+v\nwant %+v", got, r)
+	}
+	if got.Faults == nil || got.Faults.String() != plan.String() {
+		t.Errorf("fault plan did not survive: got %v want %v", got.Faults, plan)
+	}
+}

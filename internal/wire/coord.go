@@ -1,0 +1,842 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Coordinator drives a distributed run: it partitions the machine's
+// processors over worker daemons in contiguous blocks, ships each its
+// share of the schedule, relays cross-worker messages (star topology:
+// every inter-process message passes through the coordinator, which
+// routes Data frames by their destination processor without decoding
+// them), and arbitrates recovery when a processor crashes or a whole
+// worker process dies.
+type Coordinator struct {
+	Transport Transport
+	Addrs     []string
+	// Runner supplies the run options every worker reproduces (faults,
+	// retry, grace, watchdogs, virtual time) and the run inputs.
+	Runner *exec.Runner
+
+	// HeartbeatEvery is the keepalive cadence (default 250ms);
+	// PeerTimeout the silence budget after which a worker is declared
+	// dead (default 3s); ConnectTimeout bounds the initial dials
+	// (default 10s).
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	ConnectTimeout time.Duration
+
+	Logf func(format string, args ...any)
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.Logf != nil {
+		co.Logf(format, args...)
+	}
+}
+
+func (co *Coordinator) heartbeatEvery() time.Duration {
+	if co.HeartbeatEvery > 0 {
+		return co.HeartbeatEvery
+	}
+	return 250 * time.Millisecond
+}
+
+func (co *Coordinator) peerTimeout() time.Duration {
+	if co.PeerTimeout > 0 {
+		return co.PeerTimeout
+	}
+	return 3 * time.Second
+}
+
+func (co *Coordinator) connectTimeout() time.Duration {
+	if co.ConnectTimeout > 0 {
+		return co.ConnectTimeout
+	}
+	return 10 * time.Second
+}
+
+// Partition splits numPE processors over workers contiguous blocks
+// (worker 0 gets the lowest processors). Contiguity keeps merged
+// printed output in ascending-processor order, matching a
+// single-process run line for line.
+func Partition(numPE, workers int) [][]int {
+	if workers > numPE {
+		workers = numPE
+	}
+	blocks := make([][]int, workers)
+	base, rem := numPE/workers, numPE%workers
+	pe := 0
+	for i := range blocks {
+		n := base
+		if i < rem {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			blocks[i] = append(blocks[i], pe)
+			pe++
+		}
+	}
+	return blocks
+}
+
+// peer is the coordinator's view of one worker process.
+type peer struct {
+	i    int
+	addr string
+	link *Link
+	pes  []int
+
+	idle      bool
+	lost      bool
+	parked    *ParkedNote
+	result    *ResultNote
+	lastHeard time.Time
+	redial    context.CancelFunc // non-nil while a reconnect is in flight
+}
+
+// coEvent is one occurrence on the coordinator's central loop: a frame
+// from peer i, a connection error, or a successful reconnect.
+type coEvent struct {
+	i    int
+	f    Frame
+	err  error
+	conn Conn   // reattach: fresh connection
+	rcvd uint64 // reattach: worker's receive watermark
+}
+
+// run states of the coordinator loop.
+const (
+	stRunning = iota
+	stPausing
+	stFinishing
+)
+
+// coRun is the mutable state of one distributed run.
+type coRun struct {
+	co     *Coordinator
+	s      *sched.Schedule
+	flat   *graph.Flat
+	id     string
+	peers  []*peer
+	peerOf []int // pe -> worker index
+	dead   []bool
+	epoch  int64
+	state  int
+	events chan coEvent
+	start  time.Time
+	extra  []trace.Event // coordinator-side trace events
+	cancel context.CancelFunc
+}
+
+// Run executes schedule s distributed over the coordinator's workers
+// and returns a result equivalent to Runner.Run's.
+func (co *Coordinator) Run(ctx context.Context, s *sched.Schedule, flat *graph.Flat) (*exec.Result, error) {
+	if co.Transport == nil {
+		return nil, fmt.Errorf("wire: coordinator needs a transport")
+	}
+	if len(co.Addrs) == 0 {
+		return nil, fmt.Errorf("wire: coordinator needs at least one worker address")
+	}
+	if co.Runner == nil {
+		return nil, fmt.Errorf("wire: coordinator needs a runner for options and inputs")
+	}
+	if s == nil || s.Machine == nil {
+		return nil, fmt.Errorf("wire: nil schedule")
+	}
+	s.Finalize()
+	numPE := s.Machine.NumPE()
+	blocks := Partition(numPE, len(co.Addrs))
+	if len(blocks) < len(co.Addrs) {
+		co.logf("machine has %d processors; using %d of %d workers", numPE, len(blocks), len(co.Addrs))
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &coRun{
+		co: co, s: s, flat: flat,
+		id:     fmt.Sprintf("%s-%d", s.Algorithm, time.Now().UnixNano()),
+		peerOf: make([]int, numPE),
+		dead:   make([]bool, numPE),
+		events: make(chan coEvent, 256),
+		start:  time.Now(),
+		cancel: cancel,
+	}
+	for i, block := range blocks {
+		p := &peer{i: i, addr: co.Addrs[i], pes: block, lastHeard: time.Now()}
+		r.peers = append(r.peers, p)
+		for _, pe := range block {
+			r.peerOf[pe] = i
+		}
+	}
+
+	res, err := r.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// now is the coordinator event timestamp: microseconds since run start.
+func (r *coRun) now() machine.Time {
+	return machine.Time(time.Since(r.start) / time.Microsecond)
+}
+
+// run connects, starts, and drives the central loop to completion.
+func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
+	defer func() {
+		for _, p := range r.peers {
+			if p.redial != nil {
+				p.redial()
+			}
+			p.link.Close()
+		}
+	}()
+
+	if err := r.connectAll(ctx); err != nil {
+		return nil, err
+	}
+	if err := r.startAll(); err != nil {
+		return nil, err
+	}
+
+	hb := time.NewTicker(r.co.heartbeatEvery())
+	defer hb.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			r.broadcast(TError, encJSON(ErrorNote{Msg: "run cancelled by coordinator"}))
+			return nil, fmt.Errorf("wire: run cancelled: %w", ctx.Err())
+		case <-hb.C:
+			if err := r.heartbeat(); err != nil {
+				return nil, err
+			}
+		case ev := <-r.events:
+			p := r.peers[ev.i]
+			switch {
+			case p.lost:
+				// Late traffic from a declared-dead worker: ignore.
+			case ev.conn != nil:
+				p.redial = nil
+				if err := p.link.Reattach(ev.conn, ev.rcvd); err != nil {
+					p.link.Detach()
+					r.redialPeer(ctx, p)
+					continue
+				}
+				p.lastHeard = time.Now()
+				r.extra = append(r.extra, trace.Event{Kind: trace.PeerConnected, At: r.now(), Peer: p.i, Note: "reconnect"})
+				r.co.logf("worker %d (%s) reconnected", p.i, p.addr)
+				r.startReader(ctx, p)
+			case ev.err != nil:
+				// Connection broke: keep the run alive and redial until
+				// the heartbeat budget declares the worker dead.
+				p.link.Detach()
+				r.redialPeer(ctx, p)
+			default:
+				p.lastHeard = time.Now()
+				done, res, err := r.handleFrame(p, ev.f)
+				if err != nil || done {
+					return res, err
+				}
+			}
+		}
+	}
+}
+
+// connectAll dials and handshakes every worker.
+func (r *coRun) connectAll(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, r.co.connectTimeout())
+	defer cancel()
+	type dialRes struct {
+		i    int
+		conn Conn
+		err  error
+	}
+	ch := make(chan dialRes, len(r.peers))
+	for _, p := range r.peers {
+		go func(p *peer) {
+			c, err := dialBackoff(dctx, r.co.Transport, p.addr, 0, 0)
+			if err == nil {
+				err = handshake(c, Hello{Proto: ProtoVersion, Run: r.id})
+				if err != nil {
+					c.Close()
+					c = nil
+				}
+			}
+			ch <- dialRes{i: p.i, conn: c, err: err}
+		}(p)
+	}
+	var firstErr error
+	for range r.peers {
+		dr := <-ch
+		if dr.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wire: worker %d (%s): %w", dr.i, r.peers[dr.i].addr, dr.err)
+			}
+			continue
+		}
+		p := r.peers[dr.i]
+		p.link = NewLink(dr.conn)
+		p.lastHeard = time.Now()
+	}
+	if firstErr != nil {
+		for _, p := range r.peers {
+			if p.link != nil {
+				p.link.Close()
+			}
+		}
+		return firstErr
+	}
+	for _, p := range r.peers {
+		r.extra = append(r.extra, trace.Event{Kind: trace.PeerConnected, At: r.now(), Peer: p.i, Note: p.addr})
+		r.startReader(ctx, p)
+	}
+	return nil
+}
+
+// handshake sends Hello and expects a Welcome on a fresh connection.
+func handshake(c Conn, h Hello) error {
+	if err := c.WriteFrame(Frame{Type: THello, Payload: encJSON(h)}); err != nil {
+		return err
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case TWelcome:
+		w, err := decJSON[Welcome](f.Payload, "welcome")
+		if err != nil {
+			return err
+		}
+		if w.Proto != ProtoVersion {
+			return fmt.Errorf("wire: worker speaks protocol %d, need %d", w.Proto, ProtoVersion)
+		}
+		return nil
+	case TError:
+		n, _ := decJSON[ErrorNote](f.Payload, "error")
+		return fmt.Errorf("wire: worker rejected handshake: %s", n.Msg)
+	default:
+		return fmt.Errorf("wire: expected welcome, got %s", f.Type)
+	}
+}
+
+// reHandshake performs the reconnect handshake and returns the worker's
+// receive watermark for outbox replay.
+func reHandshake(c Conn, h Hello) (uint64, error) {
+	if err := c.WriteFrame(Frame{Type: THello, Payload: encJSON(h)}); err != nil {
+		return 0, err
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != TWelcome {
+		return 0, fmt.Errorf("wire: expected welcome, got %s", f.Type)
+	}
+	w, err := decJSON[Welcome](f.Payload, "welcome")
+	if err != nil {
+		return 0, err
+	}
+	return w.Rcvd, nil
+}
+
+// startReader pumps frames from the peer's current connection into the
+// central loop.
+func (r *coRun) startReader(ctx context.Context, p *peer) {
+	c := p.link.Conn()
+	go func() {
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				select {
+				case r.events <- coEvent{i: p.i, err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case r.events <- coEvent{i: p.i, f: f}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// redialPeer reconnects to a worker in the background. The attempt is
+// bounded by the peer timeout: past it the heartbeat check declares the
+// worker lost and cancels the attempt.
+func (r *coRun) redialPeer(ctx context.Context, p *peer) {
+	if p.redial != nil {
+		return // already dialing
+	}
+	rctx, cancel := context.WithTimeout(ctx, r.co.peerTimeout())
+	p.redial = cancel
+	hello := Hello{Proto: ProtoVersion, Run: r.id, Rcvd: p.link.Rcvd()}
+	r.co.logf("worker %d (%s) connection lost; redialing", p.i, p.addr)
+	go func() {
+		defer cancel()
+		for rctx.Err() == nil {
+			c, err := dialBackoff(rctx, r.co.Transport, p.addr, 0, 0)
+			if err != nil {
+				return
+			}
+			rcvd, err := reHandshake(c, hello)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			select {
+			case r.events <- coEvent{i: p.i, conn: c, rcvd: rcvd}:
+			case <-rctx.Done():
+				c.Close()
+			}
+			return
+		}
+	}()
+}
+
+// startAll ships every worker its start bundle.
+func (r *coRun) startAll() error {
+	schedJSON, err := r.s.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("wire: marshal schedule: %w", err)
+	}
+	inputs, err := EncodeEnv(r.co.Runner.Inputs)
+	if err != nil {
+		return fmt.Errorf("wire: encode inputs: %w", err)
+	}
+	numPE := r.s.Machine.NumPE()
+	for _, p := range r.peers {
+		hosted := make([]bool, numPE)
+		for _, pe := range p.pes {
+			hosted[pe] = true
+		}
+		bundle := StartBundle{
+			Run: r.id, Worker: p.i, Workers: len(r.peers),
+			Hosted: hosted, Schedule: schedJSON,
+			ExternalIn: r.flat.ExternalIn, ExternalOut: r.flat.ExternalOut,
+			Inputs: inputs, Opts: OptsFor(r.co.Runner),
+			HeartbeatEvery: int64(r.co.heartbeatEvery()), PeerTimeout: int64(r.co.peerTimeout()),
+		}
+		if err := p.link.Send(TStart, encJSON(bundle)); err != nil {
+			return fmt.Errorf("wire: starting worker %d: %w", p.i, err)
+		}
+	}
+	return nil
+}
+
+// broadcast sends a sequenced frame to every non-lost worker.
+func (r *coRun) broadcast(t Type, payload []byte) {
+	for _, p := range r.peers {
+		if !p.lost {
+			p.link.Send(t, payload)
+		}
+	}
+}
+
+// heartbeat keeps attached links warm and declares silent workers dead.
+func (r *coRun) heartbeat() error {
+	now := time.Now()
+	for _, p := range r.peers {
+		if p.lost {
+			continue
+		}
+		if p.link.Conn() != nil {
+			p.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(0)})
+		}
+		if now.Sub(p.lastHeard) > r.co.peerTimeout() {
+			if err := r.peerLost(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// peerLost declares a worker process dead: its processors join the dead
+// set and the run recovers onto the survivors, exactly as if every
+// processor it hosted had crashed.
+func (r *coRun) peerLost(p *peer) error {
+	p.lost = true
+	if p.redial != nil {
+		p.redial()
+		p.redial = nil
+	}
+	p.link.Close()
+	r.extra = append(r.extra, trace.Event{Kind: trace.PeerLost, At: r.now(), Peer: p.i, Note: "heartbeat lost"})
+	r.co.logf("worker %d (%s) declared dead: no traffic for %v", p.i, p.addr, r.co.peerTimeout())
+	for _, pe := range p.pes {
+		r.dead[pe] = true
+	}
+	if r.allDead() {
+		return fmt.Errorf("exec: all processors crashed")
+	}
+	switch r.state {
+	case stPausing:
+		// It was being waited on at the barrier: stop waiting.
+		return r.checkParked()
+	case stFinishing:
+		// Its partial result is unrecoverable after the sessions
+		// finished: the run cannot complete.
+		return fmt.Errorf("wire: worker %d lost while collecting results", p.i)
+	default:
+		return r.startPause()
+	}
+}
+
+func (r *coRun) allDead() bool {
+	for _, d := range r.dead {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// handleFrame processes one frame from peer p. A non-nil result or
+// error ends the run.
+func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
+	if !p.link.Accept(f) {
+		p.link.SendRaw(Frame{Type: TAck, Payload: encU64(p.link.Rcvd())})
+		return false, nil, nil
+	}
+	if f.Wid != 0 {
+		defer p.link.SendRaw(Frame{Type: TAck, Payload: encU64(p.link.Rcvd())})
+	}
+	switch f.Type {
+	case TData:
+		dest, err := MsgDest(f.Payload)
+		if err != nil {
+			return false, nil, err
+		}
+		if dest < 0 || dest >= len(r.peerOf) {
+			return false, nil, fmt.Errorf("wire: data frame for unknown processor %d", dest)
+		}
+		q := r.peers[r.peerOf[dest]]
+		if q.lost {
+			// The consumer's worker is gone; recovery will replan the
+			// consumer, so the message can drop.
+			return false, nil, nil
+		}
+		return false, nil, q.link.Send(TData, f.Payload)
+	case TIdle:
+		if r.state == stRunning {
+			p.idle = true
+			if err := r.checkAllIdle(); err != nil {
+				return false, nil, err
+			}
+		}
+		return false, nil, nil
+	case TCrash:
+		note, err := decJSON[CrashNote](f.Payload, "crash")
+		if err != nil {
+			return false, nil, err
+		}
+		return false, nil, r.handleCrash(note.PE)
+	case TParked:
+		note, err := decJSON[ParkedNote](f.Payload, "parked")
+		if err != nil {
+			return false, nil, err
+		}
+		if r.state != stPausing {
+			return false, nil, fmt.Errorf("wire: worker %d parked outside a pause", p.i)
+		}
+		p.parked = &note
+		for _, pe := range note.Dead {
+			if pe >= 0 && pe < len(r.dead) {
+				r.dead[pe] = true
+			}
+		}
+		if r.allDead() {
+			return false, nil, fmt.Errorf("exec: all processors crashed")
+		}
+		return false, nil, r.checkParked()
+	case TResult:
+		note, err := decJSON[ResultNote](f.Payload, "result")
+		if err != nil {
+			return false, nil, err
+		}
+		p.result = &note
+		return r.checkAllResults()
+	case TError:
+		note, _ := decJSON[ErrorNote](f.Payload, "error")
+		return false, nil, fmt.Errorf("%s", note.Msg)
+	case TAck:
+		wid, err := decU64(f.Payload)
+		if err != nil {
+			return false, nil, err
+		}
+		p.link.Acked(wid)
+		return false, nil, nil
+	case THeartbeat, TPong:
+		return false, nil, nil
+	default:
+		return false, nil, fmt.Errorf("wire: unexpected %s frame from worker %d", f.Type, p.i)
+	}
+}
+
+// handleCrash starts (or folds into) a recovery after a processor
+// crash.
+func (r *coRun) handleCrash(pe int) error {
+	if pe < 0 || pe >= len(r.dead) {
+		return fmt.Errorf("wire: crash report for unknown processor %d", pe)
+	}
+	if r.dead[pe] {
+		return nil
+	}
+	r.dead[pe] = true
+	if r.allDead() {
+		return fmt.Errorf("exec: all processors crashed")
+	}
+	if r.state == stPausing {
+		// The pause barrier is already forming; the crash folds into
+		// the plan when the parked states arrive.
+		return nil
+	}
+	return r.startPause()
+}
+
+// startPause orders every surviving worker to the recovery barrier.
+func (r *coRun) startPause() error {
+	r.state = stPausing
+	for _, p := range r.peers {
+		if !p.lost {
+			p.parked = nil
+			p.link.Send(TPause, nil)
+		}
+	}
+	return r.checkParked()
+}
+
+// checkParked completes the recovery once every surviving worker is at
+// the barrier.
+func (r *coRun) checkParked() error {
+	for _, p := range r.peers {
+		if !p.lost && p.parked == nil {
+			return nil
+		}
+	}
+	return r.finishRecovery()
+}
+
+// finishRecovery merges the parked states, replans the lost work with
+// sched.Recover, and releases the workers into the next era.
+func (r *coRun) finishRecovery() error {
+	// Surviving task results: ascending worker order; each worker
+	// already picked its lowest local holder, and worker blocks are
+	// ascending, so first-wins attributes every task to its lowest
+	// live holder globally — the same deterministic choice the
+	// single-process runner makes.
+	doneTasks := map[graph.NodeID]int{}
+	held := map[string]bool{}
+	var clock machine.Time
+	for _, p := range r.peers {
+		if p.lost {
+			continue
+		}
+		for t, pe := range p.parked.Done {
+			if _, ok := doneTasks[t]; !ok && !r.dead[pe] {
+				doneTasks[t] = pe
+			}
+		}
+		for _, q := range p.parked.Held {
+			held[q] = true
+		}
+		if p.parked.Clock > clock {
+			clock = p.parked.Clock
+		}
+	}
+	liveMask := make([]bool, len(r.dead))
+	for pe, d := range r.dead {
+		liveMask[pe] = !d
+	}
+	plan, err := sched.Recover(r.s, sched.RecoverState{Live: liveMask, Done: doneTasks})
+	if err != nil {
+		return fmt.Errorf("exec: crash recovery failed: %w", err)
+	}
+
+	// Orphaned external outputs: a surviving task result whose
+	// exporting copy died re-exports from its holder.
+	tasks := make([]graph.NodeID, 0, len(doneTasks))
+	for t := range doneTasks {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	var adopt []exec.Adoption
+	for _, t := range tasks {
+		for _, v := range r.flat.ExternalOut[t] {
+			if !held[string(t)+"."+v] {
+				adopt = append(adopt, exec.Adoption{Task: t, Var: v, PE: doneTasks[t]})
+			}
+		}
+	}
+
+	at := r.now()
+	if r.co.Runner.VirtualTime {
+		at = clock
+	}
+	for _, sl := range plan.Slots {
+		orig := sl.PE
+		if ps, ok := r.s.PrimarySlot(sl.Task); ok {
+			orig = ps.PE
+		}
+		r.extra = append(r.extra, trace.Event{Kind: trace.TaskRescheduled, At: at,
+			Task: sl.Task, PE: sl.PE, Peer: orig, Note: "recovery"})
+	}
+
+	r.epoch++
+	note := ResumeNote{Epoch: r.epoch, Slots: plan.Slots, Msgs: plan.Msgs,
+		Done: doneTasks, Dead: append([]bool(nil), r.dead...), Adopt: adopt}
+	r.co.logf("recovery: %d tasks replanned onto survivors (epoch %d)", len(plan.Moved), r.epoch)
+	payload := encJSON(note)
+	for _, p := range r.peers {
+		if !p.lost {
+			p.idle = false
+			p.link.Send(TResume, payload)
+		}
+	}
+	r.state = stRunning
+	return nil
+}
+
+// checkAllIdle finishes the run once every surviving worker reports its
+// hosted processors idle.
+func (r *coRun) checkAllIdle() error {
+	for _, p := range r.peers {
+		if !p.lost && !p.idle {
+			return nil
+		}
+	}
+	r.state = stFinishing
+	r.broadcast(TFinish, nil)
+	return nil
+}
+
+// checkAllResults assembles the final result once every surviving
+// worker delivered its partial.
+func (r *coRun) checkAllResults() (bool, *exec.Result, error) {
+	for _, p := range r.peers {
+		if !p.lost && p.result == nil {
+			return false, nil, nil
+		}
+	}
+	var partials []*exec.Partial
+	for _, p := range r.peers {
+		if p.lost {
+			continue
+		}
+		outputs, err := DecodeEnv(p.result.Outputs)
+		if err != nil {
+			return false, nil, fmt.Errorf("wire: worker %d result: %w", p.i, err)
+		}
+		partials = append(partials, &exec.Partial{
+			Outputs: outputs, Exports: p.result.Exports,
+			Printed: p.result.Printed, Events: p.result.Events,
+		})
+	}
+	outputs, printed, err := exec.MergePartials(partials...)
+	if err != nil {
+		return false, nil, err
+	}
+
+	r.broadcast(TBye, nil)
+	tr := &trace.Trace{Label: "run:" + r.s.Algorithm}
+	for _, p := range partials {
+		tr.Events = append(tr.Events, p.Events...)
+	}
+	at := r.now()
+	for _, p := range r.peers {
+		in, out := p.link.Stats()
+		r.extra = append(r.extra, trace.Event{Kind: trace.WireBytes, At: at,
+			Peer: p.i, Bytes: in + out, Note: p.addr})
+	}
+	tr.Events = append(tr.Events, r.extra...)
+	tr.Sort()
+	return true, &exec.Result{Outputs: outputs, Printed: printed, Trace: tr,
+		Elapsed: time.Since(r.start)}, nil
+}
+
+// Calibrate measures round-trip latency to the first worker with empty
+// and 4096-word ping payloads and derives a machine.Calibration
+// (message startup cost and per-word transfer time): the paper's
+// machine-model parameters measured from the actual wire.
+func (co *Coordinator) Calibrate(ctx context.Context, probes int) (machine.Calibration, error) {
+	if probes <= 0 {
+		probes = 8
+	}
+	var cal machine.Calibration
+	if len(co.Addrs) == 0 {
+		return cal, fmt.Errorf("wire: no worker address to calibrate against")
+	}
+	dctx, cancel := context.WithTimeout(ctx, co.connectTimeout())
+	defer cancel()
+	c, err := dialBackoff(dctx, co.Transport, co.Addrs[0], 0, 0)
+	if err != nil {
+		return cal, err
+	}
+	defer c.Close()
+	if err := handshake(c, Hello{Proto: ProtoVersion}); err != nil {
+		return cal, err
+	}
+
+	const words = 4096
+	small, err := minRTT(c, probes, nil)
+	if err != nil {
+		return cal, err
+	}
+	large, err := minRTT(c, probes, make([]byte, words*8))
+	if err != nil {
+		return cal, err
+	}
+	c.WriteFrame(Frame{Type: TBye, Wid: 1})
+
+	// One-way cost is half the round trip; the model's units are
+	// microseconds (per message, and per 8-byte word).
+	cal.MsgStartup = machine.Time(small / 2 / time.Microsecond)
+	if large > small {
+		cal.WordTime = machine.Time((large - small) / 2 / words / time.Microsecond)
+	}
+	if cal.MsgStartup == 0 && cal.WordTime == 0 {
+		// A wire faster than the model's microsecond resolution (the
+		// in-memory transport, typically) still costs one tick.
+		cal.MsgStartup = 1
+	}
+	return cal, nil
+}
+
+// minRTT measures the fastest of n ping round trips with the given
+// payload.
+func minRTT(c Conn, n int, payload []byte) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := c.WriteFrame(Frame{Type: TPing, Payload: payload}); err != nil {
+			return 0, err
+		}
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				return 0, err
+			}
+			if f.Type == TPong {
+				break
+			}
+			// Heartbeats and acks interleave with pongs; skip them.
+		}
+		if rtt := time.Since(t0); best == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,353 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// distDesign builds a layered design with real routines and printed
+// output: layers*width compute tasks plus a printing sink.
+func distDesign(t *testing.T, layers, width int) (*graph.Flat, pits.Env) {
+	t.Helper()
+	g := graph.New("dist-calc")
+	g.MustAddStorage("IN", "x")
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			id := graph.NodeID(fmt.Sprintf("t%d_%d", l, i))
+			n := g.MustAddTask(id, string(id), int64(10+(l*7+i*3)%20))
+			v := fmt.Sprintf("v%d_%d", l, i)
+			if l == 0 {
+				n.Routine = fmt.Sprintf("%s = x + %d", v, i)
+				g.MustConnect("IN", id, "x", 1)
+				continue
+			}
+			left := fmt.Sprintf("v%d_%d", l-1, i)
+			right := fmt.Sprintf("v%d_%d", l-1, (i+1)%width)
+			n.Routine = fmt.Sprintf("%s = %s + %s * 2", v, left, right)
+			g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", l-1, i)), id, left, 1)
+			g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", l-1, (i+1)%width)), id, right, 1)
+		}
+	}
+	snk := g.MustAddTask("snk", "sink", 20)
+	terms := make([]string, width)
+	for i := 0; i < width; i++ {
+		terms[i] = fmt.Sprintf("v%d_%d", layers-1, i)
+		g.MustConnect(graph.NodeID(fmt.Sprintf("t%d_%d", layers-1, i)), "snk", terms[i], 1)
+	}
+	snk.Routine = "out = " + strings.Join(terms, " + ") + "\nprint \"total \", out"
+	g.MustAddStorage("OUT", "out")
+	g.MustConnect("snk", "OUT", "out", 1)
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat, pits.Env{"x": pits.Num(3)}
+}
+
+func distMachine(t *testing.T, spec string) *machine.Machine {
+	t.Helper()
+	topo, err := machine.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(spec, topo, machine.Params{ProcSpeed: 1, TaskStartup: 1, MsgStartup: 5, WordTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// startWorkers launches n in-process worker daemons on one inproc
+// transport namespace and returns their addresses plus a shutdown
+// function that waits for them to exit.
+func startWorkers(t *testing.T, tr Transport, n int) ([]string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("worker-%d", i)
+		ready := make(chan struct{})
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			if err := ServeWorker(ctx, tr, addr, WorkerOptions{Logf: t.Logf}, func(string) { close(ready) }); err != nil {
+				t.Errorf("worker %s: %v", addr, err)
+			}
+		}(addrs[i])
+		select {
+		case <-ready:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("worker %d never came up", i)
+		}
+	}
+	return addrs, func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestDistEquivalence: a run distributed over worker daemons produces
+// byte-identical outputs and printed lines to the single-process
+// runner.
+func TestDistEquivalence(t *testing.T) {
+	flat, inputs := distDesign(t, 4, 3)
+	for _, tc := range []struct {
+		mspec   string
+		workers int
+	}{
+		{"hypercube:2", 2},
+		{"hypercube:3", 3},
+		{"star:4", 2},
+	} {
+		t.Run(fmt.Sprintf("%s-%dw", tc.mspec, tc.workers), func(t *testing.T) {
+			m := distMachine(t, tc.mspec)
+			sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := (&exec.Runner{Inputs: inputs}).Run(sc, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := Inproc()
+			addrs, stop := startWorkers(t, tr, tc.workers)
+			defer stop()
+			co := &Coordinator{
+				Transport: tr, Addrs: addrs,
+				Runner:         &exec.Runner{Inputs: inputs},
+				HeartbeatEvery: 50 * time.Millisecond,
+				PeerTimeout:    2 * time.Second,
+			}
+			dist, err := co.Run(context.Background(), sc, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+				t.Errorf("outputs diverged:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+			}
+			if !reflect.DeepEqual(dist.Printed, single.Printed) {
+				t.Errorf("printed lines diverged:\n dist   %q\n single %q", dist.Printed, single.Printed)
+			}
+
+			st, err := dist.Trace.Summarize(m.NumPE())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Peers != tc.workers {
+				t.Errorf("trace records %d peers, want %d", st.Peers, tc.workers)
+			}
+			if st.WireBytes == 0 {
+				t.Error("trace records no wire bytes")
+			}
+		})
+	}
+}
+
+// TestDistCrashRecovery: an injected processor crash on one worker
+// drives the global pause/replan/resume path and the run still produces
+// the fault-free outputs.
+func TestDistCrashRecovery(t *testing.T) {
+	flat, inputs := distDesign(t, 4, 3)
+	m := distMachine(t, "hypercube:2")
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := (&exec.Runner{Inputs: inputs}).Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash a processor that actually has work, partway into its slot
+	// list, so surviving results and replanned work both exist.
+	crashPE, slots := -1, 0
+	for pe := 0; pe < m.NumPE(); pe++ {
+		n := 0
+		for _, sl := range sc.Slots {
+			if sl.PE == pe {
+				n++
+			}
+		}
+		if n > slots {
+			crashPE, slots = pe, n
+		}
+	}
+	if crashPE < 0 || slots < 2 {
+		t.Fatal("schedule has no busy processor to crash")
+	}
+	plan, err := exec.ParseFaults(fmt.Sprintf("crash:%d@1", crashPE))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := Inproc()
+	addrs, stop := startWorkers(t, tr, 2)
+	defer stop()
+	co := &Coordinator{
+		Transport: tr, Addrs: addrs,
+		Runner: &exec.Runner{Inputs: inputs, Faults: plan,
+			Retry: true, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond},
+		HeartbeatEvery: 50 * time.Millisecond,
+		PeerTimeout:    2 * time.Second,
+	}
+	dist, err := co.Run(context.Background(), sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+		t.Errorf("outputs diverged after crash recovery:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+	}
+	if !reflect.DeepEqual(dist.Printed, single.Printed) {
+		t.Errorf("printed lines diverged after crash recovery:\n dist   %q\n single %q", dist.Printed, single.Printed)
+	}
+	st, err := dist.Trace.Summarize(m.NumPE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults == 0 {
+		t.Error("trace records no injected fault")
+	}
+	if st.Rescheduled == 0 {
+		t.Error("crash recovery recorded no rescheduled tasks")
+	}
+}
+
+// TestDistWorkerLost: a worker daemon that dies mid-run is declared
+// dead by heartbeat loss and the run completes on the survivors with
+// the fault-free outputs.
+func TestDistWorkerLost(t *testing.T) {
+	flat, inputs := distDesign(t, 6, 3)
+	m := distMachine(t, "hypercube:2")
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := (&exec.Runner{Inputs: inputs}).Run(sc, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wall-clock runs of this design finish in milliseconds — too fast
+	// for a mid-run kill. Hold the run open with a wall-time delay
+	// fault on a message that crosses the two worker blocks, and kill
+	// the worker hosting the consumer while it waits.
+	blocks := Partition(m.NumPE(), 2)
+	workerOf := make([]int, m.NumPE())
+	for i, block := range blocks {
+		for _, pe := range block {
+			workerOf[pe] = i
+		}
+	}
+	victim := -1
+	var spec string
+	for _, msg := range sc.Msgs {
+		if workerOf[msg.FromPE] != workerOf[msg.ToPE] {
+			victim = workerOf[msg.ToPE]
+			spec = fmt.Sprintf("delay:%s->%s:%s@1500000", msg.From, msg.To, msg.Var)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("schedule has no cross-worker message to delay")
+	}
+	plan, err := exec.ParseFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := Inproc()
+	// The survivor runs under the shared shutdown; the victim gets a
+	// private context so the test can kill it mid-run.
+	addrs, stop := startWorkers(t, tr, 1)
+	defer stop()
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	defer killVictim()
+	ready := make(chan struct{})
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		ServeWorker(victimCtx, tr, "victim", WorkerOptions{Logf: t.Logf}, func(string) { close(ready) })
+	}()
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim worker never came up")
+	}
+	// Place the victim dameon at the worker index hosting the delayed
+	// message's consumer.
+	if victim == 0 {
+		addrs = []string{"victim", addrs[0]}
+	} else {
+		addrs = append(addrs, "victim")
+	}
+
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		killVictim()
+	}()
+
+	co := &Coordinator{
+		Transport: tr, Addrs: addrs,
+		Runner:         &exec.Runner{Inputs: inputs, Faults: plan},
+		HeartbeatEvery: 50 * time.Millisecond,
+		PeerTimeout:    400 * time.Millisecond,
+	}
+	dist, err := co.Run(context.Background(), sc, flat)
+	<-victimDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+		t.Errorf("outputs diverged after losing a worker:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+	}
+	if !reflect.DeepEqual(dist.Printed, single.Printed) {
+		t.Errorf("printed lines diverged after losing a worker:\n dist   %q\n single %q", dist.Printed, single.Printed)
+	}
+	lost := 0
+	for _, e := range dist.Trace.Events {
+		if e.Kind == trace.PeerLost {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("trace records no lost peer")
+	}
+}
+
+// TestCoordinatorCalibrate measures wire latency against a live worker
+// and yields a usable machine calibration.
+func TestCoordinatorCalibrate(t *testing.T) {
+	tr := Inproc()
+	addrs, stop := startWorkers(t, tr, 1)
+	defer stop()
+	co := &Coordinator{Transport: tr, Addrs: addrs}
+	cal, err := co.Calibrate(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("calibration invalid: %v", err)
+	}
+	m := distMachine(t, "hypercube:2")
+	cm, err := m.Calibrated(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.NumPE() != m.NumPE() {
+		t.Errorf("calibrated machine changed size: %d != %d", cm.NumPE(), m.NumPE())
+	}
+}

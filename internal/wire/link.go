@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Link is the reliable layer over one peer relationship. Frames that
+// must survive a reconnect (Data, Idle, Crash, Parked, Resume, and the
+// rest of the run protocol) are sequenced with wids; the receiver acks
+// its cumulative watermark, the sender keeps unacked frames in an
+// outbox, and after a reconnect the handshake exchanges watermarks and
+// the outbox replays everything the peer missed. Unsequenced frames
+// (handshake, acks, heartbeats, echoes) belong to the connection, not
+// the relationship, and are never replayed.
+//
+// The same wid discipline the in-process reliable transport applies to
+// messages (sequence numbers, cumulative dedup) applied to frames.
+type Link struct {
+	mu     sync.Mutex
+	conn   Conn
+	next   uint64  // last wid assigned
+	outbox []Frame // sent but unacked, ascending wid
+	rcvd   uint64  // highest wid received (cumulative: TCP keeps order)
+
+	// Accumulated byte counters of connections that came and went.
+	pastIn, pastOut int64
+}
+
+// NewLink wraps an established connection.
+func NewLink(c Conn) *Link { return &Link{conn: c} }
+
+// Send assigns the next wid, records the frame in the outbox and
+// writes it.
+func (l *Link) Send(t Type, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	f := Frame{Type: t, Wid: l.next, Payload: payload}
+	l.outbox = append(l.outbox, f)
+	if l.conn == nil {
+		// Detached mid-reconnect: the frame waits in the outbox and
+		// replays on reattach.
+		return nil
+	}
+	return l.conn.WriteFrame(f)
+}
+
+// SendRaw writes an unsequenced frame. Errors while detached are
+// reported (unsequenced frames are not replayed).
+func (l *Link) SendRaw(f Frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return fmt.Errorf("wire: link detached")
+	}
+	return l.conn.WriteFrame(f)
+}
+
+// Accept runs the receive-side bookkeeping for a frame: an unsequenced
+// frame always passes; a sequenced frame already seen (a replay
+// overlap) is absorbed. The caller should ack l.Rcvd() after handling
+// sequenced frames.
+func (l *Link) Accept(f Frame) bool {
+	if f.Wid == 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f.Wid <= l.rcvd {
+		return false
+	}
+	l.rcvd = f.Wid
+	return true
+}
+
+// Rcvd returns the cumulative received watermark (the ack payload).
+func (l *Link) Rcvd() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rcvd
+}
+
+// Acked prunes the outbox up to the peer's cumulative watermark.
+func (l *Link) Acked(wid uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pruneLocked(wid)
+}
+
+func (l *Link) pruneLocked(wid uint64) {
+	i := 0
+	for i < len(l.outbox) && l.outbox[i].Wid <= wid {
+		i++
+	}
+	l.outbox = l.outbox[i:]
+}
+
+// Detach drops the current connection (after an error), accumulating
+// its byte counters. Sequenced sends keep queueing while detached.
+func (l *Link) Detach() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		in, out := l.conn.Stats()
+		l.pastIn += in
+		l.pastOut += out
+		l.conn.Close()
+		l.conn = nil
+	}
+}
+
+// Reattach installs a fresh connection after a reconnect handshake:
+// frames the peer confirmed (wid <= peerRcvd) are pruned, the rest of
+// the outbox replays in order.
+func (l *Link) Reattach(c Conn, peerRcvd uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		in, out := l.conn.Stats()
+		l.pastIn += in
+		l.pastOut += out
+		l.conn.Close()
+	}
+	l.conn = c
+	l.pruneLocked(peerRcvd)
+	for _, f := range l.outbox {
+		if err := c.WriteFrame(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conn returns the current connection (nil while detached).
+func (l *Link) Conn() Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// Stats returns total bytes in/out across every connection this link
+// has used.
+func (l *Link) Stats() (in, out int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	in, out = l.pastIn, l.pastOut
+	if l.conn != nil {
+		ci, co := l.conn.Stats()
+		in += ci
+		out += co
+	}
+	return in, out
+}
+
+// Close detaches and drops the outbox.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		in, out := l.conn.Stats()
+		l.pastIn += in
+		l.pastOut += out
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.outbox = nil
+}

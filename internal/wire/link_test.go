@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestLinkReplayAfterReattach(t *testing.T) {
+	a, b := inprocPair()
+	l := NewLink(a)
+	for _, p := range []string{"one", "two", "three"} {
+		if err := l.Send(TData, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The peer saw all three but only acked the second.
+	for i := 0; i < 3; i++ {
+		if _, err := b.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Acked(2)
+
+	// The connection dies; a frame sent while detached queues silently.
+	l.Detach()
+	if err := l.Send(TData, []byte("four")); err != nil {
+		t.Fatalf("send while detached: %v", err)
+	}
+	if err := l.SendRaw(Frame{Type: THeartbeat, Payload: encU64(0)}); err == nil {
+		t.Error("unsequenced send while detached did not error")
+	}
+
+	// Reattach on a fresh connection: the peer's watermark says it has
+	// everything through wid 2, so wids 3 and 4 replay in order.
+	c, d := inprocPair()
+	if err := l.Reattach(c, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []struct {
+		wid     uint64
+		payload string
+	}{{3, "three"}, {4, "four"}} {
+		f, err := d.ReadFrame()
+		if err != nil {
+			t.Fatalf("replay frame %d: %v", i, err)
+		}
+		if f.Wid != want.wid || !bytes.Equal(f.Payload, []byte(want.payload)) {
+			t.Errorf("replay frame %d: wid %d payload %q, want wid %d payload %q",
+				i, f.Wid, f.Payload, want.wid, want.payload)
+		}
+	}
+}
+
+func TestLinkAcceptDeduplicates(t *testing.T) {
+	l := NewLink(nil)
+	if !l.Accept(Frame{Type: THeartbeat}) {
+		t.Error("unsequenced frame rejected")
+	}
+	if !l.Accept(Frame{Type: TData, Wid: 1}) {
+		t.Error("fresh wid 1 rejected")
+	}
+	if l.Accept(Frame{Type: TData, Wid: 1}) {
+		t.Error("replayed wid 1 accepted twice")
+	}
+	if !l.Accept(Frame{Type: TData, Wid: 2}) {
+		t.Error("fresh wid 2 rejected")
+	}
+	if l.Rcvd() != 2 {
+		t.Errorf("watermark %d, want 2", l.Rcvd())
+	}
+}
+
+func TestInprocTransportConnectivity(t *testing.T) {
+	tr := Inproc()
+	lis, err := tr.Listen("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("w0"); err == nil {
+		t.Error("double listen on one inproc address succeeded")
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		f, err := c.ReadFrame()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.WriteFrame(f)
+	}()
+	c, err := tr.Dial(context.Background(), "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFrame(Frame{Type: TPing, Payload: []byte("echo")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TPing || string(f.Payload) != "echo" {
+		t.Errorf("echo came back as %s %q", f.Type, f.Payload)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	lis.Close()
+	if _, err := tr.Dial(context.Background(), "w0"); err == nil {
+		t.Error("dial after listener close succeeded")
+	}
+}

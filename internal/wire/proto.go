@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Control payloads are JSON (small, evolvable, debuggable); data and
+// heartbeat payloads are binary (exact floats, hot path). Every frame
+// is integrity-checked by the frame-level fnv64a checksum.
+
+// Hello opens a connection: the dialer (always the coordinator)
+// identifies the run and, on a reconnect, its receive watermark so the
+// worker can replay what was lost with the old connection.
+type Hello struct {
+	Proto byte   `json:"proto"`
+	Run   string `json:"run"`            // run id; empty before Start
+	Rcvd  uint64 `json:"rcvd,omitempty"` // dialer's cumulative received wid
+}
+
+// Welcome answers a Hello with the worker's own watermark.
+type Welcome struct {
+	Proto byte   `json:"proto"`
+	Rcvd  uint64 `json:"rcvd,omitempty"`
+}
+
+// RunOpts carries the Runner knobs a worker must reproduce. Durations
+// travel in nanoseconds.
+type RunOpts struct {
+	VirtualTime  bool    `json:"virtual,omitempty"`
+	FaultSpec    string  `json:"faults,omitempty"` // exec.FaultPlan.String() / ParseFaults grammar
+	Retry        bool    `json:"retry,omitempty"`
+	RetryBase    int64   `json:"retryBase,omitempty"`
+	RetryCap     int64   `json:"retryCap,omitempty"`
+	Grace        float64 `json:"grace,omitempty"`
+	WatchdogMin  int64   `json:"watchdogMin,omitempty"`
+	NoWatchdog   bool    `json:"noWatchdog,omitempty"`
+	StallTimeout int64   `json:"stallTimeout,omitempty"`
+	MaxSteps     int64   `json:"maxSteps,omitempty"`
+}
+
+// Runner builds an exec.Runner from the shipped options.
+func (o RunOpts) Runner() (*exec.Runner, error) {
+	r := &exec.Runner{
+		VirtualTime: o.VirtualTime, Retry: o.Retry,
+		RetryBase: time.Duration(o.RetryBase), RetryCap: time.Duration(o.RetryCap),
+		Grace: o.Grace, WatchdogMin: time.Duration(o.WatchdogMin),
+		NoWatchdog: o.NoWatchdog, StallTimeout: time.Duration(o.StallTimeout),
+		MaxSteps: o.MaxSteps,
+	}
+	if o.FaultSpec != "" {
+		p, err := exec.ParseFaults(o.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("wire: shipped fault plan: %w", err)
+		}
+		r.Faults = p
+	}
+	return r, nil
+}
+
+// OptsFor captures a Runner's knobs for shipping. The fault plan
+// travels as its spec string (the ParseFaults grammar round-trips).
+func OptsFor(r *exec.Runner) RunOpts {
+	o := RunOpts{
+		VirtualTime: r.VirtualTime, Retry: r.Retry,
+		RetryBase: int64(r.RetryBase), RetryCap: int64(r.RetryCap),
+		Grace: r.Grace, WatchdogMin: int64(r.WatchdogMin),
+		NoWatchdog: r.NoWatchdog, StallTimeout: int64(r.StallTimeout),
+		MaxSteps: r.MaxSteps,
+	}
+	if r.Faults != nil {
+		o.FaultSpec = r.Faults.String()
+	}
+	return o
+}
+
+// StartBundle is everything a worker needs to host its share of a run:
+// the self-contained schedule (graph and machine embedded), the
+// flattening's external bindings, the input data, its hosted processor
+// mask and the runner options.
+type StartBundle struct {
+	Run         string                    `json:"run"`
+	Worker      int                       `json:"worker"`  // this worker's index
+	Workers     int                       `json:"workers"` // total worker count
+	Hosted      []bool                    `json:"hosted"`
+	Schedule    json.RawMessage           `json:"schedule"`
+	ExternalIn  map[graph.NodeID][]string `json:"externalIn,omitempty"`
+	ExternalOut map[graph.NodeID][]string `json:"externalOut,omitempty"`
+	Inputs      []byte                    `json:"inputs"` // EncodeEnv bytes
+	Opts        RunOpts                   `json:"opts"`
+	// Heartbeat cadence and the silence budget after which a peer is
+	// declared dead (nanoseconds).
+	HeartbeatEvery int64 `json:"heartbeatEvery"`
+	PeerTimeout    int64 `json:"peerTimeout"`
+}
+
+// CrashNote reports an injected crash of a hosted processor.
+type CrashNote struct {
+	PE int `json:"pe"`
+}
+
+// ParkedNote is a session's PauseState: the worker's answer to Pause.
+type ParkedNote struct {
+	Done  map[graph.NodeID]int `json:"done,omitempty"`
+	Held  []string             `json:"held,omitempty"`
+	Dead  []int                `json:"dead,omitempty"`
+	Clock machine.Time         `json:"clock,omitempty"`
+}
+
+// ResumeNote is the global recovery plan a worker installs at the
+// barrier (exec.ResumePlan over the wire).
+type ResumeNote struct {
+	Epoch int64                `json:"epoch"`
+	Slots []sched.Slot         `json:"slots"`
+	Msgs  []sched.Msg          `json:"msgs,omitempty"`
+	Done  map[graph.NodeID]int `json:"done,omitempty"`
+	Dead  []bool               `json:"dead"`
+	Adopt []exec.Adoption      `json:"adopt,omitempty"`
+}
+
+// ResultNote is a worker's partial result at the end of a run.
+type ResultNote struct {
+	Outputs []byte                  `json:"outputs"` // EncodeEnv bytes
+	Exports map[string]graph.NodeID `json:"exports,omitempty"`
+	Printed []string                `json:"printed,omitempty"`
+	Events  []trace.Event           `json:"events,omitempty"`
+}
+
+// ErrorNote aborts the run with a root cause.
+type ErrorNote struct {
+	Msg string `json:"msg"`
+}
+
+// encJSON marshals a control payload; the payload types above cannot
+// fail to marshal.
+func encJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshal %T: %v", v, err))
+	}
+	return b
+}
+
+func decJSON[T any](payload []byte, what string) (T, error) {
+	var v T
+	if err := json.Unmarshal(payload, &v); err != nil {
+		return v, fmt.Errorf("wire: bad %s payload: %w", what, err)
+	}
+	return v, nil
+}
+
+// Heartbeat payloads carry the sender's progress counter (8 bytes BE);
+// ack payloads carry the cumulative received wid (8 bytes BE).
+
+func encU64(v uint64) []byte { return binary.BigEndian.AppendUint64(nil, v) }
+
+func decU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("wire: expected 8-byte payload, got %d", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

@@ -1,0 +1,461 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// WorkerOptions configures a worker daemon.
+type WorkerOptions struct {
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+	// HandshakeTimeout bounds how long an accepted connection may take
+	// to say Hello (0 = 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+func (o WorkerOptions) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	return 5 * time.Second
+}
+
+// sessOutcome is what a session's Wait produced.
+type sessOutcome struct {
+	p   *exec.Partial
+	err error
+}
+
+// workerRun is the state of one run on a worker, surviving coordinator
+// reconnects.
+type workerRun struct {
+	id          string
+	link        *Link
+	ses         *exec.Session
+	hbEvery     time.Duration
+	peerTimeout time.Duration
+	resultCh    chan sessOutcome
+	outcome     *sessOutcome // set once the session ended
+	sentResult  bool
+}
+
+// abort tears the run down (session abort + drain the Wait goroutine).
+func (r *workerRun) abort(reason string) {
+	if r.ses != nil {
+		r.ses.Abort(fmt.Errorf("wire: %s", reason))
+		if r.outcome == nil {
+			out := <-r.resultCh
+			r.outcome = &out
+		}
+	}
+	r.link.Close()
+}
+
+// ServeWorker runs a worker daemon: listen on addr, accept a
+// coordinator, host the processors it assigns, and keep serving
+// subsequent runs until ctx is cancelled. Returns the bound address via
+// the ready callback (useful with ":0" listeners) before blocking.
+func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOptions, ready func(boundAddr string)) error {
+	lis, err := t.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	if ready != nil {
+		ready(lis.Addr())
+	}
+	opt.logf("worker listening on %s", lis.Addr())
+
+	// Unblock Accept when ctx ends.
+	stopping := make(chan struct{})
+	defer close(stopping)
+	go func() {
+		select {
+		case <-ctx.Done():
+			lis.Close()
+		case <-stopping:
+		}
+	}()
+
+	conns := make(chan Conn)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			select {
+			case conns <- c:
+			case <-stopping:
+				c.Close()
+				return
+			}
+		}
+	}()
+
+	var run *workerRun
+	for {
+		// A run whose coordinator connection dropped waits for a
+		// reconnect, but not forever.
+		var orphan <-chan time.Time
+		var orphanTimer *time.Timer
+		if run != nil {
+			orphanTimer = time.NewTimer(run.peerTimeout)
+			orphan = orphanTimer.C
+		}
+		select {
+		case <-ctx.Done():
+			if run != nil {
+				run.abort("worker shutting down")
+			}
+			return nil
+		case err := <-acceptErr:
+			if ctx.Err() != nil {
+				if run != nil {
+					run.abort("worker shutting down")
+				}
+				return nil
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		case <-orphan:
+			opt.logf("coordinator did not reconnect within %v; abandoning run %s", run.peerTimeout, run.id)
+			run.abort("coordinator lost")
+			run = nil
+		case c := <-conns:
+			if orphanTimer != nil {
+				orphanTimer.Stop()
+			}
+			run = serveConn(ctx, c, run, opt)
+		}
+	}
+}
+
+// serveConn handshakes one coordinator connection and runs its frame
+// loop. It returns the run to keep waiting for (non-nil after a
+// connection drop mid-run) or nil when the run ended or never started.
+func serveConn(ctx context.Context, c Conn, prev *workerRun, opt WorkerOptions) *workerRun {
+	frames := make(chan Frame, 256)
+	rerr := make(chan error, 1)
+	go func() {
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				rerr <- err
+				return
+			}
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Handshake: the first frame must be a Hello we can honour.
+	var hello Hello
+	hs := time.NewTimer(opt.handshakeTimeout())
+	defer hs.Stop()
+	select {
+	case f := <-frames:
+		if f.Type != THello {
+			opt.logf("peer opened with %s, want hello; dropping", f.Type)
+			c.Close()
+			return prev
+		}
+		h, err := decJSON[Hello](f.Payload, "hello")
+		if err != nil || h.Proto != ProtoVersion {
+			c.WriteFrame(Frame{Type: TError, Payload: encJSON(ErrorNote{Msg: fmt.Sprintf(
+				"handshake rejected: need protocol %d", ProtoVersion)})})
+			c.Close()
+			return prev
+		}
+		hello = h
+	case <-hs.C:
+		opt.logf("peer connected but never said hello; dropping")
+		c.Close()
+		return prev
+	case <-rerr:
+		c.Close()
+		return prev
+	case <-ctx.Done():
+		c.Close()
+		return prev
+	}
+
+	var run *workerRun
+	switch {
+	case prev != nil && hello.Run != "" && hello.Run == prev.id:
+		// Reconnect to the run in flight: exchange watermarks, replay.
+		run = prev
+		if err := c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: run.link.Rcvd()})}); err != nil {
+			c.Close()
+			return prev
+		}
+		if err := run.link.Reattach(c, hello.Rcvd); err != nil {
+			run.link.Detach()
+			return run
+		}
+		opt.logf("coordinator reconnected to run %s", run.id)
+	default:
+		if prev != nil {
+			opt.logf("new coordinator supersedes run %s", prev.id)
+			prev.abort("superseded by a new coordinator")
+		}
+		if err := c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})}); err != nil {
+			c.Close()
+			return nil
+		}
+		run = &workerRun{link: NewLink(c), hbEvery: 250 * time.Millisecond, peerTimeout: 3 * time.Second}
+	}
+
+	return frameLoop(ctx, run, frames, rerr, opt)
+}
+
+// frameLoop drives one connected stretch of a run. Returns the run if
+// the connection dropped mid-run (await reconnect), nil otherwise.
+func frameLoop(ctx context.Context, run *workerRun, frames <-chan Frame, rerr <-chan error, opt WorkerOptions) *workerRun {
+	hb := time.NewTicker(run.hbEvery)
+	defer hb.Stop()
+	cadence := run.hbEvery
+	lastHeard := time.Now()
+	for {
+		// The start bundle may have changed the heartbeat cadence.
+		if run.hbEvery != cadence {
+			cadence = run.hbEvery
+			hb.Reset(cadence)
+		}
+		var results chan sessOutcome
+		if run.outcome == nil {
+			results = run.resultCh
+		}
+		select {
+		case <-ctx.Done():
+			run.abort("worker shutting down")
+			return nil
+		case err := <-rerr:
+			if run.id == "" || run.sentResult {
+				// No run started, or it already ended: nothing to keep.
+				run.link.Close()
+				return nil
+			}
+			opt.logf("coordinator connection lost (%v); awaiting reconnect", err)
+			run.link.Detach()
+			return run
+		case <-hb.C:
+			run.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(run.progress())})
+			if time.Since(lastHeard) > run.peerTimeout {
+				opt.logf("no coordinator traffic for %v; abandoning run", run.peerTimeout)
+				run.abort("coordinator heartbeat lost")
+				return nil
+			}
+		case out := <-results:
+			run.outcome = &out
+			if out.err != nil {
+				opt.logf("run failed locally: %v", out.err)
+				run.link.Send(TError, encJSON(ErrorNote{Msg: out.err.Error()}))
+			} else {
+				note, err := resultNote(out.p)
+				if err != nil {
+					run.link.Send(TError, encJSON(ErrorNote{Msg: err.Error()}))
+				} else {
+					run.link.Send(TResult, note)
+					run.sentResult = true
+				}
+			}
+		case f := <-frames:
+			lastHeard = time.Now()
+			if !run.link.Accept(f) {
+				// Replay overlap: already processed; re-ack.
+				run.link.SendRaw(Frame{Type: TAck, Payload: encU64(run.link.Rcvd())})
+				continue
+			}
+			done, err := handleFrame(run, f, opt)
+			if f.Wid != 0 {
+				run.link.SendRaw(Frame{Type: TAck, Payload: encU64(run.link.Rcvd())})
+			}
+			if err != nil {
+				opt.logf("protocol error on %s frame: %v", f.Type, err)
+				run.link.Send(TError, encJSON(ErrorNote{Msg: err.Error()}))
+				run.abort(fmt.Sprintf("protocol error: %v", err))
+				return nil
+			}
+			if done {
+				run.abort("run complete")
+				return nil
+			}
+		}
+	}
+}
+
+// progress reports the session's progress counter for heartbeats.
+func (r *workerRun) progress() uint64 {
+	if r.ses == nil {
+		return 0
+	}
+	return r.ses.Progress()
+}
+
+// handleFrame processes one accepted frame. done=true ends the
+// connection's run cleanly.
+func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
+	switch f.Type {
+	case TStart:
+		if run.ses != nil {
+			return false, fmt.Errorf("start frame while a run is active")
+		}
+		bundle, err := decJSON[StartBundle](f.Payload, "start")
+		if err != nil {
+			return false, err
+		}
+		return false, startRun(run, &bundle, opt)
+	case TData:
+		if run.ses == nil {
+			return false, fmt.Errorf("data frame before start")
+		}
+		m, err := DecodeMsg(f.Payload)
+		if err != nil {
+			return false, err
+		}
+		return false, run.ses.Deliver(m)
+	case TPause:
+		if run.ses == nil {
+			return false, fmt.Errorf("pause frame before start")
+		}
+		st, err := run.ses.Pause()
+		if err != nil {
+			return false, err
+		}
+		note := ParkedNote{Done: st.Done, Held: st.Held, Dead: st.Dead, Clock: st.Clock}
+		return false, run.link.Send(TParked, encJSON(note))
+	case TResume:
+		if run.ses == nil {
+			return false, fmt.Errorf("resume frame before start")
+		}
+		note, err := decJSON[ResumeNote](f.Payload, "resume")
+		if err != nil {
+			return false, err
+		}
+		plan := &exec.ResumePlan{Epoch: note.Epoch, Slots: note.Slots, Msgs: note.Msgs,
+			Done: note.Done, Dead: note.Dead, Adopt: note.Adopt}
+		return false, run.ses.Resume(plan)
+	case TFinish:
+		if run.ses == nil {
+			return false, fmt.Errorf("finish frame before start")
+		}
+		run.ses.FinishRun()
+		return false, nil
+	case TAck:
+		wid, err := decU64(f.Payload)
+		if err != nil {
+			return false, err
+		}
+		run.link.Acked(wid)
+		return false, nil
+	case THeartbeat:
+		return false, nil
+	case TPing:
+		return false, run.link.SendRaw(Frame{Type: TPong, Payload: f.Payload})
+	case TBye:
+		return true, nil
+	case TError:
+		note, _ := decJSON[ErrorNote](f.Payload, "error")
+		return false, fmt.Errorf("coordinator aborted the run: %s", note.Msg)
+	default:
+		return false, fmt.Errorf("unexpected %s frame", f.Type)
+	}
+}
+
+// startRun builds the runner and session from a start bundle.
+func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
+	var s sched.Schedule
+	if err := json.Unmarshal(bundle.Schedule, &s); err != nil {
+		return fmt.Errorf("bad schedule in start bundle: %w", err)
+	}
+	inputs, err := DecodeEnv(bundle.Inputs)
+	if err != nil {
+		return fmt.Errorf("bad inputs in start bundle: %w", err)
+	}
+	runner, err := bundle.Opts.Runner()
+	if err != nil {
+		return err
+	}
+	runner.Inputs = inputs
+	flat := &graph.Flat{Graph: s.Graph, ExternalIn: bundle.ExternalIn, ExternalOut: bundle.ExternalOut}
+	if flat.ExternalIn == nil {
+		flat.ExternalIn = map[graph.NodeID][]string{}
+	}
+	if flat.ExternalOut == nil {
+		flat.ExternalOut = map[graph.NodeID][]string{}
+	}
+	ses, err := runner.StartSession(&s, flat, bundle.Hosted, workerPlane{link: run.link})
+	if err != nil {
+		return err
+	}
+	run.id = bundle.Run
+	run.ses = ses
+	if bundle.HeartbeatEvery > 0 {
+		run.hbEvery = time.Duration(bundle.HeartbeatEvery)
+	}
+	if bundle.PeerTimeout > 0 {
+		run.peerTimeout = time.Duration(bundle.PeerTimeout)
+	}
+	run.resultCh = make(chan sessOutcome, 1)
+	go func() {
+		p, err := ses.Wait()
+		run.resultCh <- sessOutcome{p: p, err: err}
+	}()
+	hostedN := 0
+	for _, h := range bundle.Hosted {
+		if h {
+			hostedN++
+		}
+	}
+	opt.logf("run %s started: hosting %d of %d processors as worker %d/%d",
+		run.id, hostedN, len(bundle.Hosted), bundle.Worker, bundle.Workers)
+	return nil
+}
+
+// resultNote serializes a partial result.
+func resultNote(p *exec.Partial) ([]byte, error) {
+	outputs, err := EncodeEnv(p.Outputs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]graph.NodeID, len(p.Exports))
+	for k, v := range p.Exports {
+		exports[k] = v
+	}
+	return encJSON(ResultNote{Outputs: outputs, Exports: exports, Printed: p.Printed, Events: p.Events}), nil
+}
+
+// workerPlane adapts the run's link to the session's RemotePlane: all
+// remote traffic goes to the coordinator, which routes it onward (star
+// topology).
+type workerPlane struct{ link *Link }
+
+func (p workerPlane) DeliverRemote(m exec.RemoteMsg) error {
+	b, err := EncodeMsg(m)
+	if err != nil {
+		return err
+	}
+	return p.link.Send(TData, b)
+}
+
+func (p workerPlane) LocalIdle() { p.link.Send(TIdle, nil) }
+
+func (p workerPlane) LocalCrash(pe int) { p.link.Send(TCrash, encJSON(CrashNote{PE: pe})) }
