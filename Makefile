@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke chaos
+.PHONY: build test vet race verify bench bench-smoke chaos conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ race:
 	$(GO) test -race ./internal/exec/...
 	$(GO) test -race ./internal/sched/ -run Recover
 	$(GO) test -race ./internal/wire/
+	$(GO) test -race ./internal/conform/
 	$(GO) test -race ./cmd/banger/
 
 # Tier-1 verification: what every PR must keep green.
@@ -40,3 +41,21 @@ bench-smoke:
 # the recovering runtime.
 chaos:
 	$(GO) test -race -count=50 -run 'Fault|Crash|Random|Watchdog|Stall|Duplicate' ./internal/exec/
+
+# Differential conformance sweep: 25 deterministic seeds, each run
+# through the analytic simulator, the virtual-time runner, and both
+# distributed backends (in-process and TCP), cross-checking outputs,
+# traces, makespans, causality and message conservation. Failures are
+# minimized and written as repro dirs under conform-out/
+# (replay with: go run ./cmd/banger conform -repro conform-out/seed-N).
+conform: build
+	$(GO) run ./cmd/banger conform -seeds 25 -jobs 4 -out conform-out
+
+# Short native-fuzzing pass over the decoder/parser targets and the
+# conformance harness: seconds, not minutes — catches regressions on
+# the pinned corpus plus a little fresh exploration.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeMsg -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzParseFaults -fuzztime 5s ./internal/exec/
+	$(GO) test -run '^$$' -fuzz FuzzConform -fuzztime 20s ./internal/conform/

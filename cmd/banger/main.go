@@ -24,6 +24,7 @@
 //	worker     host processors for a remote coordinator's "run -dist"
 //	calc       open the calculator panel of one task
 //	codegen    generate a standalone Go program
+//	conform    differential conformance fuzzing across all engines
 //	demo       guided tour over the LU example
 package main
 
@@ -84,6 +85,8 @@ func main() {
 		err = cmdCalc(args)
 	case "codegen":
 		err = cmdCodegen(args)
+	case "conform":
+		err = cmdConform(args)
 	case "demo":
 		err = cmdDemo(args)
 	case "help", "-h", "--help":
@@ -119,6 +122,8 @@ commands:
   worker   [-listen HOST:PORT]  host processors for a remote "run -dist"
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
+  conform  [-seeds N] [-start N] [-jobs M] [-out DIR] [-skew-comm US]
+           [-shrink-budget N] | -repro DIR
   demo
 
 -project takes a built-in name (lu3x3, newton-sqrt, stats, heat) or a JSON file path.`)

@@ -1,0 +1,274 @@
+package conform
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic: a case is a pure function of its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		aj, _ := json.Marshal(a.Design)
+		bj, _ := json.Marshal(b.Design)
+		if string(aj) != string(bj) {
+			t.Fatalf("seed %d: designs differ", seed)
+		}
+		if a.Heuristic != b.Heuristic || a.Machine.Name != b.Machine.Name {
+			t.Fatalf("seed %d: heuristic/machine differ", seed)
+		}
+		af, bf := "", ""
+		if a.Faults != nil {
+			af = a.Faults.String()
+		}
+		if b.Faults != nil {
+			bf = b.Faults.String()
+		}
+		if af != bf {
+			t.Fatalf("seed %d: fault plans differ: %q != %q", seed, af, bf)
+		}
+		if !reflect.DeepEqual(a.Inputs, b.Inputs) {
+			t.Fatalf("seed %d: inputs differ", seed)
+		}
+	}
+}
+
+// TestGenerateCoversFeatures: across a modest seed range the generator
+// exercises hierarchy, fault plans, printing sinks and several
+// heuristics — the variety the differential harness depends on.
+func TestGenerateCoversFeatures(t *testing.T) {
+	var subs, faults, crashes, prints int
+	heuristics := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		c, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		heuristics[c.Heuristic] = true
+		for _, n := range c.Design.Nodes() {
+			if n.Sub != nil {
+				subs++
+			}
+		}
+		if c.Faults != nil {
+			faults++
+			if c.HasCrash() {
+				crashes++
+			}
+		}
+		if n := c.Design.Node("snk"); n != nil && len(n.Routine) > 0 {
+			for i := 0; i+5 <= len(n.Routine); i++ {
+				if n.Routine[i:i+5] == "print" {
+					prints++
+					break
+				}
+			}
+		}
+	}
+	if subs == 0 {
+		t.Error("no generated case used hierarchy")
+	}
+	if faults == 0 {
+		t.Error("no generated case had a fault plan")
+	}
+	if crashes == 0 {
+		t.Error("no generated case crashed a processor")
+	}
+	if prints == 0 {
+		t.Error("no generated case printed")
+	}
+	if len(heuristics) < 3 {
+		t.Errorf("only %d heuristics drawn across 50 seeds", len(heuristics))
+	}
+}
+
+// TestSweepSmoke: a small deterministic sweep across all four engines
+// finds zero divergences. The full 25-seed acceptance sweep runs via
+// `make conform`; this keeps the unit suite fast.
+func TestSweepSmoke(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	res := Sweep(context.Background(), SweepOptions{
+		Start: 0, Seeds: seeds, Jobs: 2, Log: t.Logf,
+	})
+	for _, err := range res.Errors {
+		t.Errorf("harness error: %v", err)
+	}
+	for i, rep := range res.Failures {
+		t.Errorf("seed %d diverged: %v", rep.Case.Seed, rep.Divergences)
+		_ = i
+	}
+	if res.Ran != int(seeds) {
+		t.Errorf("ran %d cases, want %d", res.Ran, seeds)
+	}
+}
+
+// findSkewCase locates the first seed whose schedule actually moves
+// messages between processors, so a communication-cost skew must show
+// up as a trace/makespan divergence.
+func findSkewCase(t *testing.T) *Report {
+	t.Helper()
+	for seed := int64(0); seed < 60; seed++ {
+		c, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c.Faults = nil // keep the trace oracles armed
+		c.SkewComm = 1000
+		rep, err := RunCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			return rep
+		}
+	}
+	t.Fatal("no seed in 0..59 produced a cross-processor schedule; generator too weak")
+	return nil
+}
+
+// TestSkewCommProducesMinimizedReplayableRepro is the harness's
+// acceptance loop: deliberately breaking one engine's communication
+// cost yields a divergence, the minimizer shrinks the case while
+// preserving the divergence class, the repro directory round-trips
+// through disk, and replaying it reproduces the same divergence.
+func TestSkewCommProducesMinimizedReplayableRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full cases")
+	}
+	ctx := context.Background()
+	rep := findSkewCase(t)
+	wantClasses := rep.Classes()
+	if !wantClasses["trace-vs-sim"] && !wantClasses["makespan"] {
+		t.Fatalf("skew produced unexpected divergence classes: %v", rep.Divergences)
+	}
+	for _, d := range rep.Divergences {
+		if d.Oracle == "outputs" || d.Oracle == "printed" || d.Oracle == "error" {
+			t.Fatalf("skewing the model must not change data: %v", d)
+		}
+	}
+
+	origTasks := len(rep.Case.Design.Tasks())
+	minCase, minRep := Shrink(ctx, rep, 40)
+	if !minRep.Failed() {
+		t.Fatal("minimized case no longer diverges")
+	}
+	overlap := false
+	for o := range minRep.Classes() {
+		if wantClasses[o] {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Fatalf("minimized divergence classes %v share nothing with original %v",
+			minRep.Classes(), wantClasses)
+	}
+	if got := len(minCase.Design.Tasks()); got > origTasks {
+		t.Errorf("minimization grew the design: %d -> %d tasks", origTasks, got)
+	}
+
+	dir := filepath.Join(t.TempDir(), "repro")
+	if err := WriteRepro(dir, minRep); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{reproDesignFile, reproMachineFile, reproCaseFile, reproReportFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("repro dir missing %s: %v", f, err)
+		}
+	}
+
+	replayed, err := Replay(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Failed() {
+		t.Fatal("replayed repro did not diverge")
+	}
+	overlap = false
+	for o := range replayed.Classes() {
+		if minRep.Classes()[o] {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Fatalf("replay diverged differently: %v vs %v", replayed.Classes(), minRep.Classes())
+	}
+}
+
+// TestReproRoundTrip: writing and loading a repro preserves the case.
+func TestReproRoundTrip(t *testing.T) {
+	c, err := Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SkewComm = 7
+	rep := &Report{Case: c}
+	dir := t.TempDir()
+	if err := WriteRepro(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRepro(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != c.Seed || got.Heuristic != c.Heuristic || got.SkewComm != c.SkewComm {
+		t.Errorf("scalars did not round-trip: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Inputs, c.Inputs) {
+		t.Errorf("inputs did not round-trip: %v != %v", got.Inputs, c.Inputs)
+	}
+	aj, _ := json.Marshal(c.Design)
+	bj, _ := json.Marshal(got.Design)
+	if string(aj) != string(bj) {
+		t.Error("design did not round-trip")
+	}
+	wantF, gotF := "", ""
+	if c.Faults != nil {
+		wantF = c.Faults.String()
+	}
+	if got.Faults != nil {
+		gotF = got.Faults.String()
+	}
+	if wantF != gotF {
+		t.Errorf("faults did not round-trip: %q != %q", gotF, wantF)
+	}
+	// The loaded case must actually run.
+	if _, _, err := got.prepare(); err != nil {
+		t.Errorf("loaded case does not prepare: %v", err)
+	}
+}
+
+// FuzzConform: the differential harness as a native fuzz target. Any
+// seed the fuzzer invents must run through all four engines with every
+// oracle holding.
+func FuzzConform(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep, err := RunCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d diverged: %v", seed, rep.Divergences)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package conform
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// SweepOptions configures a deterministic multi-seed sweep.
+type SweepOptions struct {
+	// Start is the first seed; Seeds is how many consecutive seeds to
+	// run. The sweep's outcome is a pure function of (Start, Seeds,
+	// SkewComm) — job count and scheduling do not affect it.
+	Start, Seeds int64
+	// Jobs is the number of cases run concurrently (min 1). Each case
+	// already runs many goroutines (workers, processors), so a small
+	// number goes a long way.
+	Jobs int
+	// OutDir, when non-empty, receives one repro directory per failing
+	// case, named seed-<N>.
+	OutDir string
+	// SkewComm is applied to every generated case (the deliberate
+	// model-divergence hook; zero in normal sweeps).
+	SkewComm machine.Time
+	// ShrinkBudget bounds minimization re-executions per failure
+	// (0 = 40).
+	ShrinkBudget int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// SweepResult summarises a sweep.
+type SweepResult struct {
+	Ran       int
+	Failures  []*Report // minimized reports, ordered by seed
+	ReproDirs []string  // where each failure was written (parallel to Failures; "" when OutDir unset)
+	Errors    []error   // harness errors (generation/setup), not divergences
+}
+
+// Failed reports whether any case diverged or the harness errored.
+func (r *SweepResult) Failed() bool { return len(r.Failures) > 0 || len(r.Errors) > 0 }
+
+// Sweep generates and runs cases for opt.Seeds consecutive seeds,
+// minimizing every divergence it finds and (optionally) writing repro
+// directories. The result is deterministic for a given option set.
+func Sweep(ctx context.Context, opt SweepOptions) *SweepResult {
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	budget := opt.ShrinkBudget
+	if budget <= 0 {
+		budget = 40
+	}
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	type outcome struct {
+		seed int64
+		rep  *Report
+		dir  string
+		err  error
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, jobs)
+	for i := int64(0); i < opt.Seeds; i++ {
+		seed := opt.Start + i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			o := outcome{seed: seed}
+			defer func() {
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}()
+			c, err := Generate(seed)
+			if err != nil {
+				o.err = fmt.Errorf("seed %d: generate: %w", seed, err)
+				return
+			}
+			c.SkewComm = opt.SkewComm
+			rep, err := RunCase(ctx, c)
+			if err != nil {
+				o.err = fmt.Errorf("seed %d: %w", seed, err)
+				return
+			}
+			if !rep.Failed() {
+				logf("seed %d: ok (%d tasks, %s, %s)", seed,
+					len(c.Design.Tasks()), c.Heuristic, c.Machine.Name)
+				return
+			}
+			logf("seed %d: DIVERGED (%d oracle hits), minimizing...", seed, len(rep.Divergences))
+			_, min := Shrink(ctx, rep, budget)
+			o.rep = min
+			if opt.OutDir != "" {
+				dir := filepath.Join(opt.OutDir, fmt.Sprintf("seed-%d", seed))
+				if err := WriteRepro(dir, min); err != nil {
+					o.err = fmt.Errorf("seed %d: writing repro: %w", seed, err)
+					return
+				}
+				o.dir = dir
+				logf("seed %d: repro written to %s", seed, dir)
+			}
+		}(seed)
+	}
+	wg.Wait()
+
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].seed < outcomes[j].seed })
+	res := &SweepResult{Ran: int(opt.Seeds)}
+	for _, o := range outcomes {
+		if o.err != nil {
+			res.Errors = append(res.Errors, o.err)
+		}
+		if o.rep != nil {
+			res.Failures = append(res.Failures, o.rep)
+			res.ReproDirs = append(res.ReproDirs, o.dir)
+		}
+	}
+	return res
+}

@@ -1,0 +1,49 @@
+package conform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// startWorkers launches n worker daemons on the given transport and
+// returns their bound addresses plus a shutdown function that waits for
+// them to exit and reports any worker failure. listen maps a worker
+// index to the address it should listen on ("127.0.0.1:0" for TCP; any
+// distinct name for inproc).
+func startWorkers(tr wire.Transport, listen func(i int) string, n int) ([]string, func() error, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ready := make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := wire.ServeWorker(ctx, tr, listen(i), wire.WorkerOptions{}, func(bound string) {
+				addrs[i] = bound
+				close(ready)
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				errs[i] = err
+			}
+		}(i)
+		select {
+		case <-ready:
+		case <-time.After(10 * time.Second):
+			cancel()
+			wg.Wait()
+			return nil, nil, fmt.Errorf("worker %d never came up", i)
+		}
+	}
+	return addrs, func() error {
+		cancel()
+		wg.Wait()
+		return errors.Join(errs...)
+	}, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/pits"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -105,6 +106,7 @@ type controller struct {
 	checksums bool
 	grace     float64
 	now       func() machine.Time
+	stats     *Stats
 }
 
 func (c *controller) abort()    { c.doneOnce.Do(func() { close(c.done) }) }
@@ -293,6 +295,7 @@ func (c *controller) recoverRun(dead []bool, live *int) bool {
 		return false
 	}
 	c.install(plan, doneTasks, dead, er)
+	c.stats.Recoveries.Add(1)
 
 	next := &era{epoch: er.epoch + 1, pause: make(chan struct{}), resume: make(chan struct{})}
 	c.era.Store(next)
@@ -486,6 +489,12 @@ func (c *controller) coordinateRemote() {
 				idle = 0
 				if live > 0 {
 					c.quiescent.Store(false)
+				} else {
+					// Every hosted processor has crashed: no worker will
+					// ever emit evIdle again, so report idleness now or
+					// the global coordinator waits for this session
+					// forever.
+					c.plane.LocalIdle()
 				}
 				cmd.reply <- sessReply{}
 			}
@@ -569,15 +578,22 @@ func (c *controller) resumeLocal(p *ResumePlan) {
 
 // sendRemote hands a cross-process delivery to the remote plane.
 // Injected duplicate/drop faults were applied by the caller (copies)
-// and delay faults became wallDelay; the exec-level ack/retry protocol
+// and delay faults became wallDelay. The exec-level ack/retry protocol
 // does not span processes — the transport delivers reliably and in
-// order on its own, and injected drops are repaired by the receiver's
-// watchdog exactly as on the direct in-process path.
-func (c *controller) sendRemote(m xmsg, toPE, copies int, wallDelay time.Duration) error {
+// order on its own — so when the retry protocol is on, an injected
+// drop or corruption is healed here by emulating the one
+// retransmission the in-process ack loop would have sent: the receiver
+// discards the corrupt copy by checksum and absorbs duplicates by
+// sequence number. Without retry, the loss becomes the receiver's
+// watchdog timeout, exactly as on the direct in-process path.
+func (c *controller) sendRemote(m xmsg, orig pits.Value, toPE, copies int, wallDelay time.Duration) error {
+	m.ack = nil
+	if c.retry && (copies == 0 || (m.sum != 0 && m.sum != checksum(m.val))) {
+		c.retransmitRemote(m, orig, toPE, wallDelay)
+	}
 	if copies == 0 {
 		return nil
 	}
-	m.ack = nil
 	rm := RemoteMsg{From: m.key.from, To: m.key.to, Var: m.key.v,
 		FromPE: m.fromPE, ToPE: toPE, Seq: m.seq, Epoch: m.epoch,
 		At: m.at, Sum: m.sum, Val: m.val}
@@ -606,6 +622,48 @@ func (c *controller) sendRemote(m xmsg, toPE, copies int, wallDelay time.Duratio
 		}
 	}
 	return nil
+}
+
+// retransmitRemote re-ships the uncorrupted payload of a remote
+// message after one retry backoff, standing in for the in-process
+// ack/retransmit loop across a process boundary. The era check mirrors
+// sendReliable: a recovery that replanned the run makes the
+// retransmission moot (the receiver would discard the stale epoch).
+func (c *controller) retransmitRemote(m xmsg, orig pits.Value, toPE int, wallDelay time.Duration) {
+	rt := m
+	rt.val = orig
+	if rt.sum != 0 {
+		rt.sum = checksum(orig)
+	}
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		t := time.NewTimer(wallDelay + c.runner.retryBase())
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.done:
+			return
+		case <-c.finish:
+			return
+		}
+		if c.era.Load().epoch != rt.epoch {
+			return
+		}
+		at := c.now()
+		if c.runner.VirtualTime {
+			at = rt.at
+		}
+		c.addEvent(trace.Event{Kind: trace.MsgRetry, At: at, Task: rt.key.from,
+			PE: rt.fromPE, Var: rt.key.v, Peer: toPE, Seq: rt.seq, Note: "attempt 1"})
+		c.stats.Retries.Add(1)
+		rm := RemoteMsg{From: rt.key.from, To: rt.key.to, Var: rt.key.v,
+			FromPE: rt.fromPE, ToPE: toPE, Seq: rt.seq, Epoch: rt.epoch,
+			At: rt.at, Sum: rt.sum, Val: rt.val}
+		if err := c.plane.DeliverRemote(rm); err != nil {
+			c.fail(fmt.Errorf("exec: remote delivery to PE %d: %w", toPE, err))
+		}
+	}()
 }
 
 // stallWatch fails the run if no task completes and no message is

@@ -147,7 +147,7 @@ func ParseFaults(spec string) (*FaultPlan, error) {
 		edge, arg := rest, ""
 		if kind == FaultDelay {
 			var ok bool
-			if edge, arg, ok = cutLast(rest, "@"); !ok {
+			if edge, arg, ok = cutLast(rest, "@"); !ok || arg == "" {
 				return nil, fmt.Errorf("fault %q: want delay:FROM->TO:VAR@USEC", part)
 			}
 		} else if e, a, ok := cutLast(rest, "@"); ok {
@@ -158,8 +158,16 @@ func ParseFaults(spec string) (*FaultPlan, error) {
 			return nil, fmt.Errorf("fault %q: want FROM->TO:VAR", part)
 		}
 		to, v, ok := strings.Cut(rest2, ":")
+		// Trim the fields (the spec itself is trimmed, so edge whitespace
+		// would not survive a re-render) and require all three non-empty.
+		from, to, v = strings.TrimSpace(from), strings.TrimSpace(to), strings.TrimSpace(v)
 		if !ok || from == "" || to == "" || v == "" {
 			return nil, fmt.Errorf("fault %q: want FROM->TO:VAR", part)
+		}
+		// "@" is reserved for the count/delay suffix; a task or variable
+		// name containing it would render to an unparseable spec.
+		if strings.ContainsRune(from+to+v, '@') {
+			return nil, fmt.Errorf("fault %q: \"@\" not allowed in FROM/TO/VAR", part)
 		}
 		f := Fault{Kind: kind, From: graph.NodeID(from), To: graph.NodeID(to), Var: v, Count: 1}
 		if arg != "" {

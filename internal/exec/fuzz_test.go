@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaults throws arbitrary strings at the -faults spec parser.
+// Two properties: the parser never panics, and any accepted spec
+// re-renders and re-parses to a fixed point (String is a canonical
+// form, so parse∘String must be the identity on canonical specs).
+func FuzzParseFaults(f *testing.F) {
+	for _, spec := range []string{
+		"crash:1@2",
+		"drop:a->b:v",
+		"drop:a->b:v@3",
+		"dup:src->dst:x@2",
+		"corrupt:t1->t2:u",
+		"delay:t1->t2:u@500",
+		"crash:0@0,drop:a->b:v,delay:a->b:v@1",
+		" drop:a -> b:v ",
+		"drop:a->b->c:v",
+		"crash:-1@2",
+		"delay:a->b:v",
+		"drop:a->b:",
+		"bogus:a->b:v",
+		"",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaults(spec)
+		if err != nil {
+			return
+		}
+		canon := plan.String()
+		plan2, err := ParseFaults(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, spec, err)
+		}
+		if got := plan2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", spec, canon, got)
+		}
+		if len(plan2.Faults) != len(plan.Faults) {
+			t.Fatalf("reparse changed fault count: %d != %d", len(plan2.Faults), len(plan.Faults))
+		}
+		// A parsed spec never contains empty edge endpoints for message
+		// faults (the parser must reject them, not store them).
+		for _, fa := range plan.Faults {
+			if fa.Kind != FaultCrash && (fa.From == "" || fa.To == "" || fa.Var == "") {
+				t.Fatalf("accepted spec %q produced fault with empty edge field: %+v", spec, fa)
+			}
+			if strings.Contains(string(fa.From), ",") || strings.Contains(fa.Var, ",") {
+				t.Fatalf("accepted spec %q smuggled a comma into a field: %+v", spec, fa)
+			}
+		}
+	})
+}

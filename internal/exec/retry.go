@@ -122,7 +122,8 @@ func (c *controller) sendReliable(m xmsg, orig pits.Value, toPE, copies int, wal
 				at = m.at
 			}
 			c.addEvent(trace.Event{Kind: trace.MsgRetry, At: at, Task: m.key.from,
-				PE: m.fromPE, Var: m.key.v, Peer: toPE, Note: fmt.Sprintf("attempt %d", attempt)})
+				PE: m.fromPE, Var: m.key.v, Peer: toPE, Seq: m.seq, Note: fmt.Sprintf("attempt %d", attempt)})
+			c.stats.Retries.Add(1)
 			wait *= 2
 			if wait > cap {
 				wait = cap

@@ -120,6 +120,7 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 		waiting: map[int]string{},
 		faults:  faults, retry: r.Retry, checksums: faults.checksums,
 		grace: grace, now: now,
+		stats: &Stats{},
 	}
 	// Inboxes are sized so no delivery ever blocks past the run's end:
 	// every scheduled and recovery-planned message fits, with room for
@@ -195,6 +196,10 @@ func (ses *Session) Deliver(m RemoteMsg) error {
 // Progress returns the session's progress counter (completed tasks and
 // accepted messages): the payload of liveness heartbeats.
 func (ses *Session) Progress() uint64 { return ses.ctrl.progress.Load() }
+
+// Stats returns a snapshot of the session's runtime counters. Safe to
+// call while the run is in flight.
+func (ses *Session) Stats() StatsSnapshot { return ses.ctrl.stats.Snapshot() }
 
 // Elapsed is the wall-clock time since the session started.
 func (ses *Session) Elapsed() time.Duration { return time.Since(ses.start) }

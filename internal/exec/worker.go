@@ -131,7 +131,6 @@ func (w *worker) execute() (wstatus, error) {
 			sendAt = w.clock
 			arriveAt = w.clock + w.sched.Machine.CommTime(sp.words, w.pe, sp.toPE)
 		}
-		w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt, Task: sp.key.from, PE: w.pe, Var: sp.key.v, Peer: sp.toPE})
 		if err := w.send(sp, val, sendAt, arriveAt); err != nil {
 			return wsError, err
 		}
@@ -146,6 +145,7 @@ func (w *worker) execute() (wstatus, error) {
 			}
 			w.events = append(w.events, trace.Event{Kind: trace.FaultInjected, At: at,
 				Task: w.slots[w.cursor].Task, PE: w.pe, Peer: w.pe, Note: "crash"})
+			w.ctrl.stats.FaultsInjected.Add(1)
 			return wsCrashed, nil
 		}
 		select {
@@ -162,6 +162,7 @@ func (w *worker) execute() (wstatus, error) {
 		w.cursor++
 		w.executed++
 		w.ctrl.progress.Add(1)
+		w.ctrl.stats.TasksRun.Add(1)
 	}
 	return wsFinished, nil
 }
@@ -250,7 +251,6 @@ func (w *worker) runSlot(sl sched.Slot) error {
 			sendAt = finish
 			arriveAt = finish + w.sched.Machine.CommTime(sp.words, w.pe, sp.toPE)
 		}
-		w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt, Task: sl.Task, PE: w.pe, Var: sp.key.v, Peer: sp.toPE})
 		if err := w.send(sp, val, sendAt, arriveAt); err != nil {
 			return fmt.Errorf("task %s: %w", sl.Task, err)
 		}
@@ -281,11 +281,15 @@ func (w *worker) send(sp sendPlan, val pits.Value, sendAt, arriveAt machine.Time
 	if w.ctrl.checksums {
 		m.sum = checksum(val)
 	}
+	w.events = append(w.events, trace.Event{Kind: trace.MsgSend, At: sendAt,
+		Task: sp.key.from, PE: w.pe, Var: sp.key.v, Peer: sp.toPE, Seq: m.seq})
+	w.ctrl.stats.MsgsSent.Add(1)
 	copies := 1
 	var wallDelay time.Duration
 	for _, k := range w.ctrl.faults.onSend(sp.key) {
 		w.events = append(w.events, trace.Event{Kind: trace.FaultInjected, At: sendAt,
 			Task: sp.key.from, PE: w.pe, Var: sp.key.v, Peer: sp.toPE, Note: k.String()})
+		w.ctrl.stats.FaultsInjected.Add(1)
 		switch k {
 		case FaultDrop:
 			copies = 0
@@ -302,7 +306,7 @@ func (w *worker) send(sp sendPlan, val pits.Value, sendAt, arriveAt machine.Time
 	if !w.ctrl.isLocal(sp.toPE) {
 		// The consumer lives in another process: hand the message to
 		// the remote plane, which owns process-boundary reliability.
-		return w.ctrl.sendRemote(m, sp.toPE, copies, wallDelay)
+		return w.ctrl.sendRemote(m, val, sp.toPE, copies, wallDelay)
 	}
 	if w.ctrl.retry {
 		m.ack = make(chan struct{}, 4)
@@ -371,7 +375,8 @@ func (w *worker) receive(k msgKey) (xmsg, error) {
 		if w.runner.VirtualTime {
 			at = m.at
 		}
-		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v, Peer: m.fromPE})
+		w.events = append(w.events, trace.Event{Kind: trace.MsgRecv, At: at, Task: k.from, PE: w.pe, Var: k.v, Peer: m.fromPE, Seq: m.seq})
+		w.ctrl.stats.MsgsRecv.Add(1)
 		return m
 	}
 	if m, ok := w.recvd[k]; ok {

@@ -211,6 +211,145 @@ func TestRecoverSinglePESurvivor(t *testing.T) {
 	}
 }
 
+// TestRecoverCrashedPEHadNoRemainingSlots: a processor dies after
+// finishing every slot assigned to it, so nothing it owned needs
+// replanning — but its results must stay usable (from their re-homed
+// holders) and the remaining tasks of the *live* processors must still
+// be planned onto live processors only.
+func TestRecoverCrashedPEHadNoRemainingSlots(t *testing.T) {
+	g := graph.GE(4, 5, 10, 3)
+	m := mk(t, "full:4", cheapComm())
+	s, err := ETF{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []bool{true, false, true, true}
+	// The dead PE finished everything it was given; a prefix of the other
+	// processors' work is also done. Dead-PE results re-home to PE 0.
+	done := map[graph.NodeID]int{}
+	var cutoff machine.Time = 20
+	for _, sl := range s.Slots {
+		if sl.Dup {
+			continue
+		}
+		if sl.PE == 1 {
+			done[sl.Task] = 0
+		} else if sl.Finish <= cutoff {
+			done[sl.Task] = sl.PE
+		}
+	}
+	st := RecoverState{Live: live, Done: done}
+	plan, err := Recover(s, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, s, st, plan)
+	// Nothing planned may originate from the dead PE: all its work was
+	// complete, so only live processors' pending tasks appear.
+	for _, sl := range plan.Slots {
+		if orig, ok := s.PrimarySlot(sl.Task); ok && orig.PE == 1 {
+			t.Errorf("task %s originally on the fully-finished dead PE was replanned", sl.Task)
+		}
+	}
+}
+
+// TestRecoverTwoPEMachineLosesOne: on a 2-processor machine a crash
+// leaves a single live PE — the smallest possible survivor set. The
+// plan must serialise every pending task on the survivor with no
+// messages, regardless of how communication-heavy the schedule was.
+func TestRecoverTwoPEMachineLosesOne(t *testing.T) {
+	g := graph.GE(4, 5, 10, 3)
+	m := mk(t, "full:2", cheapComm())
+	s, err := ETF{}.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []bool{true, false}
+	done := map[graph.NodeID]int{}
+	var cutoff machine.Time = 15
+	for _, sl := range s.Slots {
+		if sl.Dup || sl.Finish > cutoff {
+			continue
+		}
+		done[sl.Task] = 0 // survivor holds everything finished
+	}
+	st := RecoverState{Live: live, Done: done}
+	plan, err := Recover(s, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, s, st, plan)
+	if len(plan.Slots) == 0 {
+		t.Fatal("crash left pending work but the plan is empty")
+	}
+	for _, sl := range plan.Slots {
+		if sl.PE != 0 {
+			t.Errorf("task %s planned on PE %d; only PE 0 is alive", sl.Task, sl.PE)
+		}
+	}
+	if len(plan.Msgs) != 0 {
+		t.Errorf("single-survivor plan has %d messages", len(plan.Msgs))
+	}
+}
+
+// TestRecoverBackToBackCrashes: a second processor dies after the first
+// recovery already replanned — two epochs of recovery state. The second
+// plan must start from the first plan's placements (tasks finished
+// under plan 1 are held by their *new* processors) and use only the
+// remaining live set.
+func TestRecoverBackToBackCrashes(t *testing.T) {
+	s, st1 := recoverFixture(t, 20) // epoch 1: PE 1 dies
+	plan1, err := Recover(s, st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, s, st1, plan1)
+
+	// Epoch 2: some of plan 1's slots complete on their new processors,
+	// then PE 2 dies too. Its completed results re-home to PE 0.
+	live2 := []bool{true, false, false, true}
+	done2 := map[graph.NodeID]int{}
+	for task, pe := range st1.Done {
+		if !live2[pe] {
+			pe = 0
+		}
+		done2[task] = pe
+	}
+	var cutoff2 machine.Time
+	for _, sl := range plan1.Slots {
+		if sl.Finish > cutoff2 {
+			cutoff2 = sl.Finish
+		}
+	}
+	cutoff2 /= 2
+	for _, sl := range plan1.Slots {
+		if sl.Finish > cutoff2 {
+			continue
+		}
+		pe := sl.PE
+		if !live2[pe] {
+			pe = 0
+		}
+		done2[sl.Task] = pe
+	}
+	st2 := RecoverState{Live: live2, Done: done2}
+	plan2, err := Recover(s, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, s, st2, plan2)
+	// Everything pending after the second crash must avoid both dead PEs.
+	for _, sl := range plan2.Slots {
+		if sl.PE == 1 || sl.PE == 2 {
+			t.Errorf("task %s planned on dead PE %d in epoch 2", sl.Task, sl.PE)
+		}
+	}
+	// The second plan must cover exactly the tasks not yet done anywhere.
+	if needed := len(s.Graph.Nodes()) - len(done2); len(plan2.Slots) != needed {
+		t.Errorf("epoch-2 plan has %d slots for %d needed tasks", len(plan2.Slots), needed)
+	}
+}
+
 func TestRecoverDeterministic(t *testing.T) {
 	s, st := recoverFixture(t, 20)
 	a, err := Recover(s, st)

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// This file is the trace serialisation format: a JSON document with one
+// object per event, used by repro directories and any tool that wants
+// to persist or replay an execution log. Every Event field is mapped
+// explicitly — the codec round-trip test asserts the struct and the
+// wire form cannot drift apart silently.
+
+// jsonTrace is the wire form of a Trace.
+type jsonTrace struct {
+	Label  string      `json:"label"`
+	Events []jsonEvent `json:"events"`
+}
+
+// jsonEvent is the wire form of an Event. Kind travels as its String
+// name so the format stays readable and stable if constants renumber.
+type jsonEvent struct {
+	Kind  string `json:"kind"`
+	At    int64  `json:"at"`
+	Task  string `json:"task,omitempty"`
+	PE    int    `json:"pe"`
+	Var   string `json:"var,omitempty"`
+	Peer  int    `json:"peer,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Dup   bool   `json:"dup,omitempty"`
+	Note  string `json:"note,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+func toJSONEvent(e Event) jsonEvent {
+	return jsonEvent{
+		Kind:  e.Kind.String(),
+		At:    int64(e.At),
+		Task:  string(e.Task),
+		PE:    e.PE,
+		Var:   e.Var,
+		Peer:  e.Peer,
+		Seq:   e.Seq,
+		Dup:   e.Dup,
+		Note:  e.Note,
+		Bytes: e.Bytes,
+	}
+}
+
+func fromJSONEvent(je jsonEvent) (Event, error) {
+	k, err := ParseKind(je.Kind)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{
+		Kind:  k,
+		At:    machine.Time(je.At),
+		Task:  graph.NodeID(je.Task),
+		PE:    je.PE,
+		Var:   je.Var,
+		Peer:  je.Peer,
+		Seq:   je.Seq,
+		Dup:   je.Dup,
+		Note:  je.Note,
+		Bytes: je.Bytes,
+	}, nil
+}
+
+// Encode writes the trace to w in the JSON trace format.
+func (t *Trace) Encode(w io.Writer) error {
+	jt := jsonTrace{Label: t.Label, Events: make([]jsonEvent, len(t.Events))}
+	for i, e := range t.Events {
+		jt.Events[i] = toJSONEvent(e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&jt)
+}
+
+// Decode reads a trace in the JSON trace format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	t := &Trace{Label: jt.Label, Events: make([]Event, len(jt.Events))}
+	for i, je := range jt.Events {
+		e, err := fromJSONEvent(je)
+		if err != nil {
+			return nil, err
+		}
+		t.Events[i] = e
+	}
+	return t, nil
+}

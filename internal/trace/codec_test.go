@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEventCodecRoundTripsEveryKind feeds one fully-populated event of
+// every kind through the encoder and back, asserting nothing is lost —
+// in particular the Peer and Seq fields, which identify the other end
+// and the logical transmission of a message event.
+func TestEventCodecRoundTripsEveryKind(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			in := &Trace{Label: "codec-" + k.String(), Events: []Event{{
+				Kind:  k,
+				At:    12345,
+				Task:  "sub/t1_2",
+				PE:    3,
+				Var:   "v1_2",
+				Peer:  5,
+				Seq:   987654321,
+				Dup:   true,
+				Note:  "attempt 2",
+				Bytes: 4096,
+			}}}
+			var buf bytes.Buffer
+			if err := in.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out, err := Decode(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Label != in.Label {
+				t.Errorf("label %q != %q", out.Label, in.Label)
+			}
+			if len(out.Events) != 1 {
+				t.Fatalf("decoded %d events, want 1", len(out.Events))
+			}
+			if !reflect.DeepEqual(out.Events[0], in.Events[0]) {
+				t.Errorf("event did not survive the round trip:\n got  %+v\n want %+v", out.Events[0], in.Events[0])
+			}
+		})
+	}
+}
+
+// TestEventCodecCoversEveryField guards against a field added to Event
+// but silently dropped by the codec: the wire struct must have exactly
+// one field per Event field.
+func TestEventCodecCoversEveryField(t *testing.T) {
+	ev := reflect.TypeOf(Event{})
+	je := reflect.TypeOf(jsonEvent{})
+	if ev.NumField() != je.NumField() {
+		t.Fatalf("Event has %d fields but jsonEvent has %d: the trace codec is missing a field", ev.NumField(), je.NumField())
+	}
+	for i := 0; i < ev.NumField(); i++ {
+		name := ev.Field(i).Name
+		if _, ok := je.FieldByName(name); !ok {
+			t.Errorf("Event field %s has no jsonEvent counterpart", name)
+		}
+	}
+}
+
+// TestEventCodecRejectsUnknownKind: a corrupted kind name is an error,
+// not a zero-valued event.
+func TestEventCodecRejectsUnknownKind(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"label":"x","events":[{"kind":"no-such-kind","at":0,"pe":0}]}`))
+	if err == nil {
+		t.Fatal("decoding an unknown kind succeeded")
+	}
+}
+
+// TestParseKindInvertsString: every kind's name parses back to itself.
+func TestParseKindInvertsString(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}

@@ -73,6 +73,22 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds lists every event kind once, in declaration order.
+func Kinds() []Kind {
+	return []Kind{TaskStart, TaskEnd, MsgSend, MsgRecv, FaultInjected,
+		MsgRetry, TaskRescheduled, PeerConnected, PeerLost, WireBytes}
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
 // Event is one timestamped occurrence on a processor.
 type Event struct {
 	Kind  Kind
@@ -81,6 +97,7 @@ type Event struct {
 	PE    int          // where the event happens
 	Var   string       // message variable (message events only)
 	Peer  int          // the other processor (message events only)
+	Seq   uint64       // logical transmission number (message events; 0 = unnumbered)
 	Dup   bool         // event belongs to a duplicate copy
 	Note  string       // free-form detail (fault kind, retry attempt)
 	Bytes int64        // payload size (wire events only)

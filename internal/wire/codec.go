@@ -122,7 +122,15 @@ func DecodeEnv(b []byte) (pits.Env, error) {
 	}
 	n := int(binary.BigEndian.Uint32(b))
 	b = b[4:]
-	e := make(pits.Env, n)
+	// The count is untrusted input: cap the allocation hint by what the
+	// buffer could possibly hold (every entry needs a 4-byte key length,
+	// at least an empty key, and a 1-byte value tag), so a corrupted
+	// count cannot demand gigabytes before the first entry fails.
+	hint := n
+	if max := len(b) / 5; hint > max {
+		hint = max
+	}
+	e := make(pits.Env, hint)
 	for i := 0; i < n; i++ {
 		k, rest, err := decodeString(b)
 		if err != nil {

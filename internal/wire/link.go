@@ -153,8 +153,12 @@ func (l *Link) Stats() (in, out int64) {
 	return in, out
 }
 
-// Close detaches and drops the outbox.
+// Close detaches and drops the outbox. Safe on a nil link (a peer
+// that never finished its first dial).
 func (l *Link) Close() {
+	if l == nil {
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.conn != nil {
