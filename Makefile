@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke chaos conform fuzz-smoke
+.PHONY: build test vet race verify bench bench-smoke bench-dist chaos conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,19 @@ verify: build vet test race bench-smoke
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# One-iteration pass over the scheduler scaling benchmarks: catches
-# crashes or pathological slowdowns in the hot path without the cost of
-# a statistically meaningful benchmark run.
+# One-iteration pass over the scheduler scaling benchmarks plus the
+# single-process/distributed runner pair: catches crashes or
+# pathological slowdowns in the hot paths without the cost of a
+# statistically meaningful benchmark run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=SchedulerScaling -benchtime=1x .
+	$(GO) test -run=NONE -bench='RunnerWall|RunnerTCP' -benchtime=1x -benchmem .
+
+# The committed distributed-runtime baselines (BENCH_PR6.json) were
+# measured with this: the wall-clock runner against the TCP mesh and
+# relay planes on loopback, 15 iterations, medians of 3 runs.
+bench-dist:
+	$(GO) test -run=NONE -bench='RunnerVirtual|RunnerWall|RunnerTCP' -benchtime=15x -benchmem -count=3 .
 
 # Chaos soak: the seeded fault-injection suite 50 times under the race
 # detector — crashes, drops, duplicates, delays and corruptions against

@@ -118,7 +118,7 @@ commands:
   run      -project P [-alg A] [-virtual] [-chart] [-retry] [-grace G]
            [-faults SPEC|rand] [-fault-seed N]
            [-dist HOST:PORT,HOST:PORT,...] [-calibrate]
-           [-peer-timeout D] [-heartbeat D]
+           [-peer-timeout D] [-heartbeat D] [-mesh=BOOL] [-flush-interval D]
   worker   [-listen HOST:PORT]  host processors for a remote "run -dist"
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
@@ -405,6 +405,8 @@ func cmdRun(args []string) error {
 	calibrate := fs.Bool("calibrate", false, "with -dist: measure wire latency and recalibrate the machine model before scheduling")
 	peerTimeout := fs.Duration("peer-timeout", 3*time.Second, "with -dist: silence budget before a worker is declared dead")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "with -dist: keepalive cadence")
+	mesh := fs.Bool("mesh", true, "with -dist: workers exchange data frames peer-to-peer instead of relaying through the coordinator")
+	flushEvery := fs.Duration("flush-interval", 0, "with -dist: frame-coalescing window for batched data frames (0 = default 200µs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -472,6 +474,7 @@ func cmdRun(args []string) error {
 		co := &wire.Coordinator{
 			Transport: wire.TCP(), Addrs: addrs, Runner: runner,
 			HeartbeatEvery: *heartbeat, PeerTimeout: *peerTimeout,
+			Mesh: *mesh, FlushEvery: *flushEvery,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "dist: "+format+"\n", args...)
 			},

@@ -2,9 +2,10 @@
 // generates random (design, machine, heuristic, fault-plan) tuples,
 // runs each through every execution engine the repo has — the analytic
 // simulator, the virtual-time in-process runner, the distributed
-// coordinator over the in-process transport, and the same coordinator
-// over real TCP workers — and checks that they agree wherever the
-// machine model says they must:
+// coordinator over the in-process transport (data relayed through the
+// coordinator), the same coordinator with the peer-to-peer mesh data
+// plane, and the mesh again over real TCP workers — and checks that
+// they agree wherever the machine model says they must:
 //
 //   - external outputs are byte-identical across all executing engines;
 //   - printed lines are identical across all executing engines;
@@ -222,10 +223,14 @@ func (c *Case) skewed(sc *sched.Schedule) (*sched.Schedule, error) {
 	return &cp, nil
 }
 
-// RunCase executes the case on all four engines and checks every
+// RunCase executes the case on all five engines and checks every
 // oracle. A non-nil error means the harness itself could not set the
 // case up (unschedulable design, unknown heuristic); engine failures
 // are not errors — they are "error"-class divergences in the report.
+// The distributed engines cover both data planes: "inproc" relays
+// every cross-worker message through the coordinator, "mesh" runs the
+// peer-to-peer data plane on the in-process transport, and "tcp" runs
+// the mesh over real sockets.
 func RunCase(ctx context.Context, c *Case) (*Report, error) {
 	flat, sc, err := c.prepare()
 	if err != nil {
@@ -241,8 +246,9 @@ func RunCase(ctx context.Context, c *Case) (*Report, error) {
 	rep.Engines = append(rep.Engines,
 		runSimulate(sc),
 		runRunner(c, sc, flat),
-		runDist(ctx, c, sc, flat, "inproc"),
-		runDist(ctx, c, sc, flat, "tcp"),
+		runDist(ctx, c, sc, flat, "inproc", false),
+		runDist(ctx, c, sc, flat, "mesh", true),
+		runDist(ctx, c, sc, flat, "tcp", true),
 	)
 	check(rep, flat)
 	return rep, nil
@@ -279,17 +285,18 @@ func runRunner(c *Case, sc *sched.Schedule, flat *graph.Flat) *EngineRun {
 	return er
 }
 
-// runDist executes the case across worker daemons over the named
-// transport ("inproc" or "tcp").
-func runDist(ctx context.Context, c *Case, sc *sched.Schedule, flat *graph.Flat, transport string) *EngineRun {
-	er := &EngineRun{Name: transport}
+// runDist executes the case across worker daemons over the transport
+// the engine name implies ("tcp" dials real sockets, anything else the
+// in-process transport), with the mesh data plane on or off.
+func runDist(ctx context.Context, c *Case, sc *sched.Schedule, flat *graph.Flat, name string, mesh bool) *EngineRun {
+	er := &EngineRun{Name: name}
 	workers := sc.Machine.NumPE()
 	if workers > 2 {
 		workers = 2
 	}
 	var tr wire.Transport
-	listen := func(i int) string { return fmt.Sprintf("conform-%d-w%d", c.Seed, i) }
-	if transport == "tcp" {
+	listen := func(i int) string { return fmt.Sprintf("conform-%s-%d-w%d", name, c.Seed, i) }
+	if name == "tcp" {
 		tr = wire.TCP()
 		listen = func(int) string { return "127.0.0.1:0" }
 	} else {
@@ -310,6 +317,7 @@ func runDist(ctx context.Context, c *Case, sc *sched.Schedule, flat *graph.Flat,
 		Runner:         c.runner(false),
 		HeartbeatEvery: 50 * time.Millisecond,
 		PeerTimeout:    5 * time.Second,
+		Mesh:           mesh,
 	}
 	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()

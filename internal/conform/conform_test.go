@@ -93,7 +93,7 @@ func TestGenerateCoversFeatures(t *testing.T) {
 	}
 }
 
-// TestSweepSmoke: a small deterministic sweep across all four engines
+// TestSweepSmoke: a small deterministic sweep across all five engines
 // finds zero divergences. The full 25-seed acceptance sweep runs via
 // `make conform`; this keeps the unit suite fast.
 func TestSweepSmoke(t *testing.T) {
@@ -252,7 +252,7 @@ func TestReproRoundTrip(t *testing.T) {
 }
 
 // FuzzConform: the differential harness as a native fuzz target. Any
-// seed the fuzzer invents must run through all four engines with every
+// seed the fuzzer invents must run through all five engines with every
 // oracle holding.
 func FuzzConform(f *testing.F) {
 	for seed := int64(0); seed < 4; seed++ {

@@ -606,22 +606,36 @@ func (c *controller) sendRemote(m xmsg, orig pits.Value, toPE, copies int, wallD
 			select {
 			case <-t.C:
 				for i := 0; i < copies; i++ {
+					c.stats.RemoteSends.Add(1)
 					if err := c.plane.DeliverRemote(rm); err != nil {
 						c.fail(fmt.Errorf("exec: remote delivery to PE %d: %w", toPE, err))
 						return
 					}
 				}
+				// The delivery happened outside any slot's send burst;
+				// flush so it doesn't wait out the plane's interval.
+				c.flushRemote()
 			case <-c.done:
 			}
 		}()
 		return nil
 	}
 	for i := 0; i < copies; i++ {
+		c.stats.RemoteSends.Add(1)
 		if err := c.plane.DeliverRemote(rm); err != nil {
 			return fmt.Errorf("remote delivery to PE %d: %w", toPE, err)
 		}
 	}
 	return nil
+}
+
+// flushRemote asks a coalescing remote plane to put buffered frames on
+// the wire. A no-op for planes without batching.
+func (c *controller) flushRemote() {
+	if f, ok := c.plane.(RemoteFlusher); ok {
+		c.stats.RemoteFlushes.Add(1)
+		f.FlushRemote()
+	}
 }
 
 // retransmitRemote re-ships the uncorrupted payload of a remote
@@ -660,9 +674,12 @@ func (c *controller) retransmitRemote(m xmsg, orig pits.Value, toPE int, wallDel
 		rm := RemoteMsg{From: rt.key.from, To: rt.key.to, Var: rt.key.v,
 			FromPE: rt.fromPE, ToPE: toPE, Seq: rt.seq, Epoch: rt.epoch,
 			At: rt.at, Sum: rt.sum, Val: rt.val}
+		c.stats.RemoteSends.Add(1)
 		if err := c.plane.DeliverRemote(rm); err != nil {
 			c.fail(fmt.Errorf("exec: remote delivery to PE %d: %w", toPE, err))
+			return
 		}
+		c.flushRemote()
 	}()
 }
 

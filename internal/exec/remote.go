@@ -56,6 +56,16 @@ type RemotePlane interface {
 	LocalCrash(pe int)
 }
 
+// RemoteFlusher is an optional RemotePlane extension for planes that
+// coalesce outgoing frames. The runner calls FlushRemote at natural
+// batch boundaries — the end of a slot's send burst, era-start
+// re-sends, delayed and retried deliveries — so batched messages do
+// not wait out the plane's flush interval. Planes without batching
+// simply don't implement it.
+type RemoteFlusher interface {
+	FlushRemote()
+}
+
 // Partial is one process's share of a run's result: qualified external
 // outputs, the export name map, print lines and raw trace events. The
 // coordinator merges partials with MergePartials.

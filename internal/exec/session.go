@@ -12,6 +12,40 @@ import (
 	"repro/internal/sched"
 )
 
+// progCache memoizes parsed routines by source text. Programs are
+// read-only after Parse (a session already shares one *Program across
+// all its worker goroutines), so sharing them across sessions is safe.
+// Distributed workers parse a design once per process instead of once
+// per run, and repeated runs of one project re-parse nothing. The cache
+// is dropped wholesale past a size bound: parses are cheap to redo, and
+// wholesale eviction keeps the bookkeeping at one counter.
+var (
+	progCacheMu sync.Mutex
+	progCache   = map[string]*pits.Program{}
+)
+
+const progCacheMax = 4096
+
+func parseCached(src string) (*pits.Program, error) {
+	progCacheMu.Lock()
+	p, ok := progCache[src]
+	progCacheMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := pits.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	progCacheMu.Lock()
+	if len(progCache) >= progCacheMax {
+		progCache = map[string]*pits.Program{}
+	}
+	progCache[src] = p
+	progCacheMu.Unlock()
+	return p, nil
+}
+
 // Session is one process's share of a running schedule: the worker
 // goroutines of its hosted processors plus the coordinator loop that
 // watches them. A single-process Run hosts every processor and drives
@@ -71,7 +105,7 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 			progs[n.ID] = &pits.Program{}
 			continue
 		}
-		prog, err := pits.Parse(n.Routine)
+		prog, err := parseCached(n.Routine)
 		if err != nil {
 			return nil, fmt.Errorf("exec: task %s: %w", n.ID, err)
 		}
@@ -124,9 +158,16 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 	}
 	// Inboxes are sized so no delivery ever blocks past the run's end:
 	// every scheduled and recovery-planned message fits, with room for
-	// injected duplicates.
+	// injected duplicates. Only hosted processors receive — deliveries
+	// for remote PEs go through the plane and are rejected by Deliver —
+	// so a distributed session pays the never-blocks capacity only for
+	// its own share, not numPE times per process.
 	inboxCap := (numPE + 1) * (len(s.Msgs) + len(g.Arcs()) + 2)
 	for pe := range ctrl.inboxes {
+		if !ctrl.isLocal(pe) {
+			ctrl.inboxes[pe] = make(chan xmsg)
+			continue
+		}
 		ctrl.inboxes[pe] = make(chan xmsg, inboxCap)
 	}
 	ctrl.era.Store(&era{pause: make(chan struct{}), resume: make(chan struct{})})

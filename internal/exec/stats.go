@@ -23,6 +23,13 @@ type Stats struct {
 	FaultsInjected atomic.Int64
 	// Recoveries counts completed crash-recovery replans.
 	Recoveries atomic.Int64
+	// RemoteSends counts deliveries handed to the remote plane
+	// (distributed runs only; includes injected duplicate copies).
+	RemoteSends atomic.Int64
+	// RemoteFlushes counts explicit flushes of a coalescing remote
+	// plane (slot boundaries, barriers, retries). The ratio
+	// RemoteSends/RemoteFlushes is the achieved batching factor.
+	RemoteFlushes atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats at one instant.
@@ -33,6 +40,8 @@ type StatsSnapshot struct {
 	Retries        int64
 	FaultsInjected int64
 	Recoveries     int64
+	RemoteSends    int64
+	RemoteFlushes  int64
 }
 
 // Snapshot reads every counter atomically (individually; the snapshot
@@ -45,5 +54,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Retries:        s.Retries.Load(),
 		FaultsInjected: s.FaultsInjected.Load(),
 		Recoveries:     s.Recoveries.Load(),
+		RemoteSends:    s.RemoteSends.Load(),
+		RemoteFlushes:  s.RemoteFlushes.Load(),
 	}
 }

@@ -135,6 +135,12 @@ func (w *worker) execute() (wstatus, error) {
 			return wsError, err
 		}
 	}
+	if len(w.resends) > 0 {
+		// The re-send burst precedes the slot loop; flush it so peers
+		// waiting on surviving results aren't stalled behind our first
+		// (possibly long) slot.
+		w.ctrl.flushRemote()
+	}
 	w.resends = nil
 
 	for w.cursor < len(w.slots) {
@@ -254,6 +260,11 @@ func (w *worker) runSlot(sl sched.Slot) error {
 		if err := w.send(sp, val, sendAt, arriveAt); err != nil {
 			return fmt.Errorf("task %s: %w", sl.Task, err)
 		}
+	}
+	if len(w.sends[sl.Task]) > 0 {
+		// Slot boundary: the send burst above may be coalescing in a
+		// remote plane's peer buffers; put it on the wire now.
+		w.ctrl.flushRemote()
 	}
 
 	// External outputs from the primary copy only (duplicates are

@@ -10,6 +10,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Binary codec for PITS values and scheduled messages. JSON is used for
@@ -152,8 +154,12 @@ func DecodeEnv(b []byte) (pits.Env, error) {
 // EncodeMsg encodes one scheduled cross-process message. The consumer
 // processor sits at a fixed offset so the coordinator can route a Data
 // frame without decoding the payload (see MsgDest).
-func EncodeMsg(m exec.RemoteMsg) ([]byte, error) {
-	b := binary.BigEndian.AppendUint32(nil, uint32(m.ToPE))
+func EncodeMsg(m exec.RemoteMsg) ([]byte, error) { return AppendMsg(nil, m) }
+
+// AppendMsg appends the encoding of m to b (which may be a recycled
+// buffer), for senders that pool payload buffers.
+func AppendMsg(b []byte, m exec.RemoteMsg) ([]byte, error) {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.ToPE))
 	b = binary.BigEndian.AppendUint32(b, uint32(m.FromPE))
 	b = binary.BigEndian.AppendUint64(b, m.Seq)
 	b = binary.BigEndian.AppendUint64(b, uint64(m.Epoch))
@@ -207,6 +213,499 @@ func DecodeMsg(b []byte) (exec.RemoteMsg, error) {
 		return m, fmt.Errorf("wire: %d trailing bytes after message", len(b))
 	}
 	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// Blob envelopes. Start bundles and results pair a small control JSON
+// document with bulk binary blobs (encoded schedule, environments,
+// trace events). Embedding those blobs in the JSON costs a base64
+// round trip plus a byte-by-byte validity scan of the largest part of
+// the payload; the envelope carries them out of band instead. A JSON
+// document can never begin with 0x00, so the magic byte keeps plain
+// JSON payloads from older senders decodable by the same entry point.
+
+const blobEnvelopeMagic = 0x00
+
+// encBlobEnvelope frames a JSON document and its out-of-band blobs.
+func encBlobEnvelope(js []byte, blobs ...[]byte) []byte {
+	n := 1 + 4 + len(js) + 4
+	for _, b := range blobs {
+		n += 4 + len(b)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, blobEnvelopeMagic)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(js)))
+	out = append(out, js...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(blobs)))
+	for _, b := range blobs {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// decBlobEnvelope splits an envelope payload. A payload that does not
+// start with the magic byte is plain JSON: it comes back unchanged
+// with no blobs. Returned slices alias the payload.
+func decBlobEnvelope(p []byte) (js []byte, blobs [][]byte, err error) {
+	if len(p) == 0 || p[0] != blobEnvelopeMagic {
+		return p, nil, nil
+	}
+	take := func(b []byte) ([]byte, []byte, error) {
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("wire: truncated blob envelope")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || n > len(b) {
+			return nil, nil, fmt.Errorf("wire: blob envelope length %d exceeds payload", n)
+		}
+		return b[:n], b[n:], nil
+	}
+	b := p[1:]
+	if js, b, err = take(b); err != nil {
+		return nil, nil, err
+	}
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated blob envelope")
+	}
+	nBlobs := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	hint := nBlobs
+	if max := len(b) / 4; hint > max {
+		hint = max
+	}
+	blobs = make([][]byte, 0, hint)
+	for i := 0; i < nBlobs; i++ {
+		var blob []byte
+		if blob, b, err = take(b); err != nil {
+			return nil, nil, err
+		}
+		blobs = append(blobs, blob)
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("wire: %d trailing bytes after blob envelope", len(b))
+	}
+	return js, blobs, nil
+}
+
+// ---------------------------------------------------------------------
+// Binary schedules. The start bundle ships a self-contained schedule —
+// flattened graph, machine, slots, messages — to every worker, and the
+// JSON form made its decode the single most expensive step of starting
+// a distributed run. The binary form routes every node ID, variable
+// name, label and routine through one string table (task IDs repeat
+// across nodes, arcs, slots and messages; identical routines collapse
+// to one entry), with fixed-layout records around it. The machine
+// document is small and stays JSON inside the binary envelope.
+
+const schedCodecVersion = 1
+
+// stringTable interns strings during encoding.
+type stringTable struct {
+	table []string
+	index map[string]uint32
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{index: map[string]uint32{}}
+}
+
+func (t *stringTable) ref(s string) uint32 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	i := uint32(len(t.table))
+	t.index[s] = i
+	t.table = append(t.table, s)
+	return i
+}
+
+func (t *stringTable) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.table)))
+	for _, s := range t.table {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func decodeStringTable(b []byte) ([]string, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated string table")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Untrusted count: every entry needs at least its 4 length bytes.
+	hint := n
+	if max := len(b) / 4; hint > max {
+		hint = max
+	}
+	table := make([]string, 0, hint)
+	for i := 0; i < n; i++ {
+		s, rest, err := decodeString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		table = append(table, s)
+		b = rest
+	}
+	return table, b, nil
+}
+
+// EncodeSchedule encodes a schedule for the start bundle. Scheduled
+// graphs are flat — Flatten dissolves decomposable nodes before any
+// scheduler runs — so KindSub nodes are rejected rather than encoded.
+func EncodeSchedule(s *sched.Schedule) ([]byte, error) {
+	mb, err := s.Machine.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal machine: %w", err)
+	}
+	t := newStringTable()
+	// Intern everything first; the table is written before the records.
+	algRef := t.ref(s.Algorithm)
+	nameRef := t.ref(s.Graph.Name)
+	nodes := s.Graph.Nodes()
+	nodeRefs := make([][3]uint32, len(nodes))
+	for i, n := range nodes {
+		if n.Kind == graph.KindSub {
+			return nil, fmt.Errorf("wire: cannot encode unflattened graph (sub node %s)", n.ID)
+		}
+		nodeRefs[i] = [3]uint32{t.ref(string(n.ID)), t.ref(n.Label), t.ref(n.Routine)}
+	}
+	arcs := s.Graph.Arcs()
+	arcRefs := make([][3]uint32, len(arcs))
+	for i, a := range arcs {
+		arcRefs[i] = [3]uint32{t.ref(string(a.From)), t.ref(string(a.To)), t.ref(a.Var)}
+	}
+	slotRefs := make([]uint32, len(s.Slots))
+	for i, sl := range s.Slots {
+		slotRefs[i] = t.ref(string(sl.Task))
+	}
+	msgRefs := make([][3]uint32, len(s.Msgs))
+	for i, m := range s.Msgs {
+		msgRefs[i] = [3]uint32{t.ref(string(m.From)), t.ref(string(m.To)), t.ref(m.Var)}
+	}
+
+	b := []byte{schedCodecVersion}
+	b = t.encode(b)
+	b = binary.BigEndian.AppendUint32(b, algRef)
+	b = appendString(b, string(mb))
+	b = binary.BigEndian.AppendUint32(b, nameRef)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(nodes)))
+	for i, n := range nodes {
+		b = binary.BigEndian.AppendUint32(b, nodeRefs[i][0])
+		b = binary.BigEndian.AppendUint32(b, nodeRefs[i][1])
+		b = append(b, byte(n.Kind))
+		b = binary.BigEndian.AppendUint64(b, uint64(n.Work))
+		b = binary.BigEndian.AppendUint32(b, nodeRefs[i][2])
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(arcs)))
+	for i, a := range arcs {
+		b = binary.BigEndian.AppendUint32(b, arcRefs[i][0])
+		b = binary.BigEndian.AppendUint32(b, arcRefs[i][1])
+		b = binary.BigEndian.AppendUint32(b, arcRefs[i][2])
+		b = binary.BigEndian.AppendUint64(b, uint64(a.Words))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Slots)))
+	for i, sl := range s.Slots {
+		b = binary.BigEndian.AppendUint32(b, slotRefs[i])
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(sl.PE)))
+		b = binary.BigEndian.AppendUint64(b, uint64(sl.Start))
+		b = binary.BigEndian.AppendUint64(b, uint64(sl.Finish))
+		if sl.Dup {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Msgs)))
+	for i, m := range s.Msgs {
+		b = binary.BigEndian.AppendUint32(b, msgRefs[i][0])
+		b = binary.BigEndian.AppendUint32(b, msgRefs[i][1])
+		b = binary.BigEndian.AppendUint32(b, msgRefs[i][2])
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(m.FromPE)))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(m.ToPE)))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Words))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Send))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Recv))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(m.Hops)))
+	}
+	return b, nil
+}
+
+// DecodeSchedule decodes an EncodeSchedule payload and re-validates it,
+// exactly as the JSON path does: a tampered bundle cannot produce an
+// inconsistent schedule silently.
+func DecodeSchedule(b []byte) (*sched.Schedule, error) {
+	fail := func(what string) (*sched.Schedule, error) {
+		return nil, fmt.Errorf("wire: truncated schedule (%s)", what)
+	}
+	if len(b) < 1 {
+		return fail("version")
+	}
+	if b[0] != schedCodecVersion {
+		return nil, fmt.Errorf("wire: schedule codec version %d, want %d", b[0], schedCodecVersion)
+	}
+	table, b, err := decodeStringTable(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	str := func(b []byte) (string, error) {
+		i := binary.BigEndian.Uint32(b)
+		if int(i) >= len(table) {
+			return "", fmt.Errorf("wire: schedule string reference %d outside table of %d", i, len(table))
+		}
+		return table[i], nil
+	}
+	if len(b) < 4 {
+		return fail("algorithm")
+	}
+	alg, err := str(b)
+	if err != nil {
+		return nil, err
+	}
+	mb, b, err := decodeString(b[4:])
+	if err != nil {
+		return nil, err
+	}
+	m := &machine.Machine{}
+	if err := m.UnmarshalJSON([]byte(mb)); err != nil {
+		return nil, fmt.Errorf("wire: schedule machine: %w", err)
+	}
+	if len(b) < 8 {
+		return fail("graph header")
+	}
+	name, err := str(b)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(name)
+	nNodes := int(binary.BigEndian.Uint32(b[4:]))
+	b = b[8:]
+	for i := 0; i < nNodes; i++ {
+		const rec = 4 + 4 + 1 + 8 + 4
+		if len(b) < rec {
+			return fail("node record")
+		}
+		id, err := str(b)
+		if err != nil {
+			return nil, err
+		}
+		label, err := str(b[4:])
+		if err != nil {
+			return nil, err
+		}
+		kind := graph.Kind(b[8])
+		work := int64(binary.BigEndian.Uint64(b[9:]))
+		routine, err := str(b[17:])
+		if err != nil {
+			return nil, err
+		}
+		b = b[rec:]
+		var n *graph.Node
+		switch kind {
+		case graph.KindTask:
+			n, err = g.AddTask(graph.NodeID(id), label, work)
+		case graph.KindStorage:
+			n, err = g.AddStorage(graph.NodeID(id), label)
+		case graph.KindInput:
+			n, err = g.AddInput(graph.NodeID(id))
+		case graph.KindOutput:
+			n, err = g.AddOutput(graph.NodeID(id))
+		default:
+			return nil, fmt.Errorf("wire: schedule node %s has kind %d", id, kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wire: schedule graph: %w", err)
+		}
+		n.Label, n.Work, n.Routine = label, work, routine
+	}
+	if len(b) < 4 {
+		return fail("arc count")
+	}
+	nArcs := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < nArcs; i++ {
+		const rec = 4 + 4 + 4 + 8
+		if len(b) < rec {
+			return fail("arc record")
+		}
+		from, err := str(b)
+		if err != nil {
+			return nil, err
+		}
+		to, err := str(b[4:])
+		if err != nil {
+			return nil, err
+		}
+		v, err := str(b[8:])
+		if err != nil {
+			return nil, err
+		}
+		words := int64(binary.BigEndian.Uint64(b[12:]))
+		b = b[rec:]
+		if err := g.Connect(graph.NodeID(from), graph.NodeID(to), v, words); err != nil {
+			return nil, fmt.Errorf("wire: schedule graph: %w", err)
+		}
+	}
+	s := &sched.Schedule{Graph: g, Machine: m, Algorithm: alg}
+	if len(b) < 4 {
+		return fail("slot count")
+	}
+	nSlots := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if hint := len(b) / (4 + 4 + 8 + 8 + 1); nSlots <= hint {
+		s.Slots = make([]sched.Slot, 0, nSlots)
+	}
+	for i := 0; i < nSlots; i++ {
+		const rec = 4 + 4 + 8 + 8 + 1
+		if len(b) < rec {
+			return fail("slot record")
+		}
+		task, err := str(b)
+		if err != nil {
+			return nil, err
+		}
+		s.Slots = append(s.Slots, sched.Slot{
+			Task:   graph.NodeID(task),
+			PE:     int(int32(binary.BigEndian.Uint32(b[4:]))),
+			Start:  machine.Time(binary.BigEndian.Uint64(b[8:])),
+			Finish: machine.Time(binary.BigEndian.Uint64(b[16:])),
+			Dup:    b[24] != 0,
+		})
+		b = b[rec:]
+	}
+	if len(b) < 4 {
+		return fail("message count")
+	}
+	nMsgs := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if hint := len(b) / (3*4 + 2*4 + 3*8 + 4); nMsgs <= hint {
+		s.Msgs = make([]sched.Msg, 0, nMsgs)
+	}
+	for i := 0; i < nMsgs; i++ {
+		const rec = 3*4 + 2*4 + 3*8 + 4
+		if len(b) < rec {
+			return fail("message record")
+		}
+		from, err := str(b)
+		if err != nil {
+			return nil, err
+		}
+		to, err := str(b[4:])
+		if err != nil {
+			return nil, err
+		}
+		v, err := str(b[8:])
+		if err != nil {
+			return nil, err
+		}
+		s.Msgs = append(s.Msgs, sched.Msg{
+			From: graph.NodeID(from), To: graph.NodeID(to), Var: v,
+			FromPE: int(int32(binary.BigEndian.Uint32(b[12:]))),
+			ToPE:   int(int32(binary.BigEndian.Uint32(b[16:]))),
+			Words:  int64(binary.BigEndian.Uint64(b[20:])),
+			Send:   machine.Time(binary.BigEndian.Uint64(b[28:])),
+			Recv:   machine.Time(binary.BigEndian.Uint64(b[36:])),
+			Hops:   int(int32(binary.BigEndian.Uint32(b[44:]))),
+		})
+		b = b[rec:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after schedule", len(b))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: shipped schedule invalid: %w", err)
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------
+// Binary trace-event lists. A run's result carries thousands of events
+// whose task IDs, variable names and notes repeat constantly; encoding
+// them through a string table makes the result payload a fraction of
+// its JSON size and lets the decoder allocate each distinct string
+// once instead of once per event.
+
+// EncodeEvents encodes a trace event list: a string table followed by
+// fixed-layout event records referencing it.
+func EncodeEvents(evs []trace.Event) []byte {
+	t := newStringTable()
+	// Intern first so the table precedes the records in the buffer.
+	refs := make([][3]uint32, len(evs))
+	for i, e := range evs {
+		refs[i] = [3]uint32{t.ref(string(e.Task)), t.ref(e.Var), t.ref(e.Note)}
+	}
+	b := t.encode(nil)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(evs)))
+	for i, e := range evs {
+		b = append(b, byte(e.Kind))
+		b = binary.BigEndian.AppendUint64(b, uint64(e.At))
+		b = binary.BigEndian.AppendUint32(b, refs[i][0])
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(e.PE)))
+		b = binary.BigEndian.AppendUint32(b, refs[i][1])
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(e.Peer)))
+		b = binary.BigEndian.AppendUint64(b, e.Seq)
+		if e.Dup {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.BigEndian.AppendUint32(b, refs[i][2])
+		b = binary.BigEndian.AppendUint64(b, uint64(e.Bytes))
+	}
+	return b
+}
+
+// eventRecLen is the fixed size of one encoded event record.
+const eventRecLen = 1 + 8 + 4 + 4 + 4 + 4 + 8 + 1 + 4 + 8
+
+// DecodeEvents decodes an EncodeEvents payload.
+func DecodeEvents(b []byte) ([]trace.Event, error) {
+	table, b, err := decodeStringTable(b)
+	if err != nil {
+		return nil, err
+	}
+	str := func(i uint32) (string, error) {
+		if int(i) >= len(table) {
+			return "", fmt.Errorf("wire: event string reference %d outside table of %d", i, len(table))
+		}
+		return table[i], nil
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: truncated event count")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != n*eventRecLen {
+		return nil, fmt.Errorf("wire: %d bytes for %d event records of %d", len(b), n, eventRecLen)
+	}
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		e := &evs[i]
+		e.Kind = trace.Kind(b[0])
+		e.At = machine.Time(binary.BigEndian.Uint64(b[1:]))
+		var task, v, note string
+		if task, err = str(binary.BigEndian.Uint32(b[9:])); err != nil {
+			return nil, err
+		}
+		e.Task = graph.NodeID(task)
+		e.PE = int(int32(binary.BigEndian.Uint32(b[13:])))
+		if v, err = str(binary.BigEndian.Uint32(b[17:])); err != nil {
+			return nil, err
+		}
+		e.Var = v
+		e.Peer = int(int32(binary.BigEndian.Uint32(b[21:])))
+		e.Seq = binary.BigEndian.Uint64(b[25:])
+		e.Dup = b[33] != 0
+		if note, err = str(binary.BigEndian.Uint32(b[34:])); err != nil {
+			return nil, err
+		}
+		e.Note = note
+		e.Bytes = int64(binary.BigEndian.Uint64(b[38:]))
+		b = b[eventRecLen:]
+	}
+	return evs, nil
 }
 
 func appendString(b []byte, s string) []byte {

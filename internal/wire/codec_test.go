@@ -8,6 +8,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/machine"
 	"repro/internal/pits"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 func TestValueRoundTrip(t *testing.T) {
@@ -114,6 +116,76 @@ func TestMsgRoundTripAndDest(t *testing.T) {
 	}
 	if _, err := DecodeMsg(append(append([]byte(nil), b...), 0)); err == nil {
 		t.Error("trailing bytes decoded without error")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	flat, _ := distDesign(t, 3, 3)
+	m := distMachine(t, "hypercube:3")
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSchedule(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON form is canonical and deterministic; byte-equal marshals
+	// mean the graph, machine, slots and messages all survived.
+	wantJSON, err := sc.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := got.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("round trip changed the schedule:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	if _, err := DecodeSchedule(b[:len(b)/2]); err == nil {
+		t.Error("truncated schedule decoded without error")
+	}
+	if _, err := DecodeSchedule(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+	if _, err := DecodeSchedule([]byte{99}); err == nil {
+		t.Error("unknown codec version decoded without error")
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.TaskStart, At: 10, Task: "t1", PE: 2},
+		{Kind: trace.TaskEnd, At: 25, Task: "t1", PE: 2, Note: "ok"},
+		{Kind: trace.MsgSend, At: 26, Task: "t1", PE: 2, Var: "x", Peer: 5, Seq: 7, Bytes: 64},
+		{Kind: trace.MsgRecv, At: 31, Task: "t2", PE: 5, Var: "x", Peer: 2, Seq: 7, Dup: true, Bytes: -1},
+		{Kind: trace.WireBytes, At: 31, PE: -1, Bytes: 1 << 40},
+	}
+	got, err := DecodeEvents(EncodeEvents(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Errorf("round trip:\n got %#v\nwant %#v", got, evs)
+	}
+
+	empty, err := DecodeEvents(EncodeEvents(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("empty event list decoded to %d events", len(empty))
+	}
+
+	b := EncodeEvents(evs)
+	if _, err := DecodeEvents(b[:len(b)-3]); err == nil {
+		t.Error("truncated events decoded without error")
 	}
 }
 

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -35,7 +37,44 @@ type Coordinator struct {
 	PeerTimeout    time.Duration
 	ConnectTimeout time.Duration
 
+	// Mesh ships the worker address map in the start bundle so workers
+	// dial each other and exchange data frames point-to-point instead
+	// of relaying them through the coordinator. The coordinator still
+	// arbitrates membership, heartbeats and recovery barriers, and
+	// remains the routing fallback while a mesh link is down.
+	Mesh bool
+	// FlushEvery is the frame-coalescing window shipped to workers
+	// (default 200µs): small data frames batch per peer until a slot
+	// boundary, an idle/pause barrier, or this much time passes.
+	FlushEvery time.Duration
+	// MaxOutbox caps unacked frames per link (0 = DefaultMaxOutbox); a
+	// link past the cap fails cleanly instead of queueing unboundedly.
+	MaxOutbox int
+
 	Logf func(format string, args ...any)
+
+	// Single-entry schedule-encoding memo (see encodedSchedule).
+	encMu  sync.Mutex
+	encFor *sched.Schedule
+	encBin []byte
+}
+
+// encodedSchedule memoizes EncodeSchedule for the last schedule seen:
+// repeated runs of one design (benchmarks, parameter sweeps) re-ship
+// identical bytes without re-interning every string. Sound because a
+// schedule is immutable once Finalize has run.
+func (co *Coordinator) encodedSchedule(s *sched.Schedule) ([]byte, error) {
+	co.encMu.Lock()
+	defer co.encMu.Unlock()
+	if co.encFor == s && co.encBin != nil {
+		return co.encBin, nil
+	}
+	b, err := EncodeSchedule(s)
+	if err != nil {
+		return nil, err
+	}
+	co.encFor, co.encBin = s, b
+	return b, nil
 }
 
 func (co *Coordinator) logf(format string, args ...any) {
@@ -63,6 +102,13 @@ func (co *Coordinator) connectTimeout() time.Duration {
 		return co.ConnectTimeout
 	}
 	return 10 * time.Second
+}
+
+func (co *Coordinator) flushEvery() time.Duration {
+	if co.FlushEvery > 0 {
+		return co.FlushEvery
+	}
+	return defaultFlushEvery
 }
 
 // Partition splits numPE processors over workers contiguous blocks
@@ -102,6 +148,7 @@ type peer struct {
 	result    *ResultNote
 	lastHeard time.Time
 	redial    context.CancelFunc // non-nil while a reconnect is in flight
+	ackDue    bool               // a batched cumulative ack is owed (run loop only)
 }
 
 // coEvent is one occurrence on the coordinator's central loop: a frame
@@ -135,6 +182,7 @@ type coRun struct {
 	events chan coEvent
 	start  time.Time
 	extra  []trace.Event // coordinator-side trace events
+	ctx    context.Context
 	cancel context.CancelFunc
 }
 
@@ -193,6 +241,7 @@ func (r *coRun) now() machine.Time {
 
 // run connects, starts, and drives the central loop to completion.
 func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
+	r.ctx = ctx
 	defer func() {
 		for _, p := range r.peers {
 			if p.redial != nil {
@@ -211,12 +260,14 @@ func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 
 	hb := time.NewTicker(r.co.heartbeatEvery())
 	defer hb.Stop()
+	handled := 0
 	for {
 		select {
 		case <-ctx.Done():
 			r.broadcast(TError, encJSON(ErrorNote{Msg: "run cancelled by coordinator"}))
 			return nil, fmt.Errorf("wire: run cancelled: %w", ctx.Err())
 		case <-hb.C:
+			r.flushAll()
 			if err := r.heartbeat(); err != nil {
 				return nil, err
 			}
@@ -248,8 +299,45 @@ func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 					return res, err
 				}
 			}
+			// Flush coalesced relays and batched acks when the inbound
+			// queue drains (and periodically inside long bursts, so a
+			// sender's outbox doesn't wait on a saturated loop).
+			if handled++; len(r.events) == 0 || handled >= 64 {
+				handled = 0
+				r.flushAll()
+			}
 		}
 	}
+}
+
+// flushAll drives every peer's coalescing buffer onto the wire, each
+// carrying at most one batched cumulative ack.
+func (r *coRun) flushAll() {
+	for _, p := range r.peers {
+		if p.lost {
+			continue
+		}
+		if p.ackDue && p.link.Conn() != nil {
+			p.ackDue = false
+			p.link.SendRawBuffered(Frame{Type: TAck, Payload: encU64(p.link.Rcvd())})
+		}
+		if err := p.link.Flush(); err != nil {
+			r.breakConn(p, err)
+		}
+	}
+}
+
+// breakConn treats a write failure on an attached connection as a
+// connection break: detach now and redial, instead of waiting for the
+// reader goroutine to notice much later. Sequenced frames already sit
+// in the link outbox and replay on reattach.
+func (r *coRun) breakConn(p *peer, err error) {
+	if p.lost || errors.Is(err, ErrLinkDetached) {
+		return
+	}
+	r.co.logf("worker %d (%s) write failed (%v); reconnecting", p.i, p.addr, err)
+	p.link.Detach()
+	r.redialPeer(r.ctx, p)
 }
 
 // connectAll dials and handshakes every worker.
@@ -286,6 +374,7 @@ func (r *coRun) connectAll(ctx context.Context) error {
 		}
 		p := r.peers[dr.i]
 		p.link = NewLink(dr.conn)
+		p.link.SetMaxOutbox(r.co.MaxOutbox)
 		p.lastHeard = time.Now()
 	}
 	if firstErr != nil {
@@ -394,6 +483,13 @@ func (r *coRun) redialPeer(ctx context.Context, p *peer) {
 			rcvd, err := reHandshake(c, hello)
 			if err != nil {
 				c.Close()
+				// Pace the retry: a listener that accepts but rejects
+				// the handshake would otherwise be hammered in a spin.
+				select {
+				case <-time.After(50 * time.Millisecond):
+				case <-rctx.Done():
+					return
+				}
 				continue
 			}
 			select {
@@ -408,9 +504,9 @@ func (r *coRun) redialPeer(ctx context.Context, p *peer) {
 
 // startAll ships every worker its start bundle.
 func (r *coRun) startAll() error {
-	schedJSON, err := r.s.MarshalJSON()
+	schedBin, err := r.co.encodedSchedule(r.s)
 	if err != nil {
-		return fmt.Errorf("wire: marshal schedule: %w", err)
+		return fmt.Errorf("wire: encode schedule: %w", err)
 	}
 	inputs, err := EncodeEnv(r.co.Runner.Inputs)
 	if err != nil {
@@ -422,25 +518,35 @@ func (r *coRun) startAll() error {
 		for _, pe := range p.pes {
 			hosted[pe] = true
 		}
+		// The schedule and inputs ride out of band: they dominate the
+		// bundle and would otherwise be base64 inside the JSON.
 		bundle := StartBundle{
 			Run: r.id, Worker: p.i, Workers: len(r.peers),
-			Hosted: hosted, Schedule: schedJSON,
+			Hosted:     hosted,
 			ExternalIn: r.flat.ExternalIn, ExternalOut: r.flat.ExternalOut,
-			Inputs: inputs, Opts: OptsFor(r.co.Runner),
+			Opts:           OptsFor(r.co.Runner),
 			HeartbeatEvery: int64(r.co.heartbeatEvery()), PeerTimeout: int64(r.co.peerTimeout()),
+			FlushEvery: int64(r.co.flushEvery()),
 		}
-		if err := p.link.Send(TStart, encJSON(bundle)); err != nil {
+		if r.co.Mesh {
+			bundle.Peers = append([]string(nil), r.co.Addrs[:len(r.peers)]...)
+			bundle.PeerOf = append([]int(nil), r.peerOf...)
+		}
+		if err := p.link.Send(TStart, encBlobEnvelope(encJSON(bundle), schedBin, inputs)); err != nil {
 			return fmt.Errorf("wire: starting worker %d: %w", p.i, err)
 		}
 	}
 	return nil
 }
 
-// broadcast sends a sequenced frame to every non-lost worker.
+// broadcast sends a sequenced frame to every non-lost worker. A write
+// failure breaks the connection (the frame replays on reattach).
 func (r *coRun) broadcast(t Type, payload []byte) {
 	for _, p := range r.peers {
 		if !p.lost {
-			p.link.Send(t, payload)
+			if err := p.link.Send(t, payload); err != nil {
+				r.breakConn(p, err)
+			}
 		}
 	}
 }
@@ -453,7 +559,9 @@ func (r *coRun) heartbeat() error {
 			continue
 		}
 		if p.link.Conn() != nil {
-			p.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(0)})
+			if err := p.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(0)}); err != nil {
+				r.breakConn(p, err)
+			}
 		}
 		if now.Sub(p.lastHeard) > r.co.peerTimeout() {
 			if err := r.peerLost(p); err != nil {
@@ -512,7 +620,8 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 		return false, nil, nil
 	}
 	if f.Wid != 0 {
-		defer p.link.SendRaw(Frame{Type: TAck, Payload: encU64(p.link.Rcvd())})
+		// Batched: the next flushAll sends one cumulative ack.
+		p.ackDue = true
 	}
 	switch f.Type {
 	case TData:
@@ -529,7 +638,11 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 			// consumer, so the message can drop.
 			return false, nil, nil
 		}
-		return false, nil, q.link.Send(TData, f.Payload)
+		if err := q.link.SendData(TData, f.Payload, false); err != nil {
+			// The frame is in q's outbox and replays on reattach.
+			r.breakConn(q, err)
+		}
+		return false, nil, nil
 	case TIdle:
 		if r.state == stRunning {
 			p.idle = true
@@ -549,6 +662,13 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 		if err != nil {
 			return false, nil, err
 		}
+		if r.state == stFinishing {
+			// A stale barrier reply racing the finish decision (e.g. a
+			// replayed frame after a reconnect): the sessions already
+			// got Finish, so there is no barrier to fold it into.
+			r.co.logf("worker %d parked while finishing; ignoring stale barrier reply", p.i)
+			return false, nil, nil
+		}
 		if r.state != stPausing {
 			return false, nil, fmt.Errorf("wire: worker %d parked outside a pause", p.i)
 		}
@@ -563,9 +683,16 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 		}
 		return false, nil, r.checkParked()
 	case TResult:
-		note, err := decJSON[ResultNote](f.Payload, "result")
+		js, blobs, err := decBlobEnvelope(f.Payload)
 		if err != nil {
 			return false, nil, err
+		}
+		note, err := decJSON[ResultNote](js, "result")
+		if err != nil {
+			return false, nil, err
+		}
+		if len(blobs) >= 2 {
+			note.Outputs, note.EventsBin = blobs[0], blobs[1]
 		}
 		p.result = &note
 		return r.checkAllResults()
@@ -599,12 +726,20 @@ func (r *coRun) handleCrash(pe int) error {
 	if r.allDead() {
 		return fmt.Errorf("exec: all processors crashed")
 	}
-	if r.state == stPausing {
+	switch r.state {
+	case stPausing:
 		// The pause barrier is already forming; the crash folds into
 		// the plan when the parked states arrive.
 		return nil
+	case stFinishing:
+		// The crash report raced the finish decision: every session
+		// already received Finish, so a pause barrier could never
+		// complete (the old fall-through to startPause hung here) and
+		// the crashed processor's results are unrecoverable. Fail.
+		return fmt.Errorf("wire: processor %d crashed while the run was finishing; its results are lost", pe)
+	default:
+		return r.startPause()
 	}
-	return r.startPause()
 }
 
 // startPause orders every surviving worker to the recovery barrier.
@@ -740,9 +875,13 @@ func (r *coRun) checkAllResults() (bool, *exec.Result, error) {
 		if err != nil {
 			return false, nil, fmt.Errorf("wire: worker %d result: %w", p.i, err)
 		}
+		events, err := p.result.TraceEvents()
+		if err != nil {
+			return false, nil, fmt.Errorf("wire: worker %d result: %w", p.i, err)
+		}
 		partials = append(partials, &exec.Partial{
 			Outputs: outputs, Exports: p.result.Exports,
-			Printed: p.result.Printed, Events: p.result.Events,
+			Printed: p.result.Printed, Events: events,
 		})
 	}
 	outputs, printed, err := exec.MergePartials(partials...)
@@ -790,16 +929,40 @@ func (co *Coordinator) Calibrate(ctx context.Context, probes int) (machine.Calib
 		return cal, err
 	}
 
+	// One reader goroutine feeds every probe; per-probe deadlines live
+	// in minRTT (a lost pong must not spin the loop forever).
+	frames := make(chan Frame, 16)
+	rerr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				rerr <- err
+				return
+			}
+			select {
+			case frames <- f:
+			case <-done:
+				return
+			}
+		}
+	}()
+
 	const words = 4096
-	small, err := minRTT(c, probes, nil)
+	timeout := co.peerTimeout()
+	small, err := minRTT(c, probes, nil, frames, rerr, timeout)
 	if err != nil {
 		return cal, err
 	}
-	large, err := minRTT(c, probes, make([]byte, words*8))
+	large, err := minRTT(c, probes, make([]byte, words*8), frames, rerr, timeout)
 	if err != nil {
 		return cal, err
 	}
-	c.WriteFrame(Frame{Type: TBye, Wid: 1})
+	if err := c.WriteFrame(Frame{Type: TBye, Wid: 1}); err != nil {
+		return cal, fmt.Errorf("wire: calibration goodbye: %w", err)
+	}
 
 	// One-way cost is half the round trip; the model's units are
 	// microseconds (per message, and per 8-byte word).
@@ -816,23 +979,38 @@ func (co *Coordinator) Calibrate(ctx context.Context, probes int) (machine.Calib
 }
 
 // minRTT measures the fastest of n ping round trips with the given
-// payload.
-func minRTT(c Conn, n int, payload []byte) (time.Duration, error) {
+// payload. Each probe is bounded by timeout: a lost pong (or a worker
+// that only ever sends heartbeats) fails the calibration instead of
+// spinning the receive loop forever.
+func minRTT(c Conn, n int, payload []byte, frames <-chan Frame, rerr <-chan error, timeout time.Duration) (time.Duration, error) {
 	best := time.Duration(0)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
 		if err := c.WriteFrame(Frame{Type: TPing, Payload: payload}); err != nil {
 			return 0, err
 		}
+		if !deadline.Stop() {
+			select {
+			case <-deadline.C:
+			default:
+			}
+		}
+		deadline.Reset(timeout)
+	probe:
 		for {
-			f, err := c.ReadFrame()
-			if err != nil {
+			select {
+			case f := <-frames:
+				if f.Type == TPong {
+					break probe
+				}
+				// Heartbeats and acks interleave with pongs; skip them.
+			case err := <-rerr:
 				return 0, err
+			case <-deadline.C:
+				return 0, fmt.Errorf("wire: calibration probe %d timed out after %v (no pong)", i, timeout)
 			}
-			if f.Type == TPong {
-				break
-			}
-			// Heartbeats and acks interleave with pongs; skip them.
 		}
 		if rtt := time.Since(t0); best == 0 || rtt < best {
 			best = rtt

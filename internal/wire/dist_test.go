@@ -107,12 +107,20 @@ func TestDistEquivalence(t *testing.T) {
 	for _, tc := range []struct {
 		mspec   string
 		workers int
+		mesh    bool
 	}{
-		{"hypercube:2", 2},
-		{"hypercube:3", 3},
-		{"star:4", 2},
+		{"hypercube:2", 2, false},
+		{"hypercube:3", 3, false},
+		{"star:4", 2, false},
+		{"hypercube:2", 2, true},
+		{"hypercube:3", 3, true},
+		{"star:4", 2, true},
 	} {
-		t.Run(fmt.Sprintf("%s-%dw", tc.mspec, tc.workers), func(t *testing.T) {
+		name := fmt.Sprintf("%s-%dw", tc.mspec, tc.workers)
+		if tc.mesh {
+			name += "-mesh"
+		}
+		t.Run(name, func(t *testing.T) {
 			m := distMachine(t, tc.mspec)
 			sc, err := sched.ETF{}.Schedule(flat.Graph, m)
 			if err != nil {
@@ -131,6 +139,7 @@ func TestDistEquivalence(t *testing.T) {
 				Runner:         &exec.Runner{Inputs: inputs},
 				HeartbeatEvery: 50 * time.Millisecond,
 				PeerTimeout:    2 * time.Second,
+				Mesh:           tc.mesh,
 			}
 			dist, err := co.Run(context.Background(), sc, flat)
 			if err != nil {
@@ -161,68 +170,77 @@ func TestDistEquivalence(t *testing.T) {
 // drives the global pause/replan/resume path and the run still produces
 // the fault-free outputs.
 func TestDistCrashRecovery(t *testing.T) {
-	flat, inputs := distDesign(t, 4, 3)
-	m := distMachine(t, "hypercube:2")
-	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	single, err := (&exec.Runner{Inputs: inputs}).Run(sc, flat)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Crash a processor that actually has work, partway into its slot
-	// list, so surviving results and replanned work both exist.
-	crashPE, slots := -1, 0
-	for pe := 0; pe < m.NumPE(); pe++ {
-		n := 0
-		for _, sl := range sc.Slots {
-			if sl.PE == pe {
-				n++
+	for _, mesh := range []bool{false, true} {
+		name := "relay"
+		if mesh {
+			name = "mesh"
+		}
+		t.Run(name, func(t *testing.T) {
+			flat, inputs := distDesign(t, 4, 3)
+			m := distMachine(t, "hypercube:2")
+			sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		if n > slots {
-			crashPE, slots = pe, n
-		}
-	}
-	if crashPE < 0 || slots < 2 {
-		t.Fatal("schedule has no busy processor to crash")
-	}
-	plan, err := exec.ParseFaults(fmt.Sprintf("crash:%d@1", crashPE))
-	if err != nil {
-		t.Fatal(err)
-	}
+			single, err := (&exec.Runner{Inputs: inputs}).Run(sc, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	tr := Inproc()
-	addrs, stop := startWorkers(t, tr, 2)
-	defer stop()
-	co := &Coordinator{
-		Transport: tr, Addrs: addrs,
-		Runner: &exec.Runner{Inputs: inputs, Faults: plan,
-			Retry: true, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond},
-		HeartbeatEvery: 50 * time.Millisecond,
-		PeerTimeout:    2 * time.Second,
-	}
-	dist, err := co.Run(context.Background(), sc, flat)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
-		t.Errorf("outputs diverged after crash recovery:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
-	}
-	if !reflect.DeepEqual(dist.Printed, single.Printed) {
-		t.Errorf("printed lines diverged after crash recovery:\n dist   %q\n single %q", dist.Printed, single.Printed)
-	}
-	st, err := dist.Trace.Summarize(m.NumPE())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Faults == 0 {
-		t.Error("trace records no injected fault")
-	}
-	if st.Rescheduled == 0 {
-		t.Error("crash recovery recorded no rescheduled tasks")
+			// Crash a processor that actually has work, partway into its slot
+			// list, so surviving results and replanned work both exist.
+			crashPE, slots := -1, 0
+			for pe := 0; pe < m.NumPE(); pe++ {
+				n := 0
+				for _, sl := range sc.Slots {
+					if sl.PE == pe {
+						n++
+					}
+				}
+				if n > slots {
+					crashPE, slots = pe, n
+				}
+			}
+			if crashPE < 0 || slots < 2 {
+				t.Fatal("schedule has no busy processor to crash")
+			}
+			plan, err := exec.ParseFaults(fmt.Sprintf("crash:%d@1", crashPE))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := Inproc()
+			addrs, stop := startWorkers(t, tr, 2)
+			defer stop()
+			co := &Coordinator{
+				Transport: tr, Addrs: addrs,
+				Runner: &exec.Runner{Inputs: inputs, Faults: plan,
+					Retry: true, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond},
+				HeartbeatEvery: 50 * time.Millisecond,
+				PeerTimeout:    2 * time.Second,
+				Mesh:           mesh,
+			}
+			dist, err := co.Run(context.Background(), sc, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dist.Outputs, single.Outputs) {
+				t.Errorf("outputs diverged after crash recovery:\n dist   %v\n single %v", dist.Outputs, single.Outputs)
+			}
+			if !reflect.DeepEqual(dist.Printed, single.Printed) {
+				t.Errorf("printed lines diverged after crash recovery:\n dist   %q\n single %q", dist.Printed, single.Printed)
+			}
+			st, err := dist.Trace.Summarize(m.NumPE())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Faults == 0 {
+				t.Error("trace records no injected fault")
+			}
+			if st.Rescheduled == 0 {
+				t.Error("crash recovery recorded no rescheduled tasks")
+			}
+		})
 	}
 }
 
@@ -230,6 +248,19 @@ func TestDistCrashRecovery(t *testing.T) {
 // dead by heartbeat loss and the run completes on the survivors with
 // the fault-free outputs.
 func TestDistWorkerLost(t *testing.T) {
+	for _, mesh := range []bool{false, true} {
+		name := "relay"
+		if mesh {
+			name = "mesh"
+		}
+		t.Run(name, func(t *testing.T) { distWorkerLost(t, mesh) })
+	}
+}
+
+// distWorkerLost runs the worker-death scenario on either data plane.
+// With mesh on, the dying worker also takes its peer links down, so the
+// survivors must fall back to coordinator relay for replayed sends.
+func distWorkerLost(t *testing.T, mesh bool) {
 	flat, inputs := distDesign(t, 6, 3)
 	m := distMachine(t, "hypercube:2")
 	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
@@ -305,6 +336,7 @@ func TestDistWorkerLost(t *testing.T) {
 		Runner:         &exec.Runner{Inputs: inputs, Faults: plan},
 		HeartbeatEvery: 50 * time.Millisecond,
 		PeerTimeout:    400 * time.Millisecond,
+		Mesh:           mesh,
 	}
 	dist, err := co.Run(context.Background(), sc, flat)
 	<-victimDone

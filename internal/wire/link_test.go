@@ -3,7 +3,12 @@ package wire
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLinkReplayAfterReattach(t *testing.T) {
@@ -68,6 +73,126 @@ func TestLinkAcceptDeduplicates(t *testing.T) {
 	}
 	if l.Rcvd() != 2 {
 		t.Errorf("watermark %d, want 2", l.Rcvd())
+	}
+}
+
+// TestLinkOutboxCap: a peer that never acks cannot grow the outbox
+// without bound. Hitting the cap fails the link cleanly and stays
+// failed — including across a reattach, so the coordinator eventually
+// declares the peer lost instead of hoarding frames forever.
+func TestLinkOutboxCap(t *testing.T) {
+	l := NewLink(nil) // detached: frames queue without a reader
+	l.SetMaxOutbox(4)
+	for i := 0; i < 4; i++ {
+		if err := l.Send(TData, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d under the cap: %v", i, err)
+		}
+	}
+	err := l.Send(TData, []byte{4})
+	if !errors.Is(err, ErrOutboxOverflow) {
+		t.Fatalf("send over the cap: got %v, want ErrOutboxOverflow", err)
+	}
+	if err := l.Send(TData, []byte{5}); !errors.Is(err, ErrOutboxOverflow) {
+		t.Errorf("failure is not sticky: second send got %v", err)
+	}
+	a, _ := inprocPair()
+	if err := l.Reattach(a, 0); !errors.Is(err, ErrOutboxOverflow) {
+		t.Errorf("reattach on a failed link got %v, want ErrOutboxOverflow", err)
+	}
+
+	// Acks prune the outbox, so a healthy peer never trips the cap.
+	l2 := NewLink(nil)
+	l2.SetMaxOutbox(4)
+	for i := 0; i < 32; i++ {
+		if err := l2.Send(TData, []byte{byte(i)}); err != nil {
+			t.Fatalf("acked send %d: %v", i, err)
+		}
+		l2.Acked(uint64(i + 1))
+	}
+}
+
+// TestLinkConcurrentSendReattach hammers Send against Detach/Reattach
+// replay cycles; the race detector pins the locking, and every wid must
+// come out exactly once per connection epoch (replays excepted).
+func TestLinkConcurrentSendReattach(t *testing.T) {
+	a, b := inprocPair()
+	l := NewLink(a)
+	// The overflow cap is TestLinkOutboxCap's subject; here unthrottled
+	// senders can outrun the 50µs acker on a loaded machine, and the
+	// test must die by deadline, not by a spurious overflow.
+	l.SetMaxOutbox(1 << 22)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Drain whatever connection currently backs the link so writes
+	// never block; remember the highest wid actually read, which is the
+	// watermark an honest peer would hand back in the reconnect
+	// handshake. Acking happens on a separate goroutine, like a real
+	// peer's batched cumulative acks: the drain must never wait on the
+	// link lock, or it stops emptying the very queue a locked replay is
+	// trying to fill.
+	var seen atomic.Uint64
+	drain := func(c *inprocConn) {
+		defer wg.Done()
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				return // Detach closed this connection
+			}
+			for {
+				cur := seen.Load()
+				if f.Wid <= cur || seen.CompareAndSwap(cur, f.Wid) {
+					break
+				}
+			}
+		}
+	}
+	wg.Add(1)
+	go drain(b)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			l.Acked(seen.Load())
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	const senders = 4
+	var sent atomic.Int64
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if err := l.Send(TData, []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+				sent.Add(1)
+			}
+		}(s)
+	}
+
+	for cycle := 0; cycle < 25; cycle++ {
+		// Let the senders race the attached connection for a moment
+		// before tearing it down again.
+		for target := sent.Load() + 10; sent.Load() < target; {
+			time.Sleep(100 * time.Microsecond)
+		}
+		l.Detach()
+		c, d := inprocPair()
+		wg.Add(1)
+		go drain(d)
+		if err := l.Reattach(c, seen.Load()); err != nil {
+			t.Fatalf("reattach cycle %d: %v", cycle, err)
+		}
+	}
+	stop.Store(true)
+	l.Close()
+	wg.Wait()
+	if sent.Load() == 0 {
+		t.Error("senders made no progress across reattach cycles")
 	}
 }
 

@@ -1,0 +1,351 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// The mesh data plane. With the star topology every cross-worker
+// message pays two hops (sender -> coordinator -> consumer); the mesh
+// lets workers dial each other directly and send destination-prefixed
+// Data frames point-to-point, while the coordinator keeps arbitrating
+// membership, heartbeats and the recovery barrier over its own links.
+//
+// Topology: worker i dials every lower-indexed worker j < i (one
+// connection per pair, shared by both directions), using the same
+// transport and listener the worker daemon already runs. A mesh link
+// reuses the Link machinery — wids, cumulative acks, outbox replay
+// after a reconnect — so a broken worker-to-worker connection heals
+// exactly like a broken coordinator connection.
+//
+// Fallback: until a pair's link is established (the peer hasn't
+// received its start bundle yet, or worker-to-worker dialing fails
+// outright while the coordinator can still reach both), data frames
+// fall back to the coordinator relay. Correctness never depends on
+// the mesh: each message travels on exactly one link, is sequenced
+// there, and replays there after a reconnect.
+
+// defaultFlushEvery is the frame-coalescing window: small data frames
+// buffer per peer until the sender's slot ends, the link goes idle, or
+// this much time passes, whichever is first.
+const defaultFlushEvery = 200 * time.Microsecond
+
+// meshConfig is the immutable wiring of a worker's mesh.
+type meshConfig struct {
+	transport Transport
+	runID     string
+	self      int      // this worker's index
+	addrs     []string // worker listen addresses by index
+	peerOf    []int    // pe -> worker index
+	flushery  time.Duration
+	logf      func(format string, args ...any)
+}
+
+// mesh is one worker's set of direct links to its peers.
+type mesh struct {
+	cfg     meshConfig
+	deliver func(exec.RemoteMsg) error // the session's Deliver
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	peers  map[int]*meshPeer // established links by worker index
+	lost   map[int]bool      // workers declared dead by the recovery plan
+	closed bool
+}
+
+// meshPeer is one established (possibly detached) direct link.
+type meshPeer struct {
+	link *Link
+	// ackDue batches acks: readers set it after accepting sequenced
+	// frames, the flusher folds one cumulative ack into the next flush.
+	ackDue atomic.Bool
+}
+
+// newMesh starts the dial loops toward lower-indexed peers and returns
+// the mesh. Higher-indexed peers dial us; their connections arrive
+// through the worker daemon's accept path (acceptPeer).
+func newMesh(cfg meshConfig, deliver func(exec.RemoteMsg) error) *mesh {
+	if cfg.flushery <= 0 {
+		cfg.flushery = defaultFlushEvery
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &mesh{cfg: cfg, deliver: deliver, ctx: ctx, cancel: cancel,
+		peers: map[int]*meshPeer{}, lost: map[int]bool{}}
+	for j := range cfg.addrs {
+		if j < cfg.self && cfg.addrs[j] != "" {
+			go m.dialLoop(j)
+		}
+	}
+	return m
+}
+
+// linkFor returns the direct link to the worker hosting pe, or nil
+// when the frame should fall back to the coordinator relay (processor
+// hosted locally — a caller bug —, link not yet established, or peer
+// declared dead: the relay drops frames for dead workers, which is
+// what recovery wants).
+func (m *mesh) linkFor(pe int) *Link {
+	if pe < 0 || pe >= len(m.cfg.peerOf) {
+		return nil
+	}
+	j := m.cfg.peerOf[pe]
+	if j == m.cfg.self {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lost[j] || m.closed {
+		return nil
+	}
+	p := m.peers[j]
+	if p == nil {
+		return nil
+	}
+	return p.link
+}
+
+// peer returns (creating if needed) the state for worker j, or nil if
+// j is dead or the mesh is closed.
+func (m *mesh) peer(j int) *meshPeer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.lost[j] {
+		return nil
+	}
+	p := m.peers[j]
+	if p == nil {
+		p = &meshPeer{link: NewLink(nil)}
+		m.peers[j] = p
+	}
+	return p
+}
+
+// dialLoop establishes and maintains the link to lower-indexed worker
+// j: dial, handshake, attach, read until the connection breaks, redial.
+// A handshake rejection usually means the peer hasn't received its
+// start bundle yet; retry with backoff until the run ends.
+func (m *mesh) dialLoop(j int) {
+	backoff := 5 * time.Millisecond
+	const backoffCap = 500 * time.Millisecond
+	for m.ctx.Err() == nil {
+		c, err := dialBackoff(m.ctx, m.cfg.transport, m.cfg.addrs[j], 25*time.Millisecond, backoffCap)
+		if err != nil {
+			return // ctx cancelled
+		}
+		p := m.peer(j)
+		if p == nil {
+			c.Close()
+			return
+		}
+		rcvd, err := m.helloPeer(c, p.link.Rcvd())
+		if err != nil {
+			c.Close()
+			select {
+			case <-time.After(backoff):
+			case <-m.ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > backoffCap {
+				backoff = backoffCap
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		if err := p.link.Reattach(c, rcvd); err != nil {
+			p.link.Detach()
+			continue
+		}
+		m.cfg.logf("mesh link to worker %d (%s) up", j, m.cfg.addrs[j])
+		m.readConn(p, c)
+	}
+}
+
+// helloPeer performs the mesh handshake on a fresh connection and
+// returns the peer's receive watermark, bounded by a timeout.
+func (m *mesh) helloPeer(c Conn, rcvd uint64) (uint64, error) {
+	h := Hello{Proto: ProtoVersion, Run: m.cfg.runID, Rcvd: rcvd, Peer: m.cfg.self + 1}
+	type res struct {
+		rcvd uint64
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := reHandshake(c, h)
+		ch <- res{r, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.rcvd, r.err
+	case <-time.After(5 * time.Second):
+		c.Close()
+		return 0, fmt.Errorf("wire: mesh handshake timed out")
+	case <-m.ctx.Done():
+		c.Close()
+		return 0, m.ctx.Err()
+	}
+}
+
+// acceptPeer attaches an inbound mesh connection from worker j (the
+// daemon already read its Hello). The Welcome carries our watermark
+// and must precede the outbox replay that Reattach performs.
+func (m *mesh) acceptPeer(j int, c Conn, peerRcvd uint64, frames <-chan Frame, rerr <-chan error) error {
+	if j < 0 || j >= len(m.cfg.addrs) || j == m.cfg.self {
+		return fmt.Errorf("wire: mesh hello from out-of-range worker %d", j)
+	}
+	p := m.peer(j)
+	if p == nil {
+		return fmt.Errorf("wire: mesh hello from dead worker %d", j)
+	}
+	if err := c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: p.link.Rcvd()})}); err != nil {
+		return err
+	}
+	if err := p.link.Reattach(c, peerRcvd); err != nil {
+		p.link.Detach()
+		return err
+	}
+	m.cfg.logf("mesh link from worker %d up", j)
+	go m.readChan(p, c, frames, rerr)
+	return nil
+}
+
+// readConn pumps a dialed connection until it breaks.
+func (m *mesh) readConn(p *meshPeer, c Conn) {
+	for {
+		f, err := c.ReadFrame()
+		if err != nil {
+			p.link.DetachIf(c)
+			return
+		}
+		m.handleFrame(p, f)
+	}
+}
+
+// readChan pumps an accepted connection (frames arrive through the
+// daemon's hello reader) until it breaks.
+func (m *mesh) readChan(p *meshPeer, c Conn, frames <-chan Frame, rerr <-chan error) {
+	for {
+		select {
+		case f := <-frames:
+			m.handleFrame(p, f)
+		case <-rerr:
+			p.link.DetachIf(c)
+			return
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// handleFrame processes one frame from a mesh peer: data is delivered
+// straight into the session, acks prune the outbox, anything else is
+// connection noise.
+func (m *mesh) handleFrame(p *meshPeer, f Frame) {
+	switch f.Type {
+	case TData:
+		if !p.link.Accept(f) {
+			p.ackDue.Store(true) // replay overlap: re-ack
+			return
+		}
+		msg, err := DecodeMsg(f.Payload)
+		p.ackDue.Store(true)
+		if err != nil {
+			m.cfg.logf("mesh: bad data frame: %v", err)
+			return
+		}
+		putBuf(f.Payload) // DecodeMsg copies everything out
+		if err := m.deliver(msg); err != nil {
+			m.cfg.logf("mesh: deliver: %v", err)
+		}
+	case TAck:
+		if wid, err := decU64(f.Payload); err == nil {
+			p.link.Acked(wid)
+		}
+	case THeartbeat, TPing, TPong:
+		// Liveness is the coordinator's job; ignore.
+	default:
+		m.cfg.logf("mesh: unexpected %s frame", f.Type)
+	}
+}
+
+// flushAll drives every peer's coalescing buffer onto the wire, each
+// flush carrying at most one batched cumulative ack. Called at slot
+// boundaries, on idle/pause barriers, and by the run's flush ticker.
+func (m *mesh) flushAll() {
+	m.mu.Lock()
+	peers := make([]*meshPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		if p.ackDue.Swap(false) {
+			// A detached link drops the ack; the reconnect handshake
+			// re-exchanges watermarks, so nothing is lost.
+			p.link.SendRawBuffered(Frame{Type: TAck, Payload: encU64(p.link.Rcvd())})
+		}
+		if err := p.link.Flush(); err != nil {
+			p.link.Detach()
+		}
+	}
+}
+
+// pruneDead closes links to workers the recovery plan declared dead:
+// every processor they hosted is dead, so nothing routes there again.
+func (m *mesh) pruneDead(dead []bool) {
+	for j := range m.cfg.addrs {
+		if j == m.cfg.self {
+			continue
+		}
+		gone := false
+		for pe, w := range m.cfg.peerOf {
+			if w != j || pe >= len(dead) {
+				continue
+			}
+			if !dead[pe] {
+				gone = false
+				break
+			}
+			gone = true
+		}
+		if gone {
+			m.markLost(j)
+		}
+	}
+}
+
+// markLost drops worker j from the mesh.
+func (m *mesh) markLost(j int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lost[j] {
+		return
+	}
+	m.lost[j] = true
+	if p := m.peers[j]; p != nil {
+		p.link.Close()
+		delete(m.peers, j)
+	}
+}
+
+// close tears the mesh down: dial loops stop, links close, pooled
+// outbox payloads return to the pool.
+func (m *mesh) close() {
+	m.cancel()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for j, p := range m.peers {
+		p.link.Close()
+		delete(m.peers, j)
+	}
+}

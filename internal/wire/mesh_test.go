@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/pits"
+)
+
+// acceptMeshConns runs a minimal stand-in for the worker daemon's
+// accept path: every inbound connection's Hello is read and routed into
+// the mesh, with a pump goroutine feeding subsequent frames.
+func acceptMeshConns(t *testing.T, ln Listener, m *mesh) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c Conn) {
+				f, err := c.ReadFrame()
+				if err != nil || f.Type != THello {
+					c.Close()
+					return
+				}
+				h, err := decJSON[Hello](f.Payload, "hello")
+				if err != nil || h.Peer == 0 {
+					c.Close()
+					return
+				}
+				frames := make(chan Frame, 64)
+				rerr := make(chan error, 1)
+				go func() {
+					for {
+						f, err := c.ReadFrame()
+						if err != nil {
+							rerr <- err
+							return
+						}
+						frames <- f
+					}
+				}()
+				if err := m.acceptPeer(h.Peer-1, c, h.Rcvd, frames, rerr); err != nil {
+					t.Logf("acceptPeer: %v", err)
+					c.Close()
+				}
+			}(c)
+		}
+	}()
+}
+
+// TestMeshDirectDelivery pins the peer-to-peer path end to end without
+// a coordinator: worker 1 dials worker 0, data frames coalesce until an
+// explicit flush, arrive in order, and the batched cumulative ack
+// prunes the sender's outbox.
+func TestMeshDirectDelivery(t *testing.T) {
+	tr := Inproc()
+	ln, err := tr.Listen("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := meshConfig{transport: tr, runID: "r1",
+		addrs: []string{"w0", "w1"}, peerOf: []int{0, 1}, logf: t.Logf}
+
+	got := make(chan exec.RemoteMsg, 16)
+	cfg0 := cfg
+	cfg0.self = 0
+	m0 := newMesh(cfg0, func(m exec.RemoteMsg) error { got <- m; return nil })
+	defer m0.close()
+	acceptMeshConns(t, ln, m0)
+
+	cfg1 := cfg
+	cfg1.self = 1
+	m1 := newMesh(cfg1, func(exec.RemoteMsg) error { return nil })
+	defer m1.close()
+
+	var l *Link
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(2 * time.Millisecond) {
+		if l = m1.linkFor(0); l != nil {
+			break
+		}
+	}
+	if l == nil {
+		t.Fatal("mesh link from worker 1 to worker 0 never came up")
+	}
+
+	want := make([]exec.RemoteMsg, 3)
+	for i := range want {
+		want[i] = exec.RemoteMsg{From: "a", To: "b", Var: "x",
+			FromPE: 1, ToPE: 0, Seq: uint64(i + 1), Epoch: 1, Val: pits.Num(float64(40 + i))}
+		b, err := AppendMsg(getBuf(), want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SendData(TData, b, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Frames are coalescing in the peer buffer: nothing may arrive
+	// before the flush.
+	select {
+	case m := <-got:
+		t.Fatalf("message %v arrived before flush", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m1.flushAll()
+	for i := range want {
+		select {
+		case m := <-got:
+			if !reflect.DeepEqual(m, want[i]) {
+				t.Errorf("message %d: got %+v, want %+v", i, m, want[i])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d never delivered", i)
+		}
+	}
+
+	// The receiver owes one batched cumulative ack; its flush must
+	// prune the sender's outbox.
+	m0.flushAll()
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(2 * time.Millisecond) {
+		l.mu.Lock()
+		n := len(l.outbox)
+		l.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("sender outbox still holds %d frames after ack flush", n)
+		}
+	}
+}
+
+// TestMeshLostPeerFallsBack: once the recovery plan declares a worker
+// dead, linkFor routes its processors back to the relay (nil).
+func TestMeshLostPeerFallsBack(t *testing.T) {
+	tr := Inproc()
+	cfg := meshConfig{transport: tr, runID: "r2", self: 1,
+		addrs: []string{"", "w1", ""}, peerOf: []int{0, 1, 2}, logf: t.Logf}
+	m := newMesh(cfg, func(exec.RemoteMsg) error { return nil })
+	defer m.close()
+
+	// Fake an established link to worker 2.
+	p := m.peer(2)
+	if p == nil {
+		t.Fatal("peer(2) returned nil")
+	}
+	if m.linkFor(2) == nil {
+		t.Fatal("linkFor(2) should route to the fake established link")
+	}
+	// pe 0 hosted by worker 0 (no link): relay. pe 1 is local: relay.
+	if m.linkFor(0) != nil || m.linkFor(1) != nil {
+		t.Error("unestablished and local processors must fall back to relay")
+	}
+
+	m.pruneDead([]bool{false, false, true})
+	if m.linkFor(2) != nil {
+		t.Error("linkFor must return nil for a worker declared dead")
+	}
+	if m.peer(2) != nil {
+		t.Error("peer must not resurrect a dead worker")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -17,13 +18,16 @@ import (
 // heartbeat payloads are binary (exact floats, hot path). Every frame
 // is integrity-checked by the frame-level fnv64a checksum.
 
-// Hello opens a connection: the dialer (always the coordinator)
-// identifies the run and, on a reconnect, its receive watermark so the
-// worker can replay what was lost with the old connection.
+// Hello opens a connection: the dialer — the coordinator, or a worker
+// dialing into the mesh — identifies the run and, on a reconnect, its
+// receive watermark so the accepting side can replay what was lost
+// with the old connection. Peer distinguishes the two dialers: 0 is
+// the coordinator, k > 0 is worker k-1 establishing a mesh link.
 type Hello struct {
 	Proto byte   `json:"proto"`
 	Run   string `json:"run"`            // run id; empty before Start
 	Rcvd  uint64 `json:"rcvd,omitempty"` // dialer's cumulative received wid
+	Peer  int    `json:"peer,omitempty"` // 1+worker index of a mesh dialer
 }
 
 // Welcome answers a Hello with the worker's own watermark.
@@ -87,11 +91,14 @@ func OptsFor(r *exec.Runner) RunOpts {
 // flattening's external bindings, the input data, its hosted processor
 // mask and the runner options.
 type StartBundle struct {
-	Run         string                    `json:"run"`
-	Worker      int                       `json:"worker"`  // this worker's index
-	Workers     int                       `json:"workers"` // total worker count
-	Hosted      []bool                    `json:"hosted"`
-	Schedule    json.RawMessage           `json:"schedule"`
+	Run      string          `json:"run"`
+	Worker   int             `json:"worker"`  // this worker's index
+	Workers  int             `json:"workers"` // total worker count
+	Hosted   []bool          `json:"hosted"`
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+	// ScheduleBin is the EncodeSchedule form; when present it replaces
+	// Schedule (the JSON form remains decodable for older senders).
+	ScheduleBin []byte                    `json:"scheduleBin,omitempty"`
 	ExternalIn  map[graph.NodeID][]string `json:"externalIn,omitempty"`
 	ExternalOut map[graph.NodeID][]string `json:"externalOut,omitempty"`
 	Inputs      []byte                    `json:"inputs"` // EncodeEnv bytes
@@ -100,6 +107,57 @@ type StartBundle struct {
 	// declared dead (nanoseconds).
 	HeartbeatEvery int64 `json:"heartbeatEvery"`
 	PeerTimeout    int64 `json:"peerTimeout"`
+	// Mesh data plane. Peers lists every worker's listen address by
+	// worker index (empty: relay all data through the coordinator) and
+	// PeerOf maps each processor to the worker hosting it, so a sender
+	// can route a data frame point-to-point. FlushEvery is the frame
+	// coalescing window in nanoseconds (0 picks the default).
+	Peers      []string `json:"peers,omitempty"`
+	PeerOf     []int    `json:"peerOf,omitempty"`
+	FlushEvery int64    `json:"flushEvery,omitempty"`
+}
+
+// Workers see the same schedule bytes on every run of a given design
+// (the coordinator encodes once per Run call), and a decoded Schedule
+// is immutable during execution — every engine shares one instance
+// across processors already. Caching the decode turns repeated runs'
+// graph rebuild + validation into a map hit.
+var (
+	schedCacheMu sync.Mutex
+	schedCache   = map[string]*sched.Schedule{}
+)
+
+const schedCacheMax = 64
+
+// DecodeScheduleBundle returns the bundle's schedule, preferring the
+// binary form.
+func (b *StartBundle) DecodeScheduleBundle() (*sched.Schedule, error) {
+	if len(b.ScheduleBin) > 0 {
+		schedCacheMu.Lock()
+		// The in-place string conversion makes the lookup allocation-free;
+		// the key is only materialized on a miss.
+		if s, ok := schedCache[string(b.ScheduleBin)]; ok {
+			schedCacheMu.Unlock()
+			return s, nil
+		}
+		schedCacheMu.Unlock()
+		s, err := DecodeSchedule(b.ScheduleBin)
+		if err != nil {
+			return nil, err
+		}
+		schedCacheMu.Lock()
+		if len(schedCache) >= schedCacheMax {
+			schedCache = map[string]*sched.Schedule{}
+		}
+		schedCache[string(b.ScheduleBin)] = s
+		schedCacheMu.Unlock()
+		return s, nil
+	}
+	s := &sched.Schedule{}
+	if err := json.Unmarshal(b.Schedule, s); err != nil {
+		return nil, fmt.Errorf("wire: bad schedule in start bundle: %w", err)
+	}
+	return s, nil
 }
 
 // CrashNote reports an injected crash of a hosted processor.
@@ -127,11 +185,22 @@ type ResumeNote struct {
 }
 
 // ResultNote is a worker's partial result at the end of a run.
+// Events travel binary (EncodeEvents) in EventsBin; the JSON Events
+// field remains decodable for older senders.
 type ResultNote struct {
-	Outputs []byte                  `json:"outputs"` // EncodeEnv bytes
-	Exports map[string]graph.NodeID `json:"exports,omitempty"`
-	Printed []string                `json:"printed,omitempty"`
-	Events  []trace.Event           `json:"events,omitempty"`
+	Outputs   []byte                  `json:"outputs"` // EncodeEnv bytes
+	Exports   map[string]graph.NodeID `json:"exports,omitempty"`
+	Printed   []string                `json:"printed,omitempty"`
+	Events    []trace.Event           `json:"events,omitempty"`
+	EventsBin []byte                  `json:"eventsBin,omitempty"` // EncodeEvents bytes
+}
+
+// TraceEvents returns the note's events, preferring the binary form.
+func (n *ResultNote) TraceEvents() ([]trace.Event, error) {
+	if len(n.EventsBin) > 0 {
+		return DecodeEvents(n.EventsBin)
+	}
+	return n.Events, nil
 }
 
 // ErrorNote aborts the run with a root cause.

@@ -14,6 +14,14 @@ import (
 // one reader goroutine, writers serialized by a Link's mutex).
 type Conn interface {
 	WriteFrame(f Frame) error
+	// WriteFrameBuffered queues a frame in the connection's write buffer
+	// without forcing it onto the wire. A later Flush — or any immediate
+	// WriteFrame on the same connection — drives it out in order. This is
+	// the frame-coalescing primitive: many small data frames share one
+	// write/flush instead of paying one each.
+	WriteFrameBuffered(f Frame) error
+	// Flush forces previously buffered frames onto the wire.
+	Flush() error
 	ReadFrame() (Frame, error)
 	// Stats returns bytes read and written on this connection.
 	Stats() (in, out int64)
@@ -95,13 +103,21 @@ type tcpConn struct {
 	in, out int64
 }
 
+// tcpBufSize sizes the per-connection read and write buffers. Large
+// enough that a coalesced burst of small data frames becomes one
+// syscall, small enough to keep buffered-but-unflushed latency bounded
+// by the flush interval rather than memory pressure.
+const tcpBufSize = 64 << 10
+
 func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	return &tcpConn{c: c, br: bufio.NewReaderSize(c, tcpBufSize), bw: bufio.NewWriterSize(c, tcpBufSize)}
 }
 
 func (t *tcpConn) WriteFrame(f Frame) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
+	// Sharing bw with WriteFrameBuffered means an immediate write also
+	// flushes anything still coalescing — order is preserved.
 	n, err := WriteFrame(t.bw, f)
 	if err == nil {
 		err = t.bw.Flush()
@@ -110,6 +126,22 @@ func (t *tcpConn) WriteFrame(f Frame) error {
 	t.out += int64(n)
 	t.smu.Unlock()
 	return err
+}
+
+func (t *tcpConn) WriteFrameBuffered(f Frame) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	n, err := WriteFrame(t.bw, f)
+	t.smu.Lock()
+	t.out += int64(n)
+	t.smu.Unlock()
+	return err
+}
+
+func (t *tcpConn) Flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.bw.Flush()
 }
 
 func (t *tcpConn) ReadFrame() (Frame, error) {
@@ -209,6 +241,9 @@ type inprocConn struct {
 	peer   chan struct{} // other side closed
 	once   sync.Once
 
+	pmu     sync.Mutex
+	pending []Frame // buffered, not yet delivered to the peer queue
+
 	smu     sync.Mutex
 	in, out int64
 }
@@ -228,11 +263,53 @@ func inprocPair() (*inprocConn, *inprocConn) {
 func frameBytes(f Frame) int64 { return int64(HeaderLen + len(f.Payload)) }
 
 func (c *inprocConn) WriteFrame(f Frame) error {
+	// Buffered frames must hit the peer queue before this one.
+	if err := c.Flush(); err != nil {
+		return err
+	}
 	// Copy the payload: the in-memory path must not alias sender
 	// buffers any more than a real wire would.
 	if f.Payload != nil {
 		f.Payload = append([]byte(nil), f.Payload...)
 	}
+	return c.deliver(f)
+}
+
+func (c *inprocConn) WriteFrameBuffered(f Frame) error {
+	// Copy at buffer time: the sender may recycle the payload as soon as
+	// the call returns, exactly as a byte stream would have consumed it.
+	if f.Payload != nil {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
+	select {
+	case <-c.closed:
+		return fmt.Errorf("wire: inproc connection closed")
+	case <-c.peer:
+		return fmt.Errorf("wire: inproc peer closed")
+	default:
+	}
+	c.pmu.Lock()
+	c.pending = append(c.pending, f)
+	c.pmu.Unlock()
+	return nil
+}
+
+func (c *inprocConn) Flush() error {
+	c.pmu.Lock()
+	pend := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	for _, f := range pend {
+		if err := c.deliver(f); err != nil {
+			// The connection is broken; the remainder is lost with it.
+			// Reliable frames live in a Link outbox and replay elsewhere.
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *inprocConn) deliver(f Frame) error {
 	select {
 	case c.send <- f:
 		c.smu.Lock()

@@ -2,13 +2,12 @@ package wire
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/sched"
 )
 
 // WorkerOptions configures a worker daemon.
@@ -18,6 +17,10 @@ type WorkerOptions struct {
 	// HandshakeTimeout bounds how long an accepted connection may take
 	// to say Hello (0 = 5s).
 	HandshakeTimeout time.Duration
+
+	// transport is the transport the daemon listens on; the mesh dials
+	// peers over the same one. Installed by ServeWorker.
+	transport Transport
 }
 
 func (o WorkerOptions) logf(format string, args ...any) {
@@ -39,21 +42,109 @@ type sessOutcome struct {
 	err error
 }
 
+// inboundConn is an accepted connection whose Hello has been read: a
+// coordinator (hello.Peer == 0) or a mesh peer (hello.Peer == k+1 for
+// worker k). The hello reader keeps pumping subsequent frames into
+// frames until the connection breaks (rerr).
+type inboundConn struct {
+	c      Conn
+	hello  Hello
+	frames chan Frame
+	rerr   chan error
+}
+
+// helloIn reads the handshake off a fresh connection and posts it to
+// inbound; connections that never say a valid Hello are dropped here
+// without disturbing the daemon's main loop.
+func helloIn(ctx context.Context, c Conn, opt WorkerOptions, inbound chan<- inboundConn) {
+	frames := make(chan Frame, 256)
+	rerr := make(chan error, 1)
+	first := make(chan Frame, 1)
+	go func() {
+		f, err := c.ReadFrame()
+		if err != nil {
+			rerr <- err
+			return
+		}
+		first <- f
+		for {
+			f, err := c.ReadFrame()
+			if err != nil {
+				rerr <- err
+				return
+			}
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	hs := time.NewTimer(opt.handshakeTimeout())
+	defer hs.Stop()
+	select {
+	case f := <-first:
+		if f.Type != THello {
+			opt.logf("peer opened with %s, want hello; dropping", f.Type)
+			c.Close()
+			return
+		}
+		h, err := decJSON[Hello](f.Payload, "hello")
+		if err != nil || h.Proto != ProtoVersion {
+			c.WriteFrame(Frame{Type: TError, Payload: encJSON(ErrorNote{Msg: fmt.Sprintf(
+				"handshake rejected: need protocol %d", ProtoVersion)})})
+			c.Close()
+			return
+		}
+		select {
+		case inbound <- inboundConn{c: c, hello: h, frames: frames, rerr: rerr}:
+		case <-ctx.Done():
+			c.Close()
+		}
+	case <-hs.C:
+		opt.logf("peer connected but never said hello; dropping")
+		c.Close()
+	case <-rerr:
+		c.Close()
+	case <-ctx.Done():
+		c.Close()
+	}
+}
+
+// rejectConn answers a connection the daemon cannot serve.
+func rejectConn(c Conn, msg string) {
+	c.WriteFrame(Frame{Type: TError, Payload: encJSON(ErrorNote{Msg: msg})})
+	c.Close()
+}
+
 // workerRun is the state of one run on a worker, surviving coordinator
 // reconnects.
 type workerRun struct {
 	id          string
-	link        *Link
+	link        *Link        // to the coordinator
+	reader      *inboundConn // the coordinator's current connection (nil while detached)
 	ses         *exec.Session
+	mesh        atomic.Pointer[mesh]
 	hbEvery     time.Duration
 	peerTimeout time.Duration
+	flushEvery  time.Duration
 	resultCh    chan sessOutcome
 	outcome     *sessOutcome // set once the session ended
 	sentResult  bool
+	ackDue      atomic.Bool        // coordinator-link ack batching
+	stopFlush   context.CancelFunc // the run's flush ticker
 }
 
 // abort tears the run down (session abort + drain the Wait goroutine).
 func (r *workerRun) abort(reason string) {
+	if r.stopFlush != nil {
+		r.stopFlush()
+		r.stopFlush = nil
+	}
+	if ms := r.mesh.Swap(nil); ms != nil {
+		ms.close()
+	}
 	if r.ses != nil {
 		r.ses.Abort(fmt.Errorf("wire: %s", reason))
 		if r.outcome == nil {
@@ -62,6 +153,18 @@ func (r *workerRun) abort(reason string) {
 		}
 	}
 	r.link.Close()
+}
+
+// flushData drives coalescing data frames (mesh and coordinator link)
+// onto the wire, folding in batched acks. Safe from any goroutine.
+func (r *workerRun) flushData() {
+	if ms := r.mesh.Load(); ms != nil {
+		ms.flushAll()
+	}
+	if r.ackDue.Swap(false) {
+		r.link.SendRawBuffered(Frame{Type: TAck, Payload: encU64(r.link.Rcvd())})
+	}
+	r.link.Flush()
 }
 
 // ServeWorker runs a worker daemon: listen on addr, accept a
@@ -77,6 +180,7 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 	if ready != nil {
 		ready(lis.Addr())
 	}
+	opt.transport = t
 	opt.logf("worker listening on %s", lis.Addr())
 
 	// Unblock Accept when ctx ends.
@@ -90,7 +194,7 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 		}
 	}()
 
-	conns := make(chan Conn)
+	inbound := make(chan inboundConn)
 	acceptErr := make(chan error, 1)
 	go func() {
 		for {
@@ -99,12 +203,7 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 				acceptErr <- err
 				return
 			}
-			select {
-			case conns <- c:
-			case <-stopping:
-				c.Close()
-				return
-			}
+			go helloIn(ctx, c, opt, inbound)
 		}
 	}()
 
@@ -136,99 +235,87 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 			opt.logf("coordinator did not reconnect within %v; abandoning run %s", run.peerTimeout, run.id)
 			run.abort("coordinator lost")
 			run = nil
-		case c := <-conns:
+		case ic := <-inbound:
 			if orphanTimer != nil {
 				orphanTimer.Stop()
 			}
-			run = serveConn(ctx, c, run, opt)
+			if ic.hello.Peer > 0 {
+				// A mesh peer dialing in while no coordinator connection
+				// is active (the run survives a coordinator drop).
+				attachMeshConn(run, ic, opt)
+				continue
+			}
+			// Serve coordinator connections until the run ends or its
+			// connection drops; a superseding coordinator connection
+			// arriving mid-loop is adopted immediately.
+			next := &ic
+			for next != nil {
+				run = adoptCoord(*next, run, opt)
+				next = nil
+				if run != nil && run.reader != nil {
+					run, next = frameLoop(ctx, run, opt, inbound)
+				}
+			}
 		}
 	}
 }
 
-// serveConn handshakes one coordinator connection and runs its frame
-// loop. It returns the run to keep waiting for (non-nil after a
-// connection drop mid-run) or nil when the run ended or never started.
-func serveConn(ctx context.Context, c Conn, prev *workerRun, opt WorkerOptions) *workerRun {
-	frames := make(chan Frame, 256)
-	rerr := make(chan error, 1)
-	go func() {
-		for {
-			f, err := c.ReadFrame()
-			if err != nil {
-				rerr <- err
-				return
-			}
-			select {
-			case frames <- f:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	// Handshake: the first frame must be a Hello we can honour.
-	var hello Hello
-	hs := time.NewTimer(opt.handshakeTimeout())
-	defer hs.Stop()
-	select {
-	case f := <-frames:
-		if f.Type != THello {
-			opt.logf("peer opened with %s, want hello; dropping", f.Type)
-			c.Close()
-			return prev
-		}
-		h, err := decJSON[Hello](f.Payload, "hello")
-		if err != nil || h.Proto != ProtoVersion {
-			c.WriteFrame(Frame{Type: TError, Payload: encJSON(ErrorNote{Msg: fmt.Sprintf(
-				"handshake rejected: need protocol %d", ProtoVersion)})})
-			c.Close()
-			return prev
-		}
-		hello = h
-	case <-hs.C:
-		opt.logf("peer connected but never said hello; dropping")
-		c.Close()
-		return prev
-	case <-rerr:
-		c.Close()
-		return prev
-	case <-ctx.Done():
-		c.Close()
-		return prev
+// attachMeshConn hands an inbound mesh connection to the run's mesh.
+func attachMeshConn(run *workerRun, ic inboundConn, opt WorkerOptions) {
+	if run == nil || ic.hello.Run == "" || ic.hello.Run != run.id {
+		rejectConn(ic.c, "unknown run")
+		return
 	}
-
-	var run *workerRun
-	switch {
-	case prev != nil && hello.Run != "" && hello.Run == prev.id:
-		// Reconnect to the run in flight: exchange watermarks, replay.
-		run = prev
-		if err := c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: run.link.Rcvd()})}); err != nil {
-			c.Close()
-			return prev
-		}
-		if err := run.link.Reattach(c, hello.Rcvd); err != nil {
-			run.link.Detach()
-			return run
-		}
-		opt.logf("coordinator reconnected to run %s", run.id)
-	default:
-		if prev != nil {
-			opt.logf("new coordinator supersedes run %s", prev.id)
-			prev.abort("superseded by a new coordinator")
-		}
-		if err := c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})}); err != nil {
-			c.Close()
-			return nil
-		}
-		run = &workerRun{link: NewLink(c), hbEvery: 250 * time.Millisecond, peerTimeout: 3 * time.Second}
+	ms := run.mesh.Load()
+	if ms == nil {
+		rejectConn(ic.c, "mesh disabled")
+		return
 	}
-
-	return frameLoop(ctx, run, frames, rerr, opt)
+	if err := ms.acceptPeer(ic.hello.Peer-1, ic.c, ic.hello.Rcvd, ic.frames, ic.rerr); err != nil {
+		opt.logf("mesh attach from worker %d failed: %v", ic.hello.Peer-1, err)
+		ic.c.Close()
+	}
 }
 
-// frameLoop drives one connected stretch of a run. Returns the run if
-// the connection dropped mid-run (await reconnect), nil otherwise.
-func frameLoop(ctx context.Context, run *workerRun, frames <-chan Frame, rerr <-chan error, opt WorkerOptions) *workerRun {
+// adoptCoord installs a coordinator connection: a reconnect to the run
+// in flight (exchange watermarks, replay) or a fresh coordinator that
+// supersedes whatever was running. Returns the current run; its reader
+// is nil if the connection could not be adopted.
+func adoptCoord(ic inboundConn, prev *workerRun, opt WorkerOptions) *workerRun {
+	if prev != nil && ic.hello.Run != "" && ic.hello.Run == prev.id {
+		// Reconnect to the run in flight. The Welcome must precede the
+		// outbox replay Reattach performs.
+		if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: prev.link.Rcvd()})}); err != nil {
+			ic.c.Close()
+			return prev
+		}
+		if err := prev.link.Reattach(ic.c, ic.hello.Rcvd); err != nil {
+			prev.link.Detach()
+			return prev
+		}
+		prev.reader = &ic
+		opt.logf("coordinator reconnected to run %s", prev.id)
+		return prev
+	}
+	if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})}); err != nil {
+		// The new connection died before it could take over; keep the
+		// previous run waiting for a reconnect.
+		ic.c.Close()
+		return prev
+	}
+	if prev != nil {
+		opt.logf("new coordinator supersedes run %s", prev.id)
+		prev.abort("superseded by a new coordinator")
+	}
+	return &workerRun{link: NewLink(ic.c), reader: &ic,
+		hbEvery: 250 * time.Millisecond, peerTimeout: 3 * time.Second, flushEvery: defaultFlushEvery}
+}
+
+// frameLoop drives one connected stretch of a run. It returns the run
+// if it should survive (await a reconnect) and, when a new coordinator
+// connection arrived mid-loop, that connection for immediate adoption.
+func frameLoop(ctx context.Context, run *workerRun, opt WorkerOptions, inbound <-chan inboundConn) (*workerRun, *inboundConn) {
+	rd := run.reader
 	hb := time.NewTicker(run.hbEvery)
 	defer hb.Stop()
 	cadence := run.hbEvery
@@ -246,25 +333,28 @@ func frameLoop(ctx context.Context, run *workerRun, frames <-chan Frame, rerr <-
 		select {
 		case <-ctx.Done():
 			run.abort("worker shutting down")
-			return nil
-		case err := <-rerr:
+			return nil, nil
+		case err := <-rd.rerr:
 			if run.id == "" || run.sentResult {
 				// No run started, or it already ended: nothing to keep.
-				run.link.Close()
-				return nil
+				run.abort("connection closed")
+				return nil, nil
 			}
 			opt.logf("coordinator connection lost (%v); awaiting reconnect", err)
 			run.link.Detach()
-			return run
+			run.reader = nil
+			return run, nil
 		case <-hb.C:
+			run.flushData()
 			run.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(run.progress())})
 			if time.Since(lastHeard) > run.peerTimeout {
 				opt.logf("no coordinator traffic for %v; abandoning run", run.peerTimeout)
 				run.abort("coordinator heartbeat lost")
-				return nil
+				return nil, nil
 			}
 		case out := <-results:
 			run.outcome = &out
+			run.flushData()
 			if out.err != nil {
 				opt.logf("run failed locally: %v", out.err)
 				run.link.Send(TError, encJSON(ErrorNote{Msg: out.err.Error()}))
@@ -277,7 +367,17 @@ func frameLoop(ctx context.Context, run *workerRun, frames <-chan Frame, rerr <-
 					run.sentResult = true
 				}
 			}
-		case f := <-frames:
+		case ic := <-inbound:
+			if ic.hello.Peer > 0 {
+				attachMeshConn(run, ic, opt)
+				continue
+			}
+			// A new coordinator connection while this one is attached:
+			// let the daemon loop adopt it (reconnect or supersede).
+			run.link.Detach()
+			run.reader = nil
+			return run, &ic
+		case f := <-rd.frames:
 			lastHeard = time.Now()
 			if !run.link.Accept(f) {
 				// Replay overlap: already processed; re-ack.
@@ -286,17 +386,21 @@ func frameLoop(ctx context.Context, run *workerRun, frames <-chan Frame, rerr <-
 			}
 			done, err := handleFrame(run, f, opt)
 			if f.Wid != 0 {
-				run.link.SendRaw(Frame{Type: TAck, Payload: encU64(run.link.Rcvd())})
+				run.ackDue.Store(true)
 			}
 			if err != nil {
 				opt.logf("protocol error on %s frame: %v", f.Type, err)
 				run.link.Send(TError, encJSON(ErrorNote{Msg: err.Error()}))
 				run.abort(fmt.Sprintf("protocol error: %v", err))
-				return nil
+				return nil, nil
 			}
 			if done {
 				run.abort("run complete")
-				return nil
+				return nil, nil
+			}
+			if len(rd.frames) == 0 {
+				// Inbound drained: flush coalesced data and batched acks.
+				run.flushData()
 			}
 		}
 	}
@@ -318,9 +422,16 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		if run.ses != nil {
 			return false, fmt.Errorf("start frame while a run is active")
 		}
-		bundle, err := decJSON[StartBundle](f.Payload, "start")
+		js, blobs, err := decBlobEnvelope(f.Payload)
 		if err != nil {
 			return false, err
+		}
+		bundle, err := decJSON[StartBundle](js, "start")
+		if err != nil {
+			return false, err
+		}
+		if len(blobs) >= 2 {
+			bundle.ScheduleBin, bundle.Inputs = blobs[0], blobs[1]
 		}
 		return false, startRun(run, &bundle, opt)
 	case TData:
@@ -331,6 +442,7 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		putBuf(f.Payload) // DecodeMsg copies everything out
 		return false, run.ses.Deliver(m)
 	case TPause:
 		if run.ses == nil {
@@ -340,6 +452,9 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		// The barrier: everything coalescing must be on the wire before
+		// the coordinator sees Parked.
+		run.flushData()
 		note := ParkedNote{Done: st.Done, Held: st.Held, Dead: st.Dead, Clock: st.Clock}
 		return false, run.link.Send(TParked, encJSON(note))
 	case TResume:
@@ -352,7 +467,13 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		}
 		plan := &exec.ResumePlan{Epoch: note.Epoch, Slots: note.Slots, Msgs: note.Msgs,
 			Done: note.Done, Dead: note.Dead, Adopt: note.Adopt}
-		return false, run.ses.Resume(plan)
+		if err := run.ses.Resume(plan); err != nil {
+			return false, err
+		}
+		if ms := run.mesh.Load(); ms != nil {
+			ms.pruneDead(note.Dead)
+		}
+		return false, nil
 	case TFinish:
 		if run.ses == nil {
 			return false, fmt.Errorf("finish frame before start")
@@ -382,9 +503,9 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 
 // startRun builds the runner and session from a start bundle.
 func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
-	var s sched.Schedule
-	if err := json.Unmarshal(bundle.Schedule, &s); err != nil {
-		return fmt.Errorf("bad schedule in start bundle: %w", err)
+	s, err := bundle.DecodeScheduleBundle()
+	if err != nil {
+		return err
 	}
 	inputs, err := DecodeEnv(bundle.Inputs)
 	if err != nil {
@@ -402,7 +523,7 @@ func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
 	if flat.ExternalOut == nil {
 		flat.ExternalOut = map[graph.NodeID][]string{}
 	}
-	ses, err := runner.StartSession(&s, flat, bundle.Hosted, workerPlane{link: run.link})
+	ses, err := runner.StartSession(s, flat, bundle.Hosted, workerPlane{run: run})
 	if err != nil {
 		return err
 	}
@@ -414,6 +535,33 @@ func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
 	if bundle.PeerTimeout > 0 {
 		run.peerTimeout = time.Duration(bundle.PeerTimeout)
 	}
+	if bundle.FlushEvery > 0 {
+		run.flushEvery = time.Duration(bundle.FlushEvery)
+	}
+	if len(bundle.Peers) > 0 && bundle.Worker < len(bundle.Peers) && opt.transport != nil {
+		run.mesh.Store(newMesh(meshConfig{
+			transport: opt.transport, runID: bundle.Run, self: bundle.Worker,
+			addrs: bundle.Peers, peerOf: bundle.PeerOf,
+			flushery: run.flushEvery, logf: opt.logf,
+		}, ses.Deliver))
+	}
+	// The flush ticker is the coalescing backstop: data waiting in a
+	// peer buffer never waits longer than flushEvery, even when the
+	// sending goroutine is off doing something else.
+	fctx, cancel := context.WithCancel(context.Background())
+	run.stopFlush = cancel
+	go func() {
+		t := time.NewTicker(run.flushEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-fctx.Done():
+				return
+			case <-t.C:
+				run.flushData()
+			}
+		}
+	}()
 	run.resultCh = make(chan sessOutcome, 1)
 	go func() {
 		p, err := ses.Wait()
@@ -430,7 +578,8 @@ func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
 	return nil
 }
 
-// resultNote serializes a partial result.
+// resultNote serializes a partial result. The output environment and
+// trace events ride out of band in the blob envelope.
 func resultNote(p *exec.Partial) ([]byte, error) {
 	outputs, err := EncodeEnv(p.Outputs)
 	if err != nil {
@@ -440,22 +589,36 @@ func resultNote(p *exec.Partial) ([]byte, error) {
 	for k, v := range p.Exports {
 		exports[k] = v
 	}
-	return encJSON(ResultNote{Outputs: outputs, Exports: exports, Printed: p.Printed, Events: p.Events}), nil
+	js := encJSON(ResultNote{Exports: exports, Printed: p.Printed})
+	return encBlobEnvelope(js, outputs, EncodeEvents(p.Events)), nil
 }
 
-// workerPlane adapts the run's link to the session's RemotePlane: all
-// remote traffic goes to the coordinator, which routes it onward (star
-// topology).
-type workerPlane struct{ link *Link }
+// workerPlane adapts the run's links to the session's RemotePlane:
+// data frames go point-to-point over the mesh when the destination's
+// link is up, and fall back to the coordinator relay otherwise;
+// control notifications always go to the coordinator.
+type workerPlane struct{ run *workerRun }
 
 func (p workerPlane) DeliverRemote(m exec.RemoteMsg) error {
-	b, err := EncodeMsg(m)
+	b, err := AppendMsg(getBuf(), m)
 	if err != nil {
 		return err
 	}
-	return p.link.Send(TData, b)
+	if ms := p.run.mesh.Load(); ms != nil {
+		if l := ms.linkFor(m.ToPE); l != nil {
+			return l.SendData(TData, b, true)
+		}
+	}
+	return p.run.link.SendData(TData, b, true)
 }
 
-func (p workerPlane) LocalIdle() { p.link.Send(TIdle, nil) }
+// FlushRemote implements exec.RemoteFlusher: the runner calls it at
+// slot boundaries so a burst of sends shares one wire write.
+func (p workerPlane) FlushRemote() { p.run.flushData() }
 
-func (p workerPlane) LocalCrash(pe int) { p.link.Send(TCrash, encJSON(CrashNote{PE: pe})) }
+func (p workerPlane) LocalIdle() {
+	p.run.flushData()
+	p.run.link.Send(TIdle, nil)
+}
+
+func (p workerPlane) LocalCrash(pe int) { p.run.link.Send(TCrash, encJSON(CrashNote{PE: pe})) }
