@@ -68,7 +68,7 @@ func TestBuildDesignThroughFacade(t *testing.T) {
 }
 
 func TestFacadeHelpers(t *testing.T) {
-	if len(banger.Schedulers()) != 7 {
+	if len(banger.Schedulers()) != 8 {
 		t.Errorf("schedulers = %d", len(banger.Schedulers()))
 	}
 	if _, err := banger.SchedulerByName("mh"); err != nil {

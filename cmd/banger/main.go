@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -152,7 +154,7 @@ func loadProject(name string) (*project.Project, error) {
 // projectFlags registers the common -project/-alg flags.
 func projectFlags(fs *flag.FlagSet) (proj, alg *string) {
 	proj = fs.String("project", "lu3x3", "built-in project name or JSON file")
-	alg = fs.String("alg", "mh", "scheduler: serial, hlfet, etf, mh, dsh, pack")
+	alg = fs.String("alg", "mh", "scheduler: serial, hlfet, etf, ish, mh, dsh, pack, bsp")
 	return
 }
 
@@ -230,6 +232,9 @@ func cmdSchedule(args []string) error {
 	jsonOut := fs.String("json", "", "write the full schedule document to this file")
 	report := fs.Bool("report", false, "print a per-processor utilisation table")
 	width := fs.Int("width", 72, "chart width in characters")
+	workers := fs.Int("workers", 0, "schedule-construction workers (0 = auto, 1 = serial); the schedule is identical either way")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of schedule construction to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after scheduling to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,9 +252,35 @@ func cmdSchedule(args []string) error {
 			return err
 		}
 	}
-	sc, err := env.ScheduleOn(*alg, m)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	sc, err := env.ScheduleOnWorkers(*alg, m, *workers)
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote heap profile to", *memprofile)
 	}
 	if *csv {
 		fmt.Print(gantt.CSV(sc))

@@ -27,7 +27,7 @@ var topologies = []string{
 // it charges link contention, which the contention-free replay engines
 // deliberately do not model, so its schedules are not exact-replay
 // comparable (see docs/TESTING.md).
-var heuristics = []string{"serial", "hlfet", "etf", "ish", "dsh", "pack"}
+var heuristics = []string{"serial", "hlfet", "etf", "ish", "dsh", "pack", "bsp"}
 
 // Generate draws the conformance case for a seed. The same seed always
 // yields the same case: design shape, routines, machine, heuristic,

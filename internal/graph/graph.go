@@ -95,7 +95,14 @@ type Graph struct {
 	arcs  []Arc
 	succ  map[NodeID][]Arc // arcs leaving each node, insertion order
 	pred  map[NodeID][]Arc // arcs entering each node, insertion order
+
+	version uint64 // bumped on every structural mutation
 }
+
+// Version returns a counter that changes on every structural mutation
+// (node or arc insertion). Derived views — the scheduler's compiled
+// graph — key their caches on it to detect staleness.
+func (g *Graph) Version() uint64 { return g.version }
 
 // New returns an empty graph with the given name.
 func New(name string) *Graph {
@@ -144,6 +151,7 @@ func (g *Graph) add(n *Node) (*Node, error) {
 	}
 	g.nodes = append(g.nodes, n)
 	g.index[n.ID] = n
+	g.version++
 	return n, nil
 }
 
@@ -252,6 +260,7 @@ func (g *Graph) Connect(from, to NodeID, v string, words int64) error {
 	g.arcs = append(g.arcs, a)
 	g.succ[from] = append(g.succ[from], a)
 	g.pred[to] = append(g.pred[to], a)
+	g.version++
 	return nil
 }
 

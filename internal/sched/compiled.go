@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -10,9 +11,17 @@ import (
 // This file implements the compiled graph view shared by every
 // scheduler: dense integer task ids, predecessor/successor arc lists in
 // flat CSR slices, precomputed static levels, execution times and
-// communication coefficients. It is built once per Schedule call so the
-// hot loops — which evaluate O(n·P) candidate placements per task —
-// never touch a map, allocate a slice, or compare a string.
+// communication coefficients, built so the hot loops — which evaluate
+// O(n·P) candidate placements per task — never touch a map, allocate a
+// slice, or compare a string.
+//
+// The view is immutable once built and depends only on the graph and
+// machine, so it is cached: compiledFor keys a small LRU on the
+// (graph, machine) identity plus the graph's mutation version. At 100k
+// tasks compiling costs tens of seconds (dominated by the 2×8.8M-entry
+// CSR fill and its string-keyed id lookups); scheduling the same design
+// repeatedly — the paper's sketch/schedule/tweak loop — must not re-pay
+// it.
 //
 // Determinism contract: dense ids are insertion positions, and every
 // tie the original schedulers broke by NodeID string order is broken
@@ -28,10 +37,11 @@ type carc struct {
 	aidx     int32
 }
 
-// compiled is the per-Schedule-call view of a flat graph on a machine.
+// compiled is the immutable view of a flat graph on a machine.
 type compiled struct {
-	g *graph.Graph
-	m *machine.Machine
+	g    *graph.Graph
+	m    *machine.Machine
+	gver uint64 // g.Version() when compiled
 
 	n   int // number of tasks
 	pes int
@@ -96,12 +106,52 @@ func (c *compiled) comm(words int64, p, q int) machine.Time {
 	return c.commStart + machine.Time(words)*c.commPerWord[p*c.pes+q]
 }
 
+// compiledCache is the bounded LRU behind compiledFor. Entries pin
+// their graph and machine, so the capacity bounds how many retired
+// graphs the cache can keep alive; churny callers (the conformance
+// fuzzer generates thousands of small graphs) evict old entries
+// quickly.
+var compiledCache struct {
+	sync.Mutex
+	entries []*compiled // most recently used last
+}
+
+const compiledCacheCap = 8
+
+// compiledFor returns the cached compiled view of (g, m), building it
+// on a miss or when g has been mutated since it was compiled. The
+// returned view is shared and must be treated as read-only; concurrent
+// schedulers (Compare, SpeedupCurve) deliberately share one view.
+func compiledFor(g *graph.Graph, m *machine.Machine) (*compiled, error) {
+	ver := g.Version()
+	compiledCache.Lock()
+	defer compiledCache.Unlock()
+	for i, c := range compiledCache.entries {
+		if c.g == g && c.m == m && c.gver == ver {
+			if i != len(compiledCache.entries)-1 {
+				copy(compiledCache.entries[i:], compiledCache.entries[i+1:])
+				compiledCache.entries[len(compiledCache.entries)-1] = c
+			}
+			return c, nil
+		}
+	}
+	c, err := compile(g, m)
+	if err != nil {
+		return nil, err
+	}
+	compiledCache.entries = append(compiledCache.entries, c)
+	if len(compiledCache.entries) > compiledCacheCap {
+		compiledCache.entries = compiledCache.entries[1:]
+	}
+	return c, nil
+}
+
 // compile builds the view. The graph must already be flat-validated.
 func compile(g *graph.Graph, m *machine.Machine) (*compiled, error) {
 	nodes := g.Nodes()
 	n := len(nodes)
 	c := &compiled{
-		g: g, m: m,
+		g: g, m: m, gver: g.Version(),
 		n: n, pes: m.NumPE(),
 		ids:  make([]graph.NodeID, n),
 		idOf: make(map[graph.NodeID]int32, n),
@@ -156,7 +206,7 @@ func compile(g *graph.Graph, m *machine.Machine) (*compiled, error) {
 	c.npred = make([]int32, n)
 	c.succIDOff = make([]int32, n+1)
 	seen := make([]int32, n) // seen[v] == t+1: v already recorded for task t
-	var flat []int32
+	flat := make([]int32, 0, len(c.arcs))
 	for t := int32(0); t < int32(n); t++ {
 		start := len(flat)
 		for _, a := range c.succArcsOf(t) {
@@ -292,9 +342,10 @@ type readyTracker struct {
 	ready   []int32
 }
 
-func newReadyTracker(c *compiled) *readyTracker {
-	rt := &readyTracker{c: c, pending: make([]int32, c.n)}
+func newReadyTracker(c *compiled, ar *arena) *readyTracker {
+	rt := &readyTracker{c: c, pending: ar.int32s(c.n, false)}
 	copy(rt.pending, c.npred)
+	rt.ready = ar.int32s(c.n, false)[:0]
 	for i := int32(0); i < int32(c.n); i++ {
 		if rt.pending[i] == 0 {
 			rt.ready = append(rt.ready, i)
@@ -332,9 +383,10 @@ type readyHeap struct {
 	items   []int32
 }
 
-func newReadyHeap(c *compiled) *readyHeap {
-	h := &readyHeap{c: c, pending: make([]int32, c.n)}
+func newReadyHeap(c *compiled, ar *arena) *readyHeap {
+	h := &readyHeap{c: c, pending: ar.int32s(c.n, false)}
 	copy(h.pending, c.npred)
+	h.items = ar.int32s(c.n, false)[:0]
 	for i := int32(0); i < int32(c.n); i++ {
 		if h.pending[i] == 0 {
 			h.push(i)

@@ -24,6 +24,8 @@ type DSH struct {
 	// MaxDupsPerTask bounds how many ancestor copies may be inserted
 	// while placing one task; 0 means the number of predecessors.
 	MaxDupsPerTask int
+
+	Opts SchedOptions
 }
 
 // Name implements Scheduler.
@@ -35,10 +37,13 @@ type dupPlan struct {
 	start machine.Time
 }
 
-// dshState holds the per-Schedule scratch buffers of the hypothetical
+// dshState holds the scratch buffers of one worker's hypothetical
 // duplication evaluation, so estWithDups runs without allocating: the
 // virtual overlay is a flat finish array validated by an epoch stamp
-// instead of a fresh map per (task, pe) evaluation.
+// instead of a fresh map per (task, pe) evaluation. The evaluation
+// reads the builder but never writes it, so each worker of the
+// per-processor shard carries its own dshState and the shards are
+// independent.
 type dshState struct {
 	virtFinish []machine.Time // finish of the virtual copy on the candidate pe
 	virtStamp  []uint32       // overlay entry valid iff stamp == epoch
@@ -47,43 +52,78 @@ type dshState struct {
 	bestPlan   []dupPlan // retained copy of the best processor's plan
 }
 
+func newDSHState(n int, ar *arena) *dshState {
+	return &dshState{
+		virtFinish: ar.times(n, false),
+		virtStamp:  ar.uint32s(n, true),
+	}
+}
+
 // Schedule implements Scheduler.
 func (d DSH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+	b, err := newBuilder(g, m, d.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	c := b.c
-	st := &dshState{
-		virtFinish: make([]machine.Time, c.n),
-		virtStamp:  make([]uint32, c.n),
+	w := b.scanWorkers()
+	sts := make([]*dshState, w)
+	for i := range sts {
+		sts[i] = newDSHState(c.n, b.ar)
 	}
-	h := newReadyHeap(c)
+	type peCand struct {
+		ok     bool
+		pe     int
+		start  machine.Time
+		finish machine.Time
+	}
+	cands := make([]peCand, w)
+	errs := make([]error, w)
+	h := newReadyHeap(c, b.ar)
 	for h.len() > 0 {
 		t := h.pop() // highest static level first (as HLFET)
 
 		// Evaluate every processor with hypothetical duplication and
-		// keep the one with the earliest finish.
-		bestPE := -1
-		var bestFinish, bestStart machine.Time
-		st.bestPlan = st.bestPlan[:0]
-		for pe := 0; pe < c.pes; pe++ {
-			start, plan, err := d.estWithDups(b, st, t, pe)
-			if err != nil {
+		// keep the one with the earliest finish (ties: lowest PE). The
+		// shard is over processors; each worker evaluates its range
+		// against its private overlay and keeps its best plan.
+		b.parScan(c.pes, func(wk, lo, hi int) {
+			st := sts[wk]
+			best := peCand{}
+			st.bestPlan = st.bestPlan[:0]
+			for pe := lo; pe < hi; pe++ {
+				start, plan, err := d.estWithDups(b, st, t, pe)
+				if err != nil {
+					errs[wk] = err
+					return
+				}
+				finish := start + c.exec(t, pe)
+				if betterPE(best.ok, best.finish, best.pe, finish, pe) {
+					best = peCand{ok: true, pe: pe, start: start, finish: finish}
+					st.bestPlan = append(st.bestPlan[:0], plan...)
+				}
+			}
+			cands[wk] = best
+		})
+		best := peCand{}
+		var bestPlan []dupPlan
+		for wk := 0; wk < w; wk++ {
+			if errs[wk] != nil {
+				return nil, errs[wk]
+			}
+			if c := cands[wk]; c.ok && betterPE(best.ok, best.finish, best.pe, c.finish, c.pe) {
+				best = c
+				bestPlan = sts[wk].bestPlan
+			}
+			cands[wk] = peCand{}
+		}
+		for _, dp := range bestPlan {
+			if _, err := b.place(dp.task, best.pe, dp.start, true); err != nil {
 				return nil, err
 			}
-			finish := start + c.exec(t, pe)
-			if bestPE < 0 || finish < bestFinish {
-				bestPE, bestFinish, bestStart = pe, finish, start
-				st.bestPlan = append(st.bestPlan[:0], plan...)
-			}
 		}
-		for _, dp := range st.bestPlan {
-			if _, err := b.place(dp.task, bestPE, dp.start, true); err != nil {
-				return nil, err
-			}
-		}
-		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+		if _, err := b.place(t, best.pe, best.start, false); err != nil {
 			return nil, err
 		}
 		h.complete(t)

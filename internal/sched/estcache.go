@@ -23,12 +23,15 @@ type estCache struct {
 	taskVer []uint32       // per-task current version
 }
 
-func newEstCache(n, pes int) estCache {
+// newEstCache carves the cache from the run's arena. arr is carved
+// dirty: an entry is only read when its version stamp matches, and the
+// stamp arrays are zeroed/refilled here.
+func newEstCache(n, pes int, ar *arena) estCache {
 	e := estCache{
 		pes:     pes,
-		arr:     make([]machine.Time, n*pes),
-		ver:     make([]uint32, n*pes),
-		taskVer: make([]uint32, n),
+		arr:     ar.times(n*pes, false),
+		ver:     ar.uint32s(n*pes, true),
+		taskVer: ar.uint32s(n, false),
 	}
 	for i := range e.taskVer {
 		e.taskVer[i] = 1
@@ -38,6 +41,72 @@ func newEstCache(n, pes int) estCache {
 
 // invalidate drops every cached entry of task t (all PEs at once).
 func (e *estCache) invalidate(t int32) { e.taskVer[t]++ }
+
+// dataReadyRow returns task t's data-ready times on every processor as
+// a shared slice of the cache (read-only to callers), recomputing the
+// row arc-major on a version miss: one pass over the predecessor arcs
+// fills all P entries, so each arc and producer copy is loaded once
+// instead of once per processor. The schedulers that always evaluate a
+// task on every PE (HLFET, ETF, BSP) use this; the per-entry dataReady
+// below stays for selective callers. Parallel scans may call it for
+// distinct tasks concurrently — rows are disjoint — but never for the
+// same task from two workers.
+func (b *builder) dataReadyRow(t int32) ([]machine.Time, error) {
+	e := &b.cache
+	base := int(t) * e.pes
+	row := e.arr[base : base+e.pes]
+	vrow := e.ver[base : base+e.pes]
+	tv := e.taskVer[t]
+	fresh := true
+	for _, v := range vrow {
+		if v != tv {
+			fresh = false
+			break
+		}
+	}
+	if fresh {
+		return row, nil
+	}
+	for i := range row {
+		row[i] = 0
+	}
+	for _, a := range b.c.predArcsOf(t) {
+		cps := b.copies[a.from]
+		if len(cps) == 0 {
+			return nil, errProducerNotPlaced(b.c.arcs[a.aidx])
+		}
+		if len(cps) == 1 {
+			// No duplicates (the common case): inline the comm formula
+			// over the producer PE's coefficient row.
+			sl := cps[0]
+			w := machine.Time(a.words)
+			pw := b.c.commPerWord[sl.PE*e.pes : (sl.PE+1)*e.pes]
+			for pe := range row {
+				at := sl.Finish
+				if pe != sl.PE {
+					at += b.c.commStart + w*pw[pe]
+				}
+				if at > row[pe] {
+					row[pe] = at
+				}
+			}
+		} else {
+			for pe := range row {
+				at, _, err := b.arrival(a, pe)
+				if err != nil {
+					return nil, err
+				}
+				if at > row[pe] {
+					row[pe] = at
+				}
+			}
+		}
+	}
+	for i := range vrow {
+		vrow[i] = tv
+	}
+	return row, nil
+}
 
 // dataReady returns the earliest time all of t's inputs can be present
 // on pe (0 for entry tasks), from the cache when the entry is current.

@@ -13,7 +13,9 @@ import (
 // idle hole left earlier on the processor while it was waiting for
 // messages. Holes are exactly the "schedule gaps" Kruatrachue's thesis
 // identifies as wasted by non-insertion list schedulers.
-type ISH struct{}
+type ISH struct {
+	Opts SchedOptions
+}
 
 // Name implements Scheduler.
 func (ISH) Name() string { return "ish" }
@@ -35,45 +37,64 @@ func insertionPoint(slots []Slot, ready machine.Time, dur machine.Time) machine.
 }
 
 // Schedule implements Scheduler.
-func (ISH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+func (s ISH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m, s.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	c := b.c
 	peSlots := make([][]Slot, c.pes)
-	h := newReadyHeap(c)
+	h := newReadyHeap(c, b.ar)
+	w := b.scanWorkers()
+	cands := make([]cand, w)
+	errs := make([]error, w)
 	for h.len() > 0 {
 		t := h.pop() // highest static level first, as HLFET
 
-		bestPE := -1
-		var bestStart, bestFinish machine.Time
-		for pe := 0; pe < c.pes; pe++ {
-			// Data-ready time on this processor (cached incrementally;
-			// insertion ignores procFree by design).
-			ready, err := b.dataReady(t, pe)
-			if err != nil {
-				return nil, err
+		// Shard over processors: the gap scan reads peSlots and the
+		// data-ready cache entries of (t, pe) pairs each worker owns.
+		b.parScan(c.pes, func(wk, lo, hi int) {
+			best := cand{}
+			for pe := lo; pe < hi; pe++ {
+				// Data-ready time on this processor (cached incrementally;
+				// insertion ignores procFree by design).
+				ready, err := b.dataReady(t, pe)
+				if err != nil {
+					errs[wk] = err
+					return
+				}
+				dur := c.exec(t, pe)
+				start := insertionPoint(peSlots[pe], ready, dur)
+				fin := start + dur
+				if betterPE(best.ok, best.fin, best.pe, fin, pe) {
+					best = cand{ok: true, t: t, pe: pe, st: start, fin: fin}
+				}
 			}
-			dur := c.exec(t, pe)
-			start := insertionPoint(peSlots[pe], ready, dur)
-			fin := start + dur
-			if bestPE < 0 || fin < bestFinish {
-				bestPE, bestStart, bestFinish = pe, start, fin
+			cands[wk] = best
+		})
+		best := cand{}
+		for wk := 0; wk < w; wk++ {
+			if errs[wk] != nil {
+				return nil, errs[wk]
 			}
+			if cd := cands[wk]; cd.ok && betterPE(best.ok, best.fin, best.pe, cd.fin, cd.pe) {
+				best = cd
+			}
+			cands[wk] = cand{}
 		}
-		sl, err := b.place(t, bestPE, bestStart, false)
+		sl, err := b.place(t, best.pe, best.st, false)
 		if err != nil {
 			return nil, err
 		}
 		// Keep the processor's slot list sorted by start with a binary
 		// insert instead of re-sorting after every placement.
-		s := peSlots[bestPE]
-		i := sort.Search(len(s), func(i int) bool { return s[i].Start > sl.Start })
-		s = append(s, Slot{})
-		copy(s[i+1:], s[i:])
-		s[i] = sl
-		peSlots[bestPE] = s
+		sls := peSlots[best.pe]
+		i := sort.Search(len(sls), func(i int) bool { return sls[i].Start > sl.Start })
+		sls = append(sls, Slot{})
+		copy(sls[i+1:], sls[i:])
+		sls[i] = sl
+		peSlots[best.pe] = sls
 		h.complete(t)
 	}
 	return b.finish("ish"), nil

@@ -15,43 +15,80 @@ type Scheduler interface {
 }
 
 // builder holds the incremental state shared by the list schedulers,
-// working entirely on the compiled graph view (dense task ids).
+// working entirely on the compiled graph view (dense task ids). All of
+// it except the escaping Slots/Msgs product is carved from a pooled
+// arena; release returns the scratch when the Schedule call ends.
 type builder struct {
 	c        *compiled
+	ar       *arena
+	pool     *workerPool // nil when candidate scoring runs serially
 	procFree []machine.Time
 	slots    []Slot
 	msgs     []Msg
 	copies   [][]Slot // dense id -> all placed copies of the task
 	copyBuf  []Slot   // backing store for each task's first copy
 	cache    estCache
+
+	// Message stubs: place records cross-PE messages as parallel
+	// pointer-free arrays in the arena and finish materialises the
+	// []Msg once, exactly sized. A growing []Msg would otherwise be
+	// the largest live object of the whole run — ~96 bytes per message
+	// with three string headers each for the GC to scan, hundreds of
+	// megabytes at 100k tasks — and marking it repeatedly dominates
+	// large schedules. The stubs carry no pointers, so the GC skips
+	// their spans entirely.
+	stubAidx   []int32 // original arc index (Var/From/To/Words live there)
+	stubTo     []int32 // consumer dense id
+	stubToPE   []int32
+	stubSrcPE  []int32
+	stubSrcFin []machine.Time
+	stubRecv   []machine.Time
 }
 
-func newBuilder(g *graph.Graph, m *machine.Machine) (*builder, error) {
+func newBuilder(g *graph.Graph, m *machine.Machine, opts SchedOptions) (*builder, error) {
 	if g == nil || m == nil {
 		return nil, fmt.Errorf("sched: nil graph or machine")
 	}
 	if err := g.ValidateFlat(); err != nil {
 		return nil, fmt.Errorf("sched: graph not flat: %w", err)
 	}
-	c, err := compile(g, m)
+	c, err := compiledFor(g, m)
 	if err != nil {
 		return nil, err
 	}
+	ar := getArena()
 	b := &builder{
 		c:        c,
-		procFree: make([]machine.Time, c.pes),
+		ar:       ar,
+		procFree: ar.times(c.pes, true),
 		slots:    make([]Slot, 0, c.n),
-		msgs:     make([]Msg, 0, len(c.arcs)),
-		copies:   make([][]Slot, c.n),
-		copyBuf:  make([]Slot, c.n),
-		cache:    newEstCache(c.n, c.pes),
+		copies:   ar.slotLists(c.n, false),
+		copyBuf:  ar.slots(c.n, false),
+		cache:    newEstCache(c.n, c.pes, ar),
 	}
 	// Every task has exactly one copy unless a duplication scheduler
 	// adds more, so give each its own cap-1 backing slot up front.
 	for i := range b.copies {
 		b.copies[i] = b.copyBuf[i : i : i+1]
 	}
+	if w := opts.workers(); w > 1 {
+		b.pool = newWorkerPool(w)
+	}
 	return b, nil
+}
+
+// release returns the builder's scratch to the pools. Every Schedule
+// implementation defers it; it is idempotent, and the Slots/Msgs slices
+// handed out via finish stay valid.
+func (b *builder) release() {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
+	}
+	if b.ar != nil {
+		b.ar.release()
+		b.ar = nil
+	}
 }
 
 // errProducerNotPlaced is the shared "producer not placed" error.
@@ -107,11 +144,25 @@ func (b *builder) place(t int32, pe int, start machine.Time, dup bool) (Slot, er
 			return Slot{}, fmt.Errorf("sched: task %s placed at %v before data %s arrives at %v", id, start, oa.Var, at)
 		}
 		if src.PE != pe {
-			b.msgs = append(b.msgs, Msg{
-				Var: oa.Var, From: oa.From, To: id,
-				FromPE: src.PE, ToPE: pe, Words: oa.Words,
-				Send: src.Finish, Recv: at, Hops: b.c.m.Topo.Hops(src.PE, pe),
-			})
+			if b.stubAidx == nil {
+				// Carved for the worst case (every arc crosses PEs) but
+				// only when a first message actually exists. Duplication
+				// schedulers can exceed the cap — append then falls back
+				// to the heap, still pointer-free.
+				n := len(b.c.arcs)
+				b.stubAidx = b.ar.int32s(n, false)[:0]
+				b.stubTo = b.ar.int32s(n, false)[:0]
+				b.stubToPE = b.ar.int32s(n, false)[:0]
+				b.stubSrcPE = b.ar.int32s(n, false)[:0]
+				b.stubSrcFin = b.ar.times(n, false)[:0]
+				b.stubRecv = b.ar.times(n, false)[:0]
+			}
+			b.stubAidx = append(b.stubAidx, a.aidx)
+			b.stubTo = append(b.stubTo, t)
+			b.stubToPE = append(b.stubToPE, int32(pe))
+			b.stubSrcPE = append(b.stubSrcPE, int32(src.PE))
+			b.stubSrcFin = append(b.stubSrcFin, src.Finish)
+			b.stubRecv = append(b.stubRecv, at)
 		}
 	}
 	b.commitSlot(t, sl)
@@ -133,7 +184,28 @@ func (b *builder) commitSlot(t int32, sl Slot) {
 	}
 }
 
+// finish materialises the message stubs into the exactly-sized []Msg
+// (schedulers with their own message path, like MH, set b.msgs before
+// calling) and assembles the Schedule. It must run before release: the
+// stubs live in the arena.
 func (b *builder) finish(alg string) *Schedule {
+	if b.msgs == nil {
+		if n := len(b.stubAidx); n > 0 {
+			b.msgs = make([]Msg, n)
+			for i := 0; i < n; i++ {
+				oa := &b.c.arcs[b.stubAidx[i]]
+				fp, tp := int(b.stubSrcPE[i]), int(b.stubToPE[i])
+				b.msgs[i] = Msg{
+					Var: oa.Var, From: oa.From, To: b.c.ids[b.stubTo[i]],
+					FromPE: fp, ToPE: tp, Words: oa.Words,
+					Send: b.stubSrcFin[i], Recv: b.stubRecv[i],
+					Hops: b.c.m.Topo.Hops(fp, tp),
+				}
+			}
+		} else {
+			b.msgs = []Msg{} // keep Msgs non-nil: JSON encodes [] rather than null
+		}
+	}
 	return &Schedule{Graph: b.c.g, Machine: b.c.m, Algorithm: alg, Slots: b.slots, Msgs: b.msgs}
 }
 
@@ -146,10 +218,11 @@ func (Serial) Name() string { return "serial" }
 
 // Schedule implements Scheduler.
 func (Serial) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+	b, err := newBuilder(g, m, SchedOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	for _, t := range b.c.topo {
 		st, err := b.est(t, 0)
 		if err != nil {
@@ -165,32 +238,59 @@ func (Serial) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 // HLFET is Highest Level First with Estimated Times: static-priority
 // list scheduling by static b-level, placing each task on the processor
 // where it can start earliest.
-type HLFET struct{}
+type HLFET struct {
+	Opts SchedOptions
+}
 
 // Name implements Scheduler.
 func (HLFET) Name() string { return "hlfet" }
 
 // Schedule implements Scheduler.
-func (HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+func (s HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m, s.Opts)
 	if err != nil {
 		return nil, err
 	}
-	h := newReadyHeap(b.c)
-	for h.len() > 0 {
-		t := h.pop() // highest static level first; ties by id
-		bestPE, bestStart, bestFinish := -1, machine.Time(0), machine.Time(0)
-		for pe := 0; pe < b.c.pes; pe++ {
-			st, err := b.est(t, pe)
-			if err != nil {
-				return nil, err
+	defer b.release()
+	h := newReadyHeap(b.c, b.ar)
+	w := b.scanWorkers()
+	cands := make([]cand, w)
+	// One task per step, so the parallel shard is over processors. The
+	// data-ready row is computed arc-major on the main goroutine first
+	// (one pass over the predecessors fills every PE's entry); the shard
+	// bodies then only read. The closure is built once — a per-step
+	// literal would allocate on every iteration.
+	var t int32
+	var row []machine.Time
+	body := func(wk, lo, hi int) {
+		best := cand{}
+		for pe := lo; pe < hi; pe++ {
+			st := row[pe]
+			if pf := b.procFree[pe]; pf > st {
+				st = pf
 			}
 			fin := st + b.c.exec(t, pe)
-			if bestPE < 0 || fin < bestFinish {
-				bestPE, bestStart, bestFinish = pe, st, fin
+			if betterPE(best.ok, best.fin, best.pe, fin, pe) {
+				best = cand{ok: true, t: t, pe: pe, st: st, fin: fin}
 			}
 		}
-		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+		cands[wk] = best
+	}
+	for h.len() > 0 {
+		t = h.pop() // highest static level first; ties by id
+		var err error
+		if row, err = b.dataReadyRow(t); err != nil {
+			return nil, err
+		}
+		b.parScan(b.c.pes, body)
+		best := cand{}
+		for wk := 0; wk < w; wk++ {
+			if c := cands[wk]; c.ok && betterPE(best.ok, best.fin, best.pe, c.fin, c.pe) {
+				best = c
+			}
+			cands[wk] = cand{}
+		}
+		if _, err := b.place(t, best.pe, best.st, false); err != nil {
 			return nil, err
 		}
 		h.complete(t)
@@ -201,50 +301,102 @@ func (HLFET) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 // ETF is Earliest Task First: at each step the (ready task, processor)
 // pair with the smallest earliest start time is chosen; ties are broken
 // by higher static level, then task id, then processor index.
-type ETF struct{}
+type ETF struct {
+	Opts SchedOptions
+}
 
 // Name implements Scheduler.
 func (ETF) Name() string { return "etf" }
 
 // Schedule implements Scheduler.
-func (ETF) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+func (s ETF) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m, s.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	c := b.c
-	rt := newReadyTracker(c)
-	for len(rt.ready) > 0 {
-		bestIdx, bestPE := -1, -1
-		bestT := int32(-1)
-		var bestStart, bestFinish machine.Time
-		for i, t := range rt.ready {
-			for pe := 0; pe < c.pes; pe++ {
-				st, err := b.est(t, pe)
-				if err != nil {
-					return nil, err
-				}
-				fin := st + c.exec(t, pe)
-				better := false
-				switch {
-				case bestIdx < 0:
-					better = true
-				case fin != bestFinish:
-					better = fin < bestFinish
-				case c.slevel[t] != c.slevel[bestT]:
-					better = c.slevel[t] > c.slevel[bestT]
-				case t != bestT:
-					better = c.rank[t] < c.rank[bestT]
-				default:
-					better = pe < bestPE
-				}
-				if better {
-					bestIdx, bestPE, bestT, bestStart, bestFinish = i, pe, t, st, fin
-				}
+	rt := newReadyTracker(c, b.ar)
+	w := b.scanWorkers()
+	cands := make([]cand, w)
+	errs := make([]error, w)
+
+	// lbFin[t] is a monotone lower bound on task t's best finish time
+	// over all processors. ETF never duplicates, so a ready task's
+	// data-ready times are fixed, and procFree only advances — the best
+	// finish computed at any earlier step can only have grown since.
+	// A ready task whose bound is strictly worse than the running best
+	// cannot win (the candidate order is strict on finish first), so
+	// the scan skips its whole processor loop. Zero (the carve default)
+	// is the trivially valid initial bound.
+	lbFin := b.ar.times(c.n, true)
+
+	// evalTask fully evaluates ready[i] on every processor from its
+	// arc-major data-ready row. For a fixed task the candidate order
+	// reduces to (finish, pe), so a strict < keeps the lowest PE on
+	// ties. Each worker's shard owns disjoint tasks, so the row fills
+	// and lbFin writes never race.
+	evalTask := func(i int) (cand, error) {
+		t := rt.ready[i]
+		row, err := b.dataReadyRow(t)
+		if err != nil {
+			return cand{}, err
+		}
+		execRow := c.execT[int(t)*c.pes : int(t+1)*c.pes]
+		tbest := cand{}
+		for pe := 0; pe < c.pes; pe++ {
+			st := row[pe]
+			if pf := b.procFree[pe]; pf > st {
+				st = pf
+			}
+			fin := st + execRow[pe]
+			if !tbest.ok || fin < tbest.fin {
+				tbest = cand{ok: true, t: t, idx: i, pe: pe, st: st, fin: fin}
 			}
 		}
-		t := rt.take(bestIdx)
-		if _, err := b.place(t, bestPE, bestStart, false); err != nil {
+		lbFin[t] = tbest.fin
+		return tbest, nil
+	}
+
+	// Built once, not per step: a per-iteration closure literal would
+	// allocate on every scheduling step. The running best doubles as
+	// the pruning bound; a task is only skipped when its recorded bound
+	// is strictly worse, and every full evaluation refreshes the bound.
+	// (A stronger initial bound — e.g. pre-evaluating the argmin-bound
+	// task — measures *slower* at scale: it suppresses the evaluations
+	// that keep the other tasks' bounds tight, and the stale bounds
+	// force far more re-evaluations on later steps.)
+	body := func(wk, lo, hi int) {
+		best := cand{}
+		for i := lo; i < hi; i++ {
+			if best.ok && lbFin[rt.ready[i]] > best.fin {
+				continue
+			}
+			tbest, err := evalTask(i)
+			if err != nil {
+				errs[wk] = err
+				return
+			}
+			if c.betterCand(best, tbest) {
+				best = tbest
+			}
+		}
+		cands[wk] = best
+	}
+	for len(rt.ready) > 0 {
+		b.parScan(len(rt.ready), body)
+		best := cand{}
+		for wk := 0; wk < w; wk++ {
+			if errs[wk] != nil {
+				return nil, errs[wk]
+			}
+			if c.betterCand(best, cands[wk]) {
+				best = cands[wk]
+			}
+			cands[wk] = cand{}
+		}
+		t := rt.take(best.idx)
+		if _, err := b.place(t, best.pe, best.st, false); err != nil {
 			return nil, err
 		}
 		rt.complete(t)

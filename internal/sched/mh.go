@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"sort"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -14,80 +14,106 @@ import (
 // its communication model routes every message hop by hop over the
 // interconnection network and serialises messages that contend for the
 // same link, so topology (Figure 2) genuinely shapes the schedule.
-type MH struct{}
+type MH struct {
+	Opts SchedOptions
+}
 
 // Name implements Scheduler.
 func (MH) Name() string { return "mh" }
 
-// mhNet tracks per-link availability for the contention model. Links
-// are discovered lazily and given dense ids; every (p,q) pair's route
-// is memoized as a shared sequence of link ids so the hot estimation
-// loop never rebuilds a path or touches a map.
+// mhNet tracks per-link availability for the contention model. Every
+// route and link id is built eagerly up front — the estimation loops
+// (which may run sharded across workers) then only read flat arrays
+// and never touch a map or mutate shared route state.
 //
 // It also maintains the state behind MH's incremental routed-arrival
 // cache. Because routing is destination-based (the next hop out of u
 // depends only on u and the final destination q), the directed link
-// u->v lies on a route toward q iff NextHop(u, q) == v; linkDests
-// precomputes, per link, exactly the destination PEs whose deliveries
-// can traverse it. When a commit actually advances a link's free time,
-// destEpoch of those destinations is bumped, invalidating only the
-// cached arrivals that could observe the change.
+// u->v lies on a route toward q iff NextHop(u, q) == v; the per-link
+// dest lists precompute exactly the destination PEs whose deliveries
+// can traverse each link. When a commit actually advances a link's free
+// time, destEpoch of those destinations is bumped, invalidating only
+// the cached arrivals that could observe the change.
 type mhNet struct {
 	pes      int
 	topo     *machine.Topology
 	startup  machine.Time
 	wordTime machine.Time
 
-	routeIDs  [][]int32        // flat p*pes+q -> link-id sequence (nil until built)
-	linkIdx   map[[2]int]int32 // directed (u,v) -> link id
-	linkFree  []machine.Time   // per link id
-	linkDests [][]int32        // per link id: destinations routed over it
+	routeOff   []int32        // flat p*pes+q -> range into routeLinks
+	routeLinks []int32        // concatenated link-id sequences
+	linkFree   []machine.Time // per link id
+	destOff    []int32        // per link id -> range into destFlat
+	destFlat   []int32        // concatenated destination PEs per link
 
-	epoch     uint64   // bumped once per commit phase
+	epoch     uint64   // bumped once per commit phase; starts at mhFirstEpoch
 	destEpoch []uint64 // per PE: epoch of the last commit affecting it
 }
 
-func newMHNet(m *machine.Machine) *mhNet {
-	return &mhNet{
-		pes:       m.NumPE(),
+// Stamp values below mhFirstEpoch are reserved: mhStampNever marks an
+// arrival-cache entry that was never computed, mhStampPartial one that
+// holds a partial (bailed-out) lower bound. Both are permanently stale.
+const (
+	mhStampNever   = 0
+	mhStampPartial = 1
+	mhFirstEpoch   = 2
+)
+
+func newMHNet(m *machine.Machine, ar *arena) *mhNet {
+	P := m.NumPE()
+	n := &mhNet{
+		pes:       P,
 		topo:      m.Topo,
 		startup:   m.Params.MsgStartup,
 		wordTime:  m.Params.WordTime,
-		routeIDs:  make([][]int32, m.NumPE()*m.NumPE()),
-		linkIdx:   map[[2]int]int32{},
-		destEpoch: make([]uint64, m.NumPE()),
+		epoch:     mhFirstEpoch,
+		destEpoch: ar.uint64s(P, true),
 	}
-}
-
-// route returns the memoized link-id sequence of the shortest path from
-// p to q (p != q), building it — and the dest lists of any new links —
-// on first use.
-func (n *mhNet) route(p, q int) []int32 {
-	idx := p*n.pes + q
-	if r := n.routeIDs[idx]; r != nil {
-		return r
-	}
-	path := n.topo.Route(p, q)
-	r := make([]int32, 0, len(path)-1)
-	for i := 1; i < len(path); i++ {
-		u, v := path[i-1], path[i]
-		l, ok := n.linkIdx[[2]int{u, v}]
-		if !ok {
-			l = int32(len(n.linkFree))
-			n.linkIdx[[2]int{u, v}] = l
-			n.linkFree = append(n.linkFree, 0)
-			var dests []int32
-			for d := 0; d < n.pes; d++ {
-				if n.topo.NextHop(u, d) == v {
-					dests = append(dests, int32(d))
+	// Discover links in deterministic (p, q, hop) order and flatten
+	// every route. Link-id numbering doesn't influence schedules (ids
+	// only group contention state), but determinism keeps debugging
+	// sane.
+	linkIdx := map[[2]int]int32{}
+	var linkEnds [][2]int
+	n.routeOff = make([]int32, P*P+1)
+	n.routeLinks = make([]int32, 0, P*P)
+	for p := 0; p < P; p++ {
+		for q := 0; q < P; q++ {
+			if p != q {
+				path := n.topo.Route(p, q)
+				for i := 1; i < len(path); i++ {
+					uv := [2]int{path[i-1], path[i]}
+					l, ok := linkIdx[uv]
+					if !ok {
+						l = int32(len(linkEnds))
+						linkIdx[uv] = l
+						linkEnds = append(linkEnds, uv)
+					}
+					n.routeLinks = append(n.routeLinks, l)
 				}
 			}
-			n.linkDests = append(n.linkDests, dests)
+			n.routeOff[p*P+q+1] = int32(len(n.routeLinks))
 		}
-		r = append(r, l)
 	}
-	n.routeIDs[idx] = r
-	return r
+	n.linkFree = ar.times(len(linkEnds), true)
+	n.destOff = make([]int32, len(linkEnds)+1)
+	n.destFlat = make([]int32, 0, len(linkEnds)*2)
+	for l, uv := range linkEnds {
+		for d := 0; d < P; d++ {
+			if n.topo.NextHop(uv[0], d) == uv[1] {
+				n.destFlat = append(n.destFlat, int32(d))
+			}
+		}
+		n.destOff[l+1] = int32(len(n.destFlat))
+	}
+	return n
+}
+
+// route returns the link-id sequence of the shortest path from p to q
+// (empty when p == q).
+func (n *mhNet) route(p, q int) []int32 {
+	i := p*n.pes + q
+	return n.routeLinks[n.routeOff[i]:n.routeOff[i+1]]
 }
 
 // deliver computes when a message of words words, ready at the source
@@ -132,7 +158,7 @@ func (n *mhNet) commitDeliver(words int64, send machine.Time, p, q int) machine.
 		at += hop
 		if at > n.linkFree[l] {
 			n.linkFree[l] = at
-			for _, d := range n.linkDests[l] {
+			for _, d := range n.destFlat[n.destOff[l]:n.destOff[l+1]] {
 				n.destEpoch[d] = n.epoch
 			}
 		}
@@ -140,98 +166,246 @@ func (n *mhNet) commitDeliver(words int64, send machine.Time, p, q int) machine.
 	return at
 }
 
+// feed is one incoming message of the task being committed.
+type feed struct {
+	a    carc
+	src  Slot
+	send machine.Time
+}
+
+// sortFeeds orders feeds by (send time, producer rank) with a stable
+// insertion sort: feed lists are predecessor lists (a handful of
+// entries), and interface-based sorting here was most of MH's
+// allocation bill — three allocations per scheduling step.
+func sortFeeds(feeds []feed, rank []int32) {
+	for i := 1; i < len(feeds); i++ {
+		f := feeds[i]
+		j := i - 1
+		for j >= 0 && (f.send < feeds[j].send ||
+			(f.send == feeds[j].send && rank[f.a.from] < rank[feeds[j].a.from])) {
+			feeds[j+1] = feeds[j]
+			j--
+		}
+		feeds[j+1] = f
+	}
+}
+
 // Schedule implements Scheduler.
-func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+func (s MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
+	b, err := newBuilder(g, m, s.Opts)
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	c := b.c
-	net := newMHNet(m)
-	rt := newReadyTracker(c)
+	net := newMHNet(m, b.ar)
+	rt := newReadyTracker(c, b.ar)
+	w := b.scanWorkers()
+	cands := make([]cand, w)
+	errs := make([]error, w)
 
 	// Routed data-arrival cache: arr[t*P+pe] is the max over t's
 	// predecessor arcs of the best copy's routed arrival, stamped with
-	// the net epoch it was computed at. An entry stays valid until a
-	// commit advances a link on some route toward pe (MH never
-	// duplicates, so producer copies are fixed once t is ready);
-	// procFree is applied live and needs no invalidation.
-	arr := make([]machine.Time, c.n*c.pes)
-	stamp := make([]uint64, c.n*c.pes)
-	for i := range arr {
-		arr[i] = -1
+	// the net epoch it was computed at (mhStampNever = never computed,
+	// mhStampPartial = holds a bailed-out partial lower bound). An entry
+	// stays valid until a commit advances a link on some route toward pe
+	// (MH never duplicates, so producer copies are fixed once t is
+	// ready); procFree is applied live and needs no invalidation.
+	arr := b.ar.times(c.n*c.pes, false)
+	stamp := b.ar.uint64s(c.n*c.pes, true)
+
+	// Monotone pruning bounds. Link free times and procFree only
+	// advance and producer finishes are fixed, so routed arrivals —
+	// and with them every (t,pe) finish — are nondecreasing over
+	// time. That makes two lower bounds available without recomputing
+	// routes: a stale cached arrival (bounds the current arrival from
+	// below), and lbFin[t], the task's best finish computed at any
+	// earlier step. Candidates whose bound is strictly worse than the
+	// running best can't win (the candidate order is strict on finish
+	// first) and are skipped; bounds that tie must be recomputed so
+	// tie-breaks see exact values.
+	lbFin := b.ar.times(c.n, true)
+
+	// MH never duplicates, so each placed task has exactly one copy;
+	// srcPE/srcFin are the flat fast path to it (-1 = not placed yet),
+	// avoiding the copies slice-of-slices indirection in the scan.
+	srcPE := b.ar.int32s(c.n, false)
+	srcFin := b.ar.times(c.n, false)
+	for i := range srcPE {
+		srcPE[i] = -1
 	}
 
-	// estRouted evaluates the earliest start of t on pe under the
-	// contention model, without committing link reservations.
-	estRouted := func(t int32, pe int) (machine.Time, error) {
-		i := int(t)*c.pes + pe
-		a := arr[i]
-		if a < 0 || stamp[i] < net.destEpoch[pe] {
-			a = 0
-			for _, pa := range c.predArcsOf(t) {
-				// Choose the producer copy with the earliest routed
-				// arrival; the producer must already be placed.
-				cps := b.copies[pa.from]
-				if len(cps) == 0 {
-					return 0, errProducerNotPlaced(c.arcs[pa.aidx])
-				}
-				bestAt := net.deliver(pa.words, cps[0].Finish, cps[0].PE, pe)
-				for _, cp := range cps[1:] {
-					if at := net.deliver(pa.words, cp.Finish, cp.PE, pe); at < bestAt {
-						bestAt = at
+	// evalTask evaluates ready index i exactly (updating the arrival
+	// cache and lbFin) under the pruning bound and returns the task's
+	// best candidate. Candidate orders are strict, so pruning with any
+	// valid bound never changes which candidate wins a scan.
+	evalTask := func(wk, i int, bound cand) cand {
+		t := rt.ready[i]
+		taskLB := machine.Time(math.MaxInt64)
+		tbest := cand{}
+		preds := c.predArcsOf(t)
+		for pe := 0; pe < c.pes; pe++ {
+			ci := int(t)*c.pes + pe
+			ex := c.exec(t, pe)
+			pf := b.procFree[pe]
+			// A candidate is beaten when it is strictly worse than the
+			// cross-task bound (ties there must be recomputed for the
+			// slevel/rank tie-breaks) or no better than this task's own
+			// running best (a tie loses to the earlier PE).
+			beaten := func(fin machine.Time) bool {
+				return (bound.ok && fin > bound.fin) || (tbest.ok && fin >= tbest.fin)
+			}
+			if st := stamp[ci]; st < mhFirstEpoch || st < net.destEpoch[pe] {
+				if st != mhStampNever {
+					lb := arr[ci]
+					if pf > lb {
+						lb = pf
+					}
+					if beaten(lb + ex) {
+						if lb+ex < taskLB {
+							taskLB = lb + ex
+						}
+						continue
 					}
 				}
-				if bestAt > a {
-					a = bestAt
+				var a machine.Time
+				complete := true
+				for _, pa := range preds {
+					sp := srcPE[pa.from]
+					if sp < 0 {
+						errs[wk] = errProducerNotPlaced(c.arcs[pa.aidx])
+						return cand{}
+					}
+					// deliver, hand-rolled on the flat single-copy
+					// arrays: this loop is the profile's hottest path.
+					at := srcFin[pa.from]
+					if int(sp) != pe {
+						w := pa.words
+						if w < 0 {
+							w = 0
+						}
+						at += net.startup
+						hop := machine.Time(w) * net.wordTime
+						base := int(sp)*net.pes + pe
+						for _, l := range net.routeLinks[net.routeOff[base]:net.routeOff[base+1]] {
+							if f := net.linkFree[l]; f > at {
+								at = f
+							}
+							at += hop
+						}
+					}
+					if at > a {
+						a = at
+					}
+					// Bail as soon as the partial max already loses:
+					// the true arrival is >= a, so the candidate is
+					// beaten whatever the remaining predecessors add.
+					// The partial max is still a valid monotone lower
+					// bound — keep it for the next scan's skip check.
+					if beaten(a + ex) {
+						complete = false
+						break
+					}
 				}
+				if !complete {
+					if st == mhStampNever || a > arr[ci] {
+						arr[ci] = a
+					}
+					stamp[ci] = mhStampPartial
+					lb := a
+					if pf > lb {
+						lb = pf
+					}
+					if lb+ex < taskLB {
+						taskLB = lb + ex
+					}
+					continue
+				}
+				arr[ci] = a
+				stamp[ci] = net.epoch
 			}
-			arr[i] = a
-			stamp[i] = net.epoch
+			start := arr[ci]
+			if pf > start {
+				start = pf
+			}
+			fin := start + ex
+			if fin < taskLB {
+				taskLB = fin
+			}
+			// Within one task slevel and rank are fixed, so the strict
+			// candidate order reduces to (fin, pe); pe ascends, so
+			// strictly-smaller fin is the whole test.
+			if !tbest.ok || fin < tbest.fin {
+				tbest = cand{ok: true, t: t, idx: i, pe: pe, st: start, fin: fin}
+			}
 		}
-		if pf := b.procFree[pe]; pf > a {
-			return pf, nil
-		}
-		return a, nil
+		lbFin[t] = taskLB
+		return tbest
 	}
 
-	type feed struct {
-		a    carc
-		src  Slot
-		send machine.Time
+	// Each step's scan starts from a seed candidate: the task with the
+	// smallest finish lower bound, evaluated exactly on the main
+	// goroutine before the shards launch. Every worker then opens with
+	// a near-optimal bound instead of discovering one mid-chunk, which
+	// is what makes the lbFin skip and the stale-entry skip bite.
+	var seed cand
+	var seedIdx int
+	body := func(wk, lo, hi int) {
+		best := seed
+		for i := lo; i < hi; i++ {
+			if i == seedIdx {
+				continue
+			}
+			t := rt.ready[i]
+			if best.ok && lbFin[t] > best.fin {
+				continue
+			}
+			tbest := evalTask(wk, i, best)
+			if errs[wk] != nil {
+				return
+			}
+			if c.betterCand(best, tbest) {
+				best = tbest
+			}
+		}
+		cands[wk] = best
 	}
+
+	// Message stubs: committed cross-PE messages are recorded as
+	// pointer-free (arc, recv) pairs in the arena and materialised into
+	// []Msg once at the end. Building the pointerful Msg list
+	// incrementally would keep a multi-megabyte, GC-scanned, write-
+	// barriered buffer live through the whole construction.
+	stubArc := b.ar.int32s(len(c.arcs), false)[:0]
+	stubFrom := b.ar.int32s(len(c.arcs), false)[:0]
+	stubTo := b.ar.int32s(len(c.arcs), false)[:0]
+	stubRecv := b.ar.times(len(c.arcs), false)[:0]
+
 	var feeds []feed
-
 	for len(rt.ready) > 0 {
-		bestIdx, bestPE := -1, -1
-		bestT := int32(-1)
-		var bestFinish machine.Time
+		seedIdx = 0
 		for i, t := range rt.ready {
-			for pe := 0; pe < c.pes; pe++ {
-				st, err := estRouted(t, pe)
-				if err != nil {
-					return nil, err
-				}
-				fin := st + c.exec(t, pe)
-				better := false
-				switch {
-				case bestIdx < 0:
-					better = true
-				case fin != bestFinish:
-					better = fin < bestFinish
-				case c.slevel[t] != c.slevel[bestT]:
-					better = c.slevel[t] > c.slevel[bestT]
-				case t != bestT:
-					better = c.rank[t] < c.rank[bestT]
-				default:
-					better = pe < bestPE
-				}
-				if better {
-					bestIdx, bestPE, bestT, bestFinish = i, pe, t, fin
-				}
+			if lbFin[t] < lbFin[rt.ready[seedIdx]] {
+				seedIdx = i
 			}
 		}
-		t := rt.take(bestIdx)
+		seed = evalTask(0, seedIdx, cand{})
+		if errs[0] != nil {
+			return nil, errs[0]
+		}
+		b.parScan(len(rt.ready), body)
+		best := cand{}
+		for wk := 0; wk < w; wk++ {
+			if errs[wk] != nil {
+				return nil, errs[wk]
+			}
+			if c.betterCand(best, cands[wk]) {
+				best = cands[wk]
+			}
+			cands[wk] = cand{}
+		}
+		t := rt.take(best.idx)
+		bestPE := best.pe
 
 		// Commit: route each incoming message in a deterministic order
 		// (messages from earlier-finishing copies first), booking links.
@@ -241,22 +415,16 @@ func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 		feeds = feeds[:0]
 		for _, pa := range c.predArcsOf(t) {
 			cps := b.copies[pa.from]
-			best := cps[0]
+			bsrc := cps[0]
 			bestAt := net.deliver(pa.words, cps[0].Finish, cps[0].PE, bestPE)
 			for _, cp := range cps[1:] {
-				at := net.deliver(pa.words, cp.Finish, cp.PE, bestPE)
-				if at < bestAt || (at == bestAt && cp.PE < best.PE) {
-					bestAt, best = at, cp
+				if at := net.deliver(pa.words, cp.Finish, cp.PE, bestPE); at < bestAt || (at == bestAt && cp.PE < bsrc.PE) {
+					bestAt, bsrc = at, cp
 				}
 			}
-			feeds = append(feeds, feed{a: pa, src: best, send: best.Finish})
+			feeds = append(feeds, feed{a: pa, src: bsrc, send: bsrc.Finish})
 		}
-		sort.Slice(feeds, func(i, j int) bool {
-			if feeds[i].send != feeds[j].send {
-				return feeds[i].send < feeds[j].send
-			}
-			return c.rank[feeds[i].a.from] < c.rank[feeds[j].a.from]
-		})
+		sortFeeds(feeds, c.rank)
 		start := b.procFree[bestPE]
 		for _, f := range feeds {
 			at := net.commitDeliver(f.a.words, f.src.Finish, f.src.PE, bestPE)
@@ -264,19 +432,32 @@ func (MH) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
 				start = at
 			}
 			if f.src.PE != bestPE {
-				oa := &c.arcs[f.a.aidx]
-				b.msgs = append(b.msgs, Msg{
-					Var: oa.Var, From: oa.From, To: c.ids[t],
-					FromPE: f.src.PE, ToPE: bestPE, Words: oa.Words,
-					Send: f.src.Finish, Recv: at, Hops: m.Topo.Hops(f.src.PE, bestPE),
-				})
+				stubArc = append(stubArc, f.a.aidx)
+				stubFrom = append(stubFrom, f.a.from)
+				stubTo = append(stubTo, t)
+				stubRecv = append(stubRecv, at)
 			}
 		}
 		// Committed contention may push the start past the estimate
 		// (other placements between estimate and commit); never earlier.
 		sl := Slot{Task: c.ids[t], PE: bestPE, Start: start, Finish: start + c.exec(t, bestPE)}
 		b.commitSlot(t, sl)
+		srcPE[t], srcFin[t] = int32(bestPE), sl.Finish
 		rt.complete(t)
+	}
+	// Materialise the message list, exactly sized, in commit order. By
+	// now every task is placed, so producer/consumer PEs and the send
+	// times read straight off the flat arrays.
+	b.msgs = make([]Msg, len(stubArc))
+	for i, ai := range stubArc {
+		oa := &c.arcs[ai]
+		from, to := stubFrom[i], stubTo[i]
+		fp, tp := int(srcPE[from]), int(srcPE[to])
+		b.msgs[i] = Msg{
+			Var: oa.Var, From: oa.From, To: c.ids[to],
+			FromPE: fp, ToPE: tp, Words: oa.Words,
+			Send: srcFin[from], Recv: stubRecv[i], Hops: m.Topo.Hops(fp, tp),
+		}
 	}
 	return b.finish("mh"), nil
 }

@@ -25,10 +25,11 @@ func (Pack) Name() string { return "pack" }
 
 // Schedule implements Scheduler.
 func (Pack) Schedule(g *graph.Graph, m *machine.Machine) (*Schedule, error) {
-	b, err := newBuilder(g, m)
+	b, err := newBuilder(g, m, SchedOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
+	defer b.release()
 	clusters, err := linearClusters(g)
 	if err != nil {
 		return nil, err
@@ -175,7 +176,7 @@ func scheduleFixed(b *builder, assign map[graph.NodeID]int, alg string) (*Schedu
 	for id, pe := range assign {
 		pa[c.idOf[id]] = pe
 	}
-	rt := newReadyTracker(c)
+	rt := newReadyTracker(c, b.ar)
 	for len(rt.ready) > 0 {
 		bestIdx := -1
 		bestT := int32(-1)

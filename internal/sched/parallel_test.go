@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// The parallel-construction suite: sharded candidate scoring must be
+// byte-identical to the serial path for every heuristic, worker count
+// and topology family, and the arena must keep steady-state scheduling
+// allocation-flat.
+
+func equivGraph(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: 8, Width: 6,
+		MinWork: 5, MaxWork: 90, MinWords: 0, MaxWords: 40, Density: 0.35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func equivMachines(t testing.TB) []*machine.Machine {
+	t.Helper()
+	var ms []*machine.Machine
+	mk := func(topo *machine.Topology, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	mk(machine.Hypercube(3))
+	mk(machine.Star(6))
+	mk(machine.Full(8))
+	return ms
+}
+
+// TestParallelEquivalence pins the tentpole's determinism contract:
+// for every heuristic × topology family × 10 seeds, the schedule built
+// with a sharded worker pool is byte-identical to the serial path
+// (SchedOptions{Workers: 1}, the debugging escape hatch).
+func TestParallelEquivalence(t *testing.T) {
+	machines := equivMachines(t)
+	for seed := int64(1); seed <= 10; seed++ {
+		g := equivGraph(t, seed)
+		for _, m := range machines {
+			for _, s := range All() {
+				serial, err := WithWorkers(s, 1).Schedule(g, m)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s workers=1: %v", seed, s.Name(), m.Name, err)
+				}
+				want := canonicalFingerprint(serial)
+				for _, w := range []int{2, 4} {
+					par, err := WithWorkers(s, w).Schedule(g, m)
+					if err != nil {
+						t.Fatalf("seed %d %s/%s workers=%d: %v", seed, s.Name(), m.Name, w, err)
+					}
+					if got := canonicalFingerprint(par); got != want {
+						t.Errorf("seed %d %s/%s: workers=%d schedule diverged from serial", seed, s.Name(), m.Name, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWithWorkersNeverChangesNames guards the registry helper: options
+// plumbing must not swap scheduler identities.
+func TestWithWorkersNeverChangesNames(t *testing.T) {
+	for _, s := range All() {
+		if got := WithWorkers(s, 4).Name(); got != s.Name() {
+			t.Errorf("WithWorkers(%s).Name() = %s", s.Name(), got)
+		}
+	}
+}
+
+// bytesPerRun measures the exact heap bytes one Schedule call allocates
+// in steady state (compiled view cached, arena pooled), averaged over
+// runs. TotalAlloc is a monotonic counter, so the measure is exact and
+// GC-timing-independent.
+func bytesPerRun(t *testing.T, s Scheduler, g *graph.Graph, m *machine.Machine) float64 {
+	t.Helper()
+	const runs = 5
+	if _, err := s.Schedule(g, m); err != nil { // warm compile cache + arena pool
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if _, err := s.Schedule(g, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / runs
+}
+
+// TestSchedulerBytesLinear is the satellite regression test for the
+// BENCH_PR2 bytes/op superlinearity: ETF and HLFET rebuilt dense
+// per-run state, so doubling the graph more than doubled bytes/op.
+// With the arena the per-run allocation is the escaping schedule
+// product plus O(1) bookkeeping, so bytes/op must grow no faster than
+// the linear model tasks×PEs + arcs (slots and messages are the
+// product; everything else is pooled).
+func TestSchedulerBytesLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	topo, err := machine.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkGraph := func(layers, width int) *graph.Graph {
+		rng := rand.New(rand.NewSource(7))
+		g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+			Layers: layers, Width: width,
+			MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	small := mkGraph(16, 12)
+	big := mkGraph(32, 24) // 4× the tasks, ~8× the arcs
+	model := func(g *graph.Graph) float64 {
+		return float64(g.Len()*m.NumPE() + g.NumArcs())
+	}
+	modelRatio := model(big) / model(small)
+	for _, s := range []Scheduler{ETF{}, HLFET{}, BSP{}} {
+		sb := bytesPerRun(t, s, small, m)
+		bb := bytesPerRun(t, s, big, m)
+		ratio := bb / sb
+		t.Logf("%s: %.0f B/op small, %.0f B/op big, ratio %.2f (model %.2f)", s.Name(), sb, bb, ratio, modelRatio)
+		if ratio > 1.8*modelRatio {
+			t.Errorf("%s: bytes/op grew %.2f× for a %.2f× larger tasks×PEs+arcs model — superlinear", s.Name(), ratio, modelRatio)
+		}
+	}
+}
+
+// TestSchedulerAllocsFlat pins the steady-state allocation count:
+// after the compiled view is cached, a schedule run may allocate the
+// escaping product and bounded bookkeeping, not O(steps) garbage
+// (BENCH_PR2 measured 24k allocs per MH run from per-step sorting).
+func TestSchedulerAllocsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	topo, err := machine.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	g, err := graph.LayeredRandom(rng, graph.LayeredConfig{
+		Layers: 50, Width: 40,
+		MinWork: 10, MaxWork: 100, MinWords: 1, MaxWords: 40, Density: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{MH{}, ETF{}, HLFET{}, BSP{}} {
+		if _, err := s.Schedule(g, m); err != nil { // warm caches
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := s.Schedule(g, m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s: %.0f allocs/op at 2000 tasks", s.Name(), allocs)
+		if allocs > 500 {
+			t.Errorf("%s: %.0f allocs per schedule of a 2000-task graph — per-step garbage is back", s.Name(), allocs)
+		}
+	}
+}
+
+// TestCompiledCacheInvalidation guards the compiled-view cache: a
+// structural mutation must be visible to the next Schedule call.
+func TestCompiledCacheInvalidation(t *testing.T) {
+	topo, err := machine.Full(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(topo.Name, topo, machine.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New("mutate")
+	g.MustAddTask("a", "", 10)
+	g.MustAddTask("b", "", 10)
+	sc, err := (HLFET{}).Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Msgs) != 0 {
+		t.Fatalf("independent tasks produced %d msgs", len(sc.Msgs))
+	}
+	v := g.Version()
+	g.MustConnect("a", "b", "x", 5)
+	if g.Version() == v {
+		t.Fatal("Connect did not bump the graph version")
+	}
+	sc2, err := (HLFET{}).Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc2.Validate(); err != nil {
+		t.Fatalf("schedule after mutation invalid (stale compiled view?): %v", err)
+	}
+	bSlot, _ := sc2.PrimarySlot("b")
+	aSlot, _ := sc2.PrimarySlot("a")
+	if bSlot.Start < aSlot.Finish {
+		t.Errorf("b starts at %v before a finishes at %v: new arc ignored", bSlot.Start, aSlot.Finish)
+	}
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// This file implements parallel candidate evaluation: the inner
+// (ready task × processor) scoring loops of the greedy schedulers are
+// embarrassingly parallel — scoring reads the placed state and writes
+// only per-(task,PE) cache entries — so they shard across a small
+// worker pool. Determinism is preserved by construction:
+//
+//   - the scanned index range is split into contiguous per-worker
+//     chunks, and every per-worker result is reduced in worker order
+//     with the same strict comparison the serial scan uses;
+//   - each scheduler's candidate order is a strict total order (the
+//     final tie-break key — task rank or PE index — is unique), so the
+//     minimum is unique and independent of scan order;
+//   - workers only write state they own: estimation-cache entries of
+//     the tasks (or PEs) in their chunk, and scratch carved for them
+//     before the scan starts.
+//
+// The result is byte-identical to the serial path for any worker
+// count; TestParallelEquivalence and the golden suite enforce it.
+
+// SchedOptions configures how a scheduler builds its schedule. The
+// zero value is the default: automatic worker count. Options never
+// change the produced schedule, only how fast it is constructed.
+type SchedOptions struct {
+	// Workers is the number of goroutines scoring candidates:
+	// 0 = automatic (GOMAXPROCS, capped), 1 = fully serial (the
+	// debugging escape hatch), >1 = that many workers.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o SchedOptions) workers() int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// prange is one contiguous index chunk handed to a worker.
+type prange struct{ lo, hi int }
+
+// workerPool runs scans over index ranges on a fixed set of
+// goroutines. Each worker owns one channel so chunk w always runs on
+// goroutine w, which lets callers give workers private scratch.
+type workerPool struct {
+	jobs []chan prange
+	wg   sync.WaitGroup
+	body func(worker, lo, hi int)
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make([]chan prange, n)}
+	for i := range p.jobs {
+		ch := make(chan prange, 1)
+		p.jobs[i] = ch
+		go func(w int, ch chan prange) {
+			for r := range ch {
+				p.body(w, r.lo, r.hi)
+				p.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// scan splits [0,n) into one chunk per worker and blocks until every
+// chunk has run. body must confine writes to worker-owned state.
+func (p *workerPool) scan(n int, body func(worker, lo, hi int)) {
+	p.body = body
+	chunk := (n + len(p.jobs) - 1) / len(p.jobs)
+	for w := 0; w < len(p.jobs); w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.wg.Add(1)
+		p.jobs[w] <- prange{lo, hi}
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers. The pool is unusable afterwards.
+func (p *workerPool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// scanWorkers returns how many chunks a parScan may produce.
+func (b *builder) scanWorkers() int {
+	if b.pool == nil {
+		return 1
+	}
+	return len(b.pool.jobs)
+}
+
+// parScan runs body over [0,n): inline for serial builders, sharded
+// across the pool otherwise.
+func (b *builder) parScan(n int, body func(worker, lo, hi int)) {
+	if b.pool == nil || n < 2 {
+		body(0, 0, n)
+		return
+	}
+	b.pool.scan(n, body)
+}
+
+// cand is one scored candidate placement.
+type cand struct {
+	ok  bool
+	t   int32
+	idx int // index in the scanned slice (ready-pool position)
+	pe  int
+	st  machine.Time
+	fin machine.Time
+}
+
+// betterCand reports whether next beats cur under the dynamic greedy
+// total order shared by ETF and MH: earlier finish, then higher static
+// level, then NodeID order, then lower PE. The key is strict (rank is
+// unique per task, PE unique within a task), so the minimum is unique.
+func (c *compiled) betterCand(cur, next cand) bool {
+	switch {
+	case !next.ok:
+		return false
+	case !cur.ok:
+		return true
+	case next.fin != cur.fin:
+		return next.fin < cur.fin
+	case c.slevel[next.t] != c.slevel[cur.t]:
+		return c.slevel[next.t] > c.slevel[cur.t]
+	case next.t != cur.t:
+		return c.rank[next.t] < c.rank[cur.t]
+	default:
+		return next.pe < cur.pe
+	}
+}
+
+// betterPE reports whether (fin,pe) beats cur under the static-priority
+// order shared by HLFET, DSH, ISH and BSP when placing a single task:
+// earlier finish, then lower PE.
+func betterPE(curOK bool, curFin machine.Time, curPE int, fin machine.Time, pe int) bool {
+	if !curOK {
+		return true
+	}
+	if fin != curFin {
+		return fin < curFin
+	}
+	return pe < curPE
+}

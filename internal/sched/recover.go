@@ -69,7 +69,7 @@ func Recover(s *Schedule, st RecoverState) (*Reassignment, error) {
 		}
 	}
 	s.Finalize()
-	c, err := compile(s.Graph, s.Machine)
+	c, err := compiledFor(s.Graph, s.Machine)
 	if err != nil {
 		return nil, err
 	}

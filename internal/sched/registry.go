@@ -11,10 +11,40 @@ import (
 
 // All returns one instance of every polynomial-time scheduler, in a
 // fixed order suitable for comparison tables: baseline first, then the
-// PPSE heuristics in increasing sophistication. The exponential
-// Optimal search is deliberately excluded; reach it with ByName.
+// PPSE heuristics in increasing sophistication, then the superstep
+// scheduler. The exponential Optimal search is deliberately excluded;
+// reach it with ByName.
 func All() []Scheduler {
-	return []Scheduler{Serial{}, HLFET{}, ETF{}, ISH{}, MH{}, DSH{}, Pack{}}
+	return []Scheduler{Serial{}, HLFET{}, ETF{}, ISH{}, MH{}, DSH{}, Pack{}, BSP{}}
+}
+
+// WithWorkers returns a copy of s configured to score candidates with
+// w goroutines (0 = automatic, 1 = fully serial). Schedulers without a
+// parallel scoring path are returned unchanged; the option never
+// changes the schedule produced, only how fast it is constructed.
+func WithWorkers(s Scheduler, w int) Scheduler {
+	o := SchedOptions{Workers: w}
+	switch v := s.(type) {
+	case HLFET:
+		v.Opts = o
+		return v
+	case ETF:
+		v.Opts = o
+		return v
+	case ISH:
+		v.Opts = o
+		return v
+	case MH:
+		v.Opts = o
+		return v
+	case DSH:
+		v.Opts = o
+		return v
+	case BSP:
+		v.Opts = o
+		return v
+	}
+	return s
 }
 
 // ByName returns the scheduler with the given Name (including

@@ -211,7 +211,9 @@ func TestMHRespectsTopologyDistance(t *testing.T) {
 
 func TestMHLinkContentionSerialisesMessages(t *testing.T) {
 	m := mk(t, "chain:3", machine.Params{ProcSpeed: 1, TaskStartup: 0, MsgStartup: 2, WordTime: 1})
-	net := newMHNet(m)
+	ar := getArena()
+	defer ar.release()
+	net := newMHNet(m, ar)
 	// Two 10-word messages from PE0 to PE2, both ready at t=0. The
 	// estimate must match what the commit then books.
 	if at := net.deliver(10, 0, 0, 2); at != 22 {
@@ -268,10 +270,10 @@ func TestMHContentionVersusETFOnStar(t *testing.T) {
 }
 
 func TestByNameAndAll(t *testing.T) {
-	if len(All()) != 7 {
+	if len(All()) != 8 {
 		t.Errorf("All() has %d schedulers", len(All()))
 	}
-	for _, want := range []string{"serial", "hlfet", "etf", "ish", "mh", "dsh", "pack"} {
+	for _, want := range []string{"serial", "hlfet", "etf", "ish", "mh", "dsh", "pack", "bsp"} {
 		s, err := ByName(want)
 		if err != nil {
 			t.Errorf("ByName(%s): %v", want, err)

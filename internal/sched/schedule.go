@@ -18,6 +18,16 @@
 //   - Pack: grain packing by linear clustering — chains of heavy
 //     communication are merged into grains, grains are load-balanced
 //     across processors, then times are assigned ETF-style.
+//   - BSP: bulk-synchronous superstep scheduling (after Papp, Anegg &
+//     Yzelman) — precedence levels become supersteps separated by
+//     barriers, trading schedule length for batch-parallel
+//     construction.
+//
+// Schedule construction is itself parallel: the candidate scans of the
+// list schedulers shard across a worker pool (SchedOptions.Workers,
+// see WithWorkers) with per-worker scratch carved from a pooled arena,
+// and the reduction is deterministic — the parallel path is
+// byte-identical to the serial one.
 package sched
 
 import (
