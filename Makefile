@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke bench-dist chaos conform fuzz-smoke
+.PHONY: build test vet race verify bench bench-smoke bench-dist chaos churn conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -54,11 +54,20 @@ bench-sched:
 	$(GO) test -run=NONE -bench='SchedulerScaling/(etf|hlfet|bsp)/rand-L200xW160$$' -benchtime=3x -benchmem -timeout 30m .
 	$(GO) test -run=NONE -bench='SchedulerScaling/(etf|hlfet|bsp)/rand-L350xW290$$' -benchtime=3x -benchmem -timeout 60m .
 
-# The committed distributed-runtime baselines (BENCH_PR6.json) were
-# measured with this: the wall-clock runner against the TCP mesh and
-# relay planes on loopback, 15 iterations, medians of 3 runs.
+# The committed distributed-runtime baselines (BENCH_PR6.json, and
+# BENCH_PR8.json for the fleet-change barrier replans) were measured
+# with this: the wall-clock runner against the TCP mesh and relay
+# planes on loopback plus the elastic expand/drain replans, 15
+# iterations, medians of 3 runs.
 bench-dist:
-	$(GO) test -run=NONE -bench='RunnerVirtual|RunnerWall|RunnerTCP' -benchtime=15x -benchmem -count=3 .
+	$(GO) test -run=NONE -bench='RunnerVirtual|RunnerWall|RunnerTCP|ElasticReplan' -benchtime=15x -benchmem -count=3 .
+
+# Churn soak: 25 seeded rounds of fleet churn under the race detector —
+# each round joins a worker mid-run, drains another, SIGKILL-crashes a
+# processor, and asserts outputs stay byte-identical to the undisturbed
+# run. CHURN_ROUNDS/CHURN_SEED tune it (CI smoke runs 5 rounds).
+churn:
+	CHURN_ROUNDS=25 $(GO) test -race -run 'TestChurnSoak' -count=1 -v ./internal/wire/
 
 # Chaos soak: the seeded fault-injection suite 50 times under the race
 # detector — crashes, drops, duplicates, delays and corruptions against

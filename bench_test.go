@@ -467,6 +467,82 @@ func benchDistTCP(b *testing.B, mesh bool) {
 	}
 }
 
+// elasticReplanBench measures the latency of the fleet-change barrier's
+// replan — what every worker waits out, paused, when the fleet grows or
+// shrinks mid-run. The era's first third counts as done; surviving
+// results parked on departing processors are re-homed round-robin onto
+// the live set, the way the coordinator re-homes a drained worker's
+// checkpoint. homes restricts where done tasks may sit (the pre-join
+// fleet for the expand direction, the survivors for drain).
+func elasticReplanBench(b *testing.B, layers, width int, live, homes []bool) {
+	flat, _ := runnerDesign(b, layers, width)
+	m := hypercubeMachine(b, 3)
+	sc, err := (sched.ETF{}).Schedule(flat.Graph, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var homeList []int
+	for pe, h := range homes {
+		if h {
+			homeList = append(homeList, pe)
+		}
+	}
+	cut := sc.Makespan() / 3
+	done := map[graph.NodeID]int{}
+	rehomed := 0
+	for _, sl := range sc.Slots {
+		if sl.Dup || sl.Finish > cut {
+			continue
+		}
+		pe := sl.PE
+		if !homes[pe] {
+			pe = homeList[rehomed%len(homeList)]
+			rehomed++
+		}
+		done[sl.Task] = pe
+	}
+	st := sched.ReplanState{Live: live, Done: done}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Replan(sc, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkElasticReplan pins the barrier replan latency in both fleet
+// directions on the 501-task and ~8k-task layered designs (hypercube-8,
+// ETF). expand: two processors revive after a join, queued work
+// migrates onto them. drain: two processors depart gracefully, their
+// queued work and re-homed results fold onto the survivors. Baseline:
+// BENCH_PR8.json.
+func BenchmarkElasticReplan(b *testing.B) {
+	mask := func(dead ...int) []bool {
+		m := []bool{true, true, true, true, true, true, true, true}
+		for _, pe := range dead {
+			m[pe] = false
+		}
+		return m
+	}
+	all := mask()
+	for _, sz := range []struct {
+		name          string
+		layers, width int
+	}{
+		{"501", 20, 25},
+		{"8001", 80, 100},
+	} {
+		b.Run("expand/"+sz.name, func(b *testing.B) {
+			// Pre-join era ran on six processors; 6 and 7 revive.
+			elasticReplanBench(b, sz.layers, sz.width, all, mask(6, 7))
+		})
+		b.Run("drain/"+sz.name, func(b *testing.B) {
+			survivors := mask(0, 1)
+			elasticReplanBench(b, sz.layers, sz.width, survivors, survivors)
+		})
+	}
+}
+
 // BenchmarkRunnerTCP measures the same 501-task design distributed
 // over two worker daemons on loopback TCP with the peer-to-peer mesh
 // data plane (the CLI default): workers dial each other, data frames

@@ -22,6 +22,7 @@
 //	           or deterministic virtual time), locally or distributed
 //	           over worker daemons with -dist
 //	worker     host processors for a remote coordinator's "run -dist"
+//	drain      gracefully evacuate one worker from a running fleet
 //	calc       open the calculator panel of one task
 //	codegen    generate a standalone Go program
 //	conform    differential conformance fuzzing across all engines
@@ -83,6 +84,8 @@ func main() {
 		err = cmdRun(args)
 	case "worker":
 		err = cmdWorker(args)
+	case "drain":
+		err = cmdDrain(args)
 	case "calc":
 		err = cmdCalc(args)
 	case "codegen":
@@ -121,7 +124,12 @@ commands:
            [-faults SPEC|rand] [-fault-seed N]
            [-dist HOST:PORT,HOST:PORT,...] [-calibrate]
            [-peer-timeout D] [-heartbeat D] [-mesh=BOOL] [-flush-interval D]
-  worker   [-listen HOST:PORT]  host processors for a remote "run -dist"
+           [-control HOST:PORT] [-min-workers N]
+  worker   [-listen HOST:PORT] [-join CTRL]
+                                host processors for a remote "run -dist";
+                                -join announces to a run's -control address
+  drain    -control CTRL (-worker N | -addr HOST:PORT) [-timeout D]
+                                gracefully evacuate one worker mid-run
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
   conform  [-seeds N] [-start N] [-jobs M] [-out DIR] [-skew-comm US]
@@ -438,6 +446,8 @@ func cmdRun(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "with -dist: keepalive cadence")
 	mesh := fs.Bool("mesh", true, "with -dist: workers exchange data frames peer-to-peer instead of relaying through the coordinator")
 	flushEvery := fs.Duration("flush-interval", 0, "with -dist: frame-coalescing window for batched data frames (0 = default 200µs)")
+	control := fs.String("control", "", "with -dist: listen address for fleet control (worker -join announces, banger drain)")
+	minWorkers := fs.Int("min-workers", 0, "with -dist: refuse drains that would leave fewer live workers (0 = only forbid draining the last one)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -506,6 +516,7 @@ func cmdRun(args []string) error {
 			Transport: wire.TCP(), Addrs: addrs, Runner: runner,
 			HeartbeatEvery: *heartbeat, PeerTimeout: *peerTimeout,
 			Mesh: *mesh, FlushEvery: *flushEvery,
+			Control: *control, MinWorkers: *minWorkers,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "dist: "+format+"\n", args...)
 			},
@@ -558,6 +569,7 @@ func cmdRun(args []string) error {
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9040", "address to listen on (port 0 picks a free one)")
+	join := fs.String("join", "", "control address of a running coordinator; announce this worker for a mid-run elastic join")
 	quiet := fs.Bool("quiet", false, "suppress per-run log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -574,7 +586,48 @@ func cmdWorker(args []string) error {
 		// The bound address goes to stdout so scripts (and the
 		// integration tests) can pick up a ":0" port.
 		fmt.Printf("listening on %s\n", bound)
+		if *join != "" {
+			// Keep announcing for the daemon's whole life: before the
+			// coordinator is up the dial fails quietly, once adopted the
+			// announce is an idempotent no-op, and after a drain the next
+			// announce re-enters the fleet.
+			// A tight cadence matters: the coordinator only accepts
+			// joins while the run has live work to hand over, so a slow
+			// loop can miss the window a recovery opens.
+			go wire.AnnounceLoop(ctx, wire.TCP(), *join, bound, 500*time.Millisecond, opts.Logf)
+		}
 	})
+}
+
+// cmdDrain asks a running coordinator (via its -control listener) to
+// gracefully evacuate one worker: the worker finishes in-flight slots,
+// hands its state over, and departs without triggering crash recovery.
+func cmdDrain(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	control := fs.String("control", "", "the run's control address (banger run -dist -control ...)")
+	worker := fs.Int("worker", -1, "worker index to drain (as shown in dist: log lines)")
+	addr := fs.String("addr", "", "worker listen address to drain (alternative to -worker)")
+	timeout := fs.Duration("timeout", 30*time.Second, "give up if the drain has not completed in this long")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *control == "" {
+		return fmt.Errorf("drain: -control is required")
+	}
+	if (*worker < 0) == (*addr == "") {
+		return fmt.Errorf("drain: name the worker with exactly one of -worker or -addr")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := wire.Drain(ctx, wire.TCP(), *control, *worker, *addr); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if *addr != "" {
+		fmt.Printf("worker %s drained\n", *addr)
+	} else {
+		fmt.Printf("worker %d drained\n", *worker)
+	}
+	return nil
 }
 
 // printOutputs prints an environment's bindings sorted by name.

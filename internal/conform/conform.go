@@ -59,6 +59,13 @@ type Case struct {
 	// trace-vs-sim/makespan divergence, which is how the minimizer and
 	// the repro loop are exercised end to end.
 	SkewComm machine.Time
+
+	// Churn drives the distributed engines' elastic fleet machinery
+	// mid-run: worker joins and graceful drains fired at wall-clock
+	// offsets (see ChurnOp). The single-process engines ignore it, so
+	// the outputs/printed oracles double as the elasticity oracle: a
+	// fleet change must never alter what the run computes.
+	Churn []ChurnOp
 }
 
 // HasCrash reports whether the case's fault plan kills a processor.
@@ -321,6 +328,38 @@ func runDist(ctx context.Context, c *Case, sc *sched.Schedule, flat *graph.Flat,
 	}
 	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
+	if len(c.Churn) > 0 {
+		ctlCh := make(chan string, 1)
+		if name == "tcp" {
+			co.Control = "127.0.0.1:0"
+			co.ControlReady = func(addr string) { ctlCh <- addr }
+		} else {
+			co.Control = fmt.Sprintf("conform-%s-%d-ctl", name, c.Seed)
+			ctlCh <- co.Control
+		}
+		joiner := ""
+		if churnNeedsJoin(c.Churn) {
+			// The spare worker the join op offers. It idles until (and
+			// unless) its announce lands.
+			jaddrs, jstop, err := startWorkers(tr, func(int) string {
+				if name == "tcp" {
+					return "127.0.0.1:0"
+				}
+				return fmt.Sprintf("conform-%s-%d-joiner", name, c.Seed)
+			}, 1)
+			if err != nil {
+				er.Err = err
+				return er
+			}
+			defer func() {
+				if serr := jstop(); serr != nil && er.Err == nil {
+					er.Err = fmt.Errorf("joiner shutdown: %w", serr)
+				}
+			}()
+			joiner = jaddrs[0]
+		}
+		go applyChurn(rctx, tr, ctlCh, joiner, c.Churn, workers)
+	}
 	res, err := co.Run(rctx, sc, flat)
 	if err != nil {
 		er.Err = err

@@ -7,6 +7,11 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // TestGenerateDeterministic: a case is a pure function of its seed.
@@ -41,14 +46,18 @@ func TestGenerateDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(a.Inputs, b.Inputs) {
 			t.Fatalf("seed %d: inputs differ", seed)
 		}
+		if ChurnString(a.Churn) != ChurnString(b.Churn) {
+			t.Fatalf("seed %d: churn scripts differ: %q != %q",
+				seed, ChurnString(a.Churn), ChurnString(b.Churn))
+		}
 	}
 }
 
 // TestGenerateCoversFeatures: across a modest seed range the generator
-// exercises hierarchy, fault plans, printing sinks and several
-// heuristics — the variety the differential harness depends on.
+// exercises hierarchy, fault plans, fleet churn, printing sinks and
+// several heuristics — the variety the differential harness depends on.
 func TestGenerateCoversFeatures(t *testing.T) {
-	var subs, faults, crashes, prints int
+	var subs, faults, crashes, prints, churns int
 	heuristics := map[string]bool{}
 	for seed := int64(0); seed < 50; seed++ {
 		c, err := Generate(seed)
@@ -56,6 +65,9 @@ func TestGenerateCoversFeatures(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		heuristics[c.Heuristic] = true
+		if len(c.Churn) > 0 {
+			churns++
+		}
 		for _, n := range c.Design.Nodes() {
 			if n.Sub != nil {
 				subs++
@@ -88,8 +100,179 @@ func TestGenerateCoversFeatures(t *testing.T) {
 	if prints == 0 {
 		t.Error("no generated case printed")
 	}
+	if churns == 0 {
+		t.Error("no generated case churned the fleet")
+	}
 	if len(heuristics) < 3 {
 		t.Errorf("only %d heuristics drawn across 50 seeds", len(heuristics))
+	}
+}
+
+// TestChurnSpecRoundTrip: churn scripts survive the spec string.
+func TestChurnSpecRoundTrip(t *testing.T) {
+	ops := []ChurnOp{{Op: "join", AtMS: 5}, {Op: "drain", Worker: 1, AtMS: 12}}
+	spec := ChurnString(ops)
+	if spec != "join@5,drain:1@12" {
+		t.Errorf("spec rendered as %q", spec)
+	}
+	got, err := ParseChurn(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Errorf("round trip changed ops: %v != %v", got, ops)
+	}
+	for _, bad := range []string{"", "join", "drain@3", "drain:x@3", "flee@2", "join@-1"} {
+		if _, err := ParseChurn(bad); err == nil {
+			t.Errorf("ParseChurn(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// churnEvents counts landed joins and drains across a report's engines.
+func churnEvents(rep *Report) (joins, drains int) {
+	for _, e := range rep.Engines {
+		if e.Trace == nil {
+			continue
+		}
+		for _, ev := range e.Trace.Events {
+			switch {
+			case ev.Kind == trace.WorkerDrained:
+				drains++
+			case ev.Kind == trace.PeerConnected && ev.Note == "join":
+				joins++
+			}
+		}
+	}
+	return joins, drains
+}
+
+// holdOpen adds ~40ms delays on cross-processor messages so churn ops
+// fire while work is genuinely in flight. It installs a chained pair
+// when the schedule offers one — a second delayed message whose
+// producer sits downstream of the first delay's consumer. The chain is
+// what keeps a run open across a crash-recovery barrier: the barrier
+// re-sends the first (already-sent) message outside the fault
+// injector, collapsing that hold, but the second producer then sends
+// fresh and re-arms the delay. Returns whether any hold was installed
+// and whether it chains.
+func holdOpen(c *Case, t *testing.T) (held, chained bool) {
+	t.Helper()
+	_, sc, err := c.prepare()
+	if err != nil {
+		t.Fatalf("seed %d: %v", c.Seed, err)
+	}
+	hold := func(m sched.Msg) {
+		if c.Faults == nil {
+			c.Faults = &exec.FaultPlan{}
+		}
+		c.Faults.Faults = append(c.Faults.Faults, exec.Fault{
+			Kind: exec.FaultDelay, From: m.From, To: m.To, Var: m.Var,
+			Delay: 40000, Count: 1})
+	}
+	first := -1
+	for i, m := range sc.Msgs {
+		if m.FromPE != m.ToPE {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return false, false
+	}
+	hold(sc.Msgs[first])
+	// Transitive successors of the first hold's consumer, over the
+	// schedule's message records (the task graph's data dependencies).
+	down := map[graph.NodeID]bool{sc.Msgs[first].To: true}
+	queue := []graph.NodeID{sc.Msgs[first].To}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range sc.Msgs {
+			if m.From == n && !down[m.To] {
+				down[m.To] = true
+				queue = append(queue, m.To)
+			}
+		}
+	}
+	for _, m := range sc.Msgs {
+		if m.FromPE != m.ToPE && down[m.From] {
+			hold(m)
+			return true, true
+		}
+	}
+	return true, false
+}
+
+// TestChurnCasesStayConformant forces churn scripts onto generated
+// cases held open by a delayed cross-processor message, so the ops land
+// mid-run (not just race the finish). Every engine must still agree on
+// outputs and printed lines, and across the batch at least one drain
+// and one join must actually land — the drain against a healthy fleet,
+// the join reviving a processor a crash fault killed (a join on a
+// healthy fleet is rightly rejected for lack of capacity).
+func TestChurnCasesStayConformant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full multi-engine cases")
+	}
+	tried, joins, drains := 0, 0, 0
+	for seed := int64(0); seed < 60 && tried < 3; seed++ {
+		c, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if c.Machine.NumPE() < 2 {
+			continue
+		}
+		c.Faults = nil
+		held, chained := holdOpen(c, t)
+		if !held || !chained {
+			continue // the crash+join leg below needs a chained hold to survive recovery
+		}
+		tried++
+		c.Churn = []ChurnOp{{Op: "drain", Worker: 0, AtMS: 4}}
+		rep, err := RunCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d diverged under churn drain: %v", seed, rep.Divergences)
+		}
+		j, d := churnEvents(rep)
+		joins, drains = joins+j, drains+d
+
+		// Same case again, now with a crash clearing a processor and a
+		// join reviving it on a spare worker.
+		crashed := false
+		for pe := 0; pe < c.Machine.NumPE() && !crashed; pe++ {
+			if len(rep.Schedule.PESlots(pe)) > 0 {
+				c.Faults.Faults = append(c.Faults.Faults, exec.Fault{
+					Kind: exec.FaultCrash, PE: pe, Slot: 0})
+				crashed = true
+			}
+		}
+		if !crashed {
+			continue
+		}
+		c.Churn = []ChurnOp{{Op: "join", AtMS: 2}}
+		rep, err = RunCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d diverged under crash+join: %v", seed, rep.Divergences)
+		}
+		j, d = churnEvents(rep)
+		joins, drains = joins+j, drains+d
+	}
+	if tried == 0 {
+		t.Fatal("no multi-processor case with cross-processor traffic found in seeds 0..29")
+	}
+	if drains == 0 {
+		t.Error("no churn drain landed mid-run in any engine")
+	}
+	if joins == 0 {
+		t.Error("no churn join landed mid-run in any engine")
 	}
 }
 

@@ -70,6 +70,13 @@ func Generate(seed int64) (*Case, error) {
 	if rng.Intn(100) < 40 {
 		c.Faults = drawFaults(rng, sc)
 	}
+	// Fleet churn stays separate from fault plans: a replan barrier
+	// re-sends in-flight messages outside the fault injector, so mixing
+	// the two would blur which mechanism an oracle failure implicates.
+	// Churn needs at least two workers, i.e. a multi-processor machine.
+	if c.Faults == nil && c.Machine.NumPE() > 1 && rng.Intn(100) < 25 {
+		c.Churn = drawChurn(rng, 2)
+	}
 	return c, nil
 }
 

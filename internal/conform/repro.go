@@ -36,6 +36,7 @@ type caseJSON struct {
 	Heuristic string             `json:"heuristic"`
 	Faults    string             `json:"faults,omitempty"`
 	SkewComm  int64              `json:"skew_comm,omitempty"`
+	Churn     string             `json:"churn,omitempty"`
 	Inputs    map[string]float64 `json:"inputs"`
 }
 
@@ -59,6 +60,9 @@ func WriteRepro(dir string, rep *Report) error {
 	}
 	if c.Faults != nil {
 		cj.Faults = c.Faults.String()
+	}
+	if len(c.Churn) > 0 {
+		cj.Churn = ChurnString(c.Churn)
 	}
 	for k, v := range c.Inputs {
 		n, ok := v.(pits.Num)
@@ -100,6 +104,9 @@ func reportText(rep *Report) string {
 	}
 	if c.SkewComm != 0 {
 		fmt.Fprintf(&b, "skew-comm: %s (runner engine only)\n", c.SkewComm)
+	}
+	if len(c.Churn) > 0 {
+		fmt.Fprintf(&b, "churn: %s (distributed engines only)\n", ChurnString(c.Churn))
 	}
 	if rep.Schedule != nil {
 		fmt.Fprintf(&b, "schedule: makespan=%s slots=%d msgs=%d\n",
@@ -155,6 +162,13 @@ func LoadRepro(dir string) (*Case, error) {
 			return nil, fmt.Errorf("%s: %w", reproCaseFile, err)
 		}
 		c.Faults = plan
+	}
+	if cj.Churn != "" {
+		ops, err := ParseChurn(cj.Churn)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", reproCaseFile, err)
+		}
+		c.Churn = ops
 	}
 	return c, nil
 }

@@ -15,6 +15,7 @@ import (
 // reductions are simple node/arc surgery), then repeatedly applies the
 // first reduction that keeps the case bad:
 //
+//   - drop one churn op;
 //   - drop one injected fault;
 //   - delete a task no other task depends on (and its arcs);
 //   - delete one task-to-task arc, seeding the consumer's lost
@@ -130,6 +131,18 @@ func sortedKeys(m map[graph.NodeID][]string) []graph.NodeID {
 // case, cheapest first.
 func reductions(c *Case) []*Case {
 	var out []*Case
+
+	// Churn ops drop first: they are the cheapest reduction, and a
+	// divergence that survives without its fleet changes implicates the
+	// engines, not the elasticity machinery.
+	for i := range c.Churn {
+		cc := *c
+		cc.Churn = append(append([]ChurnOp(nil), c.Churn[:i]...), c.Churn[i+1:]...)
+		if len(cc.Churn) == 0 {
+			cc.Churn = nil
+		}
+		out = append(out, &cc)
+	}
 
 	if c.Faults != nil {
 		for i := range c.Faults.Faults {

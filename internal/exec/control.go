@@ -46,9 +46,12 @@ type era struct {
 // sessCmd is one request from the session API (Pause/Resume) to the
 // distributed coordinator loop.
 type sessCmd struct {
-	kind  cmdKind
-	plan  *ResumePlan
-	reply chan sessReply
+	kind cmdKind
+	plan *ResumePlan
+	// checkpoint asks a pause to hand over the full worker-local state
+	// (a graceful drain's departure gift); see PauseCheckpoint.
+	checkpoint bool
+	reply      chan sessReply
 }
 
 type cmdKind int
@@ -478,7 +481,7 @@ func (c *controller) coordinateRemote() {
 		case cmd := <-c.cmds:
 			switch cmd.kind {
 			case cmdPause:
-				st, ok := c.pauseLocal(&live)
+				st, ok := c.pauseLocal(&live, cmd.checkpoint)
 				cmd.reply <- sessReply{state: st}
 				if !ok {
 					return
@@ -504,8 +507,11 @@ func (c *controller) coordinateRemote() {
 
 // pauseLocal drives every live hosted worker to the recovery barrier
 // and snapshots the state the global coordinator needs to replan.
-// Returns false if the session aborted instead.
-func (c *controller) pauseLocal(live *int) (*PauseState, bool) {
+// With checkpoint set it additionally packs the full worker-local env
+// checkpoint, print lines and trace events — everything a drained
+// process must hand over before departing. Returns false if the
+// session aborted instead.
+func (c *controller) pauseLocal(live *int, checkpoint bool) (*PauseState, bool) {
 	c.quiescent.Store(true)
 	er := c.era.Load()
 	close(er.pause)
@@ -561,12 +567,55 @@ func (c *controller) pauseLocal(live *int) (*PauseState, bool) {
 		st.Held = append(st.Held, q)
 	}
 	sort.Strings(st.Held)
+	if checkpoint {
+		st.Local = map[graph.NodeID]pits.Env{}
+		for t, pe := range st.Done {
+			st.Local[t] = c.workers[pe].local[t]
+		}
+		st.Events = append(st.Events, c.extraSnapshot()...)
+		for pe := 0; pe < c.numPE; pe++ {
+			w := c.workers[pe]
+			if w == nil {
+				continue
+			}
+			// A crashed worker's trace survives, like in Wait; its
+			// printed lines died with it.
+			st.Events = append(st.Events, w.events...)
+			if w.dead {
+				continue
+			}
+			st.Printed = append(st.Printed, w.printed...)
+			for range w.printed {
+				st.PrintedPE = append(st.PrintedPE, pe)
+			}
+		}
+	}
 	return st, true
 }
 
+// extraSnapshot copies the coordinator-emitted events under the lock.
+func (c *controller) extraSnapshot() []trace.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]trace.Event(nil), c.extra...)
+}
+
 // resumeLocal installs this process's share of the global recovery plan
-// and releases the parked workers into the new era.
+// and releases the parked workers into the new era. Imports (a drained
+// worker's env checkpoint re-homed here) land in the new holders'
+// local stores first, so the plan's re-sends and adoptions can read
+// them exactly as if the tasks had run here.
 func (c *controller) resumeLocal(p *ResumePlan) {
+	for _, imp := range p.Imports {
+		if imp.PE < 0 || imp.PE >= c.numPE || !c.isLocal(imp.PE) {
+			continue
+		}
+		hw := c.workers[imp.PE]
+		if hw == nil || hw.dead {
+			continue
+		}
+		hw.local[imp.Task] = imp.Env
+	}
 	a := deriveAssignment(c.numPE, p.Slots, p.Msgs, p.Done)
 	c.applyAssignment(a, p.Epoch, p.Dead)
 	c.applyAdoptions(p.Adopt)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -77,7 +78,13 @@ type Partial struct {
 	// task.
 	Exports map[string]graph.NodeID
 	Printed []string
-	Events  []trace.Event
+	// PrintedPE tags each Printed line with the processor that printed
+	// it (len(PrintedPE) == len(Printed)); MergePartials uses the tags
+	// to restore ascending-processor print order when processors are
+	// placed non-contiguously across workers. Untagged partials (older
+	// senders) fall back to concatenation order.
+	PrintedPE []int
+	Events    []trace.Event
 }
 
 // PauseState is what a paused session reports so the coordinator can
@@ -95,6 +102,23 @@ type PauseState struct {
 	// (VirtualTime runs; the coordinator stamps recovery events with
 	// the global maximum).
 	Clock machine.Time
+
+	// The fields below are populated only by PauseCheckpoint (a
+	// graceful drain): the departing process hands its entire
+	// contribution to the run over to the coordinator, so nothing is
+	// lost when it leaves.
+
+	// Local is the worker-local env checkpoint: the full output
+	// environment of every task in Done. Survivors import these at the
+	// resume barrier and take over re-sends and adoptions.
+	Local map[graph.NodeID]pits.Env
+	// Printed and PrintedPE are the print lines produced so far, tagged
+	// by processor (the departing worker's partial result will never
+	// arrive, so they travel with the checkpoint).
+	Printed   []string
+	PrintedPE []int
+	// Events are the trace events recorded so far, for the same reason.
+	Events []trace.Event
 }
 
 // Adoption instructs a surviving holder of a finished task's result to
@@ -122,6 +146,19 @@ type ResumePlan struct {
 	Dead []bool
 	// Adopt lists orphaned external outputs to re-export locally.
 	Adopt []Adoption
+	// Imports install surviving task results handed over by a drained
+	// worker into a new holder's local store, before re-sends and
+	// adoptions run. Imports naming remote holders are skipped.
+	Imports []Import
+}
+
+// Import is one surviving task result re-homed by a graceful drain:
+// the drained worker's env checkpoint for Task, to be installed in the
+// local store of processor PE.
+type Import struct {
+	Task graph.NodeID
+	PE   int
+	Env  pits.Env
 }
 
 // MergePartials combines per-process partial results into a run's
@@ -129,10 +166,23 @@ type ResumePlan struct {
 // each unqualified external output name is bound to its single
 // exporting task — two tasks exporting the same name is an error, with
 // the qualified keys to read instead.
+//
+// Print lines merge in ascending-processor order when every partial
+// tags its lines with PrintedPE — the order a single-process run
+// prints in, regardless of which worker hosted which processor. With
+// any untagged partial the merge degrades to concatenation order.
 func MergePartials(parts ...*Partial) (pits.Env, []string, error) {
 	outputs := pits.Env{}
 	owner := map[string]graph.NodeID{}
 	var printed []string
+	tagged := true
+	for _, p := range parts {
+		if p != nil && len(p.PrintedPE) != len(p.Printed) {
+			tagged = false
+			break
+		}
+	}
+	var printedPEs []int
 	for _, p := range parts {
 		if p == nil {
 			continue
@@ -141,6 +191,24 @@ func MergePartials(parts ...*Partial) (pits.Env, []string, error) {
 			outputs[k] = v
 		}
 		printed = append(printed, p.Printed...)
+		if tagged {
+			printedPEs = append(printedPEs, p.PrintedPE...)
+		}
+	}
+	if tagged && len(printed) > 0 {
+		// Stable sort by processor only: each processor's lines keep
+		// their chronological order (a processor lives in one partial
+		// per era, and partials arrive in era order).
+		idx := make([]int, len(printed))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return printedPEs[idx[a]] < printedPEs[idx[b]] })
+		sorted := make([]string, len(printed))
+		for i, j := range idx {
+			sorted[i] = printed[j]
+		}
+		printed = sorted
 	}
 	for _, p := range parts {
 		if p == nil {

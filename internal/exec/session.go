@@ -68,6 +68,58 @@ type Session struct {
 // single-process mode); a non-nil hosted requires a plane to carry
 // deliveries to and notifications about the rest of the machine.
 func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool, plane RemotePlane) (*Session, error) {
+	ses, err := r.buildSession(s, flat, hosted, plane)
+	if err != nil {
+		return nil, err
+	}
+	ses.launch()
+	return ses, nil
+}
+
+// StartSessionFrom builds a session that enters a run already in
+// flight — a worker joining mid-run at the epoch barrier. The plan is
+// the same global replan the surviving sessions install with Resume:
+// the new session derives its hosted share from it, installs any
+// imports and adoptions, and starts directly in plan.Epoch with its
+// virtual clocks at clock (the global maximum, so its trace stamps
+// continue the run's timeline instead of restarting at zero).
+func (r *Runner) StartSessionFrom(s *sched.Schedule, flat *graph.Flat, hosted []bool, plane RemotePlane, plan *ResumePlan, clock machine.Time) (*Session, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("exec: nil resume plan for mid-run session")
+	}
+	ses, err := r.buildSession(s, flat, hosted, plane)
+	if err != nil {
+		return nil, err
+	}
+	c := ses.ctrl
+	if len(plan.Dead) != c.numPE {
+		return nil, fmt.Errorf("exec: resume plan flags %d processors, machine has %d", len(plan.Dead), c.numPE)
+	}
+	for _, imp := range plan.Imports {
+		if imp.PE < 0 || imp.PE >= c.numPE || !c.isLocal(imp.PE) {
+			continue
+		}
+		if hw := c.workers[imp.PE]; hw != nil {
+			hw.local[imp.Task] = imp.Env
+		}
+	}
+	a := deriveAssignment(c.numPE, plan.Slots, plan.Msgs, plan.Done)
+	c.applyAssignment(a, plan.Epoch, plan.Dead)
+	c.applyAdoptions(plan.Adopt)
+	for _, w := range c.workers {
+		if w != nil {
+			w.clock = clock
+		}
+	}
+	c.era.Store(&era{epoch: plan.Epoch, pause: make(chan struct{}), resume: make(chan struct{})})
+	ses.launch()
+	return ses, nil
+}
+
+// buildSession validates the schedule and constructs the session's
+// controller and workers without launching any goroutine, so mid-run
+// joins can rewrite era state first.
+func (r *Runner) buildSession(s *sched.Schedule, flat *graph.Flat, hosted []bool, plane RemotePlane) (*Session, error) {
 	if s == nil || flat == nil || s.Graph == nil || s.Machine == nil {
 		return nil, fmt.Errorf("exec: nil schedule or design")
 	}
@@ -181,6 +233,8 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 			pe: pe, runner: r, sched: s, flat: flat, progs: progs, ctrl: ctrl, now: now,
 			slots: s.PESlots(pe), expected: expect[pe], sends: sends[pe],
 			outputs: pits.Env{}, exports: map[string]graph.NodeID{},
+			local: map[graph.NodeID]pits.Env{},
+			recvd: map[msgKey]xmsg{}, seen: map[msgKey]uint64{},
 		}
 	}
 	ctrl.workers = workers
@@ -189,8 +243,14 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 		runner: r, s: s, flat: flat, ctrl: ctrl, workers: workers,
 		start: start, coordDone: make(chan struct{}),
 	}
+	return ses, nil
+}
 
-	if st := r.stallTimeout(); st > 0 {
+// launch spawns the session's coordinator, stall watcher and worker
+// goroutines. Era state must be final before launch.
+func (ses *Session) launch() {
+	ctrl := ses.ctrl
+	if st := ses.runner.stallTimeout(); st > 0 {
 		ctrl.bg.Add(1)
 		go ctrl.stallWatch(st)
 	}
@@ -199,7 +259,7 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 		close(ses.coordDone)
 	}()
 
-	for _, w := range workers {
+	for _, w := range ses.workers {
 		if w == nil {
 			continue
 		}
@@ -211,7 +271,6 @@ func (r *Runner) StartSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 			}
 		}(w)
 	}
-	return ses, nil
 }
 
 // Deliver injects a message that arrived from another process into the
@@ -268,6 +327,22 @@ func (ses *Session) command(cmd sessCmd) (sessReply, error) {
 // results, exported outputs, local deaths and the virtual clock.
 func (ses *Session) Pause() (*PauseState, error) {
 	rep, err := ses.command(sessCmd{kind: cmdPause, reply: make(chan sessReply, 1)})
+	if err != nil {
+		return nil, err
+	}
+	if rep.state == nil {
+		return nil, fmt.Errorf("exec: session aborted during pause")
+	}
+	return rep.state, nil
+}
+
+// PauseCheckpoint is Pause for a graceful drain: it drives the hosted
+// workers to the barrier and additionally packs the full worker-local
+// env checkpoint, print lines and trace events into the PauseState, so
+// the coordinator can re-home this process's entire contribution to
+// the run before the process departs.
+func (ses *Session) PauseCheckpoint() (*PauseState, error) {
+	rep, err := ses.command(sessCmd{kind: cmdPause, checkpoint: true, reply: make(chan sessReply, 1)})
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +432,9 @@ func (ses *Session) Wait() (*Partial, error) {
 			p.Exports[v] = task
 		}
 		p.Printed = append(p.Printed, w.printed...)
+		for range w.printed {
+			p.PrintedPE = append(p.PrintedPE, w.pe)
+		}
 	}
 	return p, nil
 }

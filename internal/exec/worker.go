@@ -63,10 +63,10 @@ const (
 
 // run is the worker goroutine: execute the current assignment, then
 // idle until the run completes or a recovery hands out a new one.
+// run is the worker goroutine. The local/recvd/seen maps are built at
+// session construction (not here) so a session started mid-run can
+// install imported state before the goroutine launches.
 func (w *worker) run() error {
-	w.local = map[graph.NodeID]pits.Env{}
-	w.recvd = map[msgKey]xmsg{}
-	w.seen = map[msgKey]uint64{}
 	for {
 		w.er = w.ctrl.era.Load()
 		st, err := w.execute()

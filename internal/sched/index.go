@@ -28,6 +28,7 @@ type Index struct {
 	busy     []machine.Time          // per-PE total busy time
 	msgsOut  []int                   // per-PE cross-PE messages originated
 	wordsOut []int64                 // per-PE cross-PE words originated
+	pair     []int64                 // dense numPE×numPE words matrix, row = FromPE
 	makespan machine.Time
 	usedPEs  int
 }
@@ -59,6 +60,7 @@ func buildIndex(s *Schedule) *Index {
 		busy:     make([]machine.Time, numPE),
 		msgsOut:  make([]int, numPE),
 		wordsOut: make([]int64, numPE),
+		pair:     make([]int64, numPE*numPE),
 	}
 	for _, sl := range s.Slots {
 		idx.byTask[sl.Task] = append(idx.byTask[sl.Task], sl)
@@ -92,6 +94,9 @@ func buildIndex(s *Schedule) *Index {
 		if m.FromPE >= 0 && m.FromPE < numPE {
 			idx.msgsOut[m.FromPE]++
 			idx.wordsOut[m.FromPE] += m.Words
+			if m.ToPE >= 0 && m.ToPE < numPE {
+				idx.pair[m.FromPE*numPE+m.ToPE] += m.Words
+			}
 		}
 	}
 	return idx

@@ -1,0 +1,170 @@
+package sched
+
+import "sort"
+
+// This file places a schedule's processors onto worker processes. The
+// distributed coordinator historically cut the processor range into
+// contiguous blocks; that keeps per-worker counts balanced but ignores
+// where the schedule's messages actually flow, and cross-worker bytes
+// are the term that dominates distributed wall time. Place keeps the
+// contiguous partition's per-worker quotas (so load stays balanced the
+// same way) but chooses *which* processors share a worker by the
+// schedule's per-pair traffic matrix, and is deterministic so the
+// conformance harness stays reproducible.
+
+// Place maps each processor of the finalized schedule onto one of
+// `workers` worker processes and returns the peerOf vector
+// (peerOf[pe] = worker index). Per-worker processor counts equal the
+// contiguous partition's quotas; within those quotas a greedy
+// affinity pass (heaviest-traffic processors first, joining the worker
+// they already exchange the most words with) followed by a bounded
+// pairwise-swap refinement minimizes cross-worker words. The result is
+// never worse than the contiguous partition — both candidates are
+// refined and the cheaper one wins, contiguous only on a strict win —
+// and identical inputs yield identical placements.
+func Place(s *Schedule, workers int) []int {
+	numPE := s.Machine.NumPE()
+	if workers > numPE {
+		workers = numPE
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.Finalize()
+
+	quota := make([]int, workers)
+	base, rem := numPE/workers, numPE%workers
+	for w := range quota {
+		quota[w] = base
+		if w < rem {
+			quota[w]++
+		}
+	}
+
+	// Candidate 1: the contiguous partition, refined.
+	contig := make([]int, numPE)
+	pe := 0
+	for w := 0; w < workers; w++ {
+		for k := 0; k < quota[w]; k++ {
+			contig[pe] = w
+			pe++
+		}
+	}
+	refine(s, contig, workers)
+
+	// Candidate 2: greedy affinity, refined. Heavy processors place
+	// first so their edges anchor the clusters.
+	order := make([]int, numPE)
+	for i := range order {
+		order[i] = i
+	}
+	weight := make([]int64, numPE)
+	for i := 0; i < numPE; i++ {
+		for j := 0; j < numPE; j++ {
+			if i != j {
+				weight[i] += s.PairTraffic(i, j) + s.PairTraffic(j, i)
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if weight[order[a]] != weight[order[b]] {
+			return weight[order[a]] > weight[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	greedy := make([]int, numPE)
+	for i := range greedy {
+		greedy[i] = -1
+	}
+	left := append([]int(nil), quota...)
+	for _, p := range order {
+		bestW, bestAff := -1, int64(-1)
+		for w := 0; w < workers; w++ {
+			if left[w] == 0 {
+				continue
+			}
+			aff := int64(0)
+			for q := 0; q < numPE; q++ {
+				if greedy[q] == w {
+					aff += s.PairTraffic(p, q) + s.PairTraffic(q, p)
+				}
+			}
+			if aff > bestAff {
+				bestW, bestAff = w, aff
+			}
+		}
+		greedy[p] = bestW
+		left[bestW]--
+	}
+	refine(s, greedy, workers)
+
+	if CrossWorkerWords(s, contig) < CrossWorkerWords(s, greedy) {
+		return contig
+	}
+	return greedy
+}
+
+// refine runs deterministic first-improvement swap passes over the
+// placement: any pair of processors on different workers whose swap
+// strictly reduces cross-worker words is swapped. Quotas are preserved
+// by construction (a swap never changes per-worker counts). Passes are
+// bounded; each full no-improvement scan terminates early.
+func refine(s *Schedule, peerOf []int, workers int) {
+	numPE := len(peerOf)
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for i := 0; i < numPE; i++ {
+			for j := i + 1; j < numPE; j++ {
+				if peerOf[i] == peerOf[j] {
+					continue
+				}
+				if swapGain(s, peerOf, i, j) > 0 {
+					peerOf[i], peerOf[j] = peerOf[j], peerOf[i]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// swapGain returns the cross-worker words saved by swapping the worker
+// assignments of processors i and j (positive = the swap helps). Only
+// edges incident to i or j change, so the delta is O(numPE).
+func swapGain(s *Schedule, peerOf []int, i, j int) int64 {
+	cost := func(p, wp int) int64 {
+		var c int64
+		for q := 0; q < len(peerOf); q++ {
+			if q == i || q == j {
+				continue
+			}
+			if peerOf[q] != wp {
+				c += s.PairTraffic(p, q) + s.PairTraffic(q, p)
+			}
+		}
+		return c
+	}
+	wi, wj := peerOf[i], peerOf[j]
+	before := cost(i, wi) + cost(j, wj)
+	after := cost(i, wj) + cost(j, wi)
+	// The i<->j edge itself crosses workers either way; it cancels.
+	return before - after
+}
+
+// CrossWorkerWords totals the schedule's message words whose endpoints
+// the peerOf vector places on different workers: the quantity Place
+// minimizes and the figure placement tests assert on.
+func CrossWorkerWords(s *Schedule, peerOf []int) int64 {
+	var words int64
+	n := len(peerOf)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if peerOf[i] != peerOf[j] {
+				words += s.PairTraffic(i, j)
+			}
+		}
+	}
+	return words
+}

@@ -7,18 +7,24 @@ import (
 	"repro/internal/machine"
 )
 
-// This file implements the recovery planner the fault-tolerant runner
-// invokes after a processor crash: given which processors are still
-// alive and which tasks' results survive on them, it maps every task
-// whose results were lost (or never produced) onto the live processors,
+// This file implements the replanner behind every mid-run change of
+// the live processor set: given which processors are (now) alive and
+// which tasks' results survive on them, it maps every task whose
+// results were lost (or never produced) onto the live processors,
 // respecting the task graph's precedence constraints. It reuses the
 // compiled graph view and the ETF selection rule of the ordinary
-// schedulers, so a recovery plan is just another (partial) schedule.
+// schedulers, so a replan is just another (partial) schedule. The same
+// algorithm serves both directions of fleet elasticity: *shrink*
+// (crash recovery and graceful drain remove processors from Live) and
+// *expand* (a joining worker revives processors, and queued work
+// migrates onto them because the ETF rule sees their idle capacity).
 
-// RecoverState describes the surviving state of an interrupted run at
-// the recovery barrier.
-type RecoverState struct {
-	// Live flags each processor of the schedule's machine as alive.
+// ReplanState describes the surviving state of an interrupted run at
+// the epoch barrier.
+type ReplanState struct {
+	// Live flags each processor of the schedule's machine as alive in
+	// the era being planned — which may include processors that were
+	// dead (or never used) in the previous era, the expand case.
 	Live []bool
 	// Done maps each task whose computed outputs survive to one live
 	// processor holding them (the worker-local environment acting as
@@ -26,7 +32,11 @@ type RecoverState struct {
 	Done map[graph.NodeID]int
 }
 
-// Reassignment is a recovery plan: fresh slots for every task not in
+// RecoverState is the crash-recovery name of ReplanState, kept for the
+// original recovery call sites.
+type RecoverState = ReplanState
+
+// Reassignment is a replan: fresh slots for every task not in
 // Done, placed on live processors only, plus the message records
 // feeding them — from surviving holders (Send = 0: the data already
 // exists) and between re-planned tasks. Slot and message times are
@@ -42,30 +52,38 @@ type Reassignment struct {
 }
 
 // Recover plans the continuation of schedule s after the processors
-// with Live[pe] == false crashed. It finalizes s (callers invoking
-// Recover concurrently must finalize first). The plan is deterministic:
-// identical inputs yield identical plans.
+// with Live[pe] == false crashed: the shrink direction of Replan,
+// kept under its original name for the recovery call sites.
 func Recover(s *Schedule, st RecoverState) (*Reassignment, error) {
+	return Replan(s, st)
+}
+
+// Replan plans the continuation of schedule s on the processor set
+// st.Live — smaller than the previous era's after a crash or drain,
+// larger after a join. It finalizes s (callers invoking Replan
+// concurrently must finalize first). The plan is deterministic:
+// identical inputs yield identical plans.
+func Replan(s *Schedule, st ReplanState) (*Reassignment, error) {
 	if s == nil || s.Graph == nil || s.Machine == nil {
-		return nil, fmt.Errorf("sched: recover: nil schedule")
+		return nil, fmt.Errorf("sched: replan: nil schedule")
 	}
 	numPE := s.Machine.NumPE()
 	if len(st.Live) != numPE {
-		return nil, fmt.Errorf("sched: recover: %d liveness flags for %d processors", len(st.Live), numPE)
+		return nil, fmt.Errorf("sched: replan: %d liveness flags for %d processors", len(st.Live), numPE)
 	}
 	anyLive := false
 	for _, l := range st.Live {
 		anyLive = anyLive || l
 	}
 	if !anyLive {
-		return nil, fmt.Errorf("sched: recover: no live processors")
+		return nil, fmt.Errorf("sched: replan: no live processors")
 	}
 	for t, pe := range st.Done {
 		if pe < 0 || pe >= numPE || !st.Live[pe] {
-			return nil, fmt.Errorf("sched: recover: task %s held on dead or invalid PE %d", t, pe)
+			return nil, fmt.Errorf("sched: replan: task %s held on dead or invalid PE %d", t, pe)
 		}
 		if s.Graph.Node(t) == nil {
-			return nil, fmt.Errorf("sched: recover: unknown done task %q", t)
+			return nil, fmt.Errorf("sched: replan: unknown done task %q", t)
 		}
 	}
 	s.Finalize()
@@ -126,7 +144,7 @@ func Recover(s *Schedule, st RecoverState) (*Reassignment, error) {
 
 	for remaining > 0 {
 		if len(ready) == 0 {
-			return nil, fmt.Errorf("sched: recover: %d tasks unreachable (cycle or inconsistent done set)", remaining)
+			return nil, fmt.Errorf("sched: replan: %d tasks unreachable (cycle or inconsistent done set)", remaining)
 		}
 		// ETF selection over (ready task, live PE): minimise finish
 		// time; ties by higher static level, then task name order,

@@ -134,6 +134,19 @@ func (s *Schedule) OutTraffic(pe int) (msgs int, words int64) {
 	return idx.msgsOut[pe], idx.wordsOut[pe]
 }
 
+// PairTraffic returns the words the schedule sends from processor
+// `from` to processor `to` (0 when either index is out of range or the
+// processors are the same). Placement uses it to keep heavy edges
+// inside one worker process.
+func (s *Schedule) PairTraffic(from, to int) int64 {
+	idx := s.index()
+	n := len(idx.busy)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return 0
+	}
+	return idx.pair[from*n+to]
+}
+
 // UsedPEs returns how many processors run at least one slot.
 func (s *Schedule) UsedPEs() int {
 	return s.index().usedPEs

@@ -43,6 +43,10 @@ const (
 	// WireBytes records the bytes a distributed run moved over one peer
 	// connection (Bytes totals both directions, Note breaks them down).
 	WireBytes
+	// WorkerDrained records a graceful drain evacuating a worker
+	// process: a planned departure with zero lost state, unlike
+	// PeerLost. Peer is the worker index, Note its address.
+	WorkerDrained
 )
 
 // String returns the event kind name.
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "peer-lost"
 	case WireBytes:
 		return "wire-bytes"
+	case WorkerDrained:
+		return "drained"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -76,7 +82,8 @@ func (k Kind) String() string {
 // Kinds lists every event kind once, in declaration order.
 func Kinds() []Kind {
 	return []Kind{TaskStart, TaskEnd, MsgSend, MsgRecv, FaultInjected,
-		MsgRetry, TaskRescheduled, PeerConnected, PeerLost, WireBytes}
+		MsgRetry, TaskRescheduled, PeerConnected, PeerLost, WireBytes,
+		WorkerDrained}
 }
 
 // ParseKind inverts Kind.String.
@@ -119,7 +126,7 @@ func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
 // back-to-back schedule.
 var kindOrder = map[Kind]int{TaskEnd: 0, MsgSend: 1, MsgRecv: 2, TaskStart: 3,
 	FaultInjected: 4, MsgRetry: 5, TaskRescheduled: 6,
-	PeerConnected: 7, PeerLost: 8, WireBytes: 9}
+	PeerConnected: 7, PeerLost: 8, WireBytes: 9, WorkerDrained: 10}
 
 // Sort orders events by time, then processor, then causal kind order,
 // then task, variable and peer, giving a deterministic log for
@@ -210,6 +217,7 @@ type Stats struct {
 	Rescheduled int   // tasks moved by crash recovery
 	Peers       int   // worker processes that joined a distributed run
 	PeersLost   int   // worker processes declared dead mid-run
+	Drained     int   // worker processes gracefully evacuated mid-run
 	WireBytes   int64 // bytes moved over peer connections
 	BusyByPE    map[int]machine.Time
 	Utilization float64 // mean busy fraction over PEs that appear in the trace
@@ -247,6 +255,8 @@ func (t *Trace) Summarize(numPE int) (*Stats, error) {
 			st.Peers++
 		case PeerLost:
 			st.PeersLost++
+		case WorkerDrained:
+			st.Drained++
 		case WireBytes:
 			st.WireBytes += e.Bytes
 		}
@@ -284,7 +294,7 @@ func (t *Trace) String() string {
 				fmt.Fprintf(&b, " (%s)", e.Note)
 			}
 			b.WriteByte('\n')
-		case PeerConnected, PeerLost, WireBytes:
+		case PeerConnected, PeerLost, WireBytes, WorkerDrained:
 			fmt.Fprintf(&b, "  %8v %-10s worker=%d", e.At, e.Kind, e.Peer)
 			if e.Kind == WireBytes {
 				fmt.Fprintf(&b, " bytes=%d", e.Bytes)

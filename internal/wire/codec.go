@@ -151,6 +151,68 @@ func DecodeEnv(b []byte) (pits.Env, error) {
 	return e, nil
 }
 
+// EncodeCheckpoint encodes a drain target's worker-local env
+// checkpoint (task -> full output environment) with sorted task keys,
+// so identical checkpoints encode to identical bytes.
+func EncodeCheckpoint(local map[graph.NodeID]pits.Env) ([]byte, error) {
+	tasks := make([]string, 0, len(local))
+	for t := range local {
+		tasks = append(tasks, string(t))
+	}
+	sort.Strings(tasks)
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(tasks)))
+	for _, t := range tasks {
+		b = appendString(b, t)
+		eb, err := EncodeEnv(local[graph.NodeID(t)])
+		if err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(eb)))
+		b = append(b, eb...)
+	}
+	return b, nil
+}
+
+// DecodeCheckpoint decodes an EncodeCheckpoint payload.
+func DecodeCheckpoint(b []byte) (map[graph.NodeID]pits.Env, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: truncated checkpoint")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Untrusted count: cap the allocation hint by what the buffer could
+	// hold (each entry needs two 4-byte lengths at minimum).
+	hint := n
+	if max := len(b) / 8; hint > max {
+		hint = max
+	}
+	local := make(map[graph.NodeID]pits.Env, hint)
+	for i := 0; i < n; i++ {
+		t, rest, err := decodeString(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("wire: truncated checkpoint env length")
+		}
+		en := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if en > len(rest) {
+			return nil, fmt.Errorf("wire: checkpoint env of %d bytes exceeds payload", en)
+		}
+		env, err := DecodeEnv(rest[:en])
+		if err != nil {
+			return nil, err
+		}
+		local[graph.NodeID(t)] = env
+		b = rest[en:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after checkpoint", len(b))
+	}
+	return local, nil
+}
+
 // EncodeMsg encodes one scheduled cross-process message. The consumer
 // processor sits at a fixed offset so the coordinator can route a Data
 // frame without decoding the payload (see MsgDest).

@@ -11,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/pits"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -43,6 +44,17 @@ type Coordinator struct {
 	// arbitrates membership, heartbeats and recovery barriers, and
 	// remains the routing fallback while a mesh link is down.
 	Mesh bool
+	// Control is an optional listen address for fleet-elasticity
+	// commands: workers announce themselves with Join to enter a run in
+	// flight, and `banger drain` asks for a graceful evacuation with
+	// Drain. Empty disables the control listener.
+	Control string
+	// MinWorkers is the smallest live fleet a drain may leave behind
+	// (0 means 1: the run must always keep at least one worker).
+	MinWorkers int
+	// ControlReady, when set, is called once with the control listener's
+	// bound address, so a Control of "host:0" remains reachable.
+	ControlReady func(addr string)
 	// FlushEvery is the frame-coalescing window shipped to workers
 	// (default 200µs): small data frames batch per peer until a slot
 	// boundary, an idle/pause barrier, or this much time passes.
@@ -112,9 +124,10 @@ func (co *Coordinator) flushEvery() time.Duration {
 }
 
 // Partition splits numPE processors over workers contiguous blocks
-// (worker 0 gets the lowest processors). Contiguity keeps merged
-// printed output in ascending-processor order, matching a
-// single-process run line for line.
+// (worker 0 gets the lowest processors). The coordinator places with
+// sched.Place — traffic-aware, never worse than contiguous — but the
+// contiguous split remains the quota shape and the comparison
+// baseline.
 func Partition(numPE, workers int) [][]int {
 	if workers > numPE {
 		workers = numPE
@@ -144,21 +157,45 @@ type peer struct {
 
 	idle      bool
 	lost      bool
+	pending   bool // joined mid-run, not yet integrated at a barrier
+	drained   bool // departed gracefully; state handed over
 	parked    *ParkedNote
 	result    *ResultNote
 	lastHeard time.Time
 	redial    context.CancelFunc // non-nil while a reconnect is in flight
 	ackDue    bool               // a batched cumulative ack is owed (run loop only)
+
+	// Drain checkpoint, decoded off the target's Parked envelope.
+	ckptLocal  map[graph.NodeID]pits.Env
+	ckptEvents []trace.Event
+}
+
+// active reports whether the peer takes part in the run protocol:
+// lost and drained peers are out, pending joiners are not yet in.
+func (p *peer) active() bool { return !p.lost && !p.drained && !p.pending }
+
+// ctlReq is one fleet-elasticity request entering the central loop
+// from the control listener (join announce, drain order) or from the
+// join dial goroutine (the dialed worker connection).
+type ctlReq struct {
+	join   *JoinNote
+	drain  *DrainNote
+	dialed Conn  // join phase 2: the handshaken worker connection
+	err    error // join phase 2: dial failure
+	addr   string
+	reply  Conn // control connection awaiting the outcome
 }
 
 // coEvent is one occurrence on the coordinator's central loop: a frame
-// from peer i, a connection error, or a successful reconnect.
+// from peer i, a connection error, a successful reconnect, or a
+// control request.
 type coEvent struct {
 	i    int
 	f    Frame
 	err  error
 	conn Conn   // reattach: fresh connection
 	rcvd uint64 // reattach: worker's receive watermark
+	ctl  *ctlReq
 }
 
 // run states of the coordinator loop.
@@ -175,7 +212,8 @@ type coRun struct {
 	flat   *graph.Flat
 	id     string
 	peers  []*peer
-	peerOf []int // pe -> worker index
+	addrs  []string // worker listen addresses by index (grows on join)
+	peerOf []int    // pe -> worker index
 	dead   []bool
 	epoch  int64
 	state  int
@@ -184,6 +222,26 @@ type coRun struct {
 	extra  []trace.Event // coordinator-side trace events
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Fleet elasticity: at most one join or drain is in flight at a
+	// time; crashes fold into whatever barrier is already forming.
+	draining  *peer           // drain target awaiting the barrier
+	drainConn Conn            // control connection awaiting the drain outcome
+	joinAddr  string          // join announce being dialed (phase 1->2)
+	joining   *peer           // pending joiner awaiting integration
+	joinConn  Conn            // control connection awaiting the join outcome
+	saved     []*exec.Partial // drained workers' print/trace contributions
+}
+
+// liveWorkers counts peers still taking part in the run.
+func (r *coRun) liveWorkers() int {
+	n := 0
+	for _, p := range r.peers {
+		if p.active() {
+			n++
+		}
+	}
+	return n
 }
 
 // Run executes schedule s distributed over the coordinator's workers
@@ -203,9 +261,18 @@ func (co *Coordinator) Run(ctx context.Context, s *sched.Schedule, flat *graph.F
 	}
 	s.Finalize()
 	numPE := s.Machine.NumPE()
-	blocks := Partition(numPE, len(co.Addrs))
-	if len(blocks) < len(co.Addrs) {
-		co.logf("machine has %d processors; using %d of %d workers", numPE, len(blocks), len(co.Addrs))
+	workers := len(co.Addrs)
+	if workers > numPE {
+		workers = numPE
+		co.logf("machine has %d processors; using %d of %d workers", numPE, workers, len(co.Addrs))
+	}
+	// Traffic-aware placement: same per-worker quotas as the contiguous
+	// Partition, but grouped to minimize cross-worker bytes (and never
+	// worse than contiguous; see sched.Place).
+	peerOf := sched.Place(s, workers)
+	blocks := make([][]int, workers)
+	for pe, w := range peerOf {
+		blocks[w] = append(blocks[w], pe)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -213,7 +280,8 @@ func (co *Coordinator) Run(ctx context.Context, s *sched.Schedule, flat *graph.F
 	r := &coRun{
 		co: co, s: s, flat: flat,
 		id:     fmt.Sprintf("%s-%d", s.Algorithm, time.Now().UnixNano()),
-		peerOf: make([]int, numPE),
+		addrs:  append([]string(nil), co.Addrs[:workers]...),
+		peerOf: peerOf,
 		dead:   make([]bool, numPE),
 		events: make(chan coEvent, 256),
 		start:  time.Now(),
@@ -222,9 +290,6 @@ func (co *Coordinator) Run(ctx context.Context, s *sched.Schedule, flat *graph.F
 	for i, block := range blocks {
 		p := &peer{i: i, addr: co.Addrs[i], pes: block, lastHeard: time.Now()}
 		r.peers = append(r.peers, p)
-		for _, pe := range block {
-			r.peerOf[pe] = i
-		}
 	}
 
 	res, err := r.run(ctx)
@@ -249,10 +314,27 @@ func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 			}
 			p.link.Close()
 		}
+		for _, c := range []Conn{r.drainConn, r.joinConn} {
+			if c != nil {
+				rejectConn(c, "run ended before the fleet change completed")
+			}
+		}
 	}()
 
 	if err := r.connectAll(ctx); err != nil {
 		return nil, err
+	}
+	if r.co.Control != "" {
+		lis, err := r.co.Transport.Listen(r.co.Control)
+		if err != nil {
+			return nil, fmt.Errorf("wire: control listener: %w", err)
+		}
+		defer lis.Close()
+		r.co.logf("control listening on %s", lis.Addr())
+		if r.co.ControlReady != nil {
+			r.co.ControlReady(lis.Addr())
+		}
+		go r.acceptControl(ctx, lis)
 	}
 	if err := r.startAll(); err != nil {
 		return nil, err
@@ -272,10 +354,20 @@ func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 				return nil, err
 			}
 		case ev := <-r.events:
+			if ev.ctl != nil {
+				if err := r.handleControl(ctx, ev.ctl); err != nil {
+					return nil, err
+				}
+				if handled++; len(r.events) == 0 || handled >= 64 {
+					handled = 0
+					r.flushAll()
+				}
+				continue
+			}
 			p := r.peers[ev.i]
 			switch {
-			case p.lost:
-				// Late traffic from a declared-dead worker: ignore.
+			case p.lost || p.drained:
+				// Late traffic from a departed worker: ignore.
 			case ev.conn != nil:
 				p.redial = nil
 				if err := p.link.Reattach(ev.conn, ev.rcvd); err != nil {
@@ -314,7 +406,7 @@ func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 // carrying at most one batched cumulative ack.
 func (r *coRun) flushAll() {
 	for _, p := range r.peers {
-		if p.lost {
+		if p.lost || p.drained {
 			continue
 		}
 		if p.ackDue && p.link.Conn() != nil {
@@ -529,7 +621,7 @@ func (r *coRun) startAll() error {
 			FlushEvery: int64(r.co.flushEvery()),
 		}
 		if r.co.Mesh {
-			bundle.Peers = append([]string(nil), r.co.Addrs[:len(r.peers)]...)
+			bundle.Peers = append([]string(nil), r.addrs...)
 			bundle.PeerOf = append([]int(nil), r.peerOf...)
 		}
 		if err := p.link.Send(TStart, encBlobEnvelope(encJSON(bundle), schedBin, inputs)); err != nil {
@@ -539,11 +631,11 @@ func (r *coRun) startAll() error {
 	return nil
 }
 
-// broadcast sends a sequenced frame to every non-lost worker. A write
+// broadcast sends a sequenced frame to every active worker. A write
 // failure breaks the connection (the frame replays on reattach).
 func (r *coRun) broadcast(t Type, payload []byte) {
 	for _, p := range r.peers {
-		if !p.lost {
+		if p.active() {
 			if err := p.link.Send(t, payload); err != nil {
 				r.breakConn(p, err)
 			}
@@ -551,11 +643,13 @@ func (r *coRun) broadcast(t Type, payload []byte) {
 	}
 }
 
-// heartbeat keeps attached links warm and declares silent workers dead.
+// heartbeat keeps attached links warm and declares silent workers dead
+// (pending joiners included: their daemons time the coordinator out
+// like any other, and a joiner dying mid-integration must be noticed).
 func (r *coRun) heartbeat() error {
 	now := time.Now()
 	for _, p := range r.peers {
-		if p.lost {
+		if p.lost || p.drained {
 			continue
 		}
 		if p.link.Conn() != nil {
@@ -584,6 +678,22 @@ func (r *coRun) peerLost(p *peer) error {
 	p.link.Close()
 	r.extra = append(r.extra, trace.Event{Kind: trace.PeerLost, At: r.now(), Peer: p.i, Note: "heartbeat lost"})
 	r.co.logf("worker %d (%s) declared dead: no traffic for %v", p.i, p.addr, r.co.peerTimeout())
+	// A fleet change waiting on this worker degrades to a plain crash
+	// recovery; the control connection learns why.
+	if p == r.draining {
+		r.draining = nil
+		if r.drainConn != nil {
+			rejectConn(r.drainConn, fmt.Sprintf("worker %d crashed while draining; recovering instead", p.i))
+			r.drainConn = nil
+		}
+	}
+	if p == r.joining {
+		r.joining = nil
+		if r.joinConn != nil {
+			rejectConn(r.joinConn, fmt.Sprintf("joining worker %s died before integration", p.addr))
+			r.joinConn = nil
+		}
+	}
 	for _, pe := range p.pes {
 		r.dead[pe] = true
 	}
@@ -633,7 +743,7 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 			return false, nil, fmt.Errorf("wire: data frame for unknown processor %d", dest)
 		}
 		q := r.peers[r.peerOf[dest]]
-		if q.lost {
+		if q.lost || q.drained {
 			// The consumer's worker is gone; recovery will replan the
 			// consumer, so the message can drop.
 			return false, nil, nil
@@ -658,9 +768,26 @@ func (r *coRun) handleFrame(p *peer, f Frame) (bool, *exec.Result, error) {
 		}
 		return false, nil, r.handleCrash(note.PE)
 	case TParked:
-		note, err := decJSON[ParkedNote](f.Payload, "parked")
+		js, blobs, err := decBlobEnvelope(f.Payload)
 		if err != nil {
 			return false, nil, err
+		}
+		note, err := decJSON[ParkedNote](js, "parked")
+		if err != nil {
+			return false, nil, err
+		}
+		if len(blobs) >= 2 {
+			// A drain target's checkpoint reply: env checkpoint and
+			// trace events ride out of band.
+			local, err := DecodeCheckpoint(blobs[0])
+			if err != nil {
+				return false, nil, fmt.Errorf("wire: worker %d checkpoint: %w", p.i, err)
+			}
+			events, err := DecodeEvents(blobs[1])
+			if err != nil {
+				return false, nil, fmt.Errorf("wire: worker %d checkpoint events: %w", p.i, err)
+			}
+			p.ckptLocal, p.ckptEvents = local, events
 		}
 		if r.state == stFinishing {
 			// A stale barrier reply racing the finish decision (e.g. a
@@ -742,46 +869,78 @@ func (r *coRun) handleCrash(pe int) error {
 	}
 }
 
-// startPause orders every surviving worker to the recovery barrier.
+// startPause orders every active worker to the recovery barrier. A
+// drain target is asked to checkpoint: its Parked reply carries its
+// full local state.
 func (r *coRun) startPause() error {
 	r.state = stPausing
 	for _, p := range r.peers {
-		if !p.lost {
-			p.parked = nil
-			p.link.Send(TPause, nil)
+		if !p.active() {
+			continue
 		}
+		p.parked = nil
+		var payload []byte
+		if p == r.draining {
+			payload = encJSON(PauseNote{Checkpoint: true})
+		}
+		p.link.Send(TPause, payload)
 	}
 	return r.checkParked()
 }
 
-// checkParked completes the recovery once every surviving worker is at
+// checkParked completes the recovery once every active worker is at
 // the barrier.
 func (r *coRun) checkParked() error {
 	for _, p := range r.peers {
-		if !p.lost && p.parked == nil {
+		if p.active() && p.parked == nil {
 			return nil
 		}
 	}
 	return r.finishRecovery()
 }
 
-// finishRecovery merges the parked states, replans the lost work with
-// sched.Recover, and releases the workers into the next era.
+// finishRecovery merges the parked states, replans with sched.Replan,
+// and releases the workers into the next era. It finalizes whatever
+// fleet change rode the barrier: a crash recovery (shrink), a graceful
+// drain (planned shrink with the target's state re-homed through
+// imports), a mid-run join (expand: every dead processor revives on
+// the joiner), or a crash folded into either.
 func (r *coRun) finishRecovery() error {
+	dr, jn := r.draining, r.joining
+	r.draining, r.joining = nil, nil
+
+	// The dead mask of the new era: a drain retires the target's
+	// processors; a join revives every dead one onto the joiner.
+	deadAfter := append([]bool(nil), r.dead...)
+	if dr != nil {
+		for _, pe := range dr.pes {
+			deadAfter[pe] = true
+		}
+	}
+	var revived []int
+	if jn != nil {
+		for pe, d := range r.dead {
+			if d {
+				deadAfter[pe] = false
+				revived = append(revived, pe)
+			}
+		}
+	}
+
 	// Surviving task results: ascending worker order; each worker
-	// already picked its lowest local holder, and worker blocks are
-	// ascending, so first-wins attributes every task to its lowest
-	// live holder globally — the same deterministic choice the
-	// single-process runner makes.
+	// already picked its lowest local holder, and first-wins attributes
+	// every task to its lowest live holder globally — the same
+	// deterministic choice the single-process runner makes. The drain
+	// target is not a survivor: its results re-home through imports.
 	doneTasks := map[graph.NodeID]int{}
 	held := map[string]bool{}
 	var clock machine.Time
 	for _, p := range r.peers {
-		if p.lost {
+		if !p.active() || p == dr || p.parked == nil {
 			continue
 		}
 		for t, pe := range p.parked.Done {
-			if _, ok := doneTasks[t]; !ok && !r.dead[pe] {
+			if _, ok := doneTasks[t]; !ok && !deadAfter[pe] {
 				doneTasks[t] = pe
 			}
 		}
@@ -792,17 +951,49 @@ func (r *coRun) finishRecovery() error {
 			clock = p.parked.Clock
 		}
 	}
-	liveMask := make([]bool, len(r.dead))
-	for pe, d := range r.dead {
+
+	// Drain: results only the target holds re-home onto live
+	// processors round-robin (deterministic: sorted tasks, ascending
+	// processors), each with the env checkpoint the target handed over.
+	// Its held exports are deliberately NOT merged: the adoption pass
+	// below re-exports them from the importing holder, so the departed
+	// process contributes nothing the survivors cannot reproduce.
+	var imports []exec.Import
+	if dr != nil && dr.parked != nil {
+		if dr.parked.Clock > clock {
+			clock = dr.parked.Clock
+		}
+		var liveList []int
+		for pe, d := range deadAfter {
+			if !d {
+				liveList = append(liveList, pe)
+			}
+		}
+		orphans := make([]graph.NodeID, 0, len(dr.parked.Done))
+		for t := range dr.parked.Done {
+			if _, ok := doneTasks[t]; !ok {
+				orphans = append(orphans, t)
+			}
+		}
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+		for k, t := range orphans {
+			pe := liveList[k%len(liveList)]
+			doneTasks[t] = pe
+			imports = append(imports, exec.Import{Task: t, PE: pe, Env: dr.ckptLocal[t]})
+		}
+	}
+
+	liveMask := make([]bool, len(deadAfter))
+	for pe, d := range deadAfter {
 		liveMask[pe] = !d
 	}
-	plan, err := sched.Recover(r.s, sched.RecoverState{Live: liveMask, Done: doneTasks})
+	plan, err := sched.Replan(r.s, sched.ReplanState{Live: liveMask, Done: doneTasks})
 	if err != nil {
 		return fmt.Errorf("exec: crash recovery failed: %w", err)
 	}
 
 	// Orphaned external outputs: a surviving task result whose
-	// exporting copy died re-exports from its holder.
+	// exporting copy died (or departed) re-exports from its holder.
 	tasks := make([]graph.NodeID, 0, len(doneTasks))
 	for t := range doneTasks {
 		tasks = append(tasks, t)
@@ -821,35 +1012,356 @@ func (r *coRun) finishRecovery() error {
 	if r.co.Runner.VirtualTime {
 		at = clock
 	}
+	cause := "recovery"
+	switch {
+	case dr != nil:
+		cause = "drain"
+	case jn != nil:
+		cause = "join"
+	}
 	for _, sl := range plan.Slots {
 		orig := sl.PE
 		if ps, ok := r.s.PrimarySlot(sl.Task); ok {
 			orig = ps.PE
 		}
 		r.extra = append(r.extra, trace.Event{Kind: trace.TaskRescheduled, At: at,
-			Task: sl.Task, PE: sl.PE, Peer: orig, Note: "recovery"})
+			Task: sl.Task, PE: sl.PE, Peer: orig, Note: cause})
+	}
+
+	// Commit the membership change.
+	r.dead = deadAfter
+	if jn != nil {
+		jn.pending = false
+		jn.pes = revived
+		for _, pe := range revived {
+			r.peerOf[pe] = jn.i
+		}
 	}
 
 	r.epoch++
+	refs := make([]ImportRef, 0, len(imports))
+	blobs := make([][]byte, 0, len(imports))
+	for _, im := range imports {
+		eb, err := EncodeEnv(im.Env)
+		if err != nil {
+			return fmt.Errorf("wire: encode drain import for task %s: %w", im.Task, err)
+		}
+		refs = append(refs, ImportRef{Task: im.Task, PE: im.PE})
+		blobs = append(blobs, eb)
+	}
 	note := ResumeNote{Epoch: r.epoch, Slots: plan.Slots, Msgs: plan.Msgs,
-		Done: doneTasks, Dead: append([]bool(nil), r.dead...), Adopt: adopt}
-	r.co.logf("recovery: %d tasks replanned onto survivors (epoch %d)", len(plan.Moved), r.epoch)
+		Done: doneTasks, Dead: append([]bool(nil), r.dead...), Adopt: adopt,
+		Imports: refs}
+	if jn != nil && r.co.Mesh {
+		note.Peers = append([]string(nil), r.addrs...)
+		note.PeerOf = append([]int(nil), r.peerOf...)
+	}
+	r.co.logf("%s: %d tasks replanned (epoch %d)", cause, len(plan.Moved), r.epoch)
 	payload := encJSON(note)
+	if len(blobs) > 0 {
+		payload = encBlobEnvelope(encJSON(note), blobs...)
+	}
 	for _, p := range r.peers {
-		if !p.lost {
+		if p.active() && p != dr && p != jn {
 			p.idle = false
 			p.link.Send(TResume, payload)
+		}
+	}
+
+	if dr != nil {
+		// The target departs with everything handed over: its print
+		// lines and trace events join the saved partials, the goodbye
+		// lets it (and, through its mesh goodbyes, its peers) tear down
+		// immediately — no timeout anywhere.
+		r.saved = append(r.saved, &exec.Partial{Printed: dr.parked.Printed,
+			PrintedPE: dr.parked.PrintedPE, Events: dr.ckptEvents})
+		dr.drained = true
+		dr.idle = false
+		dr.link.Send(TBye, nil)
+		r.extra = append(r.extra, trace.Event{Kind: trace.WorkerDrained, At: at,
+			Peer: dr.i, Note: dr.addr})
+		r.co.logf("worker %d (%s) drained: %d results re-homed (epoch %d)", dr.i, dr.addr, len(imports), r.epoch)
+		if r.drainConn != nil {
+			r.drainConn.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
+			r.drainConn.Close()
+			r.drainConn = nil
+		}
+	}
+	if jn != nil {
+		if err := r.startJoiner(jn, &note, clock); err != nil {
+			return fmt.Errorf("wire: starting joined worker %d: %w", jn.i, err)
+		}
+		r.co.logf("worker %d (%s) joined: hosting %d revived processors (epoch %d)", jn.i, jn.addr, len(revived), r.epoch)
+		if r.joinConn != nil {
+			r.joinConn.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
+			r.joinConn.Close()
+			r.joinConn = nil
 		}
 	}
 	r.state = stRunning
 	return nil
 }
 
+// startJoiner ships a joining worker its start bundle: the regular
+// bundle plus the resume plan of the era it enters.
+func (r *coRun) startJoiner(p *peer, note *ResumeNote, clock machine.Time) error {
+	schedBin, err := r.co.encodedSchedule(r.s)
+	if err != nil {
+		return fmt.Errorf("encode schedule: %w", err)
+	}
+	inputs, err := EncodeEnv(r.co.Runner.Inputs)
+	if err != nil {
+		return fmt.Errorf("encode inputs: %w", err)
+	}
+	numPE := r.s.Machine.NumPE()
+	hosted := make([]bool, numPE)
+	for _, pe := range p.pes {
+		hosted[pe] = true
+	}
+	plan := *note
+	// Imports target survivor processors, never the joiner's fresh
+	// ones; membership already rides the bundle's own Peers/PeerOf.
+	plan.Imports, plan.Peers, plan.PeerOf = nil, nil, nil
+	bundle := StartBundle{
+		Run: r.id, Worker: p.i, Workers: len(r.peers),
+		Hosted:     hosted,
+		ExternalIn: r.flat.ExternalIn, ExternalOut: r.flat.ExternalOut,
+		Opts:           OptsFor(r.co.Runner),
+		HeartbeatEvery: int64(r.co.heartbeatEvery()), PeerTimeout: int64(r.co.peerTimeout()),
+		FlushEvery: int64(r.co.flushEvery()),
+		Plan:       &plan, Clock: clock,
+	}
+	if r.co.Mesh {
+		bundle.Peers = append([]string(nil), r.addrs...)
+		bundle.PeerOf = append([]int(nil), r.peerOf...)
+	}
+	return p.link.Send(TStart, encBlobEnvelope(encJSON(bundle), schedBin, inputs))
+}
+
+// handleControl processes one fleet-elasticity request on the central
+// loop: a join announce (validate, then dial the worker off-loop), a
+// completed join dial (integrate at a barrier), or a drain order.
+func (r *coRun) handleControl(ctx context.Context, req *ctlReq) error {
+	switch {
+	case req.join != nil:
+		return r.handleJoinAnnounce(ctx, req)
+	case req.drain != nil:
+		return r.handleDrain(req)
+	default:
+		return r.handleJoinDialed(req)
+	}
+}
+
+func (r *coRun) handleJoinAnnounce(ctx context.Context, req *ctlReq) error {
+	addr := req.join.Addr
+	// Idempotence: an announce from an address already serving the run
+	// is acknowledged without change (announce loops retry until
+	// welcomed, and a Welcome may be lost).
+	for _, p := range r.peers {
+		if p.active() && p.addr == addr {
+			req.reply.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
+			req.reply.Close()
+			return nil
+		}
+	}
+	if r.state == stFinishing {
+		// Explicit rejection: a worker arriving while the run is
+		// finishing must not enter the processor map — there is nothing
+		// left to start it with.
+		rejectConn(req.reply, "run is finishing; not accepting joins")
+		return nil
+	}
+	if r.state != stRunning || r.draining != nil || r.joining != nil || r.joinAddr != "" {
+		rejectConn(req.reply, "a recovery or fleet change is in progress; retry")
+		return nil
+	}
+	free := false
+	for _, d := range r.dead {
+		if d {
+			free = true
+			break
+		}
+	}
+	if !free {
+		rejectConn(req.reply, "no free capacity: every processor is live")
+		return nil
+	}
+	// Dial the announced worker off-loop; the result re-enters as a
+	// control event and the join is validated again before integration.
+	r.joinAddr = addr
+	reply := req.reply
+	go func() {
+		dctx, cancel := context.WithTimeout(ctx, r.co.connectTimeout())
+		defer cancel()
+		c, err := dialBackoff(dctx, r.co.Transport, addr, 0, 0)
+		if err == nil {
+			if herr := handshake(c, Hello{Proto: ProtoVersion, Run: r.id}); herr != nil {
+				c.Close()
+				c, err = nil, herr
+			}
+		}
+		select {
+		case r.events <- coEvent{ctl: &ctlReq{dialed: c, err: err, addr: addr, reply: reply}}:
+		case <-ctx.Done():
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	return nil
+}
+
+func (r *coRun) handleJoinDialed(req *ctlReq) error {
+	r.joinAddr = ""
+	if req.err != nil {
+		rejectConn(req.reply, fmt.Sprintf("cannot dial announced worker %s: %v", req.addr, req.err))
+		return nil
+	}
+	abort := ""
+	switch {
+	case r.state == stFinishing:
+		abort = "run is finishing; not accepting joins"
+	case r.state != stRunning || r.draining != nil || r.joining != nil:
+		abort = "a recovery started while the join was connecting; retry"
+	}
+	if abort == "" {
+		free := false
+		for _, d := range r.dead {
+			if d {
+				free = true
+				break
+			}
+		}
+		if !free {
+			abort = "no free capacity: every processor is live"
+		}
+	}
+	if abort != "" {
+		req.dialed.Close()
+		rejectConn(req.reply, abort)
+		return nil
+	}
+	p := &peer{i: len(r.peers), addr: req.addr, pending: true, lastHeard: time.Now()}
+	p.link = NewLink(req.dialed)
+	p.link.SetMaxOutbox(r.co.MaxOutbox)
+	r.peers = append(r.peers, p)
+	r.addrs = append(r.addrs, req.addr)
+	r.joining = p
+	r.joinConn = req.reply
+	r.extra = append(r.extra, trace.Event{Kind: trace.PeerConnected, At: r.now(), Peer: p.i, Note: "join"})
+	r.co.logf("worker %d (%s) joining; pausing for expand replan", p.i, p.addr)
+	r.startReader(r.ctx, p)
+	return r.startPause()
+}
+
+func (r *coRun) handleDrain(req *ctlReq) error {
+	var target *peer
+	for _, p := range r.peers {
+		if req.drain.Worker >= 0 && p.i == req.drain.Worker {
+			target = p
+		}
+		if req.drain.Worker < 0 && req.drain.Addr != "" && p.addr == req.drain.Addr && p.active() {
+			target = p
+		}
+	}
+	switch {
+	case target == nil:
+		rejectConn(req.reply, "no such worker")
+		return nil
+	case target.drained:
+		rejectConn(req.reply, fmt.Sprintf("worker %d already drained", target.i))
+		return nil
+	case target.lost:
+		rejectConn(req.reply, fmt.Sprintf("worker %d already lost", target.i))
+		return nil
+	case target.pending:
+		rejectConn(req.reply, fmt.Sprintf("worker %d still joining; retry", target.i))
+		return nil
+	case r.state == stFinishing:
+		rejectConn(req.reply, "run is finishing; nothing to drain")
+		return nil
+	case r.state != stRunning || r.draining != nil || r.joining != nil || r.joinAddr != "":
+		rejectConn(req.reply, "a recovery or fleet change is in progress; retry")
+		return nil
+	}
+	min := r.co.MinWorkers
+	if min < 1 {
+		min = 1
+	}
+	if r.liveWorkers()-1 < min {
+		rejectConn(req.reply, fmt.Sprintf("drain would leave %d workers; the minimum is %d", r.liveWorkers()-1, min))
+		return nil
+	}
+	remaining := 0
+	for pe, d := range r.dead {
+		if !d && r.peerOf[pe] != target.i {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		rejectConn(req.reply, "drain would leave no live processors")
+		return nil
+	}
+	r.draining = target
+	r.drainConn = req.reply
+	r.co.logf("worker %d (%s) draining; pausing for checkpoint handover", target.i, target.addr)
+	return r.startPause()
+}
+
+// acceptControl accepts fleet-control connections and posts their
+// first frame to the central loop. The listener closes with the run.
+func (r *coRun) acceptControl(ctx context.Context, lis Listener) {
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go r.controlConn(ctx, c)
+	}
+}
+
+func (r *coRun) controlConn(ctx context.Context, c Conn) {
+	// Bound the first read: a connection that never sends its request
+	// must not linger past the run.
+	tm := time.AfterFunc(10*time.Second, func() { c.Close() })
+	f, err := c.ReadFrame()
+	tm.Stop()
+	if err != nil {
+		c.Close()
+		return
+	}
+	req := &ctlReq{reply: c}
+	switch f.Type {
+	case TJoin:
+		n, err := decJSON[JoinNote](f.Payload, "join")
+		if err != nil || n.Addr == "" {
+			rejectConn(c, "bad join request: missing worker address")
+			return
+		}
+		req.join = &n
+	case TDrain:
+		n, err := decJSON[DrainNote](f.Payload, "drain")
+		if err != nil {
+			rejectConn(c, "bad drain request")
+			return
+		}
+		req.drain = &n
+	default:
+		rejectConn(c, fmt.Sprintf("unexpected %s frame on a control connection", f.Type))
+		return
+	}
+	select {
+	case r.events <- coEvent{ctl: req}:
+	case <-ctx.Done():
+		c.Close()
+	}
+}
+
 // checkAllIdle finishes the run once every surviving worker reports its
 // hosted processors idle.
 func (r *coRun) checkAllIdle() error {
 	for _, p := range r.peers {
-		if !p.lost && !p.idle {
+		if p.active() && !p.idle {
 			return nil
 		}
 	}
@@ -862,13 +1374,15 @@ func (r *coRun) checkAllIdle() error {
 // worker delivered its partial.
 func (r *coRun) checkAllResults() (bool, *exec.Result, error) {
 	for _, p := range r.peers {
-		if !p.lost && p.result == nil {
+		if p.active() && p.result == nil {
 			return false, nil, nil
 		}
 	}
-	var partials []*exec.Partial
+	// Drained workers' handed-over print lines and trace events merge
+	// ahead of the survivors' partials; PE tags keep print order stable.
+	partials := append([]*exec.Partial(nil), r.saved...)
 	for _, p := range r.peers {
-		if p.lost {
+		if !p.active() {
 			continue
 		}
 		outputs, err := DecodeEnv(p.result.Outputs)
@@ -881,7 +1395,8 @@ func (r *coRun) checkAllResults() (bool, *exec.Result, error) {
 		}
 		partials = append(partials, &exec.Partial{
 			Outputs: outputs, Exports: p.result.Exports,
-			Printed: p.result.Printed, Events: events,
+			Printed: p.result.Printed, PrintedPE: p.result.PrintedPE,
+			Events: events,
 		})
 	}
 	outputs, printed, err := exec.MergePartials(partials...)

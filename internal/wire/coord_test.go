@@ -82,7 +82,7 @@ func (w *scripted) readUntil(ty Type) Frame {
 // walks them to the finishing state: start bundles received, both
 // workers idle, Finish broadcast. Returns the workers and the run's
 // result channel.
-func steerToFinishing(t *testing.T) (*scripted, *scripted, chan error, chan *exec.Result) {
+func steerToFinishing(t *testing.T) (*scripted, *scripted, chan error, chan *exec.Result, Transport) {
 	t.Helper()
 	flat, inputs := distDesign(t, 2, 2)
 	m := distMachine(t, "hypercube:1")
@@ -102,7 +102,7 @@ func steerToFinishing(t *testing.T) (*scripted, *scripted, chan error, chan *exe
 	t.Cleanup(func() { ln0.Close(); ln1.Close() })
 
 	co := &Coordinator{
-		Transport: tr, Addrs: []string{"w0", "w1"},
+		Transport: tr, Addrs: []string{"w0", "w1"}, Control: "ctl",
 		Runner:         &exec.Runner{Inputs: inputs},
 		HeartbeatEvery: 50 * time.Millisecond,
 		// Long silence budget: the tests below must see the state
@@ -129,7 +129,7 @@ func steerToFinishing(t *testing.T) (*scripted, *scripted, chan error, chan *exe
 	}
 	w0.readUntil(TFinish)
 	w1.readUntil(TFinish)
-	return w0, w1, errCh, resCh
+	return w0, w1, errCh, resCh, tr
 }
 
 // TestCoordCrashWhileFinishing: a crash report racing the finish
@@ -137,7 +137,7 @@ func steerToFinishing(t *testing.T) (*scripted, *scripted, chan error, chan *exe
 // through to startPause, waiting on a barrier the already-finished
 // sessions could never answer — the run hung until heartbeat loss.
 func TestCoordCrashWhileFinishing(t *testing.T) {
-	w0, _, errCh, _ := steerToFinishing(t)
+	w0, _, errCh, _, _ := steerToFinishing(t)
 	if err := w0.l.Send(TCrash, encJSON(CrashNote{PE: 0})); err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCoordCrashWhileFinishing(t *testing.T) {
 // the finish decision (a replayed barrier reply) must be ignored, not
 // kill the run as "parked outside a pause".
 func TestCoordParkedWhileFinishing(t *testing.T) {
-	w0, w1, errCh, resCh := steerToFinishing(t)
+	w0, w1, errCh, resCh, _ := steerToFinishing(t)
 	if err := w0.l.Send(TParked, encJSON(ParkedNote{})); err != nil {
 		t.Fatal(err)
 	}

@@ -275,14 +275,9 @@ func distWorkerLost(t *testing.T, mesh bool) {
 	// Wall-clock runs of this design finish in milliseconds — too fast
 	// for a mid-run kill. Hold the run open with a wall-time delay
 	// fault on a message that crosses the two worker blocks, and kill
-	// the worker hosting the consumer while it waits.
-	blocks := Partition(m.NumPE(), 2)
-	workerOf := make([]int, m.NumPE())
-	for i, block := range blocks {
-		for _, pe := range block {
-			workerOf[pe] = i
-		}
-	}
+	// the worker hosting the consumer while it waits. The blocks come
+	// from the same traffic-aware placement the coordinator uses.
+	workerOf := sched.Place(sc, 2)
 	victim := -1
 	var spec string
 	for _, msg := range sc.Msgs {

@@ -62,6 +62,13 @@ const (
 	TPing
 	TPong
 	TBye
+	// TJoin and TDrain are fleet-elasticity controls: Join announces a
+	// worker that wants to enter a run in flight (on the coordinator's
+	// control listener), Drain asks the coordinator to gracefully
+	// evacuate a worker. Workers exchange TBye on mesh links to tear
+	// them down immediately on a planned departure.
+	TJoin
+	TDrain
 )
 
 // String names the frame type.
@@ -101,6 +108,10 @@ func (t Type) String() string {
 		return "pong"
 	case TBye:
 		return "bye"
+	case TJoin:
+		return "join"
+	case TDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("type(%d)", byte(t))
 	}

@@ -35,7 +35,7 @@ import (
 // this much time passes, whichever is first.
 const defaultFlushEvery = 200 * time.Microsecond
 
-// meshConfig is the immutable wiring of a worker's mesh.
+// meshConfig is the initial wiring of a worker's mesh.
 type meshConfig struct {
 	transport Transport
 	runID     string
@@ -54,9 +54,19 @@ type mesh struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
+	// wg tracks the dial loops and connection readers so close can
+	// wait them out: a straggler would outlive the run that owns
+	// deliver and logf (a test's t.Logf, typically).
+	wg sync.WaitGroup
+
+	mu sync.Mutex
+	// addrs and peerOf are the live membership, seeded from cfg and
+	// updated when a worker joins mid-run (the joiner, holding the
+	// highest index, dials us — existing dial loops never change).
+	addrs  []string
+	peerOf []int
 	peers  map[int]*meshPeer // established links by worker index
-	lost   map[int]bool      // workers declared dead by the recovery plan
+	lost   map[int]bool      // workers declared dead or departed
 	closed bool
 }
 
@@ -77,13 +87,50 @@ func newMesh(cfg meshConfig, deliver func(exec.RemoteMsg) error) *mesh {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &mesh{cfg: cfg, deliver: deliver, ctx: ctx, cancel: cancel,
-		peers: map[int]*meshPeer{}, lost: map[int]bool{}}
-	for j := range cfg.addrs {
-		if j < cfg.self && cfg.addrs[j] != "" {
-			go m.dialLoop(j)
+		addrs:  append([]string(nil), cfg.addrs...),
+		peerOf: append([]int(nil), cfg.peerOf...),
+		peers:  map[int]*meshPeer{}, lost: map[int]bool{}}
+	for j, addr := range cfg.addrs {
+		if j < cfg.self && addr != "" {
+			m.spawn(func() { m.dialLoop(j, addr) })
 		}
 	}
 	return m
+}
+
+// spawn runs fn on a goroutine tracked by the close barrier. It
+// refuses (returning false) once the mesh is closed, so close never
+// races a late wg.Add against its Wait.
+func (m *mesh) spawn(fn func()) bool {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+// update installs new membership after a mid-run join: the address
+// list grows and revived processors map to the new worker. No dial
+// loops start here — the joiner holds the highest index and dials us.
+func (m *mesh) update(addrs []string, peerOf []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if len(addrs) > 0 {
+		m.addrs = append([]string(nil), addrs...)
+	}
+	if len(peerOf) > 0 {
+		m.peerOf = append([]int(nil), peerOf...)
+	}
 }
 
 // linkFor returns the direct link to the worker hosting pe, or nil
@@ -92,15 +139,15 @@ func newMesh(cfg meshConfig, deliver func(exec.RemoteMsg) error) *mesh {
 // declared dead: the relay drops frames for dead workers, which is
 // what recovery wants).
 func (m *mesh) linkFor(pe int) *Link {
-	if pe < 0 || pe >= len(m.cfg.peerOf) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pe < 0 || pe >= len(m.peerOf) {
 		return nil
 	}
-	j := m.cfg.peerOf[pe]
+	j := m.peerOf[pe]
 	if j == m.cfg.self {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.lost[j] || m.closed {
 		return nil
 	}
@@ -131,11 +178,11 @@ func (m *mesh) peer(j int) *meshPeer {
 // j: dial, handshake, attach, read until the connection breaks, redial.
 // A handshake rejection usually means the peer hasn't received its
 // start bundle yet; retry with backoff until the run ends.
-func (m *mesh) dialLoop(j int) {
+func (m *mesh) dialLoop(j int, addr string) {
 	backoff := 5 * time.Millisecond
 	const backoffCap = 500 * time.Millisecond
 	for m.ctx.Err() == nil {
-		c, err := dialBackoff(m.ctx, m.cfg.transport, m.cfg.addrs[j], 25*time.Millisecond, backoffCap)
+		c, err := dialBackoff(m.ctx, m.cfg.transport, addr, 25*time.Millisecond, backoffCap)
 		if err != nil {
 			return // ctx cancelled
 		}
@@ -162,8 +209,8 @@ func (m *mesh) dialLoop(j int) {
 			p.link.Detach()
 			continue
 		}
-		m.cfg.logf("mesh link to worker %d (%s) up", j, m.cfg.addrs[j])
-		m.readConn(p, c)
+		m.cfg.logf("mesh link to worker %d (%s) up", j, addr)
+		m.readConn(j, p, c)
 	}
 }
 
@@ -196,7 +243,10 @@ func (m *mesh) helloPeer(c Conn, rcvd uint64) (uint64, error) {
 // daemon already read its Hello). The Welcome carries our watermark
 // and must precede the outbox replay that Reattach performs.
 func (m *mesh) acceptPeer(j int, c Conn, peerRcvd uint64, frames <-chan Frame, rerr <-chan error) error {
-	if j < 0 || j >= len(m.cfg.addrs) || j == m.cfg.self {
+	m.mu.Lock()
+	known := len(m.addrs)
+	m.mu.Unlock()
+	if j < 0 || j >= known || j == m.cfg.self {
 		return fmt.Errorf("wire: mesh hello from out-of-range worker %d", j)
 	}
 	p := m.peer(j)
@@ -211,29 +261,31 @@ func (m *mesh) acceptPeer(j int, c Conn, peerRcvd uint64, frames <-chan Frame, r
 		return err
 	}
 	m.cfg.logf("mesh link from worker %d up", j)
-	go m.readChan(p, c, frames, rerr)
+	if !m.spawn(func() { m.readChan(j, p, c, frames, rerr) }) {
+		return fmt.Errorf("wire: mesh closed")
+	}
 	return nil
 }
 
 // readConn pumps a dialed connection until it breaks.
-func (m *mesh) readConn(p *meshPeer, c Conn) {
+func (m *mesh) readConn(j int, p *meshPeer, c Conn) {
 	for {
 		f, err := c.ReadFrame()
 		if err != nil {
 			p.link.DetachIf(c)
 			return
 		}
-		m.handleFrame(p, f)
+		m.handleFrame(j, p, f)
 	}
 }
 
 // readChan pumps an accepted connection (frames arrive through the
 // daemon's hello reader) until it breaks.
-func (m *mesh) readChan(p *meshPeer, c Conn, frames <-chan Frame, rerr <-chan error) {
+func (m *mesh) readChan(j int, p *meshPeer, c Conn, frames <-chan Frame, rerr <-chan error) {
 	for {
 		select {
 		case f := <-frames:
-			m.handleFrame(p, f)
+			m.handleFrame(j, p, f)
 		case <-rerr:
 			p.link.DetachIf(c)
 			return
@@ -243,10 +295,11 @@ func (m *mesh) readChan(p *meshPeer, c Conn, frames <-chan Frame, rerr <-chan er
 	}
 }
 
-// handleFrame processes one frame from a mesh peer: data is delivered
-// straight into the session, acks prune the outbox, anything else is
-// connection noise.
-func (m *mesh) handleFrame(p *meshPeer, f Frame) {
+// handleFrame processes one frame from mesh peer j: data is delivered
+// straight into the session, acks prune the outbox, a goodbye tears
+// the link down immediately (the peer departed gracefully, so nothing
+// waits out the heartbeat budget), anything else is connection noise.
+func (m *mesh) handleFrame(j int, p *meshPeer, f Frame) {
 	switch f.Type {
 	case TData:
 		if !p.link.Accept(f) {
@@ -267,6 +320,9 @@ func (m *mesh) handleFrame(p *meshPeer, f Frame) {
 		if wid, err := decU64(f.Payload); err == nil {
 			p.link.Acked(wid)
 		}
+	case TBye:
+		m.cfg.logf("mesh: worker %d departed; closing link", j)
+		m.markLost(j)
 	case THeartbeat, TPing, TPong:
 		// Liveness is the coordinator's job; ignore.
 	default:
@@ -299,12 +355,16 @@ func (m *mesh) flushAll() {
 // pruneDead closes links to workers the recovery plan declared dead:
 // every processor they hosted is dead, so nothing routes there again.
 func (m *mesh) pruneDead(dead []bool) {
-	for j := range m.cfg.addrs {
+	m.mu.Lock()
+	n := len(m.addrs)
+	peerOf := append([]int(nil), m.peerOf...)
+	m.mu.Unlock()
+	for j := 0; j < n; j++ {
 		if j == m.cfg.self {
 			continue
 		}
 		gone := false
-		for pe, w := range m.cfg.peerOf {
+		for pe, w := range peerOf {
 			if w != j || pe >= len(dead) {
 				continue
 			}
@@ -335,17 +395,26 @@ func (m *mesh) markLost(j int) {
 }
 
 // close tears the mesh down: dial loops stop, links close, pooled
-// outbox payloads return to the pool.
+// outbox payloads return to the pool. Attached peers get a goodbye
+// frame first, so a graceful departure tears down the remote end of
+// each link immediately instead of leaving it to rot until the next
+// membership update.
 func (m *mesh) close() {
 	m.cancel()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return
 	}
 	m.closed = true
 	for j, p := range m.peers {
+		p.link.SendRaw(Frame{Type: TBye}) // best effort; detached links just skip it
 		p.link.Close()
 		delete(m.peers, j)
 	}
+	m.mu.Unlock()
+	// Closing the links broke every blocking read, so this terminates:
+	// wait out the dial loops and readers before the caller moves on to
+	// recycle the run (and, in tests, finish the t that owns logf).
+	m.wg.Wait()
 }

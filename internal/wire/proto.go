@@ -115,6 +115,12 @@ type StartBundle struct {
 	Peers      []string `json:"peers,omitempty"`
 	PeerOf     []int    `json:"peerOf,omitempty"`
 	FlushEvery int64    `json:"flushEvery,omitempty"`
+	// Plan is set for a worker joining a run already in flight: the
+	// same global replan the surviving sessions install with Resume.
+	// The new session starts directly in Plan.Epoch with its virtual
+	// clocks at Clock (the run's global maximum at the barrier).
+	Plan  *ResumeNote  `json:"plan,omitempty"`
+	Clock machine.Time `json:"clock,omitempty"`
 }
 
 // Workers see the same schedule bytes on every run of a given design
@@ -165,16 +171,59 @@ type CrashNote struct {
 	PE int `json:"pe"`
 }
 
+// PauseNote qualifies a Pause order. A nil/empty Pause payload is the
+// plain recovery barrier; Checkpoint asks the worker (a graceful drain
+// target) to pack its full local state into the Parked reply.
+type PauseNote struct {
+	Checkpoint bool `json:"checkpoint,omitempty"`
+}
+
+// JoinNote announces a worker on the coordinator's control listener:
+// Addr is the worker daemon's listen address, which the coordinator
+// dials back exactly like a configured worker. The control connection
+// is answered with Welcome once the worker is integrated into the run,
+// or Error when the run cannot take it (finishing, no free capacity,
+// another fleet change in flight).
+type JoinNote struct {
+	Addr string `json:"addr"`
+}
+
+// DrainNote asks the coordinator to gracefully evacuate a worker:
+// by index (Worker >= 0) or by listen address. The control connection
+// is answered with Welcome once the worker has departed with all its
+// state handed over, or Error when the drain is not possible.
+type DrainNote struct {
+	Worker int    `json:"worker"`
+	Addr   string `json:"addr,omitempty"`
+}
+
 // ParkedNote is a session's PauseState: the worker's answer to Pause.
+// A checkpoint reply (graceful drain) travels as a blob envelope:
+// this JSON plus Printed/PrintedPE, with the worker-local env
+// checkpoint (EncodeCheckpoint) and trace events (EncodeEvents) out of
+// band.
 type ParkedNote struct {
 	Done  map[graph.NodeID]int `json:"done,omitempty"`
 	Held  []string             `json:"held,omitempty"`
 	Dead  []int                `json:"dead,omitempty"`
 	Clock machine.Time         `json:"clock,omitempty"`
+	// Checkpoint-only: the drain target's print lines so far, tagged by
+	// processor (its final partial will never arrive).
+	Printed   []string `json:"printed,omitempty"`
+	PrintedPE []int    `json:"printedPE,omitempty"`
+}
+
+// ImportRef names one surviving task result re-homed by a drain: the
+// env bytes ride out of band, one blob per import, in Imports order.
+type ImportRef struct {
+	Task graph.NodeID `json:"task"`
+	PE   int          `json:"pe"`
 }
 
 // ResumeNote is the global recovery plan a worker installs at the
-// barrier (exec.ResumePlan over the wire).
+// barrier (exec.ResumePlan over the wire). When Imports is non-empty
+// the note travels as a blob envelope with one EncodeEnv blob per
+// import; a plain JSON payload stays decodable by the same path.
 type ResumeNote struct {
 	Epoch int64                `json:"epoch"`
 	Slots []sched.Slot         `json:"slots"`
@@ -182,17 +231,28 @@ type ResumeNote struct {
 	Done  map[graph.NodeID]int `json:"done,omitempty"`
 	Dead  []bool               `json:"dead"`
 	Adopt []exec.Adoption      `json:"adopt,omitempty"`
+	// Imports re-home a drained worker's surviving task results onto
+	// live processors (see ImportRef).
+	Imports []ImportRef `json:"imports,omitempty"`
+	// Peers/PeerOf update the mesh membership after a join: the new
+	// worker's address appends to the list and revived processors map
+	// to it. Empty means no membership change.
+	Peers  []string `json:"peers,omitempty"`
+	PeerOf []int    `json:"peerOf,omitempty"`
 }
 
 // ResultNote is a worker's partial result at the end of a run.
 // Events travel binary (EncodeEvents) in EventsBin; the JSON Events
 // field remains decodable for older senders.
 type ResultNote struct {
-	Outputs   []byte                  `json:"outputs"` // EncodeEnv bytes
-	Exports   map[string]graph.NodeID `json:"exports,omitempty"`
-	Printed   []string                `json:"printed,omitempty"`
-	Events    []trace.Event           `json:"events,omitempty"`
-	EventsBin []byte                  `json:"eventsBin,omitempty"` // EncodeEvents bytes
+	Outputs []byte                  `json:"outputs"` // EncodeEnv bytes
+	Exports map[string]graph.NodeID `json:"exports,omitempty"`
+	Printed []string                `json:"printed,omitempty"`
+	// PrintedPE tags each print line with its processor, so the merge
+	// restores ascending-processor order under non-contiguous placement.
+	PrintedPE []int         `json:"printedPE,omitempty"`
+	Events    []trace.Event `json:"events,omitempty"`
+	EventsBin []byte        `json:"eventsBin,omitempty"` // EncodeEvents bytes
 }
 
 // TraceEvents returns the note's events, preferring the binary form.

@@ -142,15 +142,18 @@ func (r *workerRun) abort(reason string) {
 		r.stopFlush()
 		r.stopFlush = nil
 	}
-	if ms := r.mesh.Swap(nil); ms != nil {
-		ms.close()
-	}
+	// The session goes down before the mesh: mesh close waits for its
+	// connection readers, and a reader blocked delivering into a live
+	// session only unblocks when the session ends.
 	if r.ses != nil {
 		r.ses.Abort(fmt.Errorf("wire: %s", reason))
 		if r.outcome == nil {
 			out := <-r.resultCh
 			r.outcome = &out
 		}
+	}
+	if ms := r.mesh.Swap(nil); ms != nil {
+		ms.close()
 	}
 	r.link.Close()
 }
@@ -448,6 +451,30 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		if run.ses == nil {
 			return false, fmt.Errorf("pause frame before start")
 		}
+		var pn PauseNote
+		if len(f.Payload) > 0 {
+			var err error
+			if pn, err = decJSON[PauseNote](f.Payload, "pause"); err != nil {
+				return false, err
+			}
+		}
+		if pn.Checkpoint {
+			// Graceful drain: pack the full local state into the reply —
+			// env checkpoint and trace events out of band, print lines
+			// in the JSON — so this process can depart losing nothing.
+			st, err := run.ses.PauseCheckpoint()
+			if err != nil {
+				return false, err
+			}
+			run.flushData()
+			ckpt, err := EncodeCheckpoint(st.Local)
+			if err != nil {
+				return false, err
+			}
+			note := ParkedNote{Done: st.Done, Held: st.Held, Dead: st.Dead, Clock: st.Clock,
+				Printed: st.Printed, PrintedPE: st.PrintedPE}
+			return false, run.link.Send(TParked, encBlobEnvelope(encJSON(note), ckpt, EncodeEvents(st.Events)))
+		}
 		st, err := run.ses.Pause()
 		if err != nil {
 			return false, err
@@ -461,16 +488,35 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 		if run.ses == nil {
 			return false, fmt.Errorf("resume frame before start")
 		}
-		note, err := decJSON[ResumeNote](f.Payload, "resume")
+		js, blobs, err := decBlobEnvelope(f.Payload)
+		if err != nil {
+			return false, err
+		}
+		note, err := decJSON[ResumeNote](js, "resume")
 		if err != nil {
 			return false, err
 		}
 		plan := &exec.ResumePlan{Epoch: note.Epoch, Slots: note.Slots, Msgs: note.Msgs,
 			Done: note.Done, Dead: note.Dead, Adopt: note.Adopt}
+		if len(note.Imports) > 0 {
+			if len(blobs) < len(note.Imports) {
+				return false, fmt.Errorf("resume names %d imports but carries %d env blobs", len(note.Imports), len(blobs))
+			}
+			for i, ref := range note.Imports {
+				env, err := DecodeEnv(blobs[i])
+				if err != nil {
+					return false, fmt.Errorf("bad import env for task %s: %w", ref.Task, err)
+				}
+				plan.Imports = append(plan.Imports, exec.Import{Task: ref.Task, PE: ref.PE, Env: env})
+			}
+		}
 		if err := run.ses.Resume(plan); err != nil {
 			return false, err
 		}
 		if ms := run.mesh.Load(); ms != nil {
+			if len(note.Peers) > 0 {
+				ms.update(note.Peers, note.PeerOf)
+			}
 			ms.pruneDead(note.Dead)
 		}
 		return false, nil
@@ -523,7 +569,18 @@ func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
 	if flat.ExternalOut == nil {
 		flat.ExternalOut = map[graph.NodeID][]string{}
 	}
-	ses, err := runner.StartSession(s, flat, bundle.Hosted, workerPlane{run: run})
+	var ses *exec.Session
+	if bundle.Plan != nil {
+		// Mid-run join: the bundle carries the resume plan every
+		// surviving session installed at the barrier; this session
+		// starts directly in that epoch with its clocks advanced.
+		plan := &exec.ResumePlan{Epoch: bundle.Plan.Epoch, Slots: bundle.Plan.Slots,
+			Msgs: bundle.Plan.Msgs, Done: bundle.Plan.Done, Dead: bundle.Plan.Dead,
+			Adopt: bundle.Plan.Adopt}
+		ses, err = runner.StartSessionFrom(s, flat, bundle.Hosted, workerPlane{run: run}, plan, bundle.Clock)
+	} else {
+		ses, err = runner.StartSession(s, flat, bundle.Hosted, workerPlane{run: run})
+	}
 	if err != nil {
 		return err
 	}
@@ -589,7 +646,7 @@ func resultNote(p *exec.Partial) ([]byte, error) {
 	for k, v := range p.Exports {
 		exports[k] = v
 	}
-	js := encJSON(ResultNote{Exports: exports, Printed: p.Printed})
+	js := encJSON(ResultNote{Exports: exports, Printed: p.Printed, PrintedPE: p.PrintedPE})
 	return encBlobEnvelope(js, outputs, EncodeEvents(p.Events)), nil
 }
 
