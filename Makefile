@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke bench-dist chaos churn conform fuzz-smoke
+.PHONY: build test vet race verify bench bench-smoke bench-dist bench-serve serve-smoke chaos churn conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,27 @@ bench-sched:
 # iterations, medians of 3 runs.
 bench-dist:
 	$(GO) test -run=NONE -bench='RunnerVirtual|RunnerWall|RunnerTCP|ElasticReplan' -benchtime=15x -benchmem -count=3 .
+
+# The committed serving-layer baselines (BENCH_PR9.json) were measured
+# with this: full HTTP round trips against the control plane in both
+# request modes (schedule-only prediction and full virtual-time run),
+# cold (schedule cache disabled, every submission pays the MH pass) vs
+# warm (cache primed), at three concurrency levels, medians of 3 runs.
+# The workload is the 501-task design on a 128-PE ring — the machine
+# family where MH's link-contention pass is most expensive, i.e. the
+# regime the schedule cache exists for.
+bench-serve:
+	$(GO) test -run=NONE -bench=ServeThroughput -benchtime=10x -count=3 -timeout 45m .
+
+# Serving-layer smoke: the in-process serve tests (admission, cache,
+# drain, trace streaming), the fleet membership layer, and the
+# process-spawning acceptance pair — batch vs serial byte-identity
+# under a mid-batch worker kill, and the local-mode SIGTERM drain —
+# all under the race detector.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestFleet|TestRepeated' ./internal/wire/
+	$(GO) test -race -count=1 -run 'TestServe' -timeout 10m ./cmd/banger/
 
 # Churn soak: 25 seeded rounds of fleet churn under the race detector —
 # each round joins a worker mid-run, drains another, SIGKILL-crashes a

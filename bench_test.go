@@ -368,6 +368,16 @@ func BenchmarkGanttRender(b *testing.B) {
 // runner can actually interpret it.
 func runnerDesign(b *testing.B, layers, width int) (*graph.Flat, pits.Env) {
 	b.Helper()
+	flat, err := layeredCalcGraph(layers, width).Flatten()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return flat, pits.Env{"x": pits.Num(3)}
+}
+
+// layeredCalcGraph is the design behind runnerDesign, unflattened —
+// the serve benchmarks post it whole as a project submission.
+func layeredCalcGraph(layers, width int) *graph.Graph {
 	g := graph.New("layered-calc")
 	g.MustAddStorage("IN", "x")
 	for l := 0; l < layers; l++ {
@@ -397,11 +407,7 @@ func runnerDesign(b *testing.B, layers, width int) (*graph.Flat, pits.Env) {
 	snk.Routine = "out = " + strings.Join(terms, " + ")
 	g.MustAddStorage("OUT", "out")
 	g.MustConnect("snk", "OUT", "out", 1)
-	flat, err := g.Flatten()
-	if err != nil {
-		b.Fatal(err)
-	}
-	return flat, pits.Env{"x": pits.Num(3)}
+	return g
 }
 
 // BenchmarkRunnerVirtual measures the goroutine runner in deterministic

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// cmdBatch is the fan-out client of `banger serve`: it submits every
+// named project concurrently and prints the results in serial argument
+// order, byte-identical to what `banger run` prints for each — the
+// service equivalent of running them one by one.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9080", "base URL of the control plane")
+	alg := fs.String("alg", "", "scheduler (empty = the server's default)")
+	jobs := fs.Int("j", 4, "concurrent submissions in flight")
+	tenant := fs.String("tenant", "", "X-Tenant header for per-tenant accounting")
+	predict := fs.Bool("predict", false, "schedule-only: report predicted makespan and speedup, skip execution")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-run budget including 429 retries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	projects := fs.Args()
+	if len(projects) == 0 {
+		return fmt.Errorf("batch: name at least one project (built-in or JSON file)")
+	}
+	if *jobs < 1 {
+		*jobs = 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Fan out under a concurrency cap; results land in argument order.
+	results := make([]*serve.RunResponse, len(projects))
+	errs := make([]error, len(projects))
+	sem := make(chan struct{}, *jobs)
+	var wg sync.WaitGroup
+	for i, name := range projects {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = submitRun(ctx, *addr, name, *alg, *tenant, *predict, *timeout)
+		}(i, name)
+	}
+	wg.Wait()
+
+	// Serial argument order, regardless of completion order.
+	var failed int
+	for i, name := range projects {
+		if errs[i] != nil {
+			failed++
+			fmt.Printf("== %s failed: %v\n", name, errs[i])
+			continue
+		}
+		rr := results[i]
+		fmt.Printf("== %s (%s, cache %s, %v)\n", name, rr.Algorithm, rr.Cache,
+			time.Duration(rr.ElapsedUS)*time.Microsecond)
+		if *predict {
+			fmt.Printf("  predicted: makespan %v on %d PEs, speedup %.2f, %d msgs\n",
+				time.Duration(rr.MakespanUS)*time.Microsecond, rr.PEs, rr.Speedup, rr.Msgs)
+			continue
+		}
+		for _, line := range rr.Printed {
+			fmt.Println("  >", line)
+		}
+		keys := make([]string, 0, len(rr.Outputs))
+		for k := range rr.Outputs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("outputs:")
+		for _, k := range keys {
+			fmt.Printf("  %s = %s\n", k, rr.Outputs[k])
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("batch: %d of %d runs failed", failed, len(projects))
+	}
+	return nil
+}
+
+// submitRun posts one project, obeying 429 backpressure: the server's
+// Retry-After is honored until the per-run budget expires.
+func submitRun(ctx context.Context, addr, name, alg, tenant string, predict bool, budget time.Duration) (*serve.RunResponse, error) {
+	p, err := loadProject(name)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	q := neturl.Values{}
+	if alg != "" {
+		q.Set("alg", alg)
+	}
+	if predict {
+		q.Set("mode", "schedule")
+	}
+	url := addr + "/run"
+	if len(q) > 0 {
+		url += "?" + q.Encode()
+	}
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Saturated: wait as told and resubmit.
+			wait := 250 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%s: gave up waiting for capacity: %w", name, ctx.Err())
+			}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			return nil, fmt.Errorf("%s: server said %s: %s", name, resp.Status, e.Error)
+		}
+		var rr serve.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return nil, fmt.Errorf("%s: decoding response: %w", name, err)
+		}
+		return &rr, nil
+	}
+}

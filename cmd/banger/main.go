@@ -23,6 +23,8 @@
 //	           over worker daemons with -dist
 //	worker     host processors for a remote coordinator's "run -dist"
 //	drain      gracefully evacuate one worker from a running fleet
+//	serve      scheduling-as-a-service control plane over HTTP/JSON
+//	batch      fan runs out to a serve control plane concurrently
 //	calc       open the calculator panel of one task
 //	codegen    generate a standalone Go program
 //	conform    differential conformance fuzzing across all engines
@@ -86,6 +88,10 @@ func main() {
 		err = cmdWorker(args)
 	case "drain":
 		err = cmdDrain(args)
+	case "serve":
+		err = cmdServe(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "calc":
 		err = cmdCalc(args)
 	case "codegen":
@@ -130,6 +136,16 @@ commands:
                                 -join announces to a run's -control address
   drain    -control CTRL (-worker N | -addr HOST:PORT) [-timeout D]
                                 gracefully evacuate one worker mid-run
+  serve    [-listen HOST:PORT] [-alg A] [-max-runs N] [-queue N]
+           [-tenant-cap N] [-cache N] [-workers N] [-virtual]
+           [-fleet HOST:PORT,...] [-control HOST:PORT] [-min-workers N]
+           [-mesh=BOOL] [-heartbeat D] [-peer-timeout D] [-drain-timeout D]
+                                scheduling-as-a-service control plane:
+                                POST /run, GET /healthz, GET /stats
+  batch    -addr URL [-alg A] [-j N] [-tenant T] [-predict] [-timeout D]
+           PROJECT...           fan runs out to a serve control plane,
+                                printing outputs in argument order
+                                (-predict: schedule-only, no execution)
   calc     -project P -task T [-run]
   codegen  -project P [-alg A] [-o FILE]
   conform  [-seeds N] [-start N] [-jobs M] [-out DIR] [-skew-comm US]

@@ -71,6 +71,13 @@ type Runner struct {
 	// task completing or message arriving before it is failed as
 	// stalled (0 = 30s, negative = disabled).
 	StallTimeout time.Duration
+
+	// Stats optionally accumulates runtime counters across every
+	// session this runner starts: a long-running control plane serving
+	// back-to-back runs points all of them at one shared counter set
+	// and exposes the running totals. Nil keeps the default of a
+	// private counter set per session.
+	Stats *Stats
 }
 
 func (r *Runner) retryBase() time.Duration {

@@ -195,6 +195,10 @@ func (r *Runner) buildSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 	start := time.Now()
 	now := func() machine.Time { return machine.Time(time.Since(start).Microseconds()) }
 
+	stats := r.Stats
+	if stats == nil {
+		stats = &Stats{}
+	}
 	ctrl := &controller{
 		runner: r, s: s, flat: flat, numPE: numPE,
 		hosted: hosted, plane: plane,
@@ -206,7 +210,7 @@ func (r *Runner) buildSession(s *sched.Schedule, flat *graph.Flat, hosted []bool
 		waiting: map[int]string{},
 		faults:  faults, retry: r.Retry, checksums: faults.checksums,
 		grace: grace, now: now,
-		stats: &Stats{},
+		stats: stats,
 	}
 	// Inboxes are sized so no delivery ever blocks past the run's end:
 	// every scheduled and recovery-planned message fits, with room for

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// Fingerprint condenses everything a scheduler's output depends on —
+// the flattened task graph (ids, execution weights, routines, arcs
+// with their communication weights, external bindings), the machine
+// (topology adjacency, the four machine characteristics, per-PE
+// speeds, reliability), and the algorithm name — into one stable hex
+// key. Two submissions with equal fingerprints produce byte-identical
+// schedules, so a serving control plane can cache the schedule and
+// pay construction once for a stream of same-shape requests.
+//
+// Deliberately excluded:
+//
+//   - input values: same shape, different data must hit the cache —
+//     that is the whole point;
+//   - the schedule-construction worker count (SchedOptions.Workers):
+//     it changes construction latency, never the schedule produced;
+//   - display-only fields (node labels, graph and machine names):
+//     they cannot influence placement, timing or outputs.
+//
+// Execution and communication weights are very much included: two
+// graphs of identical shape but different Work or Words fields
+// schedule differently and must not collide.
+func Fingerprint(f *graph.Flat, m *machine.Machine, algorithm string) string {
+	h := sha256.New()
+	w := fpWriter{h}
+	w.str(algorithm)
+
+	g := f.Graph
+	nodes := g.Nodes()
+	w.num(int64(len(nodes)))
+	for _, n := range nodes {
+		w.str(string(n.ID))
+		w.num(int64(n.Kind))
+		w.num(n.Work)
+		w.str(n.Routine)
+	}
+	arcs := g.Arcs()
+	w.num(int64(len(arcs)))
+	for _, a := range arcs {
+		w.str(string(a.From))
+		w.str(string(a.To))
+		w.str(a.Var)
+		w.num(a.Words)
+	}
+	// External bindings ride along for safety: for a valid project they
+	// are implied by the routines and arcs above, but hashing them keeps
+	// the key honest if flattening ever grows new degrees of freedom.
+	for _, n := range nodes {
+		for _, v := range f.ExternalIn[n.ID] {
+			w.str(v)
+		}
+		w.str("|")
+		for _, v := range f.ExternalOut[n.ID] {
+			w.str(v)
+		}
+		w.str("||")
+	}
+
+	// The machine: size and adjacency (not the topology's display
+	// name — two spellings of the same wiring are the same machine),
+	// then the paper's four characteristics, per-PE speeds and the
+	// reliability model (it sets duplicate placement and grace).
+	n := m.NumPE()
+	w.num(int64(n))
+	for p := 0; p < n; p++ {
+		for _, q := range m.Topo.Neighbors(p) {
+			w.num(int64(q))
+		}
+		w.num(-1)
+	}
+	w.num(m.Params.ProcSpeed)
+	w.num(int64(m.Params.TaskStartup))
+	w.num(int64(m.Params.MsgStartup))
+	w.num(int64(m.Params.WordTime))
+	w.num(int64(len(m.Speeds)))
+	for _, s := range m.Speeds {
+		w.num(s)
+	}
+	if m.Rel != nil {
+		w.f64(m.Rel.PEFail)
+		w.f64(m.Rel.LinkDrop)
+		w.f64(m.Rel.Grace)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fpWriter feeds length-prefixed strings and fixed-width integers into
+// the hash so no two distinct field sequences share an encoding.
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) num(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	w.h.Write(b[:])
+}
+
+func (w fpWriter) f64(v float64) { w.num(int64(math.Float64bits(v))) }
+
+func (w fpWriter) str(s string) {
+	w.num(int64(len(s)))
+	w.h.Write([]byte(s))
+}

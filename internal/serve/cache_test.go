@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestScheduleCacheLRU(t *testing.T) {
+	c := newScheduleCache(2)
+	c.put("a", cacheEntry{})
+	c.put("b", cacheEntry{})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	// "a" was just used, so inserting "c" must evict "b".
+	c.put("c", cacheEntry{})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived past capacity despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3 hits / 1 miss", st)
+	}
+}
+
+func TestScheduleCacheDisabled(t *testing.T) {
+	c := newScheduleCache(-1)
+	c.put("a", cacheEntry{})
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if st := c.stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScheduleCacheDuplicatePut(t *testing.T) {
+	c := newScheduleCache(4)
+	c.put("a", cacheEntry{})
+	c.put("a", cacheEntry{})
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d after duplicate put, want 1", n)
+	}
+}
+
+// TestScheduleCacheConcurrent hammers the cache from many goroutines;
+// the race detector is the oracle.
+func TestScheduleCacheConcurrent(t *testing.T) {
+	c := newScheduleCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if _, ok := c.get(key); !ok {
+					c.put(key, cacheEntry{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > 8 {
+		t.Fatalf("len = %d exceeds cap 8", n)
+	}
+}

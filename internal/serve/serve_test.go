@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/pits"
+	"repro/internal/project"
+	"repro/internal/wire"
+)
+
+// testProject builds a small diamond project. The work and words
+// arguments perturb one execution and one communication weight (same
+// shape, different schedule); the input value varies the data without
+// changing the fingerprint.
+func testProject(t testing.TB, work, words int64, input float64) *project.Project {
+	t.Helper()
+	g := graph.New("diamond")
+	g.MustAddStorage("IN", "x")
+	a := g.MustAddTask("a", "a", work)
+	a.Routine = "u = x + 1"
+	b := g.MustAddTask("b", "b", 10)
+	b.Routine = "v = u * 2"
+	c := g.MustAddTask("c", "c", 10)
+	c.Routine = "w = u + 3"
+	d := g.MustAddTask("d", "d", 10)
+	d.Routine = "out = v + w\nprint \"got \", out"
+	g.MustConnect("IN", "a", "x", 1)
+	g.MustConnect("a", "b", "u", words)
+	g.MustConnect("a", "c", "u", 1)
+	g.MustConnect("b", "d", "v", 1)
+	g.MustConnect("c", "d", "w", 1)
+	g.MustAddStorage("OUT", "out")
+	g.MustConnect("d", "OUT", "out", 1)
+
+	topo, err := machine.ParseTopology("hypercube:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New("hypercube:2", topo,
+		machine.Params{ProcSpeed: 1, TaskStartup: 1, MsgStartup: 5, WordTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &project.Project{Name: "diamond", Design: g, Machine: m,
+		Inputs: pits.Env{"x": pits.Num(input)}}
+}
+
+// postRun submits a project and decodes the response.
+func postRun(t testing.TB, url string, p *project.Project, query string, header map[string]string) (*RunResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/run"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &rr, resp
+}
+
+func scrapeStats(t testing.TB, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeScheduleMode: ?mode=schedule maps the design and reports
+// the prediction without executing — and shares the schedule cache
+// with run mode, so a prediction warms the cache for the run.
+func TestServeScheduleMode(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "?mode=schedule", nil)
+	if rr == nil {
+		t.Fatalf("schedule-mode submission rejected: %d", resp.StatusCode)
+	}
+	if rr.Cache != "miss" {
+		t.Fatalf("first prediction cache = %q, want miss", rr.Cache)
+	}
+	if rr.MakespanUS <= 0 || rr.PEs <= 0 || rr.Speedup <= 0 {
+		t.Fatalf("prediction fields = %+v", rr)
+	}
+	if len(rr.Outputs) != 0 || len(rr.Printed) != 0 {
+		t.Fatalf("schedule mode executed: outputs=%v printed=%v", rr.Outputs, rr.Printed)
+	}
+
+	// The prediction warmed the cache; a real run of the same shape
+	// hits, executes, and agrees on the makespan's schedule.
+	rr2, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+	if rr2.Cache != "hit" {
+		t.Fatalf("run after prediction cache = %q, want hit", rr2.Cache)
+	}
+	if got := rr2.Outputs["out"]; got != "15" {
+		t.Fatalf("out = %q, want 15", got)
+	}
+
+	// Stats counted both, and nothing executed for the prediction.
+	st := scrapeStats(t, ts.URL)
+	if st.Runs.Total != 2 || st.Runs.Failed != 0 {
+		t.Fatalf("runs = %+v", st.Runs)
+	}
+
+	if _, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "?mode=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus mode status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeRunAndCache(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First submission: a miss that pays scheduling.
+	rr1, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+	if rr1 == nil {
+		t.Fatalf("run rejected: %d", resp.StatusCode)
+	}
+	if rr1.Cache != "miss" {
+		t.Fatalf("first run cache = %q, want miss", rr1.Cache)
+	}
+	if got := rr1.Outputs["out"]; got != "15" {
+		t.Fatalf("out = %q, want 15 ((3+1)*2 + (3+1)+3)", got)
+	}
+	if len(rr1.Printed) != 1 || !strings.Contains(rr1.Printed[0], "got") {
+		t.Fatalf("printed = %v", rr1.Printed)
+	}
+
+	// Same shape, different input: a hit, byte-identical modulo data.
+	rr2, _ := postRun(t, ts.URL, testProject(t, 10, 1, 5), "", nil)
+	if rr2.Cache != "hit" {
+		t.Fatalf("second run cache = %q, want hit", rr2.Cache)
+	}
+	if got := rr2.Outputs["out"]; got != "21" {
+		t.Fatalf("out = %q, want 21 ((5+1)*2 + (5+1)+3)", got)
+	}
+
+	// Cache-hit and cache-miss runs of identical submissions must be
+	// byte-identical.
+	rr3, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+	if rr3.Cache != "hit" {
+		t.Fatalf("third run cache = %q, want hit", rr3.Cache)
+	}
+	if !reflect.DeepEqual(rr3.Outputs, rr1.Outputs) || !reflect.DeepEqual(rr3.Printed, rr1.Printed) {
+		t.Fatalf("cache-hit outputs %v/%v differ from cache-miss %v/%v",
+			rr3.Outputs, rr3.Printed, rr1.Outputs, rr1.Printed)
+	}
+
+	st := scrapeStats(t, ts.URL)
+	if st.Cache.Hits != 2 || st.Cache.Misses != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want 2 hits / 1 miss / 1 entry", st.Cache)
+	}
+	if st.Runs.Total != 3 || st.Runs.Failed != 0 {
+		t.Fatalf("run stats = %+v", st.Runs)
+	}
+	if st.Exec.TasksRun != 12 { // 4 tasks × 3 runs accumulate in the shared block
+		t.Fatalf("exec stats tasks = %d, want 12", st.Exec.TasksRun)
+	}
+}
+
+// TestServeCacheWeightSensitivity pins the collision contract at the
+// service level: same shape with different execution or communication
+// weights must miss, as must a different algorithm.
+func TestServeCacheWeightSensitivity(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i, p := range []*project.Project{
+		testProject(t, 10, 1, 3), // baseline: miss
+		testProject(t, 99, 1, 3), // different exec weight: miss
+		testProject(t, 10, 9, 3), // different comm weight: miss
+	} {
+		rr, resp := postRun(t, ts.URL, p, "", nil)
+		if rr == nil {
+			t.Fatalf("run %d rejected: %d", i, resp.StatusCode)
+		}
+		if rr.Cache != "miss" {
+			t.Fatalf("run %d cache = %q, want miss", i, rr.Cache)
+		}
+	}
+	// Same design under another algorithm is another schedule.
+	if rr, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "?alg=mh", nil); rr.Cache != "miss" {
+		t.Fatalf("alg=mh cache = %q, want miss", rr.Cache)
+	}
+	// And the baseline is still warm.
+	if rr, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil); rr.Cache != "hit" {
+		t.Fatalf("baseline re-run cache = %q, want hit", rr.Cache)
+	}
+	if st := scrapeStats(t, ts.URL); st.Cache.Misses != 4 || st.Cache.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 4 misses / 1 hit", st.Cache)
+	}
+}
+
+func TestServeCacheEviction(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf", CacheCap: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	shapes := []int64{10, 20, 30}
+	for _, w := range shapes {
+		postRun(t, ts.URL, testProject(t, w, 1, 3), "", nil)
+	}
+	// Three distinct shapes through a two-entry cache: the oldest
+	// (work=10) must have been evicted and miss again; the newest two
+	// must still hit.
+	if rr, _ := postRun(t, ts.URL, testProject(t, 30, 1, 3), "", nil); rr.Cache != "hit" {
+		t.Fatalf("newest shape cache = %q, want hit", rr.Cache)
+	}
+	if rr, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil); rr.Cache != "miss" {
+		t.Fatalf("evicted shape cache = %q, want miss", rr.Cache)
+	}
+	st := scrapeStats(t, ts.URL)
+	if st.Cache.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (cap)", st.Cache.Entries)
+	}
+	if st.Cache.Evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", st.Cache.Evictions)
+	}
+}
+
+// TestServeBackpressure: with one execution slot and no waiting room,
+// a submission that arrives while the slot is held is rejected with
+// 429 and a Retry-After hint.
+func TestServeBackpressure(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf", MaxConcurrent: 1, QueueDepth: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the only execution slot, as a long run would.
+	s.sem <- struct{}{}
+	rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+	if rr != nil {
+		t.Fatal("submission with the slot held should have been rejected")
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response is missing Retry-After")
+	}
+	<-s.sem
+
+	// With the slot free the same submission is served.
+	if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil); rr == nil {
+		t.Fatalf("submission with a free slot rejected: %d", resp.StatusCode)
+	}
+	if st := scrapeStats(t, ts.URL); st.Runs.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Runs.Rejected)
+	}
+}
+
+// TestServeQueueAdmitsThenOverflows: one slot plus one queue seat
+// admits a waiter and rejects the one after it.
+func TestServeQueueAdmitsThenOverflows(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf", MaxConcurrent: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.sem <- struct{}{} // the slot is busy
+	var wg sync.WaitGroup
+	wg.Add(1)
+	served := make(chan *RunResponse, 1)
+	go func() {
+		defer wg.Done()
+		rr, _ := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+		served <- rr
+	}()
+	// Wait until the first submission occupies the queue seat.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.waiting.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.waiting.Load() == 0 {
+		t.Fatal("first submission never queued")
+	}
+	// The queue seat is taken: the next submission overflows.
+	if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil); rr != nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: rr=%v status=%d, want 429", rr, resp.StatusCode)
+	}
+	// Freeing the slot serves the queued submission.
+	<-s.sem
+	wg.Wait()
+	if rr := <-served; rr == nil {
+		t.Fatal("queued submission was never served")
+	}
+}
+
+// TestServeTenantCap: one tenant at its in-flight cap is rejected
+// while another tenant still gets through.
+func TestServeTenantCap(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf", TenantCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Pin tenant "alpha" at its cap, as a long in-flight run would.
+	s.mu.Lock()
+	s.tenants["alpha"] = 1
+	s.mu.Unlock()
+
+	rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", map[string]string{"X-Tenant": "alpha"})
+	if rr != nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("capped tenant: rr=%v status=%d, want 429", rr, resp.StatusCode)
+	}
+	if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", map[string]string{"X-Tenant": "beta"}); rr == nil {
+		t.Fatalf("other tenant rejected: %d", resp.StatusCode)
+	}
+
+	s.mu.Lock()
+	delete(s.tenants, "alpha")
+	s.mu.Unlock()
+	if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", map[string]string{"X-Tenant": "alpha"}); rr == nil {
+		t.Fatalf("tenant under cap rejected: %d", resp.StatusCode)
+	}
+}
+
+func TestServeTraceStream(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf", Virtual: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(testProject(t, 10, 1, 3))
+	resp, err := http.Post(ts.URL+"/run?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var events int
+	var last json.RawMessage
+	for dec.More() {
+		var line json.RawMessage
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		events++
+		last = line
+	}
+	if events < 5 { // 4 task starts/ends plus messages, then the result
+		t.Fatalf("streamed only %d lines", events)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(last, &rr); err != nil || rr.Outputs["out"] != "15" {
+		t.Fatalf("final stream line is not the result: %s (%v)", last, err)
+	}
+}
+
+func TestServeRejectsGarbage(t *testing.T) {
+	s := New(Options{DefaultAlg: "etf"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status = %d, want 400", resp.StatusCode)
+	}
+	// Unknown scheduler: a well-formed project that cannot compile.
+	body, _ := json.Marshal(testProject(t, 10, 1, 3))
+	resp, err = http.Post(ts.URL+"/run?alg=nope", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown alg: status = %d, want 422", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/run"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run: %v %d", err, resp.StatusCode)
+	}
+	if st := scrapeStats(t, ts.URL); st.Runs.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", st.Runs.Failed)
+	}
+}
+
+// TestServeDrainAndShutdownLeakFree: draining refuses new work, waits
+// out in-flight runs, and leaves no goroutines behind — the shutdown
+// contract the CI smoke job asserts via /stats.
+func TestServeDrainAndShutdownLeakFree(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Options{DefaultAlg: "etf"})
+	ts := httptest.NewServer(s.Handler())
+
+	for i := 0; i < 4; i++ {
+		if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, float64(i)), "", nil); rr == nil {
+			t.Fatalf("warm-up run %d rejected: %d", i, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Draining: health reports it and new submissions bounce.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	if rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil); rr != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: rr=%v status=%d, want 503", rr, resp.StatusCode)
+	}
+	ts.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Fatalf("goroutines grew from %d to %d across serve lifetime", base, n)
+	}
+}
+
+// TestServeFleetMode runs the control plane against a live in-process
+// worker fleet and checks outputs match the in-process engine.
+func TestServeFleetMode(t *testing.T) {
+	tr := wire.Inproc()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		addr := fmt.Sprintf("worker-%d", i)
+		ready := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wire.ServeWorker(ctx, tr, addr, wire.WorkerOptions{Logf: t.Logf}, func(string) { close(ready) })
+		}()
+		<-ready
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	fleet := &wire.Fleet{Transport: tr, Control: "fleet-control",
+		Seed: []string{"worker-0", "worker-1"}, Mesh: true, Logf: t.Logf}
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	s := New(Options{DefaultAlg: "etf", Fleet: fleet})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The same submission through the local engine, for comparison.
+	p := testProject(t, 10, 1, 3)
+	entry, _, err := New(Options{DefaultAlg: "etf"}).compile(p, "etf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&exec.Runner{Inputs: p.Inputs}).Run(entry.sc, entry.flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		rr, resp := postRun(t, ts.URL, testProject(t, 10, 1, 3), "", nil)
+		if rr == nil {
+			t.Fatalf("fleet run %d rejected: %d", i, resp.StatusCode)
+		}
+		for k, v := range want.Outputs {
+			if rr.Outputs[k] != fmt.Sprintf("%s", v) {
+				t.Fatalf("fleet run %d: output %s = %q, want %q", i, k, rr.Outputs[k], v)
+			}
+		}
+	}
+	st := scrapeStats(t, ts.URL)
+	if st.Fleet.Size != 2 || st.Fleet.Control == "" {
+		t.Fatalf("fleet stats = %+v", st.Fleet)
+	}
+	if st.Cache.Hits != 2 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats over fleet = %+v", st.Cache)
+	}
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/project"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// Options configures a Server. Zero values pick serving defaults;
+// negative values disable the corresponding mechanism where noted.
+type Options struct {
+	// DefaultAlg schedules submissions that name no algorithm
+	// ("" = mh, the paper's flagship heuristic).
+	DefaultAlg string
+	// Workers is the schedule-construction worker count passed to the
+	// scheduler on cache misses (0 = automatic).
+	Workers int
+	// MaxConcurrent bounds simultaneously executing runs
+	// (0 = GOMAXPROCS). Fleet runs additionally serialize behind the
+	// fleet's own run lease.
+	MaxConcurrent int
+	// QueueDepth bounds runs admitted but waiting for an execution
+	// slot; beyond it submissions are rejected with 429 + Retry-After
+	// (0 = 64, negative = no waiting room at all).
+	QueueDepth int
+	// TenantCap bounds one tenant's in-flight runs, executing plus
+	// queued (0 = 8, negative = unlimited). The tenant is the
+	// X-Tenant request header ("anon" when absent).
+	TenantCap int
+	// CacheCap bounds the schedule cache (0 = 128 entries, negative =
+	// caching disabled).
+	CacheCap int
+	// Fleet, when set, executes runs on a shared elastic worker fleet
+	// instead of in-process goroutines.
+	Fleet *wire.Fleet
+	// Virtual stamps traces in deterministic virtual time.
+	Virtual bool
+	// WatchdogMin raises the wall-clock floor of every per-receive
+	// watchdog deadline (0 = the runner's 1s default). The default
+	// suits a run with the host to itself; a server time-slicing
+	// MaxConcurrent runs across few cores stretches every wall
+	// interval by roughly that factor, so size the floor accordingly
+	// or hair-trigger timeouts abort healthy runs under load.
+	WatchdogMin time.Duration
+	Logf        func(string, ...any)
+}
+
+// Server is the control plane: it owns the schedule cache, the
+// admission machinery and the shared execution statistics, and serves
+// POST /run, GET /healthz and GET /stats.
+type Server struct {
+	opts  Options
+	alg   string
+	cache *scheduleCache
+	stats *exec.Stats
+	sem   chan struct{}
+	start time.Time
+
+	waiting  atomic.Int64 // admitted, not yet holding an execution slot
+	active   atomic.Int64 // holding an execution slot
+	total    atomic.Int64 // completed runs (success or failure)
+	failed   atomic.Int64
+	rejected atomic.Int64 // turned away by admission control
+
+	mu      sync.Mutex
+	tenants map[string]int
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	mux      *http.ServeMux
+}
+
+// New builds a Server. The fleet, if any, must already be started.
+func New(opts Options) *Server {
+	if opts.DefaultAlg == "" {
+		opts.DefaultAlg = "mh"
+	}
+	if opts.MaxConcurrent == 0 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.TenantCap == 0 {
+		opts.TenantCap = 8
+	}
+	if opts.CacheCap == 0 {
+		opts.CacheCap = 128
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		opts:    opts,
+		alg:     opts.DefaultAlg,
+		cache:   newScheduleCache(opts.CacheCap),
+		stats:   &exec.Stats{},
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		start:   time.Now(),
+		tenants: map[string]int{},
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler for the control plane.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting runs and waits for the in-flight ones to
+// finish (or ctx to expire). The fleet, if any, is left running —
+// closing it is the owner's business.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %d runs still in flight: %w",
+			s.waiting.Load()+s.active.Load(), ctx.Err())
+	}
+}
+
+// RunResponse is the result document of one submission. Execution
+// fields (printed, outputs, tasks) are absent in schedule-only mode;
+// prediction fields (makespan_us, pes, speedup) are absent in run
+// mode.
+type RunResponse struct {
+	Name      string            `json:"name"`
+	Algorithm string            `json:"alg"`
+	Cache     string            `json:"cache"` // "hit" or "miss"
+	ElapsedUS int64             `json:"elapsed_us"`
+	Tasks     int64             `json:"tasks,omitempty"`
+	Msgs      int64             `json:"msgs"`
+	Printed   []string          `json:"printed,omitempty"`
+	Outputs   map[string]string `json:"outputs,omitempty"`
+
+	MakespanUS int64   `json:"makespan_us,omitempty"`
+	PEs        int     `json:"pes,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// traceEvent is the streamed projection of one trace event.
+type traceEvent struct {
+	Kind string `json:"kind"`
+	At   int64  `json:"at"`
+	Task string `json:"task,omitempty"`
+	PE   int    `json:"pe"`
+	Var  string `json:"var,omitempty"`
+	Peer int    `json:"peer,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// admit applies admission control for one submission. It returns a
+// release function when the request may proceed to wait for an
+// execution slot, or writes the rejection and returns nil.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (tenant string, release func()) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return "", nil
+	}
+	tenant = r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "anon"
+	}
+	if cap := s.opts.TenantCap; cap > 0 {
+		s.mu.Lock()
+		if s.tenants[tenant] >= cap {
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				"tenant %q already has %d runs in flight", tenant, cap)
+			return "", nil
+		}
+		s.tenants[tenant]++
+		s.mu.Unlock()
+	}
+	// Acquire an execution slot, queueing when all are busy. The run
+	// queue is bounded: beyond the configured depth the server is
+	// saturated, and honest backpressure beats unbounded queueing.
+	select {
+	case s.sem <- struct{}{}: // a slot is free; no queueing needed
+	default:
+		if s.waiting.Load() >= int64(max(s.opts.QueueDepth, 0)) {
+			s.releaseTenant(tenant)
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				"run queue is full (%d waiting)", s.waiting.Load())
+			return "", nil
+		}
+		s.waiting.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-r.Context().Done():
+			s.waiting.Add(-1)
+			s.releaseTenant(tenant)
+			s.rejected.Add(1)
+			return "", nil
+		}
+	}
+	s.active.Add(1)
+	s.inflight.Add(1)
+	return tenant, func() {
+		s.active.Add(-1)
+		<-s.sem
+		s.releaseTenant(tenant)
+		s.inflight.Done()
+	}
+}
+
+func (s *Server) releaseTenant(tenant string) {
+	if s.opts.TenantCap > 0 {
+		s.mu.Lock()
+		s.tenants[tenant]--
+		if s.tenants[tenant] <= 0 {
+			delete(s.tenants, tenant)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a project document to /run")
+		return
+	}
+	_, release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var p project.Project
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&p); err != nil {
+		s.failRun(w, http.StatusBadRequest, "parsing project: %v", err)
+		return
+	}
+	alg := r.URL.Query().Get("alg")
+	if alg == "" {
+		alg = s.alg
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != "run" && mode != "schedule" {
+		s.failRun(w, http.StatusBadRequest, "unknown mode %q (want run or schedule)", mode)
+		return
+	}
+
+	start := time.Now()
+	entry, verdict, err := s.compile(&p, alg)
+	if err != nil {
+		s.failRun(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	if mode == "schedule" {
+		// Schedule-only: the paper's interactive predict step as a
+		// service — map the design, report the predicted makespan and
+		// speedup, skip execution. This is the regime where the
+		// schedule cache is the entire cost of a request.
+		s.total.Add(1)
+		sc := entry.sc
+		msgs, _ := sc.CommVolume()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(RunResponse{
+			Name: p.Name, Algorithm: alg, Cache: verdict,
+			ElapsedUS:  time.Since(start).Microseconds(),
+			Msgs:       int64(msgs),
+			MakespanUS: int64(sc.Makespan()),
+			PEs:        sc.UsedPEs(),
+			Speedup:    sc.Speedup(),
+		})
+		return
+	}
+
+	runner := &exec.Runner{Inputs: p.Inputs, Stats: s.stats, VirtualTime: s.opts.Virtual,
+		WatchdogMin: s.opts.WatchdogMin}
+	var res *exec.Result
+	if s.opts.Fleet != nil {
+		res, err = s.opts.Fleet.Run(r.Context(), runner, entry.sc, entry.flat)
+	} else {
+		res, err = runner.RunContext(r.Context(), entry.sc, entry.flat)
+	}
+	if err != nil {
+		s.failRun(w, http.StatusInternalServerError, "run failed: %v", err)
+		return
+	}
+	s.total.Add(1)
+
+	resp := RunResponse{
+		Name: p.Name, Algorithm: alg, Cache: verdict,
+		ElapsedUS: res.Elapsed.Microseconds(),
+		Printed:   res.Printed,
+		Outputs:   renderOutputs(res),
+	}
+	if st, err := res.Trace.Summarize(entry.sc.Machine.NumPE()); err == nil {
+		resp.Tasks, resp.Msgs = int64(st.TasksRun), int64(st.Msgs)
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("trace") == "" {
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	// Trace mode streams newline-delimited JSON: one line per trace
+	// event, then the result document.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	res.Trace.Sort()
+	for _, ev := range res.Trace.Events {
+		enc.Encode(traceEvent{Kind: ev.Kind.String(), At: int64(ev.At),
+			Task: string(ev.Task), PE: ev.PE, Var: ev.Var, Peer: ev.Peer, Note: ev.Note})
+	}
+	enc.Encode(resp)
+}
+
+func (s *Server) failRun(w http.ResponseWriter, code int, format string, args ...any) {
+	s.total.Add(1)
+	s.failed.Add(1)
+	httpError(w, code, format, args...)
+}
+
+// compile turns a submission into a runnable {flat graph, schedule}
+// pair, paying scheduling only on cache misses. The fingerprint covers
+// the flattened design (weights included), the machine and the
+// algorithm — input values deliberately excluded, so the steady-state
+// service regime of same-shape/different-data requests schedules once.
+func (s *Server) compile(p *project.Project, alg string) (cacheEntry, string, error) {
+	env, err := core.Open(p)
+	if err != nil {
+		return cacheEntry{}, "", fmt.Errorf("opening project: %w", err)
+	}
+	key := sched.Fingerprint(env.Flat, p.Machine, alg)
+	if entry, ok := s.cache.get(key); ok {
+		return entry, "hit", nil
+	}
+	sc, err := env.ScheduleOnWorkers(alg, p.Machine, s.opts.Workers)
+	if err != nil {
+		return cacheEntry{}, "", fmt.Errorf("scheduling: %w", err)
+	}
+	// Finalize the derived views and routing tables before the pair is
+	// shared across concurrent cache-hit runs — the lazy builds are not
+	// synchronized.
+	sc.Finalize()
+	sc.Machine.Topo.Precompute()
+	entry := cacheEntry{flat: env.Flat, sc: sc}
+	s.cache.put(key, entry)
+	return entry, "miss", nil
+}
+
+// renderOutputs renders the run's external outputs exactly as `banger
+// run` prints them, so batch-vs-serial comparisons are byte-level.
+func renderOutputs(res *exec.Result) map[string]string {
+	out := make(map[string]string, len(res.Outputs))
+	for k, v := range res.Outputs {
+		out[k] = fmt.Sprintf("%s", v)
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"fleet":  s.fleetSize(),
+	})
+}
+
+func (s *Server) fleetSize() int {
+	if s.opts.Fleet == nil {
+		return 0
+	}
+	return s.opts.Fleet.Size()
+}
+
+// StatsResponse is the /stats document.
+type StatsResponse struct {
+	UptimeUS int64 `json:"uptime_us"`
+	Runs     struct {
+		Total    int64 `json:"total"`
+		Failed   int64 `json:"failed"`
+		Rejected int64 `json:"rejected"`
+		Active   int64 `json:"active"`
+		Queued   int64 `json:"queued"`
+	} `json:"runs"`
+	Cache CacheStats         `json:"cache"`
+	Exec  exec.StatsSnapshot `json:"exec"`
+	Fleet struct {
+		Size    int      `json:"size"`
+		Control string   `json:"control,omitempty"`
+		Members []string `json:"members,omitempty"`
+	} `json:"fleet"`
+	Goroutines int `json:"goroutines"`
+}
+
+// Stats snapshots the control plane's counters (also the /stats body).
+func (s *Server) Stats() StatsResponse {
+	var resp StatsResponse
+	resp.UptimeUS = time.Since(s.start).Microseconds()
+	resp.Runs.Total = s.total.Load()
+	resp.Runs.Failed = s.failed.Load()
+	resp.Runs.Rejected = s.rejected.Load()
+	resp.Runs.Active = s.active.Load()
+	resp.Runs.Queued = s.waiting.Load()
+	resp.Cache = s.cache.stats()
+	resp.Exec = s.stats.Snapshot()
+	if f := s.opts.Fleet; f != nil {
+		resp.Fleet.Size = f.Size()
+		resp.Fleet.Control = f.Addr()
+		m := f.Members()
+		sort.Strings(m)
+		resp.Fleet.Members = m
+	}
+	resp.Goroutines = runtime.NumGoroutine()
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

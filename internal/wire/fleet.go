@@ -1,0 +1,341 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Fleet keeps a pool of worker daemons alive across many runs. A
+// coordinator run is a one-shot affair — it dials a fixed address
+// list, and connectAll is all-or-nothing — so a long-running service
+// needs a layer above it that remembers who is in the fleet, hears
+// workers announce themselves between runs, drops members whose
+// daemons have died, and hands the coordinator a live address list
+// for every run.
+//
+// Membership flows through the same TJoin/TDrain control protocol the
+// coordinator speaks mid-run: the fleet owns a persistent control
+// listener at Control, and when a run starts it lends that address to
+// the run's coordinator (whose own control listener then handles
+// mid-run joins, drains and recovery hand-offs), taking it back the
+// moment the run ends. Workers announce on a loop (`banger worker
+// -join`), so whichever listener is up at that instant hears them:
+// between runs the fleet records the member, mid-run the coordinator
+// welcomes it into a recovery or rejects it as steady-state noise.
+//
+// Runs are serialized: worker daemons host one run at a time, so the
+// fleet hands out its workers under a lease. Callers that want
+// concurrency run elsewhere (the serving layer executes cache-hot
+// small runs in-process and reserves the fleet for the runs worth
+// distributing).
+type Fleet struct {
+	Transport Transport
+	// Control is the persistent control listen address (port 0 picks a
+	// free one; Addr reports the bound address).
+	Control string
+	// Seed lists initial member addresses (may be empty: workers join
+	// by announcing).
+	Seed []string
+	// MinWorkers refuses between-run drains that would leave fewer
+	// live members (0 = only forbid draining the last one).
+	MinWorkers int
+
+	// Per-run coordinator knobs, passed through to every run.
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	FlushEvery     time.Duration
+	Mesh           bool
+	Logf           func(string, ...any)
+
+	mu      sync.Mutex // guards members, lis, closed
+	members map[string]bool
+	lis     Listener
+	bound   string
+	closed  bool
+	wg      sync.WaitGroup
+
+	runMu sync.Mutex // the run lease: one coordinator at a time
+}
+
+// Start records the seed members and opens the control listener. The
+// fleet serves joins and drains until Close.
+func (f *Fleet) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.Logf == nil {
+		f.Logf = func(string, ...any) {}
+	}
+	if f.members != nil {
+		return fmt.Errorf("wire: fleet already started")
+	}
+	f.members = map[string]bool{}
+	for _, a := range f.Seed {
+		f.members[a] = true
+	}
+	if f.Control == "" {
+		return fmt.Errorf("wire: fleet needs a control listen address")
+	}
+	f.bound = f.Control
+	return f.listenLocked()
+}
+
+// listenLocked (re)opens the control listener and spawns its accept
+// loop. Callers hold f.mu.
+func (f *Fleet) listenLocked() error {
+	lis, err := f.Transport.Listen(f.bound)
+	if err != nil {
+		return fmt.Errorf("wire: fleet control listen %s: %w", f.bound, err)
+	}
+	f.lis = lis
+	f.bound = lis.Addr() // resolve ":0" once, keep the port across relistens
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.control(c)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr is the bound control address.
+func (f *Fleet) Addr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bound
+}
+
+// Size is the current member count.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Members returns the member addresses, sorted for deterministic
+// worker indexing.
+func (f *Fleet) Members() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.members))
+	for a := range f.members {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// control answers one between-run control connection: a join adds the
+// member, a drain removes it (respecting the MinWorkers floor). The
+// first frame must arrive promptly — a stuck dialer must not wedge the
+// accept path.
+func (f *Fleet) control(c Conn) {
+	defer c.Close()
+	guard := time.AfterFunc(10*time.Second, func() { c.Close() })
+	defer guard.Stop()
+	fr, err := c.ReadFrame()
+	if err != nil {
+		return
+	}
+	switch fr.Type {
+	case TJoin:
+		note, err := decJSON[JoinNote](fr.Payload, "join")
+		if err != nil || note.Addr == "" {
+			rejectConn(c, "malformed join announce")
+			return
+		}
+		f.mu.Lock()
+		known := f.members[note.Addr]
+		if !known && !f.closed {
+			f.members[note.Addr] = true
+		}
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			rejectConn(c, "fleet is shutting down")
+			return
+		}
+		if !known {
+			f.Logf("fleet: worker %s joined (%d members)", note.Addr, f.Size())
+		}
+		c.WriteFrame(Frame{Type: TWelcome})
+	case TDrain:
+		note, err := decJSON[DrainNote](fr.Payload, "drain")
+		if err != nil || note.Addr == "" {
+			rejectConn(c, "fleet drain needs a worker address (-addr)")
+			return
+		}
+		floor := f.MinWorkers
+		if floor < 1 {
+			floor = 1
+		}
+		f.mu.Lock()
+		switch {
+		case !f.members[note.Addr]:
+			f.mu.Unlock()
+			rejectConn(c, fmt.Sprintf("no member %s", note.Addr))
+		case len(f.members) <= floor:
+			f.mu.Unlock()
+			rejectConn(c, fmt.Sprintf("drain would leave %d live workers (floor %d)", len(f.members)-1, floor))
+		default:
+			delete(f.members, note.Addr)
+			n := len(f.members)
+			f.mu.Unlock()
+			f.Logf("fleet: worker %s drained (%d members)", note.Addr, n)
+			c.WriteFrame(Frame{Type: TWelcome})
+		}
+	default:
+		rejectConn(c, fmt.Sprintf("unexpected %s on the fleet control connection", fr.Type))
+	}
+}
+
+// probe dials every member and drops the ones whose daemons are gone.
+// A bare dial-and-close is deliberate: it proves the daemon's listener
+// is alive without starting a handshake the daemon could mistake for a
+// superseding coordinator. Returns the live members, sorted.
+func (f *Fleet) probe(ctx context.Context) []string {
+	members := f.Members()
+	live := make([]string, 0, len(members))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, a := range members {
+		wg.Add(1)
+		go func(a string) {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			c, err := f.Transport.Dial(dctx, a)
+			if err != nil {
+				f.mu.Lock()
+				delete(f.members, a)
+				f.mu.Unlock()
+				f.Logf("fleet: dropping dead worker %s: %v", a, err)
+				return
+			}
+			c.Close()
+			mu.Lock()
+			live = append(live, a)
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+	sort.Strings(live)
+	return live
+}
+
+// Run executes one schedule on the fleet. It takes the run lease
+// (blocking behind any run in flight), probes the membership, lends
+// the control address to the run's coordinator — so mid-run joins,
+// drains and crash recoveries ride the elastic machinery — and
+// reopens the fleet listener when the run ends.
+//
+// A worker that dies after the probe but before the coordinator's
+// all-or-nothing connect fails that attempt; the coordinator's own
+// crash recovery only covers deaths after the run is underway. Runs
+// are pure computations, so when an attempt fails AND a re-probe shows
+// the fleet shrank — the failure explained by a membership change —
+// the run is retried from scratch on the survivors. Failures with a
+// stable fleet (a broken design, an unschedulable machine) surface
+// immediately.
+func (f *Fleet) Run(ctx context.Context, runner *exec.Runner, sc *sched.Schedule, flat *graph.Flat) (*exec.Result, error) {
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		live := f.probe(ctx)
+		if len(live) == 0 {
+			return nil, fmt.Errorf("wire: fleet has no live workers")
+		}
+		res, err := f.runOnce(ctx, runner, sc, flat, live)
+		if err == nil || ctx.Err() != nil || attempt >= 2 {
+			return res, err
+		}
+		// Retry only when the re-probe drops someone from the attempted
+		// set — a join arriving at the same time must not mask the death,
+		// so this checks for lost members, not a changed count.
+		relive := f.probe(ctx)
+		alive := make(map[string]bool, len(relive))
+		for _, a := range relive {
+			alive[a] = true
+		}
+		lost := 0
+		for _, a := range live {
+			if !alive[a] {
+				lost++
+			}
+		}
+		if lost == 0 {
+			return res, err
+		}
+		f.Logf("fleet: run failed (%v); %d of %d workers died, retrying on survivors",
+			err, lost, len(live))
+	}
+}
+
+// runOnce executes one coordinator run over the given live members,
+// lending it the control address for the duration.
+func (f *Fleet) runOnce(ctx context.Context, runner *exec.Runner, sc *sched.Schedule, flat *graph.Flat, live []string) (*exec.Result, error) {
+	// Lend the control address to the run.
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("wire: fleet is closed")
+	}
+	lis := f.lis
+	f.lis = nil
+	control := f.bound
+	f.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	co := &Coordinator{
+		Transport: f.Transport, Addrs: live, Runner: runner,
+		HeartbeatEvery: f.HeartbeatEvery, PeerTimeout: f.PeerTimeout,
+		FlushEvery: f.FlushEvery, Mesh: f.Mesh,
+		Control: control, MinWorkers: f.MinWorkers,
+		Logf: f.Logf,
+	}
+	res, err := co.Run(ctx, sc, flat)
+
+	// Take the control address back. Workers that joined or departed
+	// mid-run re-announce on their own loops and are folded back into
+	// the membership here.
+	f.mu.Lock()
+	if !f.closed {
+		if lerr := f.listenLocked(); lerr != nil {
+			f.Logf("fleet: relisten on %s: %v", f.bound, lerr)
+		}
+	}
+	f.mu.Unlock()
+	return res, err
+}
+
+// Close stops the control listener and waits the accept machinery out.
+// Any run in flight finishes on its own coordinator.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	lis := f.lis
+	f.lis = nil
+	f.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	f.wg.Wait()
+}
