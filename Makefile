@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke bench-dist bench-serve serve-smoke chaos churn conform fuzz-smoke
+.PHONY: build test vet race verify bench bench-smoke bench-dist bench-serve serve-smoke chaos churn multisoak conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -62,14 +62,18 @@ bench-sched:
 bench-dist:
 	$(GO) test -run=NONE -bench='RunnerVirtual|RunnerWall|RunnerTCP|ElasticReplan' -benchtime=15x -benchmem -count=3 .
 
-# The committed serving-layer baselines (BENCH_PR9.json) were measured
-# with this: full HTTP round trips against the control plane in both
+# The committed serving-layer baselines (BENCH_PR9.json, and
+# BENCH_PR10.json for the fleet-backed run mode) were measured with
+# this: full HTTP round trips against the control plane in both local
 # request modes (schedule-only prediction and full virtual-time run),
 # cold (schedule cache disabled, every submission pays the MH pass) vs
-# warm (cache primed), at three concurrency levels, medians of 3 runs.
-# The workload is the 501-task design on a 128-PE ring — the machine
-# family where MH's link-contention pass is most expensive, i.e. the
-# regime the schedule cache exists for.
+# warm (cache primed), at three concurrency levels; plus the fleet
+# axis — runs executing wall-clock on a live worker fleet, {1,4,16}
+# concurrent runs × {1,2,4} multiplexing daemons, with the MaxRuns=1
+# serialized lease as the comparison point. Medians of 3 runs. The
+# local-mode workload is the 501-task design on a 128-PE ring — the
+# machine family where MH's link-contention pass is most expensive,
+# i.e. the regime the schedule cache exists for.
 bench-serve:
 	$(GO) test -run=NONE -bench=ServeThroughput -benchtime=10x -count=3 -timeout 45m .
 
@@ -90,6 +94,15 @@ serve-smoke:
 churn:
 	CHURN_ROUNDS=25 $(GO) test -race -run 'TestChurnSoak' -count=1 -v ./internal/wire/
 
+# Multi-session soak: 25 seeded rounds, each submitting several
+# concurrent fleet runs to the same multiplexing worker daemons while a
+# worker is SIGKILL-style killed mid-round and a replacement rejoins —
+# all under the race detector, every run's outputs checked against its
+# solo baseline. MULTISOAK_ROUNDS/MULTISOAK_SEED tune it (CI smoke
+# runs fewer rounds; a failure names the round's seed for replay).
+multisoak:
+	MULTISOAK_ROUNDS=25 $(GO) test -race -run 'TestMultiSoak' -count=1 -v -timeout 20m ./internal/wire/
+
 # Chaos soak: the seeded fault-injection suite 50 times under the race
 # detector — crashes, drops, duplicates, delays and corruptions against
 # the recovering runtime.
@@ -99,11 +112,14 @@ chaos:
 # Differential conformance sweep: 25 deterministic seeds, each run
 # through the analytic simulator, the virtual-time runner, and both
 # distributed backends (in-process and TCP), cross-checking outputs,
-# traces, makespans, causality and message conservation. Failures are
-# minimized and written as repro dirs under conform-out/
+# traces, makespans, causality and message conservation. Every 5th
+# seed additionally runs the multi-run concurrency scenario: 2-3 cases
+# multiplexed on one shared fleet, each checked byte-identical to its
+# solo baseline. Failures are minimized and written as repro dirs
+# under conform-out/
 # (replay with: go run ./cmd/banger conform -repro conform-out/seed-N).
 conform: build
-	$(GO) run ./cmd/banger conform -seeds 25 -jobs 4 -out conform-out
+	$(GO) run ./cmd/banger conform -seeds 25 -jobs 4 -multi 5 -out conform-out
 
 # Short native-fuzzing pass over the decoder/parser targets and the
 # conformance harness: seconds, not minutes — catches regressions on

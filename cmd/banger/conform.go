@@ -24,6 +24,7 @@ func cmdConform(args []string) error {
 	out := fs.String("out", "", "directory for repro dirs of failing cases")
 	skew := fs.Int64("skew-comm", 0, "µs added to the runner engine's message startup (deliberate model skew; expect divergences)")
 	budget := fs.Int("shrink-budget", 0, "max re-executions while minimizing a failure (0 = default)")
+	multi := fs.Int64("multi", 0, "also run the multi-run concurrency scenario for every Nth seed (0 = off)")
 	repro := fs.String("repro", "", "replay a repro directory instead of sweeping")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,12 +56,13 @@ func cmdConform(args []string) error {
 		OutDir:       *out,
 		SkewComm:     machine.Time(*skew),
 		ShrinkBudget: *budget,
+		MultiEvery:   *multi,
 		Log: func(format string, a ...any) {
 			fmt.Printf(format+"\n", a...)
 		},
 	})
-	fmt.Printf("conform: %d case(s), %d divergence(s), %d harness error(s)\n",
-		res.Ran, len(res.Failures), len(res.Errors))
+	fmt.Printf("conform: %d case(s), %d multi scenario(s), %d divergence(s), %d harness error(s)\n",
+		res.Ran, res.MultiRan, len(res.Failures)+len(res.MultiFailures), len(res.Errors))
 	for _, err := range res.Errors {
 		fmt.Printf("  error: %v\n", err)
 	}
@@ -75,8 +77,20 @@ func cmdConform(args []string) error {
 				res.ReproDirs[i], res.ReproDirs[i])
 		}
 	}
+	for i, rep := range res.MultiFailures {
+		fmt.Printf("  multi seed %d: %d divergence(s) after minimization (%d concurrent runs)\n",
+			rep.Multi.Seed, len(rep.Divergences), len(rep.Multi.Cases))
+		for _, d := range rep.Divergences {
+			fmt.Printf("    %s\n", d)
+		}
+		if res.MultiDirs[i] != "" {
+			fmt.Printf("    repro: %s (sub-cases replay solo: banger conform -repro %s/case-K)\n",
+				res.MultiDirs[i], res.MultiDirs[i])
+		}
+	}
 	if res.Failed() {
-		return fmt.Errorf("%d of %d cases diverged", len(res.Failures), res.Ran)
+		return fmt.Errorf("%d of %d cases diverged",
+			len(res.Failures)+len(res.MultiFailures), res.Ran+res.MultiRan)
 	}
 	return nil
 }

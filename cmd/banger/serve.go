@@ -65,7 +65,7 @@ func cmdServe(args []string) error {
 		}
 		fl = &wire.Fleet{
 			Transport: wire.TCP(), Control: ctl, Seed: seed,
-			MinWorkers: *minWorkers, Mesh: *mesh,
+			MinWorkers: *minWorkers, MaxRuns: *maxRuns, Mesh: *mesh,
 			HeartbeatEvery: *heartbeat, PeerTimeout: *peerTimeout,
 			FlushEvery: *flushEvery, Logf: logf,
 		}

@@ -211,10 +211,10 @@ func (c *Case) runner(virtual bool) *exec.Runner {
 
 // skewed returns the schedule the virtual-time runner engine should
 // execute: the real schedule, or a copy whose machine has the message
-// startup skewed by SkewComm. Only the machine pointer differs — the
-// slots, messages and index are shared, so the runner replays the same
-// placement decisions under a subtly different cost model. That is
-// exactly the class of bug the trace-vs-sim oracle exists to catch.
+// startup skewed by SkewComm. Only the machine differs — the slots and
+// messages are shared, so the runner replays the same placement
+// decisions under a subtly different cost model. That is exactly the
+// class of bug the trace-vs-sim oracle exists to catch.
 func (c *Case) skewed(sc *sched.Schedule) (*sched.Schedule, error) {
 	if c.SkewComm == 0 {
 		return sc, nil
@@ -225,9 +225,10 @@ func (c *Case) skewed(sc *sched.Schedule) (*sched.Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp := *sc
-	cp.Machine = m
-	return &cp, nil
+	return &sched.Schedule{
+		Graph: sc.Graph, Machine: m, Algorithm: sc.Algorithm,
+		Slots: sc.Slots, Msgs: sc.Msgs,
+	}, nil
 }
 
 // RunCase executes the case on all five engines and checks every

@@ -453,5 +453,22 @@ func FuzzConform(f *testing.F) {
 		if rep.Failed() {
 			t.Fatalf("seed %d diverged: %v", seed, rep.Divergences)
 		}
+		// Every 4th seed also runs the multi-run concurrency scenario:
+		// the same generator-grade cases multiplexed on a shared fleet,
+		// each checked byte-identical to its solo baseline. Sampled, not
+		// universal, to keep fuzz throughput on the single-case oracles.
+		if seed%4 == 0 {
+			mc, err := GenerateMulti(seed)
+			if err != nil {
+				t.Fatalf("multi seed %d: %v", seed, err)
+			}
+			mrep, err := RunMulti(context.Background(), mc)
+			if err != nil {
+				t.Fatalf("multi seed %d: %v", seed, err)
+			}
+			if mrep.Failed() {
+				t.Fatalf("multi seed %d diverged: %v", seed, mrep.Divergences)
+			}
+		}
 	})
 }

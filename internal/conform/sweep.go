@@ -29,6 +29,12 @@ type SweepOptions struct {
 	// ShrinkBudget bounds minimization re-executions per failure
 	// (0 = 40).
 	ShrinkBudget int
+	// MultiEvery, when positive, also runs the multi-run concurrency
+	// scenario (GenerateMulti/RunMulti: several cases multiplexed on one
+	// shared fleet) for every seed divisible by it. Zero disables the
+	// multi leg. Multi scenarios skip SkewComm: the skew hook targets
+	// the trace-vs-sim oracle, which the isolation oracle does not use.
+	MultiEvery int64
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -39,10 +45,16 @@ type SweepResult struct {
 	Failures  []*Report // minimized reports, ordered by seed
 	ReproDirs []string  // where each failure was written (parallel to Failures; "" when OutDir unset)
 	Errors    []error   // harness errors (generation/setup), not divergences
+
+	MultiRan      int
+	MultiFailures []*MultiReport // minimized multi-run reports, ordered by seed
+	MultiDirs     []string       // parallel to MultiFailures; "" when OutDir unset
 }
 
 // Failed reports whether any case diverged or the harness errored.
-func (r *SweepResult) Failed() bool { return len(r.Failures) > 0 || len(r.Errors) > 0 }
+func (r *SweepResult) Failed() bool {
+	return len(r.Failures) > 0 || len(r.MultiFailures) > 0 || len(r.Errors) > 0
+}
 
 // Sweep generates and runs cases for opt.Seeds consecutive seeds,
 // minimizing every divergence it finds and (optionally) writing repro
@@ -62,10 +74,13 @@ func Sweep(ctx context.Context, opt SweepOptions) *SweepResult {
 	}
 
 	type outcome struct {
-		seed int64
-		rep  *Report
-		dir  string
-		err  error
+		seed     int64
+		rep      *Report
+		dir      string
+		err      error
+		multiRan bool
+		mrep     *MultiReport
+		mdir     string
 	}
 	var (
 		mu       sync.Mutex
@@ -100,19 +115,50 @@ func Sweep(ctx context.Context, opt SweepOptions) *SweepResult {
 			if !rep.Failed() {
 				logf("seed %d: ok (%d tasks, %s, %s)", seed,
 					len(c.Design.Tasks()), c.Heuristic, c.Machine.Name)
+			} else {
+				logf("seed %d: DIVERGED (%d oracle hits), minimizing...", seed, len(rep.Divergences))
+				_, min := Shrink(ctx, rep, budget)
+				o.rep = min
+				if opt.OutDir != "" {
+					dir := filepath.Join(opt.OutDir, fmt.Sprintf("seed-%d", seed))
+					if err := WriteRepro(dir, min); err != nil {
+						o.err = fmt.Errorf("seed %d: writing repro: %w", seed, err)
+						return
+					}
+					o.dir = dir
+					logf("seed %d: repro written to %s", seed, dir)
+				}
+			}
+
+			if opt.MultiEvery <= 0 || seed%opt.MultiEvery != 0 {
 				return
 			}
-			logf("seed %d: DIVERGED (%d oracle hits), minimizing...", seed, len(rep.Divergences))
-			_, min := Shrink(ctx, rep, budget)
-			o.rep = min
+			mc, err := GenerateMulti(seed)
+			if err != nil {
+				o.err = fmt.Errorf("multi seed %d: generate: %w", seed, err)
+				return
+			}
+			o.multiRan = true
+			mrep, err := RunMulti(ctx, mc)
+			if err != nil {
+				o.err = fmt.Errorf("multi seed %d: %w", seed, err)
+				return
+			}
+			if !mrep.Failed() {
+				logf("seed %d: multi ok (%d concurrent runs)", seed, len(mc.Cases))
+				return
+			}
+			logf("seed %d: multi DIVERGED (%d oracle hits), minimizing...", seed, len(mrep.Divergences))
+			_, mmin := ShrinkMulti(ctx, mrep, budget)
+			o.mrep = mmin
 			if opt.OutDir != "" {
-				dir := filepath.Join(opt.OutDir, fmt.Sprintf("seed-%d", seed))
-				if err := WriteRepro(dir, min); err != nil {
-					o.err = fmt.Errorf("seed %d: writing repro: %w", seed, err)
+				dir := filepath.Join(opt.OutDir, fmt.Sprintf("seed-%d-multi", seed))
+				if err := WriteMultiRepro(dir, mmin); err != nil {
+					o.err = fmt.Errorf("multi seed %d: writing repro: %w", seed, err)
 					return
 				}
-				o.dir = dir
-				logf("seed %d: repro written to %s", seed, dir)
+				o.mdir = dir
+				logf("seed %d: multi repro written to %s", seed, dir)
 			}
 		}(seed)
 	}
@@ -127,6 +173,13 @@ func Sweep(ctx context.Context, opt SweepOptions) *SweepResult {
 		if o.rep != nil {
 			res.Failures = append(res.Failures, o.rep)
 			res.ReproDirs = append(res.ReproDirs, o.dir)
+		}
+		if o.multiRan {
+			res.MultiRan++
+		}
+		if o.mrep != nil {
+			res.MultiFailures = append(res.MultiFailures, o.mrep)
+			res.MultiDirs = append(res.MultiDirs, o.mdir)
 		}
 	}
 	return res

@@ -93,7 +93,6 @@ type controller struct {
 	events chan wevent
 
 	era      atomic.Pointer[era]
-	seq      atomic.Uint64 // message sequence numbers
 	progress atomic.Uint64 // bumped per task completion and accepted message
 
 	mu      sync.Mutex

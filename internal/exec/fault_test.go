@@ -312,10 +312,9 @@ func TestStallDetectorBacksUpWatchdog(t *testing.T) {
 // absorbed by overwriting the stash.
 func TestDuplicateDeliveryRejected(t *testing.T) {
 	s, flat := chainSchedule(t)
-	dup := *s
-	dup.Msgs = append(append([]sched.Msg{}, s.Msgs...), s.Msgs[0]) // a->b:u twice
-	hand := &sched.Schedule{Graph: dup.Graph, Machine: dup.Machine, Algorithm: "hand-dup",
-		Slots: dup.Slots, Msgs: dup.Msgs}
+	dupMsgs := append(append([]sched.Msg{}, s.Msgs...), s.Msgs[0]) // a->b:u twice
+	hand := &sched.Schedule{Graph: s.Graph, Machine: s.Machine, Algorithm: "hand-dup",
+		Slots: s.Slots, Msgs: dupMsgs}
 	hand.Finalize()
 	r := &Runner{Inputs: pits.Env{"x0": pits.Num(5)}}
 	_, err := r.Run(hand, flat)

@@ -45,6 +45,7 @@ type worker struct {
 	recvd    map[msgKey]xmsg           // admitted but not yet consumed
 	seen     map[msgKey]uint64         // consumed keys -> sequence (duplicate rejection)
 	executed int                       // tasks executed here, across eras (crash counter)
+	seqLocal uint64                    // low bits of this sender's message sequence numbers
 }
 
 // errPaused marks a receive or slot interrupted by the recovery
@@ -287,8 +288,12 @@ func (w *worker) runSlot(sl sched.Slot) error {
 // send transports one scheduled delivery, applying any injected faults
 // and choosing the reliable or direct path.
 func (w *worker) send(sp sendPlan, val pits.Value, sendAt, arriveAt machine.Time) error {
+	// Sequence numbers are per-sender (PE in the high bits) so that
+	// assignment does not depend on cross-goroutine interleaving:
+	// virtual-time runs replay with identical traces.
+	w.seqLocal++
 	m := xmsg{key: sp.key, val: val, fromPE: w.pe, at: arriveAt,
-		seq: w.ctrl.seq.Add(1), epoch: w.epoch}
+		seq: uint64(w.pe+1)<<32 | w.seqLocal, epoch: w.epoch}
 	if w.ctrl.checksums {
 		m.sum = checksum(val)
 	}

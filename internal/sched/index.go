@@ -34,15 +34,21 @@ type Index struct {
 }
 
 // index returns the schedule's Index, building it on first use. The
-// build is not synchronized: concurrent callers (the runner's workers)
-// are safe only because Runner.Run forces the build before spawning
-// goroutines; any other concurrent user must do the same via an
-// accessor call on a single goroutine first.
+// lazy build is safe under concurrent first use: racing callers may
+// each build the index, but the build is deterministic over immutable
+// inputs, exactly one result is published, and every caller returns a
+// fully-built view. Concurrent runs sharing one schedule rely on this
+// — the serve cache-hit path hands the same cached schedule to several
+// fleet runs at once.
 func (s *Schedule) index() *Index {
-	if s.idx == nil {
-		s.idx = buildIndex(s)
+	if idx := s.idx.Load(); idx != nil {
+		return idx
 	}
-	return s.idx
+	idx := buildIndex(s)
+	if s.idx.CompareAndSwap(nil, idx) {
+		return idx
+	}
+	return s.idx.Load()
 }
 
 // buildIndex derives every view in one pass over Slots and Msgs. Slots

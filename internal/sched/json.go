@@ -69,7 +69,7 @@ func (s *Schedule) UnmarshalJSON(data []byte) error {
 	if js.Graph == nil || js.Machine == nil {
 		return fmt.Errorf("sched: schedule document missing graph or machine")
 	}
-	ns := Schedule{Algorithm: js.Algorithm, Graph: js.Graph, Machine: js.Machine}
+	ns := &Schedule{Algorithm: js.Algorithm, Graph: js.Graph, Machine: js.Machine}
 	for _, sl := range js.Slots {
 		ns.Slots = append(ns.Slots, Slot{
 			Task: graph.NodeID(sl.Task), PE: sl.PE,
@@ -86,6 +86,8 @@ func (s *Schedule) UnmarshalJSON(data []byte) error {
 	if err := ns.Validate(); err != nil {
 		return fmt.Errorf("sched: loaded schedule invalid: %w", err)
 	}
-	*s = ns
+	s.Graph, s.Machine, s.Algorithm = ns.Graph, ns.Machine, ns.Algorithm
+	s.Slots, s.Msgs = ns.Slots, ns.Msgs
+	s.idx.Store(ns.idx.Load())
 	return nil
 }

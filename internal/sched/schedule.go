@@ -33,6 +33,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -76,13 +77,13 @@ type Schedule struct {
 	Slots     []Slot
 	Msgs      []Msg
 
-	idx *Index // lazily-built derived views; see index.go
+	idx atomic.Pointer[Index] // lazily-built derived views; see index.go
 }
 
-// Finalize builds the schedule's derived views eagerly. Callers that
-// will read the schedule from several goroutines (the runner's workers)
-// must call it — or any accessor — once beforehand; the lazy build
-// itself is not synchronized.
+// Finalize builds the schedule's derived views eagerly, so later
+// accessor calls are pure loads. The lazy build is itself safe under
+// concurrent first use (see index.go) — Finalize is an optimization,
+// not a synchronization requirement.
 func (s *Schedule) Finalize() { s.index() }
 
 // Makespan returns the finish time of the last slot (0 for an empty

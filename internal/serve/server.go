@@ -28,8 +28,9 @@ type Options struct {
 	// scheduler on cache misses (0 = automatic).
 	Workers int
 	// MaxConcurrent bounds simultaneously executing runs
-	// (0 = GOMAXPROCS). Fleet runs additionally serialize behind the
-	// fleet's own run lease.
+	// (0 = GOMAXPROCS). Fleet runs execute concurrently too: worker
+	// daemons multiplex sessions keyed by run ID, and the fleet places
+	// each admitted run on its least-loaded member subset.
 	MaxConcurrent int
 	// QueueDepth bounds runs admitted but waiting for an execution
 	// slot; beyond it submissions are rejected with 429 + Retry-After

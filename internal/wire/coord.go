@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -69,7 +70,19 @@ type Coordinator struct {
 	encMu  sync.Mutex
 	encFor *sched.Schedule
 	encBin []byte
+
+	// The run in flight installs its event channel here so
+	// SubmitJoin/SubmitDrain can reach it from outside (the fleet's
+	// always-up control plane forwards joins and drains this way).
+	ctlMu   sync.Mutex
+	ctlCh   chan coEvent
+	ctlDone chan struct{}
 }
+
+// runSeq makes run IDs collision-proof within a process: concurrent
+// runs of the same algorithm can start in the same nanosecond, and the
+// run ID is the key every worker daemon routes by.
+var runSeq atomic.Uint64
 
 // encodedSchedule memoizes EncodeSchedule for the last schedule seen:
 // repeated runs of one design (benchmarks, parameter sweeps) re-ship
@@ -174,16 +187,44 @@ type peer struct {
 // lost and drained peers are out, pending joiners are not yet in.
 func (p *peer) active() bool { return !p.lost && !p.drained && !p.pending }
 
+// ctlReply carries a fleet-elasticity verdict back to whoever asked:
+// welcome means accepted/completed, reject names the reason. The two
+// implementations answer a control connection (the coordinator's own
+// listener) or resolve an in-process request (a fleet-forwarded
+// SubmitJoin/SubmitDrain).
+type ctlReply interface {
+	welcome()
+	reject(msg string)
+}
+
+// connReply answers a control connection and closes it.
+type connReply struct{ c Conn }
+
+func (r connReply) welcome() {
+	r.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
+	r.c.Close()
+}
+
+func (r connReply) reject(msg string) { rejectConn(r.c, msg) }
+
+// chanReply resolves an in-process control request. Buffered (cap 1)
+// so the central loop never blocks delivering the verdict.
+type chanReply chan error
+
+func (r chanReply) welcome()          { r <- nil }
+func (r chanReply) reject(msg string) { r <- errors.New(msg) }
+
 // ctlReq is one fleet-elasticity request entering the central loop
-// from the control listener (join announce, drain order) or from the
-// join dial goroutine (the dialed worker connection).
+// from the control listener (join announce, drain order), from a
+// fleet-forwarded submission, or from the join dial goroutine (the
+// dialed worker connection).
 type ctlReq struct {
 	join   *JoinNote
 	drain  *DrainNote
 	dialed Conn  // join phase 2: the handshaken worker connection
 	err    error // join phase 2: dial failure
 	addr   string
-	reply  Conn // control connection awaiting the outcome
+	reply  ctlReply // awaiting the outcome
 }
 
 // coEvent is one occurrence on the coordinator's central loop: a frame
@@ -225,12 +266,12 @@ type coRun struct {
 
 	// Fleet elasticity: at most one join or drain is in flight at a
 	// time; crashes fold into whatever barrier is already forming.
-	draining  *peer           // drain target awaiting the barrier
-	drainConn Conn            // control connection awaiting the drain outcome
-	joinAddr  string          // join announce being dialed (phase 1->2)
-	joining   *peer           // pending joiner awaiting integration
-	joinConn  Conn            // control connection awaiting the join outcome
-	saved     []*exec.Partial // drained workers' print/trace contributions
+	draining   *peer           // drain target awaiting the barrier
+	drainReply ctlReply        // requester awaiting the drain outcome
+	joinAddr   string          // join announce being dialed (phase 1->2)
+	joining    *peer           // pending joiner awaiting integration
+	joinReply  ctlReply        // requester awaiting the join outcome
+	saved      []*exec.Partial // drained workers' print/trace contributions
 }
 
 // liveWorkers counts peers still taking part in the run.
@@ -279,7 +320,7 @@ func (co *Coordinator) Run(ctx context.Context, s *sched.Schedule, flat *graph.F
 	defer cancel()
 	r := &coRun{
 		co: co, s: s, flat: flat,
-		id:     fmt.Sprintf("%s-%d", s.Algorithm, time.Now().UnixNano()),
+		id:     fmt.Sprintf("%s-%d-%d", s.Algorithm, time.Now().UnixNano(), runSeq.Add(1)),
 		addrs:  append([]string(nil), co.Addrs[:workers]...),
 		peerOf: peerOf,
 		dead:   make([]bool, numPE),
@@ -307,16 +348,27 @@ func (r *coRun) now() machine.Time {
 // run connects, starts, and drives the central loop to completion.
 func (r *coRun) run(ctx context.Context) (*exec.Result, error) {
 	r.ctx = ctx
+	// Expose the event channel for fleet-forwarded joins and drains;
+	// ctlDone lets a submitter whose request never got processed stop
+	// waiting when the run ends.
+	done := make(chan struct{})
+	r.co.ctlMu.Lock()
+	r.co.ctlCh, r.co.ctlDone = r.events, done
+	r.co.ctlMu.Unlock()
 	defer func() {
+		r.co.ctlMu.Lock()
+		r.co.ctlCh, r.co.ctlDone = nil, nil
+		r.co.ctlMu.Unlock()
+		close(done)
 		for _, p := range r.peers {
 			if p.redial != nil {
 				p.redial()
 			}
 			p.link.Close()
 		}
-		for _, c := range []Conn{r.drainConn, r.joinConn} {
-			if c != nil {
-				rejectConn(c, "run ended before the fleet change completed")
+		for _, rp := range []ctlReply{r.drainReply, r.joinReply} {
+			if rp != nil {
+				rp.reject("run ended before the fleet change completed")
 			}
 		}
 	}()
@@ -682,16 +734,16 @@ func (r *coRun) peerLost(p *peer) error {
 	// recovery; the control connection learns why.
 	if p == r.draining {
 		r.draining = nil
-		if r.drainConn != nil {
-			rejectConn(r.drainConn, fmt.Sprintf("worker %d crashed while draining; recovering instead", p.i))
-			r.drainConn = nil
+		if r.drainReply != nil {
+			r.drainReply.reject(fmt.Sprintf("worker %d crashed while draining; recovering instead", p.i))
+			r.drainReply = nil
 		}
 	}
 	if p == r.joining {
 		r.joining = nil
-		if r.joinConn != nil {
-			rejectConn(r.joinConn, fmt.Sprintf("joining worker %s died before integration", p.addr))
-			r.joinConn = nil
+		if r.joinReply != nil {
+			r.joinReply.reject(fmt.Sprintf("joining worker %s died before integration", p.addr))
+			r.joinReply = nil
 		}
 	}
 	for _, pe := range p.pes {
@@ -1081,10 +1133,9 @@ func (r *coRun) finishRecovery() error {
 		r.extra = append(r.extra, trace.Event{Kind: trace.WorkerDrained, At: at,
 			Peer: dr.i, Note: dr.addr})
 		r.co.logf("worker %d (%s) drained: %d results re-homed (epoch %d)", dr.i, dr.addr, len(imports), r.epoch)
-		if r.drainConn != nil {
-			r.drainConn.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
-			r.drainConn.Close()
-			r.drainConn = nil
+		if r.drainReply != nil {
+			r.drainReply.welcome()
+			r.drainReply = nil
 		}
 	}
 	if jn != nil {
@@ -1092,10 +1143,9 @@ func (r *coRun) finishRecovery() error {
 			return fmt.Errorf("wire: starting joined worker %d: %w", jn.i, err)
 		}
 		r.co.logf("worker %d (%s) joined: hosting %d revived processors (epoch %d)", jn.i, jn.addr, len(revived), r.epoch)
-		if r.joinConn != nil {
-			r.joinConn.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
-			r.joinConn.Close()
-			r.joinConn = nil
+		if r.joinReply != nil {
+			r.joinReply.welcome()
+			r.joinReply = nil
 		}
 	}
 	r.state = stRunning
@@ -1159,8 +1209,7 @@ func (r *coRun) handleJoinAnnounce(ctx context.Context, req *ctlReq) error {
 	// welcomed, and a Welcome may be lost).
 	for _, p := range r.peers {
 		if p.active() && p.addr == addr {
-			req.reply.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})})
-			req.reply.Close()
+			req.reply.welcome()
 			return nil
 		}
 	}
@@ -1168,11 +1217,11 @@ func (r *coRun) handleJoinAnnounce(ctx context.Context, req *ctlReq) error {
 		// Explicit rejection: a worker arriving while the run is
 		// finishing must not enter the processor map — there is nothing
 		// left to start it with.
-		rejectConn(req.reply, "run is finishing; not accepting joins")
+		req.reply.reject("run is finishing; not accepting joins")
 		return nil
 	}
 	if r.state != stRunning || r.draining != nil || r.joining != nil || r.joinAddr != "" {
-		rejectConn(req.reply, "a recovery or fleet change is in progress; retry")
+		req.reply.reject("a recovery or fleet change is in progress; retry")
 		return nil
 	}
 	free := false
@@ -1183,7 +1232,7 @@ func (r *coRun) handleJoinAnnounce(ctx context.Context, req *ctlReq) error {
 		}
 	}
 	if !free {
-		rejectConn(req.reply, "no free capacity: every processor is live")
+		req.reply.reject("no free capacity: every processor is live")
 		return nil
 	}
 	// Dial the announced worker off-loop; the result re-enters as a
@@ -1214,7 +1263,7 @@ func (r *coRun) handleJoinAnnounce(ctx context.Context, req *ctlReq) error {
 func (r *coRun) handleJoinDialed(req *ctlReq) error {
 	r.joinAddr = ""
 	if req.err != nil {
-		rejectConn(req.reply, fmt.Sprintf("cannot dial announced worker %s: %v", req.addr, req.err))
+		req.reply.reject(fmt.Sprintf("cannot dial announced worker %s: %v", req.addr, req.err))
 		return nil
 	}
 	abort := ""
@@ -1238,7 +1287,7 @@ func (r *coRun) handleJoinDialed(req *ctlReq) error {
 	}
 	if abort != "" {
 		req.dialed.Close()
-		rejectConn(req.reply, abort)
+		req.reply.reject(abort)
 		return nil
 	}
 	p := &peer{i: len(r.peers), addr: req.addr, pending: true, lastHeard: time.Now()}
@@ -1247,7 +1296,7 @@ func (r *coRun) handleJoinDialed(req *ctlReq) error {
 	r.peers = append(r.peers, p)
 	r.addrs = append(r.addrs, req.addr)
 	r.joining = p
-	r.joinConn = req.reply
+	r.joinReply = req.reply
 	r.extra = append(r.extra, trace.Event{Kind: trace.PeerConnected, At: r.now(), Peer: p.i, Note: "join"})
 	r.co.logf("worker %d (%s) joining; pausing for expand replan", p.i, p.addr)
 	r.startReader(r.ctx, p)
@@ -1266,22 +1315,22 @@ func (r *coRun) handleDrain(req *ctlReq) error {
 	}
 	switch {
 	case target == nil:
-		rejectConn(req.reply, "no such worker")
+		req.reply.reject("no such worker")
 		return nil
 	case target.drained:
-		rejectConn(req.reply, fmt.Sprintf("worker %d already drained", target.i))
+		req.reply.reject(fmt.Sprintf("worker %d already drained", target.i))
 		return nil
 	case target.lost:
-		rejectConn(req.reply, fmt.Sprintf("worker %d already lost", target.i))
+		req.reply.reject(fmt.Sprintf("worker %d already lost", target.i))
 		return nil
 	case target.pending:
-		rejectConn(req.reply, fmt.Sprintf("worker %d still joining; retry", target.i))
+		req.reply.reject(fmt.Sprintf("worker %d still joining; retry", target.i))
 		return nil
 	case r.state == stFinishing:
-		rejectConn(req.reply, "run is finishing; nothing to drain")
+		req.reply.reject("run is finishing; nothing to drain")
 		return nil
 	case r.state != stRunning || r.draining != nil || r.joining != nil || r.joinAddr != "":
-		rejectConn(req.reply, "a recovery or fleet change is in progress; retry")
+		req.reply.reject("a recovery or fleet change is in progress; retry")
 		return nil
 	}
 	min := r.co.MinWorkers
@@ -1289,7 +1338,7 @@ func (r *coRun) handleDrain(req *ctlReq) error {
 		min = 1
 	}
 	if r.liveWorkers()-1 < min {
-		rejectConn(req.reply, fmt.Sprintf("drain would leave %d workers; the minimum is %d", r.liveWorkers()-1, min))
+		req.reply.reject(fmt.Sprintf("drain would leave %d workers; the minimum is %d", r.liveWorkers()-1, min))
 		return nil
 	}
 	remaining := 0
@@ -1299,11 +1348,11 @@ func (r *coRun) handleDrain(req *ctlReq) error {
 		}
 	}
 	if remaining == 0 {
-		rejectConn(req.reply, "drain would leave no live processors")
+		req.reply.reject("drain would leave no live processors")
 		return nil
 	}
 	r.draining = target
-	r.drainConn = req.reply
+	r.drainReply = req.reply
 	r.co.logf("worker %d (%s) draining; pausing for checkpoint handover", target.i, target.addr)
 	return r.startPause()
 }
@@ -1330,7 +1379,7 @@ func (r *coRun) controlConn(ctx context.Context, c Conn) {
 		c.Close()
 		return
 	}
-	req := &ctlReq{reply: c}
+	req := &ctlReq{reply: connReply{c}}
 	switch f.Type {
 	case TJoin:
 		n, err := decJSON[JoinNote](f.Payload, "join")
@@ -1355,6 +1404,52 @@ func (r *coRun) controlConn(ctx context.Context, c Conn) {
 	case <-ctx.Done():
 		c.Close()
 	}
+}
+
+// submitCtl posts a fleet-elasticity request to the run in flight and
+// waits for its verdict. Used by the fleet control plane, which owns
+// the persistent control listener and forwards joins and drains to
+// every active run instead of lending each run a listener of its own.
+func (co *Coordinator) submitCtl(ctx context.Context, req *ctlReq) error {
+	co.ctlMu.Lock()
+	ch, done := co.ctlCh, co.ctlDone
+	co.ctlMu.Unlock()
+	if ch == nil {
+		return fmt.Errorf("wire: no run in flight")
+	}
+	reply := make(chanReply, 1)
+	req.reply = reply
+	select {
+	case ch <- coEvent{ctl: req}:
+	case <-done:
+		return fmt.Errorf("wire: run ended before the fleet change completed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-done:
+		return fmt.Errorf("wire: run ended before the fleet change completed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SubmitJoin offers the worker daemon at addr to the run in flight,
+// exactly as a TJoin announce on the run's own control listener would.
+// It returns nil once the worker serves the run (or already did), or
+// the run's rejection reason.
+func (co *Coordinator) SubmitJoin(ctx context.Context, addr string) error {
+	return co.submitCtl(ctx, &ctlReq{join: &JoinNote{Addr: addr}})
+}
+
+// SubmitDrain asks the run in flight to gracefully evacuate a worker:
+// by index when worker >= 0, else by its listen address. It returns nil
+// once the worker departed with its state handed over, or the run's
+// rejection reason.
+func (co *Coordinator) SubmitDrain(ctx context.Context, worker int, addr string) error {
+	return co.submitCtl(ctx, &ctlReq{drain: &DrainNote{Worker: worker, Addr: addr}})
 }
 
 // checkAllIdle finishes the run once every surviving worker reports its

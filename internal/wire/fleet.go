@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,25 +17,27 @@ import (
 // coordinator run is a one-shot affair — it dials a fixed address
 // list, and connectAll is all-or-nothing — so a long-running service
 // needs a layer above it that remembers who is in the fleet, hears
-// workers announce themselves between runs, drops members whose
-// daemons have died, and hands the coordinator a live address list
-// for every run.
+// workers announce themselves, drops members whose daemons have died,
+// and hands each run's coordinator a live address list.
+//
+// Worker daemons host any number of runs concurrently (each keyed by
+// its run ID), so the fleet runs them concurrently too: every Run call
+// places its coordinator on the least-loaded member subset and starts
+// it immediately, up to the MaxRuns cap. Placement is load-aware — the
+// fleet tracks how many runs each worker currently hosts and picks the
+// members hosting fewest, so concurrent runs spread over the pool
+// instead of piling onto one daemon.
 //
 // Membership flows through the same TJoin/TDrain control protocol the
-// coordinator speaks mid-run: the fleet owns a persistent control
-// listener at Control, and when a run starts it lends that address to
-// the run's coordinator (whose own control listener then handles
-// mid-run joins, drains and recovery hand-offs), taking it back the
-// moment the run ends. Workers announce on a loop (`banger worker
-// -join`), so whichever listener is up at that instant hears them:
-// between runs the fleet records the member, mid-run the coordinator
-// welcomes it into a recovery or rejects it as steady-state noise.
-//
-// Runs are serialized: worker daemons host one run at a time, so the
-// fleet hands out its workers under a lease. Callers that want
-// concurrency run elsewhere (the serving layer executes cache-hot
-// small runs in-process and reserves the fleet for the runs worth
-// distributing).
+// coordinator speaks: the fleet owns the control listener permanently
+// and forwards fleet changes to every run in flight. A join announce
+// records the member and is offered to each active coordinator (a run
+// with dead processors integrates the joiner at its next barrier; the
+// rest reject it as steady-state noise — announce loops re-offer every
+// cycle). A drain evacuates the worker from every run it hosts — one
+// checkpoint handover per hosted run — before the member is removed,
+// so `banger drain` still means "this process may exit losing
+// nothing", however many runs it was serving.
 type Fleet struct {
 	Transport Transport
 	// Control is the persistent control listen address (port 0 picks a
@@ -43,9 +46,13 @@ type Fleet struct {
 	// Seed lists initial member addresses (may be empty: workers join
 	// by announcing).
 	Seed []string
-	// MinWorkers refuses between-run drains that would leave fewer
-	// live members (0 = only forbid draining the last one).
+	// MinWorkers refuses drains that would leave fewer live members
+	// (0 = only forbid draining the last one).
 	MinWorkers int
+	// MaxRuns caps concurrently executing fleet runs; Run blocks for a
+	// slot past it (0 = unlimited — callers like the serving layer
+	// usually bound admission themselves).
+	MaxRuns int
 
 	// Per-run coordinator knobs, passed through to every run.
 	HeartbeatEvery time.Duration
@@ -54,14 +61,15 @@ type Fleet struct {
 	Mesh           bool
 	Logf           func(string, ...any)
 
-	mu      sync.Mutex // guards members, lis, closed
+	mu      sync.Mutex // guards members, load, active, lis, closed
 	members map[string]bool
+	load    map[string]int        // runs currently placed per member address
+	active  map[*Coordinator]bool // coordinators with a run in flight
 	lis     Listener
 	bound   string
 	closed  bool
 	wg      sync.WaitGroup
-
-	runMu sync.Mutex // the run lease: one coordinator at a time
+	slots   chan struct{} // MaxRuns semaphore (nil = unlimited)
 }
 
 // Start records the seed members and opens the control listener. The
@@ -79,6 +87,11 @@ func (f *Fleet) Start() error {
 	for _, a := range f.Seed {
 		f.members[a] = true
 	}
+	f.load = map[string]int{}
+	f.active = map[*Coordinator]bool{}
+	if f.MaxRuns > 0 {
+		f.slots = make(chan struct{}, f.MaxRuns)
+	}
 	if f.Control == "" {
 		return fmt.Errorf("wire: fleet needs a control listen address")
 	}
@@ -86,15 +99,15 @@ func (f *Fleet) Start() error {
 	return f.listenLocked()
 }
 
-// listenLocked (re)opens the control listener and spawns its accept
-// loop. Callers hold f.mu.
+// listenLocked opens the control listener and spawns its accept loop.
+// Callers hold f.mu.
 func (f *Fleet) listenLocked() error {
 	lis, err := f.Transport.Listen(f.bound)
 	if err != nil {
 		return fmt.Errorf("wire: fleet control listen %s: %w", f.bound, err)
 	}
 	f.lis = lis
-	f.bound = lis.Addr() // resolve ":0" once, keep the port across relistens
+	f.bound = lis.Addr() // resolve ":0" once
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
@@ -140,10 +153,29 @@ func (f *Fleet) Members() []string {
 	return out
 }
 
-// control answers one between-run control connection: a join adds the
-// member, a drain removes it (respecting the MinWorkers floor). The
-// first frame must arrive promptly — a stuck dialer must not wedge the
-// accept path.
+// ActiveRuns reports how many fleet runs are currently in flight.
+func (f *Fleet) ActiveRuns() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.active)
+}
+
+// coordinators snapshots the active run set.
+func (f *Fleet) coordinators() []*Coordinator {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Coordinator, 0, len(f.active))
+	for co := range f.active {
+		out = append(out, co)
+	}
+	return out
+}
+
+// control answers one control connection: a join adds the member and is
+// offered to every run in flight, a drain evacuates the worker from
+// every run it hosts and then removes it (respecting the MinWorkers
+// floor). The first frame must arrive promptly — a stuck dialer must
+// not wedge the accept path.
 func (f *Fleet) control(c Conn) {
 	defer c.Close()
 	guard := time.AfterFunc(10*time.Second, func() { c.Close() })
@@ -174,6 +206,18 @@ func (f *Fleet) control(c Conn) {
 			f.Logf("fleet: worker %s joined (%d members)", note.Addr, f.Size())
 		}
 		c.WriteFrame(Frame{Type: TWelcome})
+		c.Close()
+		// Offer the worker to every run in flight. Most reject it
+		// (no dead processors, a barrier already forming) — that is
+		// steady-state noise, and announce loops re-offer every cycle —
+		// but a run that lost a worker picks the joiner up here.
+		for _, co := range f.coordinators() {
+			jctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := co.SubmitJoin(jctx, note.Addr); err == nil {
+				f.Logf("fleet: worker %s joined a run in flight", note.Addr)
+			}
+			cancel()
+		}
 	case TDrain:
 		note, err := decJSON[DrainNote](fr.Payload, "drain")
 		if err != nil || note.Addr == "" {
@@ -185,29 +229,56 @@ func (f *Fleet) control(c Conn) {
 			floor = 1
 		}
 		f.mu.Lock()
+		member, n := f.members[note.Addr], len(f.members)
+		f.mu.Unlock()
 		switch {
-		case !f.members[note.Addr]:
-			f.mu.Unlock()
+		case !member:
 			rejectConn(c, fmt.Sprintf("no member %s", note.Addr))
-		case len(f.members) <= floor:
-			f.mu.Unlock()
-			rejectConn(c, fmt.Sprintf("drain would leave %d live workers (floor %d)", len(f.members)-1, floor))
-		default:
-			delete(f.members, note.Addr)
-			n := len(f.members)
-			f.mu.Unlock()
-			f.Logf("fleet: worker %s drained (%d members)", note.Addr, n)
-			c.WriteFrame(Frame{Type: TWelcome})
+			return
+		case n <= floor:
+			rejectConn(c, fmt.Sprintf("drain would leave %d live workers (floor %d)", n-1, floor))
+			return
 		}
+		// Evacuate the worker from every run it hosts: each run pauses,
+		// takes the checkpoint handover, replans onto its survivors and
+		// says goodbye. Only then may the member leave the pool.
+		for _, co := range f.coordinators() {
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			err := co.SubmitDrain(dctx, -1, note.Addr)
+			cancel()
+			if err == nil || drainIrrelevant(err) {
+				continue
+			}
+			rejectConn(c, fmt.Sprintf("drain deferred: %v; retry", err))
+			return
+		}
+		f.mu.Lock()
+		delete(f.members, note.Addr)
+		n = len(f.members)
+		f.mu.Unlock()
+		f.Logf("fleet: worker %s drained (%d members)", note.Addr, n)
+		c.WriteFrame(Frame{Type: TWelcome})
 	default:
 		rejectConn(c, fmt.Sprintf("unexpected %s on the fleet control connection", fr.Type))
 	}
 }
 
+// drainIrrelevant reports whether a per-run drain rejection means the
+// run simply does not (or no longer) involves the worker — which is
+// fine — as opposed to a real obstacle worth surfacing.
+func drainIrrelevant(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "no such worker") ||
+		strings.Contains(s, "already drained") ||
+		strings.Contains(s, "already lost") ||
+		strings.Contains(s, "no run in flight") ||
+		strings.Contains(s, "run ended before the fleet change")
+}
+
 // probe dials every member and drops the ones whose daemons are gone.
 // A bare dial-and-close is deliberate: it proves the daemon's listener
-// is alive without starting a handshake the daemon could mistake for a
-// superseding coordinator. Returns the live members, sorted.
+// is alive without occupying a run-table slot or starting a handshake.
+// Returns the live members, sorted.
 func (f *Fleet) probe(ctx context.Context) []string {
 	members := f.Members()
 	live := make([]string, 0, len(members))
@@ -238,11 +309,35 @@ func (f *Fleet) probe(ctx context.Context) []string {
 	return live
 }
 
-// Run executes one schedule on the fleet. It takes the run lease
-// (blocking behind any run in flight), probes the membership, lends
-// the control address to the run's coordinator — so mid-run joins,
-// drains and crash recoveries ride the elastic machinery — and
-// reopens the fleet listener when the run ends.
+// place picks the run's worker subset: the numPE least-loaded live
+// members (ties broken by address for determinism), returned sorted so
+// worker indices are stable. A run never needs more workers than the
+// machine has processors.
+func (f *Fleet) place(live []string, numPE int) []string {
+	n := len(live)
+	if numPE > 0 && numPE < n {
+		n = numPE
+	}
+	byLoad := append([]string(nil), live...)
+	f.mu.Lock()
+	sort.SliceStable(byLoad, func(i, j int) bool {
+		li, lj := f.load[byLoad[i]], f.load[byLoad[j]]
+		if li != lj {
+			return li < lj
+		}
+		return byLoad[i] < byLoad[j]
+	})
+	f.mu.Unlock()
+	placed := byLoad[:n]
+	sort.Strings(placed)
+	return placed
+}
+
+// Run executes one schedule on the fleet. Runs are concurrent: each
+// call probes the membership, places its coordinator on the
+// least-loaded live subset, and starts it immediately (blocking for a
+// slot only when MaxRuns caps the fleet). Worker daemons multiplex the
+// runs placed on them, keyed by run ID.
 //
 // A worker that dies after the probe but before the coordinator's
 // all-or-nothing connect fails that attempt; the coordinator's own
@@ -253,15 +348,29 @@ func (f *Fleet) probe(ctx context.Context) []string {
 // stable fleet (a broken design, an unschedulable machine) surface
 // immediately.
 func (f *Fleet) Run(ctx context.Context, runner *exec.Runner, sc *sched.Schedule, flat *graph.Flat) (*exec.Result, error) {
-	f.runMu.Lock()
-	defer f.runMu.Unlock()
+	f.mu.Lock()
+	slots := f.slots
+	f.mu.Unlock()
+	if slots != nil {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 
+	numPE := 0
+	if sc != nil && sc.Machine != nil {
+		numPE = sc.Machine.NumPE()
+	}
 	for attempt := 0; ; attempt++ {
 		live := f.probe(ctx)
 		if len(live) == 0 {
 			return nil, fmt.Errorf("wire: fleet has no live workers")
 		}
-		res, err := f.runOnce(ctx, runner, sc, flat, live)
+		placed := f.place(live, numPE)
+		res, err := f.runOnce(ctx, runner, sc, flat, placed)
 		if err == nil || ctx.Err() != nil || attempt >= 2 {
 			return res, err
 		}
@@ -274,7 +383,7 @@ func (f *Fleet) Run(ctx context.Context, runner *exec.Runner, sc *sched.Schedule
 			alive[a] = true
 		}
 		lost := 0
-		for _, a := range live {
+		for _, a := range placed {
 			if !alive[a] {
 				lost++
 			}
@@ -283,43 +392,39 @@ func (f *Fleet) Run(ctx context.Context, runner *exec.Runner, sc *sched.Schedule
 			return res, err
 		}
 		f.Logf("fleet: run failed (%v); %d of %d workers died, retrying on survivors",
-			err, lost, len(live))
+			err, lost, len(placed))
 	}
 }
 
-// runOnce executes one coordinator run over the given live members,
-// lending it the control address for the duration.
-func (f *Fleet) runOnce(ctx context.Context, runner *exec.Runner, sc *sched.Schedule, flat *graph.Flat, live []string) (*exec.Result, error) {
-	// Lend the control address to the run.
+// runOnce executes one coordinator run over the placed members,
+// registering it with the control plane (joins and drains forward to
+// it) and in the load accounting for the duration.
+func (f *Fleet) runOnce(ctx context.Context, runner *exec.Runner, sc *sched.Schedule, flat *graph.Flat, placed []string) (*exec.Result, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("wire: fleet is closed")
 	}
-	lis := f.lis
-	f.lis = nil
-	control := f.bound
-	f.mu.Unlock()
-	if lis != nil {
-		lis.Close()
-	}
-
 	co := &Coordinator{
-		Transport: f.Transport, Addrs: live, Runner: runner,
+		Transport: f.Transport, Addrs: placed, Runner: runner,
 		HeartbeatEvery: f.HeartbeatEvery, PeerTimeout: f.PeerTimeout,
 		FlushEvery: f.FlushEvery, Mesh: f.Mesh,
-		Control: control, MinWorkers: f.MinWorkers,
-		Logf: f.Logf,
+		MinWorkers: f.MinWorkers,
+		Logf:       f.Logf,
 	}
+	f.active[co] = true
+	for _, a := range placed {
+		f.load[a]++
+	}
+	f.mu.Unlock()
+
 	res, err := co.Run(ctx, sc, flat)
 
-	// Take the control address back. Workers that joined or departed
-	// mid-run re-announce on their own loops and are folded back into
-	// the membership here.
 	f.mu.Lock()
-	if !f.closed {
-		if lerr := f.listenLocked(); lerr != nil {
-			f.Logf("fleet: relisten on %s: %v", f.bound, lerr)
+	delete(f.active, co)
+	for _, a := range placed {
+		if f.load[a] > 0 {
+			f.load[a]--
 		}
 	}
 	f.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -286,10 +287,10 @@ func TestRepeatedLocalSessionNoLeak(t *testing.T) {
 	}
 }
 
-// TestFleetSerializesRuns: the run lease admits exactly one coordinator
-// at a time; a second Run blocks until the first finishes rather than
-// superseding it mid-flight.
-func TestFleetSerializesRuns(t *testing.T) {
+// TestFleetConcurrentRuns: worker daemons multiplex sessions keyed by
+// run ID, so the fleet admits many coordinators at once — the runs must
+// genuinely overlap in flight, and every one must still succeed.
+func TestFleetConcurrentRuns(t *testing.T) {
 	tr := Inproc()
 	addrs, stop := startWorkers(t, tr, 2)
 	defer stop()
@@ -302,14 +303,36 @@ func TestFleetSerializesRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A wall-clock hold keeps each run open long enough for the launches
+	// to overlap; avoid=-1 excludes nobody.
+	plan, _ := holdOpen(t, sc, 2, 400000, -1)
 	const runs = 4
 	errs := make(chan error, runs)
 	for i := 0; i < runs; i++ {
 		go func() {
-			_, err := f.Run(ctx, &exec.Runner{Inputs: inputs}, sc, flat)
+			_, err := f.Run(ctx, &exec.Runner{Inputs: inputs, Faults: plan, WatchdogMin: 10 * time.Second}, sc, flat)
 			errs <- err
 		}()
 	}
+	// Watch concurrency while the runs are in flight.
+	peak := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if n := f.ActiveRuns(); n > peak {
+				peak = n
+			}
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+			if peak == runs {
+				return
+			}
+		}
+	}()
 	for i := 0; i < runs; i++ {
 		select {
 		case err := <-errs:
@@ -319,5 +342,94 @@ func TestFleetSerializesRuns(t *testing.T) {
 		case <-time.After(30 * time.Second):
 			t.Fatal("concurrent fleet runs deadlocked")
 		}
+	}
+	<-done
+	if peak < 2 {
+		t.Fatalf("runs never overlapped: peak concurrency %d, want >= 2", peak)
+	}
+}
+
+// TestFleetMaxRunsCaps: the MaxRuns semaphore bounds concurrently
+// executing fleet runs without losing any.
+func TestFleetMaxRunsCaps(t *testing.T) {
+	tr := Inproc()
+	addrs, stop := startWorkers(t, tr, 2)
+	defer stop()
+	f := &Fleet{Transport: tr, Control: "fleet-control-capped", Seed: addrs, Logf: t.Logf,
+		HeartbeatEvery: 50 * time.Millisecond, PeerTimeout: 2 * time.Second, Mesh: true,
+		MaxRuns: 1}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	ctx := context.Background()
+
+	flat, inputs := distDesign(t, 3, 3)
+	m := distMachine(t, "hypercube:2")
+	sc, err := sched.ETF{}.Schedule(flat.Graph, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := holdOpen(t, sc, 2, 150000, -1)
+	const runs = 3
+	errs := make(chan error, runs)
+	stopWatch := make(chan struct{})
+	var over atomic.Bool
+	go func() {
+		for {
+			if f.ActiveRuns() > 1 {
+				over.Store(true)
+			}
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+	for i := 0; i < runs; i++ {
+		go func() {
+			_, err := f.Run(ctx, &exec.Runner{Inputs: inputs, Faults: plan, WatchdogMin: 10 * time.Second}, sc, flat)
+			errs <- err
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("capped run: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("capped fleet runs deadlocked")
+		}
+	}
+	close(stopWatch)
+	if over.Load() {
+		t.Fatal("MaxRuns=1 fleet had more than one run in flight")
+	}
+}
+
+// TestFleetPlaceLeastLoaded: placement picks the members hosting the
+// fewest runs, breaking ties by address, and returns them sorted so
+// worker indices stay deterministic.
+func TestFleetPlaceLeastLoaded(t *testing.T) {
+	f := &Fleet{Transport: Inproc(), Control: "fleet-control-place"}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	live := []string{"a", "b", "c", "d"}
+	f.mu.Lock()
+	f.load = map[string]int{"a": 2, "b": 0, "c": 1, "d": 0}
+	f.mu.Unlock()
+	if got := f.place(live, 2); !reflect.DeepEqual(got, []string{"b", "d"}) {
+		t.Fatalf("place picked %v, want the idle members [b d]", got)
+	}
+	if got := f.place(live, 3); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("place picked %v, want [b c d]", got)
+	}
+	// More processors than members: everyone plays.
+	if got := f.place(live, 8); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("place picked %v, want all members", got)
 	}
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,14 @@ func (o WorkerOptions) handshakeTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+// activeWorkerRuns counts sessions hosted across every worker daemon in
+// this process. Leak tests assert it returns to zero after teardown.
+var activeWorkerRuns atomic.Int64
+
+// ActiveWorkerRuns reports how many runs worker daemons in this process
+// are currently hosting (attached or awaiting a coordinator reconnect).
+func ActiveWorkerRuns() int64 { return activeWorkerRuns.Load() }
+
 // sessOutcome is what a session's Wait produced.
 type sessOutcome struct {
 	p   *exec.Partial
@@ -53,10 +62,10 @@ type inboundConn struct {
 	rerr   chan error
 }
 
-// helloIn reads the handshake off a fresh connection and posts it to
-// inbound; connections that never say a valid Hello are dropped here
-// without disturbing the daemon's main loop.
-func helloIn(ctx context.Context, c Conn, opt WorkerOptions, inbound chan<- inboundConn) {
+// helloIn reads the handshake off a fresh connection and routes it;
+// connections that never say a valid Hello are dropped here without
+// disturbing any run.
+func helloIn(ctx context.Context, c Conn, opt WorkerOptions, route func(inboundConn)) {
 	frames := make(chan Frame, 256)
 	rerr := make(chan error, 1)
 	first := make(chan Frame, 1)
@@ -97,11 +106,7 @@ func helloIn(ctx context.Context, c Conn, opt WorkerOptions, inbound chan<- inbo
 			c.Close()
 			return
 		}
-		select {
-		case inbound <- inboundConn{c: c, hello: h, frames: frames, rerr: rerr}:
-		case <-ctx.Done():
-			c.Close()
-		}
+		route(inboundConn{c: c, hello: h, frames: frames, rerr: rerr})
 	case <-hs.C:
 		opt.logf("peer connected but never said hello; dropping")
 		c.Close()
@@ -118,11 +123,13 @@ func rejectConn(c Conn, msg string) {
 	c.Close()
 }
 
-// workerRun is the state of one run on a worker, surviving coordinator
-// reconnects.
+// workerRun is the state of one run hosted by a worker daemon,
+// surviving coordinator reconnects. A daemon hosts any number of these
+// concurrently, each with its own session, mesh, heartbeat cadence and
+// orphan-abandonment timer; nothing here is shared across runs.
 type workerRun struct {
 	id          string
-	link        *Link        // to the coordinator
+	link        *Link        // to the coordinator (nil until the first connection is adopted)
 	reader      *inboundConn // the coordinator's current connection (nil while detached)
 	ses         *exec.Session
 	mesh        atomic.Pointer[mesh]
@@ -134,6 +141,13 @@ type workerRun struct {
 	sentResult  bool
 	ackDue      atomic.Bool        // coordinator-link ack batching
 	stopFlush   context.CancelFunc // the run's flush ticker
+
+	// adopt receives coordinator connections for this run (reconnects,
+	// or a replacement connection while one is attached); gone closes
+	// when the run leaves the daemon's table, so a router blocked on
+	// adopt can fall back to creating a fresh run.
+	adopt chan inboundConn
+	gone  chan struct{}
 }
 
 // abort tears the run down (session abort + drain the Wait goroutine).
@@ -155,7 +169,9 @@ func (r *workerRun) abort(reason string) {
 	if ms := r.mesh.Swap(nil); ms != nil {
 		ms.close()
 	}
-	r.link.Close()
+	if r.link != nil {
+		r.link.Close()
+	}
 }
 
 // flushData drives coalescing data frames (mesh and coordinator link)
@@ -170,10 +186,26 @@ func (r *workerRun) flushData() {
 	r.link.Flush()
 }
 
-// ServeWorker runs a worker daemon: listen on addr, accept a
-// coordinator, host the processors it assigns, and keep serving
-// subsequent runs until ctx is cancelled. Returns the bound address via
-// the ready callback (useful with ":0" listeners) before blocking.
+// workerDaemon is the daemon-wide state: the table of hosted runs. All
+// connection routing keys on Hello.Run — a frame, mesh dial, heartbeat
+// or checkpoint for run A can only ever reach run A's state, because
+// the only path from a connection to a session goes through this table.
+type workerDaemon struct {
+	opt    WorkerOptions
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*workerRun
+	closed bool           // no further runs may be created
+	wg     sync.WaitGroup // run loops
+}
+
+// ServeWorker runs a worker daemon: listen on addr, accept coordinator
+// and mesh connections, and host every run the fleet places here —
+// concurrently, each keyed by its run ID — until ctx is cancelled.
+// Returns the bound address via the ready callback (useful with ":0"
+// listeners) before blocking.
 func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOptions, ready func(boundAddr string)) error {
 	lis, err := t.Listen(addr)
 	if err != nil {
@@ -186,18 +218,32 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 	opt.transport = t
 	opt.logf("worker listening on %s", lis.Addr())
 
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	d := &workerDaemon{opt: opt, ctx: dctx, cancel: cancel, runs: map[string]*workerRun{}}
+	// Every run loop aborts on dctx; wait them out before returning so
+	// sessions, meshes and links never outlive the daemon. The closed
+	// flag is published under d.mu before the Wait so no router can
+	// wg.Add a fresh run once the Wait has begun.
+	defer func() {
+		cancel()
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		d.wg.Wait()
+	}()
+
 	// Unblock Accept when ctx ends.
 	stopping := make(chan struct{})
 	defer close(stopping)
 	go func() {
 		select {
-		case <-ctx.Done():
+		case <-dctx.Done():
 			lis.Close()
 		case <-stopping:
 		}
 	}()
 
-	inbound := make(chan inboundConn)
 	acceptErr := make(chan error, 1)
 	go func() {
 		for {
@@ -206,69 +252,169 @@ func ServeWorker(ctx context.Context, t Transport, addr string, opt WorkerOption
 				acceptErr <- err
 				return
 			}
-			go helloIn(ctx, c, opt, inbound)
+			go helloIn(dctx, c, opt, d.route)
 		}
 	}()
 
-	var run *workerRun
-	for {
-		// A run whose coordinator connection dropped waits for a
-		// reconnect, but not forever.
-		var orphan <-chan time.Time
-		var orphanTimer *time.Timer
-		if run != nil {
-			orphanTimer = time.NewTimer(run.peerTimeout)
-			orphan = orphanTimer.C
-		}
-		select {
-		case <-ctx.Done():
-			if run != nil {
-				run.abort("worker shutting down")
-			}
+	select {
+	case <-ctx.Done():
+		return nil
+	case err := <-acceptErr:
+		if ctx.Err() != nil {
 			return nil
-		case err := <-acceptErr:
-			if ctx.Err() != nil {
-				if run != nil {
-					run.abort("worker shutting down")
+		}
+		return fmt.Errorf("wire: accept: %w", err)
+	}
+}
+
+// route dispatches one handshaken connection by its Hello: mesh peers
+// and coordinators go to the run named by hello.Run; run-less
+// connections (calibration probes) get an ephemeral echo handler.
+// Runs in the connection's own goroutine.
+func (d *workerDaemon) route(ic inboundConn) {
+	h := ic.hello
+	if h.Peer > 0 {
+		d.mu.Lock()
+		run := d.runs[h.Run]
+		d.mu.Unlock()
+		if h.Run == "" || run == nil {
+			rejectConn(ic.c, "unknown run")
+			return
+		}
+		attachMeshConn(run, ic, d.opt)
+		return
+	}
+	if h.Run == "" {
+		d.serveEphemeral(ic)
+		return
+	}
+	for {
+		d.mu.Lock()
+		if d.closed || d.ctx.Err() != nil {
+			d.mu.Unlock()
+			ic.c.Close()
+			return
+		}
+		run := d.runs[h.Run]
+		if run == nil {
+			run = &workerRun{id: h.Run,
+				hbEvery: 250 * time.Millisecond, peerTimeout: 3 * time.Second, flushEvery: defaultFlushEvery,
+				adopt: make(chan inboundConn), gone: make(chan struct{})}
+			d.runs[h.Run] = run
+			activeWorkerRuns.Add(1)
+			d.wg.Add(1)
+			d.mu.Unlock()
+			go d.runLoop(run, ic)
+			return
+		}
+		d.mu.Unlock()
+		select {
+		case run.adopt <- ic:
+			return
+		case <-run.gone:
+			// The run ended while this connection was in flight; retry —
+			// the next round creates a fresh run for it.
+		case <-d.ctx.Done():
+			ic.c.Close()
+			return
+		}
+	}
+}
+
+// serveEphemeral answers a run-less connection: Welcome, echo pings
+// (calibration probes measure RTT this way), and tear down on goodbye.
+// It never touches the run table.
+func (d *workerDaemon) serveEphemeral(ic inboundConn) {
+	defer ic.c.Close()
+	if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})}); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-ic.rerr:
+			return
+		case f := <-ic.frames:
+			switch f.Type {
+			case TPing:
+				if err := ic.c.WriteFrame(Frame{Type: TPong, Payload: f.Payload}); err != nil {
+					return
 				}
-				return nil
+			case TBye:
+				return
+			case THeartbeat, TAck:
+				// Keepalive noise on a probe connection; ignore.
+			default:
+				d.opt.logf("unexpected %s frame on a run-less connection; dropping", f.Type)
+				return
 			}
-			return fmt.Errorf("wire: accept: %w", err)
-		case <-orphan:
-			opt.logf("coordinator did not reconnect within %v; abandoning run %s", run.peerTimeout, run.id)
+		}
+	}
+}
+
+// endRun removes the run from the table and flushes adoption attempts
+// that raced the teardown.
+func (d *workerDaemon) endRun(run *workerRun) {
+	d.mu.Lock()
+	if d.runs[run.id] == run {
+		delete(d.runs, run.id)
+	}
+	d.mu.Unlock()
+	activeWorkerRuns.Add(-1)
+	close(run.gone)
+	for {
+		select {
+		case ic := <-run.adopt:
+			rejectConn(ic.c, "run ended")
+		default:
+			return
+		}
+	}
+}
+
+// runLoop owns one hosted run from its first coordinator connection to
+// teardown: adopt connections, drive the frame loop while attached, and
+// while detached wait out the run's own orphan timer — never another
+// run's. One dead coordinator reaps exactly its run; co-hosted runs
+// never notice.
+func (d *workerDaemon) runLoop(run *workerRun, first inboundConn) {
+	defer d.wg.Done()
+	defer d.endRun(run)
+	next := &first
+	for {
+		if next != nil {
+			adoptCoord(*next, run, d.opt)
+			next = nil
+		}
+		if run.reader != nil {
+			var keep bool
+			keep, next = d.frameLoop(run)
+			if !keep {
+				return
+			}
+			continue
+		}
+		// Detached: await a reconnect, but not forever.
+		orphan := time.NewTimer(run.peerTimeout)
+		select {
+		case <-d.ctx.Done():
+			orphan.Stop()
+			run.abort("worker shutting down")
+			return
+		case <-orphan.C:
+			d.opt.logf("coordinator did not reconnect within %v; abandoning run %s", run.peerTimeout, run.id)
 			run.abort("coordinator lost")
-			run = nil
-		case ic := <-inbound:
-			if orphanTimer != nil {
-				orphanTimer.Stop()
-			}
-			if ic.hello.Peer > 0 {
-				// A mesh peer dialing in while no coordinator connection
-				// is active (the run survives a coordinator drop).
-				attachMeshConn(run, ic, opt)
-				continue
-			}
-			// Serve coordinator connections until the run ends or its
-			// connection drops; a superseding coordinator connection
-			// arriving mid-loop is adopted immediately.
-			next := &ic
-			for next != nil {
-				run = adoptCoord(*next, run, opt)
-				next = nil
-				if run != nil && run.reader != nil {
-					run, next = frameLoop(ctx, run, opt, inbound)
-				}
-			}
+			return
+		case ic := <-run.adopt:
+			orphan.Stop()
+			next = &ic
 		}
 	}
 }
 
 // attachMeshConn hands an inbound mesh connection to the run's mesh.
 func attachMeshConn(run *workerRun, ic inboundConn, opt WorkerOptions) {
-	if run == nil || ic.hello.Run == "" || ic.hello.Run != run.id {
-		rejectConn(ic.c, "unknown run")
-		return
-	}
 	ms := run.mesh.Load()
 	if ms == nil {
 		rejectConn(ic.c, "mesh disabled")
@@ -280,44 +426,40 @@ func attachMeshConn(run *workerRun, ic inboundConn, opt WorkerOptions) {
 	}
 }
 
-// adoptCoord installs a coordinator connection: a reconnect to the run
-// in flight (exchange watermarks, replay) or a fresh coordinator that
-// supersedes whatever was running. Returns the current run; its reader
-// is nil if the connection could not be adopted.
-func adoptCoord(ic inboundConn, prev *workerRun, opt WorkerOptions) *workerRun {
-	if prev != nil && ic.hello.Run != "" && ic.hello.Run == prev.id {
+// adoptCoord installs a coordinator connection on the run: the first
+// connection creates the link; later ones are reconnects (exchange
+// watermarks, replay the outbox). On failure the run's reader stays
+// nil and the orphan timer keeps counting.
+func adoptCoord(ic inboundConn, run *workerRun, opt WorkerOptions) {
+	if run.link != nil {
 		// Reconnect to the run in flight. The Welcome must precede the
 		// outbox replay Reattach performs.
-		if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: prev.link.Rcvd()})}); err != nil {
+		if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion, Rcvd: run.link.Rcvd()})}); err != nil {
 			ic.c.Close()
-			return prev
+			return
 		}
-		if err := prev.link.Reattach(ic.c, ic.hello.Rcvd); err != nil {
-			prev.link.Detach()
-			return prev
+		if err := run.link.Reattach(ic.c, ic.hello.Rcvd); err != nil {
+			run.link.Detach()
+			return
 		}
-		prev.reader = &ic
-		opt.logf("coordinator reconnected to run %s", prev.id)
-		return prev
+		run.reader = &ic
+		opt.logf("coordinator reconnected to run %s", run.id)
+		return
 	}
 	if err := ic.c.WriteFrame(Frame{Type: TWelcome, Payload: encJSON(Welcome{Proto: ProtoVersion})}); err != nil {
-		// The new connection died before it could take over; keep the
-		// previous run waiting for a reconnect.
 		ic.c.Close()
-		return prev
+		return
 	}
-	if prev != nil {
-		opt.logf("new coordinator supersedes run %s", prev.id)
-		prev.abort("superseded by a new coordinator")
-	}
-	return &workerRun{link: NewLink(ic.c), reader: &ic,
-		hbEvery: 250 * time.Millisecond, peerTimeout: 3 * time.Second, flushEvery: defaultFlushEvery}
+	run.link = NewLink(ic.c)
+	run.reader = &ic
 }
 
-// frameLoop drives one connected stretch of a run. It returns the run
-// if it should survive (await a reconnect) and, when a new coordinator
-// connection arrived mid-loop, that connection for immediate adoption.
-func frameLoop(ctx context.Context, run *workerRun, opt WorkerOptions, inbound <-chan inboundConn) (*workerRun, *inboundConn) {
+// frameLoop drives one connected stretch of a run. keep=false means the
+// run is torn down; keep=true with a nil conn means the connection
+// dropped and the run awaits a reconnect; a non-nil conn is a
+// replacement coordinator connection to adopt immediately.
+func (d *workerDaemon) frameLoop(run *workerRun) (keep bool, next *inboundConn) {
+	opt := d.opt
 	rd := run.reader
 	hb := time.NewTicker(run.hbEvery)
 	defer hb.Stop()
@@ -334,32 +476,32 @@ func frameLoop(ctx context.Context, run *workerRun, opt WorkerOptions, inbound <
 			results = run.resultCh
 		}
 		select {
-		case <-ctx.Done():
+		case <-d.ctx.Done():
 			run.abort("worker shutting down")
-			return nil, nil
+			return false, nil
 		case err := <-rd.rerr:
-			if run.id == "" || run.sentResult {
+			if run.ses == nil || run.sentResult {
 				// No run started, or it already ended: nothing to keep.
 				run.abort("connection closed")
-				return nil, nil
+				return false, nil
 			}
-			opt.logf("coordinator connection lost (%v); awaiting reconnect", err)
+			opt.logf("coordinator connection to run %s lost (%v); awaiting reconnect", run.id, err)
 			run.link.Detach()
 			run.reader = nil
-			return run, nil
+			return true, nil
 		case <-hb.C:
 			run.flushData()
 			run.link.SendRaw(Frame{Type: THeartbeat, Payload: encU64(run.progress())})
 			if time.Since(lastHeard) > run.peerTimeout {
-				opt.logf("no coordinator traffic for %v; abandoning run", run.peerTimeout)
+				opt.logf("no coordinator traffic for %v; abandoning run %s", run.peerTimeout, run.id)
 				run.abort("coordinator heartbeat lost")
-				return nil, nil
+				return false, nil
 			}
 		case out := <-results:
 			run.outcome = &out
 			run.flushData()
 			if out.err != nil {
-				opt.logf("run failed locally: %v", out.err)
+				opt.logf("run %s failed locally: %v", run.id, out.err)
 				run.link.Send(TError, encJSON(ErrorNote{Msg: out.err.Error()}))
 			} else {
 				note, err := resultNote(out.p)
@@ -370,16 +512,12 @@ func frameLoop(ctx context.Context, run *workerRun, opt WorkerOptions, inbound <
 					run.sentResult = true
 				}
 			}
-		case ic := <-inbound:
-			if ic.hello.Peer > 0 {
-				attachMeshConn(run, ic, opt)
-				continue
-			}
-			// A new coordinator connection while this one is attached:
-			// let the daemon loop adopt it (reconnect or supersede).
+		case ic := <-run.adopt:
+			// A replacement coordinator connection for this run while one
+			// is attached: detach and adopt it.
 			run.link.Detach()
 			run.reader = nil
-			return run, &ic
+			return true, &ic
 		case f := <-rd.frames:
 			lastHeard = time.Now()
 			if !run.link.Accept(f) {
@@ -395,11 +533,11 @@ func frameLoop(ctx context.Context, run *workerRun, opt WorkerOptions, inbound <
 				opt.logf("protocol error on %s frame: %v", f.Type, err)
 				run.link.Send(TError, encJSON(ErrorNote{Msg: err.Error()}))
 				run.abort(fmt.Sprintf("protocol error: %v", err))
-				return nil, nil
+				return false, nil
 			}
 			if done {
 				run.abort("run complete")
-				return nil, nil
+				return false, nil
 			}
 			if len(rd.frames) == 0 {
 				// Inbound drained: flush coalesced data and batched acks.
@@ -549,6 +687,11 @@ func handleFrame(run *workerRun, f Frame, opt WorkerOptions) (bool, error) {
 
 // startRun builds the runner and session from a start bundle.
 func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
+	if bundle.Run != run.id {
+		// The session table routes by the Hello's run ID; a bundle naming
+		// a different run would cross-wire two runs' state.
+		return fmt.Errorf("start bundle for run %q on a connection handshaken for run %q", bundle.Run, run.id)
+	}
 	s, err := bundle.DecodeScheduleBundle()
 	if err != nil {
 		return err
@@ -584,7 +727,6 @@ func startRun(run *workerRun, bundle *StartBundle, opt WorkerOptions) error {
 	if err != nil {
 		return err
 	}
-	run.id = bundle.Run
 	run.ses = ses
 	if bundle.HeartbeatEvery > 0 {
 		run.hbEvery = time.Duration(bundle.HeartbeatEvery)
